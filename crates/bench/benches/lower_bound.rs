@@ -1,0 +1,28 @@
+//! Lower-bound machinery benchmarks: Figure-3 tree construction and
+//! search-game evaluation/optimization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowerbound::{game, LbParams, LowerBoundTree};
+
+fn bench_lower_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lower-bound");
+    group.sample_size(10);
+    for &eps in &[2u64, 4] {
+        let params = LbParams::from_eps(eps, 1);
+        group.bench_with_input(BenchmarkId::new("tree-build", eps), &eps, |b, _| {
+            b.iter(|| LowerBoundTree::new(params, 1 << 16))
+        });
+        let t = LowerBoundTree::new(params, 1 << 16);
+        let order = game::increasing_weight_order(&t);
+        group.bench_with_input(BenchmarkId::new("game-eval", eps), &eps, |b, _| {
+            b.iter(|| game::worst_case_stretch(&t, &order))
+        });
+        group.bench_with_input(BenchmarkId::new("game-optimize-500", eps), &eps, |b, _| {
+            b.iter(|| game::optimize_order(&t, 500, 7))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lower_bound);
+criterion_main!(benches);

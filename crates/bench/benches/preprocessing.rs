@@ -1,0 +1,37 @@
+//! Preprocessing-time benchmarks: how long each scheme takes to build its
+//! tables (the "preprocessing step" of the paper's model).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use doubling_metric::{gen, Eps, MetricSpace};
+use labeled_routing::{NetLabeled, ScaleFreeLabeled};
+use name_independent::{ScaleFreeNameIndependent, SimpleNameIndependent};
+use netsim::Naming;
+
+fn bench_preprocessing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preprocessing");
+    group.sample_size(10);
+    for &n in &[64usize, 144] {
+        let g = gen::Family::Grid.build(n, 7);
+        let m = MetricSpace::new(&g);
+        let eps = Eps::one_over(8);
+        group.bench_with_input(BenchmarkId::new("metric", n), &n, |b, _| {
+            b.iter(|| MetricSpace::new(&g))
+        });
+        group.bench_with_input(BenchmarkId::new("net-labeled", n), &n, |b, _| {
+            b.iter(|| NetLabeled::new(&m, eps).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("scale-free-labeled", n), &n, |b, _| {
+            b.iter(|| ScaleFreeLabeled::new(&m, eps).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("simple-ni", n), &n, |b, _| {
+            b.iter(|| SimpleNameIndependent::new(&m, eps, Naming::random(m.n(), 3)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("scale-free-ni", n), &n, |b, _| {
+            b.iter(|| ScaleFreeNameIndependent::new(&m, eps, Naming::random(m.n(), 3)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_preprocessing);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Routing-latency benchmarks: per-route simulation cost for each scheme
+//! (this times the simulator's execution of the hop-by-hop algorithm, not
+//! wire latency — the paper's cost metric is the path length, reported by
+//! the table/figure binaries instead).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use doubling_metric::{gen, Eps, MetricSpace};
+use labeled_routing::{NetLabeled, ScaleFreeLabeled};
+use name_independent::{ScaleFreeNameIndependent, SimpleNameIndependent};
+use netsim::baseline::FullTable;
+use netsim::scheme::{LabeledScheme, NameIndependentScheme};
+use netsim::stats::sample_pairs;
+use netsim::Naming;
+
+fn bench_routing(c: &mut Criterion) {
+    let n = 144usize;
+    let g = gen::Family::Grid.build(n, 7);
+    let m = MetricSpace::new(&g);
+    let eps = Eps::one_over(8);
+    let naming = Naming::random(m.n(), 3);
+    let pairs = sample_pairs(m.n(), 64, 9);
+
+    let full = FullTable::with_naming(&m, naming.clone());
+    let nl = NetLabeled::new(&m, eps).unwrap();
+    let sfl = ScaleFreeLabeled::new(&m, eps).unwrap();
+    let sni = SimpleNameIndependent::new(&m, eps, naming.clone()).unwrap();
+    let sfni = ScaleFreeNameIndependent::new(&m, eps, naming.clone()).unwrap();
+
+    let mut group = c.benchmark_group("routing");
+    group.bench_with_input(BenchmarkId::new("full-table", n), &n, |b, _| {
+        b.iter(|| {
+            for &(u, v) in &pairs {
+                LabeledScheme::route(&full, &m, u, LabeledScheme::label_of(&full, v)).unwrap();
+            }
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("net-labeled", n), &n, |b, _| {
+        b.iter(|| {
+            for &(u, v) in &pairs {
+                nl.route(&m, u, nl.label_of(v)).unwrap();
+            }
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("scale-free-labeled", n), &n, |b, _| {
+        b.iter(|| {
+            for &(u, v) in &pairs {
+                sfl.route(&m, u, sfl.label_of(v)).unwrap();
+            }
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("simple-ni", n), &n, |b, _| {
+        b.iter(|| {
+            for &(u, v) in &pairs {
+                sni.route(&m, u, naming.name_of(v)).unwrap();
+            }
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("scale-free-ni", n), &n, |b, _| {
+        b.iter(|| {
+            for &(u, v) in &pairs {
+                sfni.route(&m, u, naming.name_of(v)).unwrap();
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Ablation A1: what the R(u) ring pruning saves and costs — all-level
+//! rings (NetLabeled) vs R(u)-only rings plus packing machinery
+//! (ScaleFreeLabeled).
+//!
+//! Usage: `cargo run -p bench --bin ablation_rings`
+
+use bench::experiments::run_ablation_rings;
+use bench::table::emit;
+
+fn main() {
+    let (headers, rows) = run_ablation_rings(42);
+    emit("A1: ring-level pruning (all levels vs R(u))", &headers, &rows);
+}

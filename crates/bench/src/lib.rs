@@ -1,0 +1,25 @@
+//! Benchmark harness regenerating every table and figure of the paper.
+//!
+//! Each experiment in EXPERIMENTS.md is a pure function in
+//! [`experiments`] returning a header row plus data rows; the `bin/`
+//! targets print them as aligned text tables:
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `table1` | Table 1 — name-independent schemes (stretch / table bits / header bits) |
+//! | `table2` | Table 2 — labeled schemes (stretch / table / label / header bits) |
+//! | `fig1` | Figure 1 — name-independent route anatomy by search round |
+//! | `fig2` | Figure 2 — labeled route anatomy (ring walk / packing phases) |
+//! | `fig3` | Figure 3 + Theorem 1.3 — lower-bound tree properties and the search-game curve |
+//! | `sweep_eps` | S1 — stretch vs ε for all four schemes |
+//! | `sweep_scale` | S2 — storage vs log Δ: the scale-free crossover |
+//! | `ablation_rings` | A1 — R(u) pruning vs full ring tables |
+//! | `ablation_packing` | A2 — ℬ/𝒜 reuse statistics (Claims 3.6–3.9) |
+//!
+//! Criterion benches (`benches/`) time preprocessing, routing, search-tree
+//! lookups and game evaluation on the same inputs.
+
+pub mod experiments;
+pub mod table;
+
+pub use table::{emit, print_table, to_json};

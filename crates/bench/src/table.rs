@@ -1,0 +1,108 @@
+//! Minimal aligned text-table printing for experiment output.
+
+/// Prints an aligned text table with a header row and a separator.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let cols = headers.len();
+    let mut width = vec![0usize; cols];
+    for (c, h) in headers.iter().enumerate() {
+        width[c] = h.len();
+    }
+    for row in rows {
+        for (c, cell) in row.iter().enumerate().take(cols) {
+            width[c] = width[c].max(cell.len());
+        }
+    }
+    let line = |cells: Vec<&str>| {
+        let mut s = String::new();
+        for (c, cell) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", cell, w = width[c]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.to_vec());
+    println!("{}", "-".repeat(width.iter().sum::<usize>() + 2 * cols));
+    for row in rows {
+        line(row.iter().map(|s| s.as_str()).collect());
+    }
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Serializes `(headers, rows)` as a JSON array of objects (no external
+/// dependency; values are emitted as strings, which is what the rows
+/// contain).
+pub fn to_json(headers: &[&str], rows: &[Vec<String>]) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let mut out = String::from("[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        for (c, h) in headers.iter().enumerate() {
+            if c > 0 {
+                out.push(',');
+            }
+            let empty = String::new();
+            let cell = row.get(c).unwrap_or(&empty);
+            out.push_str(&format!("\"{}\":\"{}\"", esc(h), esc(cell)));
+        }
+        out.push('}');
+    }
+    out.push(']');
+    out
+}
+
+/// Prints the table as text, or as JSON when the process args contain
+/// `--json` — the shared output path for every experiment binary.
+pub fn emit(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", to_json(headers, rows));
+    } else {
+        print_table(title, headers, rows);
+    }
+}
+
+#[cfg(test)]
+mod json_tests {
+    use super::to_json;
+
+    #[test]
+    fn json_shape() {
+        let json = to_json(
+            &["a", "b"],
+            &[vec!["1".into(), "x\"y".into()], vec!["2".into(), "z".into()]],
+        );
+        assert_eq!(json, r#"[{"a":"1","b":"x\"y"},{"a":"2","b":"z"}]"#);
+    }
+
+    #[test]
+    fn json_handles_missing_cells() {
+        let json = to_json(&["a", "b"], &[vec!["1".into()]]);
+        assert_eq!(json, r#"[{"a":"1","b":""}]"#);
+    }
+
+    #[test]
+    fn json_empty_rows() {
+        assert_eq!(to_json(&["a"], &[]), "[]");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn formatting_smoke() {
+        super::print_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        assert_eq!(super::f2(1.234), "1.23");
+    }
+}

@@ -1,0 +1,29 @@
+//! Scheme construction errors.
+
+use std::fmt;
+
+use doubling_metric::Eps;
+
+/// Errors raised when constructing a routing scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemeError {
+    /// The scheme's delivery guarantee requires a smaller `ε`.
+    EpsTooLarge {
+        /// The ε that was passed.
+        got: Eps,
+        /// Human-readable bound, e.g. `"1/2"`.
+        bound: &'static str,
+    },
+}
+
+impl fmt::Display for SchemeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemeError::EpsTooLarge { got, bound } => {
+                write!(f, "epsilon {got} too large: this scheme requires epsilon <= {bound}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemeError {}

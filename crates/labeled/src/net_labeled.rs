@@ -1,0 +1,257 @@
+//! The non-scale-free labeled scheme (the workspace's Lemma 3.1).
+//!
+//! Every node stores its ring `X_i(u) = B_u(2^i/ε) ∩ Y_i` for **all**
+//! levels `i ∈ [log Δ]`. Routing is the pure greedy ring walk:
+//!
+//! 1. At `u`, find the minimal level `i` such that some `x ∈ X_i(u)` has
+//!    `l(v) ∈ Range(x, i)`; that `x` is `v(i)`.
+//! 2. Step one hop along the shortest path toward `x`; repeat from the new
+//!    node.
+//!
+//! A hit always exists at the top level (`Y_L` is a singleton whose range
+//! covers every label and is within `2^L/ε ≥ Δ` of everyone). Progress: the
+//! minimal hit level never increases along the walk (moving toward `x`
+//! keeps `x` in the ring), the target at a fixed level is the unique
+//! `v(i)`, and upon reaching `v(i)` the level strictly drops (for
+//! `ε ≤ 1/2`, `v(i−1)` is inside `X_{i−1}(v(i))`), so the walk reaches
+//! `v(0) = v`. The stretch analysis is the paper's Eqns. (19)–(21)
+//! specialized to `t = final`, giving `1 + O(ε)`.
+//!
+//! Storage: `O(log Δ)` rings of `(4/ε)^α` entries of `O(log n)` bits —
+//! `(1/ε)^{O(α)}·log Δ·log n` bits per node, matching Lemma 3.1. Labels are
+//! `⌈log n⌉` bits and headers carry just the destination label.
+
+use doubling_metric::graph::NodeId;
+use doubling_metric::nets::NetHierarchy;
+use doubling_metric::space::MetricSpace;
+use doubling_metric::Eps;
+
+use netsim::bits::{BitTally, FieldWidths};
+use netsim::route::{Route, RouteError, RouteRecorder};
+use netsim::scheme::{Label, LabeledScheme};
+
+use crate::error::SchemeError;
+use crate::rings::{build_ring, ring_lookup, RingEntry};
+
+/// The non-scale-free `(1+O(ε))`-stretch labeled scheme.
+///
+/// # Examples
+///
+/// ```rust
+/// use doubling_metric::{gen, Eps, MetricSpace};
+/// use labeled_routing::NetLabeled;
+/// use netsim::LabeledScheme;
+///
+/// let m = MetricSpace::new(&gen::grid(5, 5));
+/// let s = NetLabeled::new(&m, Eps::one_over(8))?;
+/// let route = s.route(&m, 0, s.label_of(24))?;
+/// assert_eq!(route.dst, 24);
+/// assert!(route.stretch(&m) <= 1.5);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetLabeled {
+    nets: NetHierarchy,
+    widths: FieldWidths,
+    /// `rings[u][i]` = `X_i(u)`, all levels.
+    rings: Vec<Vec<Vec<RingEntry>>>,
+    num_levels: usize,
+}
+
+impl NetLabeled {
+    /// Preprocesses the scheme.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemeError::EpsTooLarge`] if `ε > 1/2` (the level-descent
+    /// progress argument needs `2^i ≤ 2^{i−1}/ε`).
+    pub fn new(m: &MetricSpace, eps: Eps) -> Result<Self, SchemeError> {
+        if !eps.mul_le(2, 1) {
+            // 2 ≤ 1/ε  ⟺  ε ≤ 1/2
+            return Err(SchemeError::EpsTooLarge { got: eps, bound: "1/2" });
+        }
+        let nets = NetHierarchy::new(m);
+        let num_levels = m.num_scales();
+        let rings: Vec<Vec<Vec<RingEntry>>> = (0..m.n() as NodeId)
+            .map(|u| (0..num_levels).map(|i| build_ring(m, &nets, eps, u, i)).collect())
+            .collect();
+        Ok(NetLabeled { nets, widths: FieldWidths::new(m), rings, num_levels })
+    }
+
+    /// The net hierarchy the labels come from (shared with upper layers).
+    pub fn nets(&self) -> &NetHierarchy {
+        &self.nets
+    }
+
+    /// Number of ring levels stored per node (`Θ(log Δ)` — the
+    /// non-scale-free factor).
+    pub fn num_levels(&self) -> usize {
+        self.num_levels
+    }
+
+    /// Minimal-level ring hit for `label` at node `u`.
+    fn min_hit(&self, u: NodeId, label: Label) -> Option<(usize, RingEntry)> {
+        for i in 0..self.num_levels {
+            if let Some(e) = ring_lookup(&self.rings[u as usize][i], label) {
+                return Some((i, *e));
+            }
+        }
+        None
+    }
+
+    /// Crate-internal accessor for the distance oracle extension.
+    pub(crate) fn min_hit_public(&self, u: NodeId, label: Label) -> Option<(usize, RingEntry)> {
+        self.min_hit(u, label)
+    }
+}
+
+impl LabeledScheme for NetLabeled {
+    fn scheme_name(&self) -> &'static str {
+        "net-labeled"
+    }
+
+    fn label_of(&self, v: NodeId) -> Label {
+        self.nets.label(v)
+    }
+
+    fn label_bits(&self) -> u64 {
+        self.widths.node
+    }
+
+    fn table_bits(&self, u: NodeId) -> u64 {
+        // Per entry: net point id + range (2 labels) + next hop.
+        let mut t = BitTally::new();
+        for ring in &self.rings[u as usize] {
+            t.nodes(&self.widths, 4 * ring.len() as u64);
+        }
+        t.total()
+    }
+
+    fn route(&self, m: &MetricSpace, src: NodeId, target: Label) -> Result<Route, RouteError> {
+        let mut rec = RouteRecorder::new(m, src);
+        // Header: the destination label.
+        rec.note_header_bits(self.widths.node);
+        let mut seg_level: Option<u32> = None;
+        loop {
+            let u = rec.current();
+            if self.nets.label(u) == target {
+                return Ok(rec.finish());
+            }
+            let (i, e) = self.min_hit(u, target).ok_or_else(|| RouteError::LookupFailed {
+                at: u,
+                detail: "no ring hit at any level (broken hierarchy)".into(),
+            })?;
+            if seg_level != Some(i as u32) {
+                rec.begin_segment("ring-walk", Some(i as u32));
+                seg_level = Some(i as u32);
+            }
+            rec.hop(e.next)?;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doubling_metric::gen;
+    use netsim::stats::{all_pairs, eval_labeled, sample_pairs};
+
+    fn check_graph(g: &doubling_metric::Graph, eps: Eps, max_allowed: f64) {
+        let m = MetricSpace::new(g);
+        let s = NetLabeled::new(&m, eps).unwrap();
+        let pairs = if m.n() <= 40 { all_pairs(m.n()) } else { sample_pairs(m.n(), 400, 7) };
+        let res = eval_labeled(&s, &m, &pairs);
+        assert_eq!(res.failures, 0, "all routes must deliver");
+        assert!(
+            res.max_stretch <= max_allowed,
+            "stretch {} exceeds {} (eps {})",
+            res.max_stretch,
+            max_allowed,
+            eps
+        );
+    }
+
+    #[test]
+    fn delivers_on_grid() {
+        check_graph(&gen::grid(6, 6), Eps::one_over(8), 1.0 + 20.0 / 8.0);
+    }
+
+    #[test]
+    fn stretch_shrinks_with_eps_on_grid() {
+        let m = MetricSpace::new(&gen::grid(8, 8));
+        let pairs = sample_pairs(m.n(), 500, 3);
+        let s8 = NetLabeled::new(&m, Eps::one_over(8)).unwrap();
+        let s16 = NetLabeled::new(&m, Eps::one_over(16)).unwrap();
+        let r8 = eval_labeled(&s8, &m, &pairs);
+        let r16 = eval_labeled(&s16, &m, &pairs);
+        assert_eq!(r8.failures + r16.failures, 0);
+        assert!(r16.max_stretch <= r8.max_stretch + 1e-9);
+        // 1 + O(ε): comfortably small at ε = 1/16.
+        assert!(r16.max_stretch <= 1.6, "max stretch {}", r16.max_stretch);
+    }
+
+    #[test]
+    fn delivers_on_all_families() {
+        for f in gen::Family::all() {
+            let g = f.build(60, 11);
+            check_graph(&g, Eps::one_over(8), 4.0);
+        }
+    }
+
+    #[test]
+    fn exp_path_works_but_tables_grow_with_log_delta() {
+        let m_small = MetricSpace::new(&gen::exp_weight_path(8));
+        let m_big = MetricSpace::new(&gen::exp_weight_path(32));
+        let eps = Eps::one_over(4);
+        let s_small = NetLabeled::new(&m_small, eps).unwrap();
+        let s_big = NetLabeled::new(&m_big, eps).unwrap();
+        // More levels (log Δ grows linearly in n here).
+        assert!(s_big.num_levels() > 3 * s_small.num_levels());
+        let res = eval_labeled(&s_big, &m_big, &all_pairs(m_big.n()));
+        assert_eq!(res.failures, 0);
+    }
+
+    #[test]
+    fn rejects_large_eps() {
+        let m = MetricSpace::new(&gen::grid(3, 3));
+        assert!(matches!(
+            NetLabeled::new(&m, Eps::new(3, 4).unwrap()),
+            Err(SchemeError::EpsTooLarge { .. })
+        ));
+        assert!(NetLabeled::new(&m, Eps::one_over(2)).is_ok());
+    }
+
+    #[test]
+    fn labels_are_compact() {
+        let m = MetricSpace::new(&gen::grid(8, 8));
+        let s = NetLabeled::new(&m, Eps::one_over(4)).unwrap();
+        assert_eq!(s.label_bits(), 6); // ⌈log₂ 64⌉
+        let mut seen = vec![false; 64];
+        for v in 0..64 {
+            let l = s.label_of(v);
+            assert!(!seen[l as usize]);
+            seen[l as usize] = true;
+        }
+    }
+
+    #[test]
+    fn header_is_one_label() {
+        let m = MetricSpace::new(&gen::grid(5, 5));
+        let s = NetLabeled::new(&m, Eps::one_over(4)).unwrap();
+        let r = s.route(&m, 0, s.label_of(24)).unwrap();
+        assert_eq!(r.max_header_bits, 5);
+    }
+
+    #[test]
+    fn route_segments_have_nonincreasing_levels() {
+        let m = MetricSpace::new(&gen::grid(8, 8));
+        let s = NetLabeled::new(&m, Eps::one_over(8)).unwrap();
+        for (u, v) in sample_pairs(64, 60, 5) {
+            let r = s.route(&m, u, s.label_of(v)).unwrap();
+            let levels: Vec<u32> = r.segments.iter().filter_map(|s| s.level).collect();
+            for w in levels.windows(2) {
+                assert!(w[0] >= w[1], "levels must not increase: {levels:?}");
+            }
+        }
+    }
+}

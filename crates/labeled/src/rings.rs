@@ -1,0 +1,146 @@
+//! Ring tables: the per-node, per-level routing entries.
+//!
+//! The *`i`-th ring* of `u` is `X_i(u) = B_u(2^i/ε) ∩ Y_i` (Section 4.1).
+//! For each ring member `x`, a node stores `Range(x, i)` (the label
+//! interval of the netting-tree subtree under `x`), the neighbour of `u` on
+//! the shortest path toward `x`, and `d(u, x)` (needed by Algorithm 5's
+//! stopping rule). By Lemma 2.2, `|X_i(u)| ≤ (4/ε)^α`.
+
+use doubling_metric::graph::{Dist, NodeId};
+use doubling_metric::nets::NetHierarchy;
+use doubling_metric::space::MetricSpace;
+use doubling_metric::Eps;
+
+/// One ring entry: a net point visible from `u` at level `i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingEntry {
+    /// The net point `x ∈ X_i(u)`.
+    pub x: NodeId,
+    /// `Range(x, i)` — inclusive label interval of `x`'s netting subtree.
+    pub range: (u32, u32),
+    /// The neighbour of `u` on the shortest path toward `x` (`u` itself if
+    /// `x == u`).
+    pub next: NodeId,
+    /// `d(u, x)`.
+    pub dist: Dist,
+}
+
+/// Builds `X_i(u)`, sorted by range start (ranges at one level are
+/// disjoint, so this supports binary-search lookup).
+pub fn build_ring(
+    m: &MetricSpace,
+    nets: &NetHierarchy,
+    eps: Eps,
+    u: NodeId,
+    i: usize,
+) -> Vec<RingEntry> {
+    let s_i = m.scale(i);
+    let mut out: Vec<RingEntry> = nets
+        .level(i)
+        .iter()
+        .filter_map(|&x| {
+            let d = m.dist(u, x);
+            // d ≤ s_i / ε, exactly.
+            if !eps.mul_le(d, s_i) {
+                return None;
+            }
+            let range = nets.range(i, x).expect("x is in Y_i");
+            let next = m.next_hop(u, x).unwrap_or(u);
+            Some(RingEntry { x, range, next, dist: d })
+        })
+        .collect();
+    out.sort_unstable_by_key(|e| e.range.0);
+    out
+}
+
+/// Binary-searches a ring for the entry whose range contains `label`.
+pub fn ring_lookup(ring: &[RingEntry], label: u32) -> Option<&RingEntry> {
+    let idx = ring.partition_point(|e| e.range.0 <= label);
+    if idx == 0 {
+        return None;
+    }
+    let e = &ring[idx - 1];
+    (e.range.0 <= label && label <= e.range.1).then_some(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doubling_metric::gen;
+
+    #[test]
+    fn ring_members_are_net_points_within_radius() {
+        let m = MetricSpace::new(&gen::grid(8, 8));
+        let nets = NetHierarchy::new(&m);
+        let eps = Eps::one_over(2);
+        for u in [0u32, 13, 63] {
+            for i in 0..m.num_scales() {
+                let ring = build_ring(&m, &nets, eps, u, i);
+                for e in &ring {
+                    assert!(nets.in_level(i, e.x));
+                    assert!(eps.mul_le(m.dist(u, e.x), m.scale(i)));
+                    assert_eq!(e.dist, m.dist(u, e.x));
+                }
+                // Completeness: every qualifying net point is present.
+                let count = nets
+                    .level(i)
+                    .iter()
+                    .filter(|&&x| eps.mul_le(m.dist(u, x), m.scale(i)))
+                    .count();
+                assert_eq!(ring.len(), count);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_finds_exactly_the_containing_range() {
+        let m = MetricSpace::new(&gen::grid(6, 6));
+        let nets = NetHierarchy::new(&m);
+        let eps = Eps::one_over(3);
+        for u in 0..m.n() as NodeId {
+            for i in 0..m.num_scales() {
+                let ring = build_ring(&m, &nets, eps, u, i);
+                for v in 0..m.n() as NodeId {
+                    let l = nets.label(v);
+                    let hit = ring_lookup(&ring, l);
+                    let expected = ring.iter().find(|e| e.range.0 <= l && l <= e.range.1);
+                    assert_eq!(hit, expected, "u={u} i={i} v={v}");
+                    // A hit identifies v(i).
+                    if let Some(e) = hit {
+                        assert_eq!(e.x, nets.zoom(v, i));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn next_hop_points_along_shortest_path() {
+        let m = MetricSpace::new(&gen::grid(5, 5));
+        let nets = NetHierarchy::new(&m);
+        let ring = build_ring(&m, &nets, Eps::one_over(2), 0, m.num_scales() - 1);
+        for e in &ring {
+            if e.x == 0 {
+                assert_eq!(e.next, 0);
+            } else {
+                assert_eq!(
+                    m.dist(0, e.x),
+                    m.graph().edge_weight(0, e.next).unwrap() + m.dist(e.next, e.x)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ring_size_bounded_by_lemma_2_2() {
+        // |X_i(u)| ≤ (4/ε)^α; for the grid (α ≈ 2) and ε = 1/2 that is 64.
+        let m = MetricSpace::new(&gen::grid(10, 10));
+        let nets = NetHierarchy::new(&m);
+        for u in 0..m.n() as NodeId {
+            for i in 0..m.num_scales() {
+                let ring = build_ring(&m, &nets, Eps::one_over(2), u, i);
+                assert!(ring.len() <= 64, "ring too large: {}", ring.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,500 @@
+//! The scale-free `(1+O(ε))`-stretch labeled scheme — **Theorem 1.2**,
+//! Section 4 of the paper.
+//!
+//! Storage cannot afford all `Θ(log Δ)` ring levels, so each node `u` keeps
+//! rings only for the index set
+//! `R(u) = {i : ∃j ∈ [log n], (ε/6)·r_u(j) ≤ 2^i ≤ r_u(j)}` —
+//! `O(log n)` *bands* of `O(log(1/ε))` levels each, pinned to the radii at
+//! which `u`'s ball sizes double. The greedy ring walk (**Algorithm 5**,
+//! lines 1–6) proceeds while the level does not increase and the current
+//! target `x_k = v(i_k)` is still far (`d(u_k, x_k) ≥ 2^{i_k−1}/ε −
+//! 2^{i_k}`); as soon as the walk stalls, Claim 4.6 localizes the
+//! destination: `r_{u_t}(j)/(3ε) < d(u_t, v) < r_{u_t}(j+1)/5` for the `j`
+//! with `r_{u_t}(j) ≤ 2^{i_t} < r_{u_t}(j+1)`.
+//!
+//! The ball-packing machinery then finishes the route (lines 7–10): `u_t`
+//! routes to the center `c` of its Voronoi ball in `ℬ_j` on the
+//! shortest-path tree `T_c(j)`, retrieves the destination's *local*
+//! tree-routing label `l(v; c, j)` from the search tree `T'(c, r_c(j))`
+//! (Lemma 4.5 proves `v ∈ V(c, j) ∩ B_c(r_c(j+1))`, so the pair is stored),
+//! and routes to `v` on `T_c(j)`.
+//!
+//! Everything a node stores is polylogarithmic in `n` and independent of
+//! `Δ`: rings for `R(u)` only, one Voronoi-center local label per `j`, the
+//! degree-independent tree-router tables, and its share of the search
+//! trees' `(key, data)` pairs — `(1/ε)^{O(α)}·log³ n` bits (Lemma 4.4).
+
+use doubling_metric::graph::{Dist, NodeId};
+use doubling_metric::nets::NetHierarchy;
+use doubling_metric::packing::Packings;
+use doubling_metric::space::MetricSpace;
+use doubling_metric::Eps;
+
+use netsim::bits::{BitTally, FieldWidths};
+use netsim::route::{Route, RouteError, RouteRecorder};
+use netsim::scheme::{Label, LabeledScheme};
+use searchtree::{SearchTree, SearchTreeConfig};
+use treeroute::{PortLabel, PortTreeRouter, Tree};
+
+use crate::error::SchemeError;
+use crate::rings::{build_ring, ring_lookup, RingEntry};
+
+/// One Voronoi cell of a packed ball: its shortest-path tree router and the
+/// search tree indexing local labels.
+#[derive(Debug, Clone)]
+struct Cell {
+    router: PortTreeRouter,
+    search: SearchTree<PortLabel>,
+}
+
+/// The scale-free labeled scheme of Theorem 1.2.
+///
+/// # Examples
+///
+/// ```rust
+/// use doubling_metric::{gen, Eps, MetricSpace};
+/// use labeled_routing::ScaleFreeLabeled;
+/// use netsim::LabeledScheme;
+///
+/// // Normalized diameter 2^31 — far beyond what log Δ tables would like.
+/// let m = MetricSpace::new(&gen::exp_weight_path(32));
+/// let s = ScaleFreeLabeled::new(&m, Eps::one_over(8))?;
+/// let route = s.route(&m, 0, s.label_of(31))?;
+/// assert_eq!(route.dst, 31);
+/// assert!(route.stretch(&m) <= 1.5);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScaleFreeLabeled {
+    nets: NetHierarchy,
+    eps: Eps,
+    widths: FieldWidths,
+    /// Rings for levels in `R(u)` only: `(level, ring)` sorted by level.
+    rings: Vec<Vec<(u32, Vec<RingEntry>)>>,
+    packings: Packings,
+    /// `cells[j][k]` = cell of ball `k` in `ℬ_j`.
+    cells: Vec<Vec<Cell>>,
+    /// Precomputed per-node search-tree storage (bits).
+    search_bits: Vec<u64>,
+    log2_n: u32,
+}
+
+impl ScaleFreeLabeled {
+    /// Preprocesses the scheme.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemeError::EpsTooLarge`] if `ε > 1/4` (needed so a ring
+    /// hit exists at every node — see the module docs of
+    /// [`crate::net_labeled`] and Claim 4.6's `ε < 3/4` requirement).
+    pub fn new(m: &MetricSpace, eps: Eps) -> Result<Self, SchemeError> {
+        if !eps.mul_le(4, 1) {
+            // 4 ≤ 1/ε  ⟺  ε ≤ 1/4
+            return Err(SchemeError::EpsTooLarge { got: eps, bound: "1/4" });
+        }
+        let nets = NetHierarchy::new(m);
+        let widths = FieldWidths::new(m);
+        let log2_n = m.log2_n();
+        let n = m.n();
+
+        // --- Ring tables on R(u). ---
+        let eps6 = eps.div_by(6);
+        let mut rings: Vec<Vec<(u32, Vec<RingEntry>)>> = Vec::with_capacity(n);
+        for u in 0..n as NodeId {
+            let r_of: Vec<Dist> = (0..=log2_n).map(|j| m.r_small(u, j)).collect();
+            let mut mine = Vec::new();
+            for i in 0..m.num_scales() {
+                let s_i = m.scale(i);
+                // i ∈ R(u) ⟺ ∃j: (ε/6)·r_u(j) ≤ s_i ≤ r_u(j).
+                let in_r = r_of.iter().any(|&r| eps6.mul_le(r, s_i) && s_i <= r);
+                if in_r {
+                    mine.push((i as u32, build_ring(m, &nets, eps, u, i)));
+                }
+            }
+            rings.push(mine);
+        }
+
+        // --- Ball packings, Voronoi trees, search trees. ---
+        let packings = Packings::new(m);
+        let mut cells: Vec<Vec<Cell>> = Vec::with_capacity(packings.len());
+        let mut search_bits = vec![0u64; n];
+        for j in 0..=log2_n {
+            let packing = packings.at(j);
+            let mut level_cells = Vec::with_capacity(packing.balls().len());
+            for (k, ball) in packing.balls().iter().enumerate() {
+                let c = ball.center;
+                let region = packing.voronoi_region(k as u32);
+                // Shortest-path tree T_c(j): deterministic Dijkstra parents;
+                // regions are shortest-path-closed so parents stay inside.
+                let edges = region.iter().filter(|&&v| v != c).map(|&v| {
+                    let p = m.apsp().parent(c, v);
+                    let w = m.graph().edge_weight(p, v).expect("tree edge is a graph edge");
+                    (v, p, w)
+                });
+                let tree = Tree::new(c, edges).expect("region forms a tree");
+                let router = PortTreeRouter::new(tree, m.graph())
+                    .expect("T_c(j) edges are graph edges");
+
+                // Search tree II over B_c(r_c(j)), holding (l(v), l(v;c,j))
+                // for v ∈ V(c,j) ∩ B_c(r_c(j+1)).
+                let r_j = m.r_small(c, j);
+                let r_j1 = m.r_small(c, (j + 1).min(log2_n));
+                let tree_ball: Vec<NodeId> = m.ball(c, r_j).iter().map(|&(_, x)| x).collect();
+                let pairs: Vec<(u64, PortLabel)> = region
+                    .iter()
+                    .filter(|&&v| m.dist(c, v) <= r_j1)
+                    .map(|&v| (nets.label(v) as u64, router.label_of(v).clone()))
+                    .collect();
+                let search = SearchTree::new(
+                    m,
+                    c,
+                    &tree_ball,
+                    SearchTreeConfig {
+                        eps_r: eps.mul_floor(r_j),
+                        max_levels: Some(log2_n.max(1)),
+                    },
+                    pairs,
+                );
+                for &v in search.tree().nodes() {
+                    search_bits[v as usize] += search.storage_bits(
+                        v,
+                        widths.node,
+                        widths.node,
+                        |lbl| lbl.bits(widths.node, router.port_bits()),
+                    );
+                }
+                for (v, _) in search.relay_nodes() {
+                    if !search.contains(v) {
+                        search_bits[v as usize] += search.relay_bits(v, widths.node);
+                    }
+                }
+                level_cells.push(Cell { router, search });
+            }
+            cells.push(level_cells);
+        }
+
+        Ok(ScaleFreeLabeled {
+            nets,
+            eps,
+            widths,
+            rings,
+            packings,
+            cells,
+            search_bits,
+            log2_n,
+        })
+    }
+
+    /// The net hierarchy the labels come from.
+    pub fn nets(&self) -> &NetHierarchy {
+        &self.nets
+    }
+
+    /// The ball packings `ℬ_j` (shared with the name-independent layer,
+    /// which builds its `ℬ`-type search trees over the same packing).
+    pub fn packings(&self) -> &Packings {
+        &self.packings
+    }
+
+    /// The `ε` this scheme was built with.
+    pub fn eps(&self) -> Eps {
+        self.eps
+    }
+
+    /// The levels in `R(u)` (the only levels `u` stores rings for).
+    pub fn ring_levels(&self, u: NodeId) -> Vec<u32> {
+        self.rings[u as usize].iter().map(|&(i, _)| i).collect()
+    }
+
+    /// Minimal-level ring hit among `R(u)`.
+    fn min_hit(&self, u: NodeId, label: Label) -> Option<(u32, RingEntry)> {
+        for (i, ring) in &self.rings[u as usize] {
+            if let Some(e) = ring_lookup(ring, label) {
+                return Some((*i, *e));
+            }
+        }
+        None
+    }
+
+    /// Minimal-level ring hit among `R(u)`, exposed for the
+    /// distance-bounds extension in [`crate::oracle`].
+    pub(crate) fn min_hit_public(&self, u: NodeId, label: Label) -> Option<(u32, RingEntry)> {
+        self.min_hit(u, label)
+    }
+
+    /// Algorithm 5 line 3's continuation test: `d(u_k, x_k) ≥
+    /// 2^{i_k−1}/ε − 2^{i_k}`, evaluated exactly as
+    /// `2·ε·(d + s_i) ≥ s_i` (using `s_{i−1} = s_i/2`).
+    fn far_from_target(&self, d: Dist, s_i: Dist) -> bool {
+        2 * (d + s_i) as u128 * self.eps.num() as u128 >= s_i as u128 * self.eps.den() as u128
+    }
+
+    /// Phase 2 of Algorithm 5 (lines 7–10) from the stalled node.
+    fn packing_phase(
+        &self,
+        m: &MetricSpace,
+        rec: &mut RouteRecorder<'_>,
+        target: Label,
+        i_t: u32,
+    ) -> Result<(), RouteError> {
+        let u_t = rec.current();
+        let s_it = m.scale(i_t as usize);
+        // j: the largest index with r_{u_t}(j) ≤ 2^{i_t}.
+        let j = (0..=self.log2_n)
+            .rev()
+            .find(|&j| m.r_small(u_t, j) <= s_it)
+            .expect("r_u(0) = 0 always qualifies");
+        let packing = self.packings.at(j);
+        let k = packing.voronoi_index(u_t);
+        let cell = &self.cells[j as usize][k as usize];
+        let c = packing.balls()[k as usize].center;
+
+        // Route to c on T_c(j) using the stored local label l(c;c,j).
+        rec.begin_segment("to-center", Some(j));
+        let root_label = cell.router.label_of(c);
+        rec.note_header_bits(
+            root_label.bits(self.widths.node, cell.router.port_bits()) + self.widths.size_exp,
+        );
+        for x in cell.router.route(m.graph(), u_t, root_label).into_iter().skip(1) {
+            rec.hop(x)?;
+        }
+
+        // Search T'(c, r_c(j)) for the local label of the target.
+        rec.begin_segment("tree-search", Some(j));
+        rec.note_header_bits(self.widths.node + self.widths.size_exp);
+        let walk = cell.search.search(target as u64);
+        for &x in &walk.nodes[1..] {
+            rec.walk_shortest(x)?;
+        }
+        let local = walk.result.ok_or_else(|| RouteError::LookupFailed {
+            at: rec.current(),
+            detail: format!("label {target} not in search tree of ball j={j} (Lemma 4.5)"),
+        })?;
+
+        // Route to the target on T_c(j).
+        rec.begin_segment("to-target", Some(j));
+        rec.note_header_bits(local.bits(self.widths.node, cell.router.port_bits()));
+        for x in cell.router.route(m.graph(), c, &local).into_iter().skip(1) {
+            rec.hop(x)?;
+        }
+        Ok(())
+    }
+}
+
+impl LabeledScheme for ScaleFreeLabeled {
+    fn scheme_name(&self) -> &'static str {
+        "scale-free-labeled"
+    }
+
+    fn label_of(&self, v: NodeId) -> Label {
+        self.nets.label(v)
+    }
+
+    fn label_bits(&self) -> u64 {
+        self.widths.node
+    }
+
+    fn table_bits(&self, u: NodeId) -> u64 {
+        let mut t = BitTally::new();
+        // Rings: level tag + entries of (x, range lo/hi, next, dist).
+        for (_i, ring) in &self.rings[u as usize] {
+            t.levels(&self.widths, 1);
+            t.nodes(&self.widths, 4 * ring.len() as u64);
+            t.dists(&self.widths, ring.len() as u64);
+        }
+        // Per j: the local label of u's Voronoi center plus tree-router
+        // table (degree-independent).
+        for j in 0..=self.log2_n {
+            let packing = self.packings.at(j);
+            let k = packing.voronoi_index(u);
+            let cell = &self.cells[j as usize][k as usize];
+            let c = packing.balls()[k as usize].center;
+            t.raw(cell.router.label_of(c).bits(self.widths.node, cell.router.port_bits()));
+            t.raw(cell.router.table_bits(u, self.widths.node));
+        }
+        // Search-tree shares.
+        t.raw(self.search_bits[u as usize]);
+        t.total()
+    }
+
+    fn route(&self, m: &MetricSpace, src: NodeId, target: Label) -> Result<Route, RouteError> {
+        let mut rec = RouteRecorder::new(m, src);
+        // Phase-1 header: destination label + previous level.
+        rec.note_header_bits(self.widths.node + self.widths.level);
+        let mut i_prev = u32::MAX;
+        let mut seg_level: Option<u32> = None;
+        loop {
+            let u = rec.current();
+            if self.nets.label(u) == target {
+                return Ok(rec.finish());
+            }
+            let (i, e) = self.min_hit(u, target).ok_or_else(|| RouteError::LookupFailed {
+                at: u,
+                detail: "no ring hit on R(u) (requires eps <= 1/4)".into(),
+            })?;
+            // When the hit is the destination itself (x = v, which happens
+            // whenever v ∈ Y_i — in particular at every level-0 hit), walk
+            // straight to it: the per-hop recomputation keeps the target
+            // fixed, so this is the exact shortest path. Claim 4.6's
+            // analysis only covers stalls with x_t ≠ v (it needs i_t ≥ 1
+            // and x' = v(i_t − 1) distinct from the walk target).
+            if self.nets.label(e.x) == target {
+                if seg_level != Some(i) {
+                    rec.begin_segment("ring-walk", Some(i));
+                    seg_level = Some(i);
+                }
+                rec.hop(e.next)?;
+                i_prev = i;
+                continue;
+            }
+            let s_i = m.scale(i as usize);
+            if i <= i_prev && self.far_from_target(e.dist, s_i) {
+                if seg_level != Some(i) {
+                    rec.begin_segment("ring-walk", Some(i));
+                    seg_level = Some(i);
+                }
+                rec.hop(e.next)?;
+                i_prev = i;
+                continue;
+            }
+            // Stalled: hand off to the ball-packing machinery.
+            self.packing_phase(m, &mut rec, target, i)?;
+            let arrived = rec.current();
+            if self.nets.label(arrived) != target {
+                return Err(RouteError::Internal(format!(
+                    "packing phase delivered to {arrived}, not the target"
+                )));
+            }
+            return Ok(rec.finish());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doubling_metric::gen;
+    use netsim::stats::{all_pairs, eval_labeled, sample_pairs};
+
+    fn check_graph(g: &doubling_metric::Graph, eps: Eps, max_allowed: f64) {
+        let m = MetricSpace::new(g);
+        let s = ScaleFreeLabeled::new(&m, eps).unwrap();
+        let pairs = if m.n() <= 40 { all_pairs(m.n()) } else { sample_pairs(m.n(), 400, 7) };
+        let res = eval_labeled(&s, &m, &pairs);
+        assert_eq!(res.failures, 0, "all routes must deliver on {}", res.scheme);
+        assert!(
+            res.max_stretch <= max_allowed,
+            "stretch {} exceeds {} (eps {})",
+            res.max_stretch,
+            max_allowed,
+            eps
+        );
+    }
+
+    #[test]
+    fn delivers_on_grid() {
+        check_graph(&gen::grid(6, 6), Eps::one_over(8), 3.5);
+    }
+
+    #[test]
+    fn delivers_on_all_families() {
+        for f in gen::Family::all() {
+            let g = f.build(60, 11);
+            check_graph(&g, Eps::one_over(8), 4.0);
+        }
+    }
+
+    #[test]
+    fn stretch_approaches_one_for_small_eps() {
+        let m = MetricSpace::new(&gen::grid(8, 8));
+        let pairs = sample_pairs(m.n(), 500, 3);
+        let s = ScaleFreeLabeled::new(&m, Eps::one_over(16)).unwrap();
+        let res = eval_labeled(&s, &m, &pairs);
+        assert_eq!(res.failures, 0);
+        assert!(res.max_stretch <= 2.0, "max stretch {}", res.max_stretch);
+    }
+
+    #[test]
+    fn rejects_large_eps() {
+        let m = MetricSpace::new(&gen::grid(3, 3));
+        assert!(matches!(
+            ScaleFreeLabeled::new(&m, Eps::one_over(2)),
+            Err(SchemeError::EpsTooLarge { .. })
+        ));
+        assert!(ScaleFreeLabeled::new(&m, Eps::one_over(4)).is_ok());
+    }
+
+    #[test]
+    fn ring_levels_are_sparse_on_huge_diameter() {
+        // The whole point of R(u): on the exponential path the hierarchy
+        // has Θ(n) levels but R(u) keeps only O(log n · log 1/ε) of them.
+        let m = MetricSpace::new(&gen::exp_weight_path(48));
+        let s = ScaleFreeLabeled::new(&m, Eps::one_over(4)).unwrap();
+        let total_levels = m.num_scales();
+        assert!(total_levels >= 40, "num_scales = {total_levels}");
+        for u in 0..m.n() as NodeId {
+            let kept = s.ring_levels(u).len();
+            assert!(
+                kept * 2 < total_levels,
+                "R(u) kept {kept} of {total_levels} levels at node {u}"
+            );
+        }
+    }
+
+    #[test]
+    fn delivers_on_exp_path() {
+        let m = MetricSpace::new(&gen::exp_weight_path(32));
+        let s = ScaleFreeLabeled::new(&m, Eps::one_over(8)).unwrap();
+        let res = eval_labeled(&s, &m, &all_pairs(m.n()));
+        assert_eq!(res.failures, 0);
+        assert!(res.max_stretch <= 3.0, "max stretch {}", res.max_stretch);
+    }
+
+    #[test]
+    fn phase_segments_are_well_formed() {
+        // The packing phase engages when R(u) prunes levels — i.e. in the
+        // huge-Δ regime; on small poly-Δ graphs the greedy walk alone
+        // usually delivers.
+        let m = MetricSpace::new(&gen::exp_weight_path(24));
+        let s = ScaleFreeLabeled::new(&m, Eps::one_over(8)).unwrap();
+        let mut saw_packing = false;
+        for (u, v) in all_pairs(24) {
+            let r = s.route(&m, u, s.label_of(v)).unwrap();
+            let labels: Vec<&str> = r.segments.iter().map(|s| s.label).collect();
+            // to-center/tree-search/to-target appear only after all
+            // ring-walk segments, in order.
+            let phase2_start = labels.iter().position(|&l| l != "ring-walk");
+            if let Some(p) = phase2_start {
+                saw_packing = true;
+                for l in &labels[..p] {
+                    assert_eq!(*l, "ring-walk");
+                }
+                for l in &labels[p..] {
+                    assert!(["to-center", "tree-search", "to-target"].contains(l));
+                }
+            }
+        }
+        assert!(saw_packing, "expected at least one route to use the packing phase");
+    }
+
+    #[test]
+    fn labels_are_log_n_bits() {
+        let m = MetricSpace::new(&gen::grid(8, 8));
+        let s = ScaleFreeLabeled::new(&m, Eps::one_over(4)).unwrap();
+        assert_eq!(s.label_bits(), 6);
+    }
+
+    #[test]
+    fn table_bits_positive_and_finite() {
+        let m = MetricSpace::new(&gen::grid(6, 6));
+        let s = ScaleFreeLabeled::new(&m, Eps::one_over(4)).unwrap();
+        for u in 0..36 {
+            let bits = s.table_bits(u);
+            assert!(bits > 0);
+            // Far below the full-table cost n·log n for reasonable sizes is
+            // not expected at n = 36 (polylog constants dominate); just
+            // sanity-check against an absurd blowup.
+            assert!(bits < 1_000_000);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Integration check: the ball-packing phase of Algorithm 5 actually
+//! engages in the scale-free regime (huge normalized diameter) and the
+//! measured stretch stays within the 1+O(ε) envelope.
+
+use doubling_metric::{gen, Eps, MetricSpace};
+use labeled_routing::ScaleFreeLabeled;
+use netsim::scheme::LabeledScheme;
+
+#[test]
+fn packing_phase_engages_on_huge_diameter() {
+    let m = MetricSpace::new(&gen::exp_weight_path(24));
+    let s = ScaleFreeLabeled::new(&m, Eps::one_over(8)).unwrap();
+    let mut packing = 0usize;
+    let mut max_stretch: f64 = 1.0;
+    for u in 0..24u32 {
+        for v in 0..24u32 {
+            if u == v {
+                continue;
+            }
+            let r = s.route(&m, u, s.label_of(v)).unwrap();
+            assert_eq!(r.dst, v);
+            r.verify(&m).unwrap();
+            max_stretch = max_stretch.max(r.stretch(&m));
+            if r.segments.iter().any(|sg| sg.label == "tree-search") {
+                packing += 1;
+            }
+        }
+    }
+    assert!(packing > 0, "packing phase never engaged");
+    assert!(max_stretch <= 2.0, "max stretch {max_stretch}");
+}
+
+#[test]
+fn greedy_walk_suffices_on_poly_diameter() {
+    // On a small grid R(u) covers effectively all levels, so the greedy
+    // walk alone should deliver with stretch 1 on most pairs.
+    let m = MetricSpace::new(&gen::grid(8, 8));
+    let s = ScaleFreeLabeled::new(&m, Eps::one_over(8)).unwrap();
+    for u in 0..64u32 {
+        for v in 0..64u32 {
+            if u == v {
+                continue;
+            }
+            let r = s.route(&m, u, s.label_of(v)).unwrap();
+            assert_eq!(r.dst, v);
+            assert!(r.stretch(&m) <= 1.5, "stretch {} for {u}->{v}", r.stretch(&m));
+        }
+    }
+}

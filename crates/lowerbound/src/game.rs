@@ -1,0 +1,381 @@
+//! The adversarial search game behind Theorem 1.3.
+//!
+//! Corollary 5.7 reduces name-independent routing on the Figure-3 tree to
+//! a search game: the routing tables of already-visited subtrees cannot
+//! reveal the target's location among congruent namings, so a scheme's
+//! execution is, in the worst case, a fixed *visit order* over the
+//! subtrees. Placing the target in subtree `T` charges
+//!
+//! `cost(T) = 2·Σ_{k before T} (attach_k + walk_k) + d(root, T)`,
+//!
+//! (enter-and-return for every earlier subtree, then the final descent),
+//! against the optimum `d(root, T)`. Claims 5.9–5.11 show every order has
+//! a placement with ratio at least `9 − ε`.
+//!
+//! This module evaluates that worst case exactly for arbitrary orders,
+//! ships the natural strategies, a local-search order optimizer (to probe
+//! how close to 9 a clever scheme can get), and a `β`-bit advice
+//! relaxation: with `β` bits of location advice the searcher restricts its
+//! sweep to a `2^{−β}` fraction of the subtrees, which is how the
+//! stretch-vs-table-bits trade-off of Theorem 1.3 shows up empirically
+//! (experiment F3).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tree::LowerBoundTree;
+
+/// Exact cost of visiting subtree `k` (enter, sweep the path, return):
+/// twice the attachment weight plus a full path walk out and back from the
+/// middle (`≤ 2·len` in scaled units, negligible against `n·w` but
+/// charged for honesty).
+fn visit_cost(t: &LowerBoundTree, k: usize) -> u128 {
+    let s = &t.subtrees()[k];
+    2 * t.scaled_w(s) as u128 + 2 * s.len as u128
+}
+
+/// Distance from the root to the *nearest* node of subtree `k` — the
+/// adversary places the target at the attachment middle, minimizing the
+/// denominator.
+fn target_dist(t: &LowerBoundTree, k: usize) -> u128 {
+    t.scaled_w(&t.subtrees()[k]) as u128
+}
+
+/// The worst-case stretch of a visit `order` (a permutation of subtree
+/// indices), and the index of the witnessing subtree.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of `0..subtrees.len()`.
+pub fn worst_case_stretch(t: &LowerBoundTree, order: &[usize]) -> (f64, usize) {
+    let m = t.subtrees().len();
+    assert_eq!(order.len(), m, "order must cover all subtrees");
+    let mut seen = vec![false; m];
+    for &k in order {
+        assert!(!seen[k], "order must be a permutation");
+        seen[k] = true;
+    }
+
+    let mut prefix: u128 = 0;
+    let mut worst = (0.0f64, order[0]);
+    for &k in order {
+        let d = target_dist(t, k);
+        // The searcher finds the target upon entering its subtree: pay the
+        // earlier sweeps plus the final descent d.
+        let cost = prefix + d;
+        let ratio = cost as f64 / d as f64;
+        if ratio > worst.0 {
+            worst = (ratio, k);
+        }
+        prefix += visit_cost(t, k);
+    }
+    worst
+}
+
+/// The increasing-weight order (cheapest subtree first) — the natural
+/// strategy an uninformed scheme uses, and the shape Algorithm 3 takes on
+/// this graph.
+pub fn increasing_weight_order(t: &LowerBoundTree) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..t.subtrees().len()).collect();
+    order.sort_by_key(|&k| (t.subtrees()[k].w, k));
+    order
+}
+
+/// A seeded random order (baseline for the optimizer).
+pub fn random_order(t: &LowerBoundTree, seed: u64) -> Vec<usize> {
+    use rand::seq::SliceRandom;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..t.subtrees().len()).collect();
+    order.shuffle(&mut rng);
+    order
+}
+
+/// Local-search optimization of the visit order: random adjacent swaps and
+/// random relocations, keeping improvements. Returns the best order found
+/// — an upper bound on how well *any* scheme can do, used to show the gap
+/// to 9 − ε is real.
+pub fn optimize_order(t: &LowerBoundTree, iters: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best = increasing_weight_order(t);
+    let mut best_score = worst_case_stretch(t, &best).0;
+    let m = best.len();
+    if m < 2 {
+        return best;
+    }
+    let mut cur = best.clone();
+    for _ in 0..iters {
+        let mut cand = cur.clone();
+        if rng.gen_bool(0.5) {
+            let a = rng.gen_range(0..m);
+            let b = rng.gen_range(0..m);
+            cand.swap(a, b);
+        } else {
+            let a = rng.gen_range(0..m);
+            let b = rng.gen_range(0..m);
+            let v = cand.remove(a);
+            cand.insert(b, v);
+        }
+        let score = worst_case_stretch(t, &cand).0;
+        if score < best_score {
+            best_score = score;
+            best = cand.clone();
+            cur = cand;
+        } else if rng.gen_bool(0.1) {
+            cur = cand; // occasional sideways move
+        }
+    }
+    best
+}
+
+/// Exact minimum worst-case stretch over *all* visit orders, by bitmask
+/// dynamic programming, restricted to the first `limit` subtrees (in
+/// `(i, j)` order) as a self-contained sub-game.
+///
+/// Key fact making the DP valid: the prefix cost paid before visiting
+/// subtree `k` depends only on the *set* of subtrees already visited, not
+/// their order, so `f(S) = min_{k ∈ S} max(f(S∖{k}), (cost(S∖{k}) +
+/// d_k)/d_k)` computes the optimum in `O(2^c · c)`.
+///
+/// Returns `(optimal stretch, optimal order)`.
+///
+/// # Panics
+///
+/// Panics if `limit` is 0 or above 22 (memory).
+pub fn optimal_order_exact(t: &LowerBoundTree, limit: usize) -> (f64, Vec<usize>) {
+    let c = limit.min(t.subtrees().len());
+    assert!(c >= 1 && c <= 22, "bitmask DP limited to 1..=22 subtrees");
+    let visit: Vec<u128> = (0..c).map(|k| visit_cost(t, k)).collect();
+    let dist: Vec<u128> = (0..c).map(|k| target_dist(t, k)).collect();
+
+    let full = 1usize << c;
+    // cost(S) = Σ_{k∈S} visit_k, computed incrementally.
+    let mut cost = vec![0u128; full];
+    for s in 1..full {
+        let k = s.trailing_zeros() as usize;
+        cost[s] = cost[s & (s - 1)] + visit[k];
+    }
+    let mut f = vec![f64::INFINITY; full];
+    let mut choice = vec![usize::MAX; full];
+    f[0] = 1.0;
+    for s in 1..full {
+        let mut rest = s;
+        while rest != 0 {
+            let k = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            let prev = s & !(1 << k);
+            let ratio = (cost[prev] + dist[k]) as f64 / dist[k] as f64;
+            let val = f[prev].max(ratio);
+            if val < f[s] {
+                f[s] = val;
+                choice[s] = k;
+            }
+        }
+    }
+    // Reconstruct the order (k chosen last in the recurrence is visited
+    // last among S).
+    let mut order = Vec::with_capacity(c);
+    let mut s = full - 1;
+    while s != 0 {
+        let k = choice[s];
+        order.push(k);
+        s &= !(1 << k);
+    }
+    order.reverse();
+    (f[full - 1], order)
+}
+
+/// The advice relaxation: the scheme's tables amount to `β` bits of
+/// location information, modelled as the searcher knowing which of `2^β`
+/// contiguous groups of subtrees holds the target; it sweeps only that
+/// group (in the given order restricted to the group). Returns the
+/// worst-case stretch over all groups and placements.
+///
+/// `β = 0` recovers [`worst_case_stretch`]; `β ≥ log₂(#subtrees)` gives
+/// stretch 1 (direct descent).
+pub fn advice_stretch(t: &LowerBoundTree, order: &[usize], beta: u32) -> f64 {
+    let m = t.subtrees().len();
+    let groups = (1usize << beta.min(31)).min(m);
+    // Group subtrees by weight rank into `groups` contiguous classes.
+    let by_weight = increasing_weight_order(t);
+    let mut group_of = vec![0usize; m];
+    for (rank, &k) in by_weight.iter().enumerate() {
+        group_of[k] = rank * groups / m;
+    }
+    let mut worst = 1.0f64;
+    for g in 0..groups {
+        let sub_order: Vec<usize> = order.iter().copied().filter(|&k| group_of[k] == g).collect();
+        if sub_order.is_empty() {
+            continue;
+        }
+        let mut prefix: u128 = 0;
+        for &k in &sub_order {
+            let d = target_dist(t, k);
+            let ratio = (prefix + d) as f64 / d as f64;
+            worst = worst.max(ratio);
+            prefix += visit_cost(t, k);
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{LbParams, LowerBoundTree};
+
+    fn tree(eps_num: u64, n: usize) -> LowerBoundTree {
+        LowerBoundTree::new(LbParams::from_eps(eps_num, 1), n)
+    }
+
+    #[test]
+    fn increasing_weight_order_exceeds_nine_minus_eps() {
+        // Theorem 1.3: every order pays ≥ 9 − ε.
+        for &eps in &[2u64, 4, 6] {
+            let t = tree(eps, 1 << 16);
+            let order = increasing_weight_order(&t);
+            let (stretch, _) = worst_case_stretch(&t, &order);
+            assert!(
+                stretch >= 9.0 - eps as f64,
+                "increasing-weight stretch {stretch} below 9−ε at ε={eps}"
+            );
+        }
+    }
+
+    #[test]
+    fn random_orders_exceed_nine_minus_eps() {
+        let t = tree(4, 1 << 14);
+        for seed in 0..10 {
+            let order = random_order(&t, seed);
+            let (stretch, _) = worst_case_stretch(&t, &order);
+            assert!(stretch >= 5.0, "random order stretch {stretch} below 9−ε=5");
+        }
+    }
+
+    #[test]
+    fn optimized_orders_cannot_beat_the_bound() {
+        // The theorem's content: even the best order stays above 9 − ε.
+        for &eps in &[4u64, 6] {
+            let t = tree(eps, 1 << 14);
+            let best = optimize_order(&t, 3000, 7);
+            let (stretch, _) = worst_case_stretch(&t, &best);
+            assert!(
+                stretch >= 9.0 - eps as f64,
+                "optimized stretch {stretch} beats 9−ε at ε={eps} — lower bound violated!"
+            );
+        }
+    }
+
+    #[test]
+    fn optimization_narrows_but_cannot_close_the_gap() {
+        // The oblivious sweep pays Θ(q) (the prefix sum of a dense
+        // geometric sequence with ratio 2^{1/q}); clever orders skip
+        // subtrees geometrically and get close to 9 — but Theorem 1.3 says
+        // never below 9 − ε.
+        let t = tree(4, 1 << 14);
+        let (oblivious, _) = worst_case_stretch(&t, &increasing_weight_order(&t));
+        let (optimized, _) = worst_case_stretch(&t, &optimize_order(&t, 4000, 11));
+        assert!(
+            optimized <= oblivious,
+            "optimizer must not be worse: {optimized} vs {oblivious}"
+        );
+        assert!(optimized >= 5.0, "optimized {optimized} violates 9 − ε = 5");
+        assert!(
+            oblivious > 9.0,
+            "oblivious sweep should pay well above 9: {oblivious}"
+        );
+    }
+
+    #[test]
+    fn advice_monotonically_helps() {
+        let t = tree(4, 1 << 14);
+        let order = increasing_weight_order(&t);
+        let mut prev = f64::INFINITY;
+        for beta in [0u32, 1, 2, 4, 8, 16] {
+            let s = advice_stretch(&t, &order, beta);
+            assert!(
+                s <= prev + 1e-9,
+                "advice must not hurt: beta={beta} gives {s}, previous {prev}"
+            );
+            prev = s;
+        }
+        // Full advice → direct descent.
+        assert!(
+            (advice_stretch(&t, &order, 30) - 1.0).abs() < 1e-9,
+            "full advice must give stretch 1"
+        );
+    }
+
+    #[test]
+    fn zero_advice_matches_worst_case() {
+        let t = tree(6, 4096);
+        let order = increasing_weight_order(&t);
+        let a = advice_stretch(&t, &order, 0);
+        let (w, _) = worst_case_stretch(&t, &order);
+        assert!((a - w).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_permutation() {
+        let t = tree(4, 1024);
+        let mut order = increasing_weight_order(&t);
+        order[0] = order[1];
+        worst_case_stretch(&t, &order);
+    }
+
+    /// A sub-game over the first `limit` subtrees, for comparing the exact
+    /// DP against heuristics on the same instance.
+    fn sub_worst(t: &LowerBoundTree, order: &[usize], limit: usize) -> f64 {
+        // Evaluate the order restricted to indices < limit, as its own
+        // full game (same formula as worst_case_stretch on the subset).
+        let mut prefix: u128 = 0;
+        let mut worst = 1.0f64;
+        for &k in order.iter().filter(|&&k| k < limit) {
+            let d = (t.scaled_w(&t.subtrees()[k])) as u128;
+            worst = worst.max((prefix + d) as f64 / d as f64);
+            prefix += 2 * t.scaled_w(&t.subtrees()[k]) as u128
+                + 2 * t.subtrees()[k].len as u128;
+        }
+        worst
+    }
+
+    #[test]
+    fn exact_dp_is_a_lower_bound_for_heuristics() {
+        let t = tree(4, 1 << 12);
+        let limit = 14;
+        let (opt, opt_order) = optimal_order_exact(&t, limit);
+        // The returned order achieves the returned value.
+        assert!((sub_worst(&t, &opt_order, limit) - opt).abs() < 1e-9);
+        // No heuristic order beats the exact optimum on the sub-game.
+        for order in [increasing_weight_order(&t), random_order(&t, 1), random_order(&t, 2)] {
+            assert!(sub_worst(&t, &order, limit) >= opt - 1e-9);
+        }
+    }
+
+    #[test]
+    fn exact_dp_on_trivial_instances() {
+        let t = tree(6, 256);
+        let (opt1, order1) = optimal_order_exact(&t, 1);
+        assert_eq!(order1, vec![0]);
+        assert!((opt1 - 1.0).abs() < 1e-9, "single subtree is found directly: {opt1}");
+        let (opt2, order2) = optimal_order_exact(&t, 2);
+        assert_eq!(order2.len(), 2);
+        assert!(opt2 >= 1.0);
+    }
+
+    #[test]
+    fn exact_optimum_grows_with_instance_size() {
+        // More subtrees → the adversary has more placements → the optimum
+        // cannot improve.
+        let t = tree(4, 1 << 12);
+        let mut prev = 0.0;
+        for limit in [2usize, 4, 8, 12, 16] {
+            let (opt, _) = optimal_order_exact(&t, limit);
+            assert!(opt >= prev - 1e-9, "optimum shrank: {opt} < {prev} at {limit}");
+            prev = opt;
+        }
+        // With 16 of the subtrees the optimum is already well above 1:
+        // the information-theoretic tension is real.
+        assert!(prev > 3.0, "16-subtree optimum {prev}");
+    }
+}

@@ -1,0 +1,36 @@
+//! The stretch-9 lower bound for name-independent compact routing —
+//! **Theorem 1.3**, Section 5 of the paper.
+//!
+//! The theorem: for any `ε ∈ (0, 8)` there is an `n`-node tree with
+//! doubling dimension `α ≤ 6 − log ε` and normalized diameter
+//! `Δ = O(2^{1/ε}·n)` on which *every* name-independent routing scheme
+//! using `o(n^{(ε/60)²})`-bit tables has stretch at least `9 − ε`.
+//!
+//! This crate makes the proof's three ingredients executable:
+//!
+//! * [`tree::LowerBoundTree`] — the Figure-3 construction: paths `T_{i,j}`
+//!   of geometrically sized populations hung off a root at weights
+//!   `w_{i,j} = 2^i(q + j)`, with `p = ⌈72/ε⌉+6`, `q = ⌈48/ε⌉−4`. Its
+//!   claimed doubling dimension and diameter are verified exactly by the
+//!   test suite (Lemma 5.8), and it materializes as a real
+//!   [`doubling_metric::Graph`] so the workspace's schemes can run on it.
+//! * [`counting`] — the congruent-naming pigeonhole (Lemmas 5.4–5.5):
+//!   log-domain bounds for paper-scale parameters, plus an *exact*
+//!   brute-force verification on small instances: for any concrete
+//!   table-assignment function, the largest family of namings that agree
+//!   on a node set's tables is at least `n!/2^{β·|V'|}`.
+//! * [`game`] — the search game the counting argument reduces routing to:
+//!   a searcher at the root must visit subtrees until it finds the target
+//!   (tables of congruent namings cannot reveal its location, Corollary
+//!   5.7); the worst-case placement against *any* visit order costs at
+//!   least `(9 − ε)·d` (Claims 5.9–5.11). The game module evaluates
+//!   arbitrary visit orders, natural strategies, locally-optimized orders,
+//!   and a `β`-bit-advice relaxation — the curve Figure 3's experiment
+//!   (F3 in EXPERIMENTS.md) reports.
+
+pub mod claims;
+pub mod counting;
+pub mod game;
+pub mod tree;
+
+pub use tree::{LbParams, LowerBoundTree};

@@ -1,0 +1,237 @@
+//! Exact rational `ε` parameters.
+//!
+//! Every routing scheme in the paper is parameterized by a constant
+//! `ε ∈ (0, 1)`; all of its decision rules are threshold comparisons such as
+//! `d(u, x) ≤ 2^i/ε` or `(ε/6)·r_u(j) ≤ 2^i`. Evaluating these in floating
+//! point would make tie-breaking platform- and rounding-dependent, so [`Eps`]
+//! keeps `ε = num/den` as a reduced rational and evaluates every comparison
+//! by cross-multiplication in `u128` — exactly.
+
+use std::fmt;
+
+use crate::graph::Dist;
+
+/// Errors produced when constructing an [`Eps`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpsError {
+    /// `ε` must satisfy `0 < ε < 1`.
+    OutOfRange { num: u64, den: u64 },
+    /// Denominator must be nonzero.
+    ZeroDenominator,
+}
+
+impl fmt::Display for EpsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EpsError::OutOfRange { num, den } => {
+                write!(f, "epsilon {num}/{den} not in the open interval (0, 1)")
+            }
+            EpsError::ZeroDenominator => write!(f, "epsilon denominator is zero"),
+        }
+    }
+}
+
+impl std::error::Error for EpsError {}
+
+/// A rational `ε = num/den` with `0 < ε < 1`, compared exactly.
+///
+/// ```rust
+/// use doubling_metric::eps::Eps;
+///
+/// let eps = Eps::one_over(4); // ε = 1/4
+/// // 7 ≤ 2/ε  (2/ε = 8)
+/// assert!(eps.mul_le(7, 2));
+/// // 9 > 2/ε
+/// assert!(!eps.mul_le(9, 2));
+/// assert_eq!(eps.div_floor(2), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Eps {
+    num: u64,
+    den: u64,
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Eps {
+    /// Creates `ε = num/den`, reduced to lowest terms.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `0 < num/den < 1`.
+    pub fn new(num: u64, den: u64) -> Result<Self, EpsError> {
+        if den == 0 {
+            return Err(EpsError::ZeroDenominator);
+        }
+        if num == 0 || num >= den {
+            return Err(EpsError::OutOfRange { num, den });
+        }
+        let g = gcd(num, den);
+        Ok(Eps { num: num / g, den: den / g })
+    }
+
+    /// Creates `ε = 1/k` for `k ≥ 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn one_over(k: u64) -> Self {
+        assert!(k >= 2, "Eps::one_over requires k >= 2");
+        Eps { num: 1, den: k }
+    }
+
+    /// Numerator of the reduced fraction.
+    #[inline]
+    pub fn num(&self) -> u64 {
+        self.num
+    }
+
+    /// Denominator of the reduced fraction.
+    #[inline]
+    pub fn den(&self) -> u64 {
+        self.den
+    }
+
+    /// `ε` as a float, for reporting only (never used in decisions).
+    #[inline]
+    pub fn as_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Exact test of `a ≤ b/ε` (equivalently `a·ε ≤ b`).
+    #[inline]
+    pub fn mul_le(&self, a: Dist, b: Dist) -> bool {
+        (a as u128) * (self.num as u128) <= (b as u128) * (self.den as u128)
+    }
+
+    /// Exact test of `a < b/ε` (equivalently `a·ε < b`).
+    #[inline]
+    pub fn mul_lt(&self, a: Dist, b: Dist) -> bool {
+        (a as u128) * (self.num as u128) < (b as u128) * (self.den as u128)
+    }
+
+    /// Exact test of `a ≥ b/ε`.
+    #[inline]
+    pub fn mul_ge(&self, a: Dist, b: Dist) -> bool {
+        !self.mul_lt(a, b)
+    }
+
+    /// Exact test of `a > b/ε`.
+    #[inline]
+    pub fn mul_gt(&self, a: Dist, b: Dist) -> bool {
+        !self.mul_le(a, b)
+    }
+
+    /// `⌊a·ε⌋`.
+    #[inline]
+    pub fn mul_floor(&self, a: Dist) -> Dist {
+        ((a as u128) * (self.num as u128) / (self.den as u128)) as Dist
+    }
+
+    /// `⌊a/ε⌋`.
+    #[inline]
+    pub fn div_floor(&self, a: Dist) -> Dist {
+        let v = (a as u128) * (self.den as u128) / (self.num as u128);
+        v.min(u64::MAX as u128) as Dist
+    }
+
+    /// `⌈a/ε⌉`.
+    #[inline]
+    pub fn div_ceil(&self, a: Dist) -> Dist {
+        let num = self.num as u128;
+        let v = ((a as u128) * (self.den as u128) + num - 1) / num;
+        v.min(u64::MAX as u128) as Dist
+    }
+
+    /// The rational `ε/k` (still exact). Used for thresholds like
+    /// `(ε/6)·r_u(j) ≤ 2^i` in the definition of `R(u)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or the scaled denominator overflows `u64`.
+    pub fn div_by(&self, k: u64) -> Eps {
+        assert!(k > 0, "division of epsilon by zero");
+        let den = self.den.checked_mul(k).expect("epsilon denominator overflow");
+        let g = gcd(self.num, den);
+        Eps { num: self.num / g, den: den / g }
+    }
+}
+
+impl fmt::Display for Eps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.num, self.den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_range() {
+        assert!(Eps::new(1, 2).is_ok());
+        assert!(Eps::new(3, 4).is_ok());
+        assert_eq!(Eps::new(0, 4).unwrap_err(), EpsError::OutOfRange { num: 0, den: 4 });
+        assert_eq!(Eps::new(4, 4).unwrap_err(), EpsError::OutOfRange { num: 4, den: 4 });
+        assert_eq!(Eps::new(5, 4).unwrap_err(), EpsError::OutOfRange { num: 5, den: 4 });
+        assert_eq!(Eps::new(1, 0).unwrap_err(), EpsError::ZeroDenominator);
+    }
+
+    #[test]
+    fn reduces_to_lowest_terms() {
+        let e = Eps::new(2, 8).unwrap();
+        assert_eq!((e.num(), e.den()), (1, 4));
+    }
+
+    #[test]
+    fn comparisons_are_exact() {
+        let e = Eps::one_over(3); // ε = 1/3, so b/ε = 3b
+        assert!(e.mul_le(15, 5));
+        assert!(!e.mul_lt(15, 5));
+        assert!(e.mul_lt(14, 5));
+        assert!(e.mul_gt(16, 5));
+        assert!(e.mul_ge(15, 5));
+    }
+
+    #[test]
+    fn comparisons_with_non_unit_numerator() {
+        let e = Eps::new(2, 3).unwrap(); // b/ε = 3b/2
+        // 7 ≤ 5/ε = 7.5
+        assert!(e.mul_le(7, 5));
+        // 8 > 7.5
+        assert!(!e.mul_le(8, 5));
+        assert_eq!(e.div_floor(5), 7);
+        assert_eq!(e.div_ceil(5), 8);
+        assert_eq!(e.mul_floor(5), 3); // ⌊10/3⌋
+    }
+
+    #[test]
+    fn no_overflow_at_large_distances() {
+        let e = Eps::one_over(1000);
+        let big = 1u64 << 60;
+        assert!(e.mul_le(big, big));
+        assert!(!e.mul_gt(big, big));
+        // div_floor saturates instead of overflowing.
+        assert_eq!(e.div_floor(u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn div_by_scales_denominator() {
+        let e = Eps::one_over(2).div_by(6); // 1/12
+        assert_eq!((e.num(), e.den()), (1, 12));
+        assert!(e.mul_le(12, 1));
+        assert!(!e.mul_le(13, 1));
+    }
+
+    #[test]
+    fn display_shows_fraction() {
+        assert_eq!(Eps::one_over(8).to_string(), "1/8");
+    }
+}

@@ -1,0 +1,753 @@
+//! Reproducible generators for the graph families used throughout the
+//! benchmark harness.
+//!
+//! The families deliberately span the regimes the paper distinguishes:
+//!
+//! * **growth-bounded** (2-D grids, rings) — the easy subclass;
+//! * **doubling but not growth-bounded** (grids with holes, spiders,
+//!   weighted trees) — where the paper's schemes earn their keep;
+//! * **super-polynomial normalized diameter Δ** (exponential-weight paths)
+//!   — where non-scale-free schemes blow up and Theorems 1.1/1.2 win.
+//!
+//! All randomized generators take an explicit seed and use `StdRng`, so
+//! every experiment in EXPERIMENTS.md is reproducible bit-for-bit.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::{Dist, Graph, GraphBuilder, NodeId};
+
+/// A `w × h` unit-weight grid (growth-bounded, doubling dimension ≈ 2).
+///
+/// Node `(x, y)` has id `y·w + x`.
+///
+/// # Panics
+///
+/// Panics if `w == 0 || h == 0`.
+pub fn grid(w: usize, h: usize) -> Graph {
+    assert!(w > 0 && h > 0, "grid dimensions must be positive");
+    let mut b = GraphBuilder::new(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let id = (y * w + x) as NodeId;
+            if x + 1 < w {
+                b.edge(id, id + 1, 1).expect("valid grid edge");
+            }
+            if y + 1 < h {
+                b.edge(id, id + w as NodeId, 1).expect("valid grid edge");
+            }
+        }
+    }
+    b.build().expect("grid is connected")
+}
+
+/// A `w × h` grid with a deterministic pattern of rectangular holes removed.
+///
+/// The result is still doubling (a subgraph of the grid metric's host space)
+/// but no longer growth-bounded: ball sizes can stagnate across scales. Node
+/// ids are re-compacted; the largest connected component is returned.
+pub fn grid_with_holes(w: usize, h: usize, seed: u64) -> Graph {
+    assert!(w >= 4 && h >= 4, "grid_with_holes needs at least a 4x4 grid");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut removed = vec![false; w * h];
+    // Carve a few rectangular holes covering ~25% of the area.
+    let target = w * h / 4;
+    let mut removed_count = 0;
+    let mut attempts = 0;
+    while removed_count < target && attempts < 200 {
+        attempts += 1;
+        let hw = rng.gen_range(1..=(w / 3).max(1));
+        let hh = rng.gen_range(1..=(h / 3).max(1));
+        let x0 = rng.gen_range(0..w.saturating_sub(hw).max(1));
+        let y0 = rng.gen_range(0..h.saturating_sub(hh).max(1));
+        for y in y0..(y0 + hh).min(h) {
+            for x in x0..(x0 + hw).min(w) {
+                let idx = y * w + x;
+                if !removed[idx] {
+                    removed[idx] = true;
+                    removed_count += 1;
+                }
+            }
+        }
+    }
+    largest_component_subgrid(w, h, &removed)
+}
+
+/// Builds the largest connected component of the grid minus removed cells.
+fn largest_component_subgrid(w: usize, h: usize, removed: &[bool]) -> Graph {
+    let n = w * h;
+    // Union-find over surviving cells.
+    let mut comp = vec![usize::MAX; n];
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+    for start in 0..n {
+        if removed[start] || comp[start] != usize::MAX {
+            continue;
+        }
+        let id = comps.len();
+        let mut members = Vec::new();
+        let mut stack = vec![start];
+        comp[start] = id;
+        while let Some(c) = stack.pop() {
+            members.push(c);
+            let (x, y) = (c % w, c / w);
+            let push = |nx: usize, ny: usize, stack: &mut Vec<usize>, comp: &mut Vec<usize>| {
+                let nc = ny * w + nx;
+                if !removed[nc] && comp[nc] == usize::MAX {
+                    comp[nc] = id;
+                    stack.push(nc);
+                }
+            };
+            if x > 0 {
+                push(x - 1, y, &mut stack, &mut comp);
+            }
+            if x + 1 < w {
+                push(x + 1, y, &mut stack, &mut comp);
+            }
+            if y > 0 {
+                push(x, y - 1, &mut stack, &mut comp);
+            }
+            if y + 1 < h {
+                push(x, y + 1, &mut stack, &mut comp);
+            }
+        }
+        comps.push(members);
+    }
+    let biggest = comps.iter().max_by_key(|c| c.len()).expect("nonempty grid");
+    let mut new_id = vec![NodeId::MAX; n];
+    let mut sorted = biggest.clone();
+    sorted.sort_unstable();
+    for (i, &c) in sorted.iter().enumerate() {
+        new_id[c] = i as NodeId;
+    }
+    let mut b = GraphBuilder::new(sorted.len());
+    for &c in &sorted {
+        let (x, y) = (c % w, c / w);
+        if x + 1 < w && new_id[c + 1] != NodeId::MAX {
+            b.edge(new_id[c], new_id[c + 1], 1).expect("valid edge");
+        }
+        if y + 1 < h && new_id[c + w] != NodeId::MAX {
+            b.edge(new_id[c], new_id[c + w], 1).expect("valid edge");
+        }
+    }
+    b.build().expect("largest component is connected")
+}
+
+/// A random geometric graph: `n` points in a `1000 × 1000` square, an edge
+/// between points within `radius`, weight = Euclidean distance rounded up
+/// (at least 1). Components are stitched together by their closest point
+/// pairs so the result is always connected.
+pub fn random_geometric(n: usize, radius: u64, seed: u64) -> Graph {
+    assert!(n > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pts: Vec<(i64, i64)> =
+        (0..n).map(|_| (rng.gen_range(0..1000), rng.gen_range(0..1000))).collect();
+    let w = |a: (i64, i64), bpt: (i64, i64)| -> Dist {
+        let dx = (a.0 - bpt.0) as f64;
+        let dy = (a.1 - bpt.1) as f64;
+        ((dx * dx + dy * dy).sqrt().ceil() as u64).max(1)
+    };
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = w(pts[i], pts[j]);
+            if d <= radius {
+                b.edge(i as NodeId, j as NodeId, d).expect("valid edge");
+            }
+        }
+    }
+    // Stitch components: repeatedly connect the globally closest cross-
+    // component pair until connected.
+    loop {
+        let comps = components_of(&b, n);
+        if comps.len() <= 1 {
+            break;
+        }
+        let mut best: Option<(Dist, usize, usize)> = None;
+        let first = &comps[0];
+        for other in &comps[1..] {
+            for &i in first {
+                for &j in other.iter() {
+                    let d = w(pts[i], pts[j]);
+                    if best.map_or(true, |(bd, _, _)| d < bd) {
+                        best = Some((d, i, j));
+                    }
+                }
+            }
+        }
+        let (d, i, j) = best.expect("nonempty components");
+        b.edge(i as NodeId, j as NodeId, d.max(1)).expect("valid edge");
+    }
+    b.build().expect("stitched graph is connected")
+}
+
+/// Connected components of a builder's current edge set (helper for
+/// [`random_geometric`]).
+fn components_of(b: &GraphBuilder, n: usize) -> Vec<Vec<usize>> {
+    let mut adj = vec![Vec::new(); n];
+    for &(u, v, _) in &b_edges(b) {
+        adj[u as usize].push(v as usize);
+        adj[v as usize].push(u as usize);
+    }
+    let mut comp = vec![usize::MAX; n];
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    for s in 0..n {
+        if comp[s] != usize::MAX {
+            continue;
+        }
+        let id = out.len();
+        let mut members = vec![];
+        let mut stack = vec![s];
+        comp[s] = id;
+        while let Some(u) = stack.pop() {
+            members.push(u);
+            for &v in &adj[u] {
+                if comp[v] == usize::MAX {
+                    comp[v] = id;
+                    stack.push(v);
+                }
+            }
+        }
+        out.push(members);
+    }
+    out
+}
+
+// GraphBuilder doesn't expose its edges publicly; this small accessor keeps
+// the builder API minimal while letting the generator stitch components.
+fn b_edges(b: &GraphBuilder) -> Vec<(NodeId, NodeId, Dist)> {
+    b.edges_snapshot()
+}
+
+/// A complete `arity`-ary tree of the given depth, unit weights.
+///
+/// Doubling dimension grows with `arity`; for small arity these are the
+/// canonical "tree metric" inputs, directly relevant to the lower-bound
+/// construction (which is also a tree).
+pub fn balanced_tree(arity: usize, depth: usize) -> Graph {
+    assert!(arity >= 1);
+    let mut nodes = 1usize;
+    let mut level = 1usize;
+    for _ in 0..depth {
+        level *= arity;
+        nodes += level;
+    }
+    let mut b = GraphBuilder::new(nodes);
+    // BFS numbering: children of k are k*arity+1 ..= k*arity+arity.
+    for k in 0..nodes {
+        for c in 1..=arity {
+            let child = k * arity + c;
+            if child < nodes {
+                b.edge(k as NodeId, child as NodeId, 1).expect("valid edge");
+            }
+        }
+    }
+    b.build().expect("tree is connected")
+}
+
+/// A path on `n` nodes with exponentially growing weights `1, 2, 4, …`
+/// (capped at `2^40`): normalized diameter Δ exponential in `n`, the regime
+/// where scale-free schemes (Theorems 1.1/1.2) beat the `log Δ` schemes.
+pub fn exp_weight_path(n: usize) -> Graph {
+    assert!(n >= 2);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n - 1 {
+        let w = 1u64 << (i as u32).min(40);
+        b.edge(i as NodeId, i as NodeId + 1, w).expect("valid edge");
+    }
+    b.build().expect("path is connected")
+}
+
+/// A uniformly-weighted path on `n` nodes.
+pub fn path(n: usize) -> Graph {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n.saturating_sub(1) {
+        b.edge(i as NodeId, i as NodeId + 1, 1).expect("valid edge");
+    }
+    b.build().expect("path is connected")
+}
+
+/// A ring (cycle) on `n ≥ 3` nodes, unit weights.
+pub fn ring(n: usize) -> Graph {
+    assert!(n >= 3);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.edge(i as NodeId, ((i + 1) % n) as NodeId, 1).expect("valid edge");
+    }
+    b.build().expect("ring is connected")
+}
+
+/// A spider: `legs` paths of length `leg_len` joined at a hub (node 0),
+/// unit weights. Doubling dimension grows with `log legs` near the hub —
+/// a stress test for ball packings.
+pub fn spider(legs: usize, leg_len: usize) -> Graph {
+    assert!(legs >= 1 && leg_len >= 1);
+    let n = 1 + legs * leg_len;
+    let mut b = GraphBuilder::new(n);
+    for l in 0..legs {
+        let base = (1 + l * leg_len) as NodeId;
+        b.edge(0, base, 1).expect("valid edge");
+        for k in 0..leg_len - 1 {
+            b.edge(base + k as NodeId, base + k as NodeId + 1, 1).expect("valid edge");
+        }
+    }
+    b.build().expect("spider is connected")
+}
+
+/// A random spanning tree on `n` nodes with weights drawn uniformly from
+/// `1..=max_w` (random-walk / random-attachment construction).
+pub fn random_weighted_tree(n: usize, max_w: u64, seed: u64) -> Graph {
+    assert!(n >= 1 && max_w >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    order.shuffle(&mut rng);
+    for i in 1..n {
+        let parent = order[rng.gen_range(0..i)];
+        let w = rng.gen_range(1..=max_w);
+        b.edge(order[i], parent, w).expect("valid edge");
+    }
+    b.build().expect("tree is connected")
+}
+
+/// A Sierpinski-triangle graph of the given depth: the canonical fractal
+/// metric with doubling dimension `log₂ 3 ≈ 1.585`, unit weights. Depth 0
+/// is a single triangle; each level replaces every triangle by three.
+pub fn sierpinski(depth: usize) -> Graph {
+    // Represent vertices by coordinates on a triangular lattice of side
+    // 2^depth; corner-subdivision generates the vertex set.
+    use std::collections::HashMap;
+    let side = 1usize << depth.min(12);
+    // Recursively collect triangles (top-down): a triangle is (x, y, s)
+    // with apex at lattice position (x, y) and side s.
+    let mut stack = vec![(0usize, 0usize, side)];
+    let mut edges: Vec<((usize, usize), (usize, usize))> = Vec::new();
+    while let Some((x, y, s)) = stack.pop() {
+        if s == 1 {
+            // Unit triangle: three corners a=(x,y), b=(x+1,y), c=(x,y+1).
+            let a = (x, y);
+            let b = (x + 1, y);
+            let c = (x, y + 1);
+            edges.push((a, b));
+            edges.push((a, c));
+            edges.push((b, c));
+        } else {
+            let h = s / 2;
+            stack.push((x, y, h));
+            stack.push((x + h, y, h));
+            stack.push((x, y + h, h));
+        }
+    }
+    let mut id_of: HashMap<(usize, usize), NodeId> = HashMap::new();
+    let mut coords: Vec<(usize, usize)> = edges
+        .iter()
+        .flat_map(|&(a, b)| [a, b])
+        .collect();
+    coords.sort_unstable();
+    coords.dedup();
+    for (i, &c) in coords.iter().enumerate() {
+        id_of.insert(c, i as NodeId);
+    }
+    let mut b = GraphBuilder::new(coords.len());
+    for (p, q) in edges {
+        b.edge(id_of[&p], id_of[&q], 1).expect("valid edge");
+    }
+    b.build().expect("sierpinski graph is connected")
+}
+
+/// A `d`-dimensional hypercube with unit weights: doubling dimension
+/// `Θ(d)` — the *contrast* family on which polylog-storage constant-stretch
+/// routing is **not** promised by the paper (its guarantees assume
+/// `α = O(log log n)`). Used to show where the assumptions bind.
+pub fn hypercube(d: usize) -> Graph {
+    assert!(d >= 1 && d <= 16);
+    let n = 1usize << d;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for bit in 0..d {
+            let v = u ^ (1 << bit);
+            if u < v {
+                b.edge(u as NodeId, v as NodeId, 1).expect("valid edge");
+            }
+        }
+    }
+    b.build().expect("hypercube is connected")
+}
+
+/// A clustered geometric graph: `clusters` dense blobs far apart, linked
+/// by long inter-cluster edges. Doubling but emphatically not
+/// growth-bounded — ball populations plateau between cluster scales
+/// (exactly the regime the ball packings `ℬ_j` exist for).
+pub fn clustered_geometric(clusters: usize, per_cluster: usize, seed: u64) -> Graph {
+    assert!(clusters >= 1 && per_cluster >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = clusters * per_cluster;
+    let mut pts: Vec<(i64, i64)> = Vec::with_capacity(n);
+    for c in 0..clusters {
+        // Cluster centers on a coarse grid, spread 40_000 apart.
+        let cx = (c % 4) as i64 * 40_000;
+        let cy = (c / 4) as i64 * 40_000;
+        for _ in 0..per_cluster {
+            pts.push((cx + rng.gen_range(0..400), cy + rng.gen_range(0..400)));
+        }
+    }
+    let w = |a: (i64, i64), b: (i64, i64)| -> Dist {
+        let dx = (a.0 - b.0) as f64;
+        let dy = (a.1 - b.1) as f64;
+        ((dx * dx + dy * dy).sqrt().ceil() as u64).max(1)
+    };
+    let mut b = GraphBuilder::new(n);
+    // Dense intra-cluster edges.
+    for c in 0..clusters {
+        let base = c * per_cluster;
+        for i in base..base + per_cluster {
+            for j in (i + 1)..base + per_cluster {
+                if w(pts[i], pts[j]) <= 220 {
+                    b.edge(i as NodeId, j as NodeId, w(pts[i], pts[j])).expect("edge");
+                }
+            }
+        }
+    }
+    // Chain clusters via their first points.
+    for c in 1..clusters {
+        let i = (c - 1) * per_cluster;
+        let j = c * per_cluster;
+        b.edge(i as NodeId, j as NodeId, w(pts[i], pts[j])).expect("edge");
+    }
+    // Stitch any stragglers inside clusters.
+    loop {
+        let comps = components_of(&b, n);
+        if comps.len() <= 1 {
+            break;
+        }
+        let first = &comps[0];
+        let mut best: Option<(Dist, usize, usize)> = None;
+        for other in &comps[1..] {
+            for &i in first {
+                for &j in other.iter() {
+                    let d = w(pts[i], pts[j]);
+                    if best.map_or(true, |(bd, _, _)| d < bd) {
+                        best = Some((d, i, j));
+                    }
+                }
+            }
+        }
+        let (d, i, j) = best.expect("nonempty");
+        b.edge(i as NodeId, j as NodeId, d).expect("edge");
+    }
+    b.build().expect("clustered graph is connected")
+}
+
+/// A caterpillar: a spine path with `legs_per_node` leaves on each spine
+/// node — a tree whose interval-routing tables blow up at the spine while
+/// compact tree routing stays constant.
+pub fn caterpillar(spine: usize, legs_per_node: usize) -> Graph {
+    assert!(spine >= 1);
+    let n = spine + spine * legs_per_node;
+    let mut b = GraphBuilder::new(n);
+    for i in 0..spine.saturating_sub(1) {
+        b.edge(i as NodeId, i as NodeId + 1, 1).expect("edge");
+    }
+    for i in 0..spine {
+        for l in 0..legs_per_node {
+            let leaf = spine + i * legs_per_node + l;
+            b.edge(i as NodeId, leaf as NodeId, 1).expect("edge");
+        }
+    }
+    b.build().expect("caterpillar is connected")
+}
+
+/// Enumerated graph family used by the benchmark harness to sweep inputs.
+///
+/// # Examples
+///
+/// ```rust
+/// use doubling_metric::gen::Family;
+///
+/// for f in Family::all() {
+///     let g = f.build(40, 7);
+///     assert!(g.is_connected());
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Unit-weight square grid.
+    Grid,
+    /// Grid with carved holes (doubling, not growth-bounded).
+    GridHoles,
+    /// Random geometric graph in the unit square.
+    Geometric,
+    /// Random weighted spanning tree.
+    Tree,
+    /// Path with exponentially growing weights (huge Δ).
+    ExpPath,
+    /// Spider with many legs.
+    Spider,
+    /// Sierpinski-triangle fractal (dimension ≈ 1.585).
+    Sierpinski,
+    /// Clustered geometric graph (doubling, sharply non-growth-bounded).
+    Clustered,
+    /// Caterpillar tree (high-degree spine).
+    Caterpillar,
+}
+
+impl Family {
+    /// The core families the paper-table experiments sweep, in canonical
+    /// order.
+    pub fn all() -> &'static [Family] {
+        &[
+            Family::Grid,
+            Family::GridHoles,
+            Family::Geometric,
+            Family::Tree,
+            Family::ExpPath,
+            Family::Spider,
+        ]
+    }
+
+    /// All families including the extended set (fractal, clustered,
+    /// caterpillar) used by the wider integration tests.
+    pub fn extended() -> &'static [Family] {
+        &[
+            Family::Grid,
+            Family::GridHoles,
+            Family::Geometric,
+            Family::Tree,
+            Family::ExpPath,
+            Family::Spider,
+            Family::Sierpinski,
+            Family::Clustered,
+            Family::Caterpillar,
+        ]
+    }
+
+    /// Short display name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::Grid => "grid",
+            Family::GridHoles => "grid-holes",
+            Family::Geometric => "geometric",
+            Family::Tree => "tree",
+            Family::ExpPath => "exp-path",
+            Family::Spider => "spider",
+            Family::Sierpinski => "sierpinski",
+            Family::Clustered => "clustered",
+            Family::Caterpillar => "caterpillar",
+        }
+    }
+
+    /// Instantiates the family with approximately `n` nodes.
+    pub fn build(&self, n: usize, seed: u64) -> Graph {
+        match self {
+            Family::Grid => {
+                let side = (n as f64).sqrt().round().max(2.0) as usize;
+                grid(side, side)
+            }
+            Family::GridHoles => {
+                let side = ((n as f64) / 0.75).sqrt().round().max(4.0) as usize;
+                grid_with_holes(side.max(4), side.max(4), seed)
+            }
+            Family::Geometric => {
+                // Radius chosen so the graph is sparse but (almost surely)
+                // connectable by stitching.
+                let r = (1400.0 / (n as f64).sqrt()).ceil() as u64 + 40;
+                random_geometric(n, r, seed)
+            }
+            Family::Tree => random_weighted_tree(n, 8, seed),
+            Family::ExpPath => exp_weight_path(n.max(2)),
+            Family::Spider => {
+                let legs = (n as f64).sqrt().round().max(1.0) as usize;
+                let leg_len = ((n - 1) / legs).max(1);
+                spider(legs, leg_len)
+            }
+            Family::Sierpinski => {
+                // Nodes ≈ 3^{d+1}/2: pick the depth closest to n.
+                let mut depth = 1;
+                while 3usize.pow(depth as u32 + 1) / 2 < n && depth < 8 {
+                    depth += 1;
+                }
+                sierpinski(depth)
+            }
+            Family::Clustered => {
+                let clusters = 4.max(n / 24).min(8);
+                clustered_geometric(clusters, (n / clusters).max(2), seed)
+            }
+            Family::Caterpillar => {
+                let spine_len = (n / 5).max(2);
+                caterpillar(spine_len, 4)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::MetricSpace;
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(4, 3);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 4 * 2 + 3 * 3); // 8 vertical + 9 horizontal
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn grid_distances_are_manhattan() {
+        let g = grid(5, 4);
+        let m = MetricSpace::new(&g);
+        for y1 in 0..4u32 {
+            for x1 in 0..5u32 {
+                for y2 in 0..4u32 {
+                    for x2 in 0..5u32 {
+                        let a = y1 * 5 + x1;
+                        let b = y2 * 5 + x2;
+                        let manhattan =
+                            (x1.abs_diff(x2) + y1.abs_diff(y2)) as u64;
+                        assert_eq!(m.dist(a, b), manhattan);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_with_holes_connected_and_smaller() {
+        let g = grid_with_holes(12, 12, 42);
+        assert!(g.is_connected());
+        assert!(g.node_count() <= 144);
+        assert!(g.node_count() >= 50, "hole carving removed too much");
+    }
+
+    #[test]
+    fn random_geometric_connected_and_reproducible() {
+        let g1 = random_geometric(50, 200, 9);
+        let g2 = random_geometric(50, 200, 9);
+        assert!(g1.is_connected());
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        let e1: Vec<_> = g1.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2, "same seed must give the same graph");
+    }
+
+    #[test]
+    fn balanced_tree_sizes() {
+        let g = balanced_tree(2, 3);
+        assert_eq!(g.node_count(), 15);
+        assert_eq!(g.edge_count(), 14);
+        let g3 = balanced_tree(3, 2);
+        assert_eq!(g3.node_count(), 13);
+    }
+
+    #[test]
+    fn exp_weight_path_diameter() {
+        let g = exp_weight_path(10);
+        let m = MetricSpace::new(&g);
+        // Diameter = 1+2+...+2^8 = 2^9 - 1.
+        assert_eq!(m.diameter(), (1 << 9) - 1);
+        assert_eq!(m.min_dist(), 1);
+    }
+
+    #[test]
+    fn ring_and_path() {
+        assert_eq!(ring(5).edge_count(), 5);
+        assert_eq!(path(5).edge_count(), 4);
+        assert_eq!(path(1).node_count(), 1);
+    }
+
+    #[test]
+    fn spider_shape() {
+        let g = spider(4, 3);
+        assert_eq!(g.node_count(), 13);
+        assert_eq!(g.degree(0), 4);
+    }
+
+    #[test]
+    fn random_weighted_tree_is_tree() {
+        let g = random_weighted_tree(30, 5, 11);
+        assert_eq!(g.edge_count(), 29);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn families_build_and_connect() {
+        for f in Family::all() {
+            let g = f.build(64, 5);
+            assert!(g.is_connected(), "family {} disconnected", f.name());
+            assert!(g.node_count() >= 16, "family {} too small", f.name());
+        }
+    }
+
+    #[test]
+    fn extended_families_build_and_connect() {
+        for f in Family::extended() {
+            let g = f.build(48, 5);
+            assert!(g.is_connected(), "family {} disconnected", f.name());
+            assert!(g.node_count() >= 12, "family {} too small", f.name());
+        }
+        assert!(Family::extended().len() > Family::all().len());
+    }
+
+    #[test]
+    fn sierpinski_shape() {
+        // Depth d: 3·(3^d + 1)/2 vertices.
+        assert_eq!(sierpinski(0).node_count(), 3);
+        assert_eq!(sierpinski(1).node_count(), 6);
+        assert_eq!(sierpinski(2).node_count(), 15);
+        assert_eq!(sierpinski(3).node_count(), 42);
+        let g = sierpinski(3);
+        assert!(g.is_connected());
+        // 3^{d+1} edges.
+        assert_eq!(g.edge_count(), 81);
+    }
+
+    #[test]
+    fn sierpinski_is_low_doubling() {
+        let g = sierpinski(3);
+        let m = MetricSpace::new(&g);
+        let est = crate::doubling::estimate(&m, Some(14));
+        // Dimension ≈ log2(3) ≈ 1.58; the greedy estimator stays small.
+        assert!(est.dimension <= 4.0, "sierpinski dimension estimate {}", est.dimension);
+    }
+
+    #[test]
+    fn hypercube_shape_and_high_dimension() {
+        let g = hypercube(6);
+        assert_eq!(g.node_count(), 64);
+        assert_eq!(g.edge_count(), 64 * 6 / 2);
+        let m = MetricSpace::new(&g);
+        let est = crate::doubling::estimate(&m, Some(16));
+        let grid_est = crate::doubling::estimate(&MetricSpace::new(&grid(8, 8)), Some(16));
+        assert!(
+            est.max_cover > grid_est.max_cover,
+            "hypercube ({}) should dominate the grid ({})",
+            est.max_cover,
+            grid_est.max_cover
+        );
+    }
+
+    #[test]
+    fn clustered_geometric_plateaus() {
+        let g = clustered_geometric(4, 12, 3);
+        assert_eq!(g.node_count(), 48);
+        assert!(g.is_connected());
+        let m = MetricSpace::new(&g);
+        // Ball populations plateau: growing the radius within the gap
+        // between cluster scale (~500) and separation (~40000) adds no
+        // nodes — the non-growth-bounded signature.
+        let at_600 = m.ball_size(0, 600);
+        let at_20000 = m.ball_size(0, 20_000);
+        assert_eq!(at_600, at_20000, "population must plateau across the gap");
+        assert!(m.ball_size(0, 60_000) > at_20000);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(5, 3);
+        assert_eq!(g.node_count(), 20);
+        assert_eq!(g.edge_count(), 19);
+        assert_eq!(g.degree(2), 5); // spine interior: 2 spine + 3 legs
+    }
+}

@@ -1,0 +1,121 @@
+//! Exact-arithmetic metric substrate for compact routing in networks of low
+//! doubling dimension.
+//!
+//! This crate implements every geometric/combinatorial structure the routing
+//! schemes of Konjevod, Richa and Xia (PODC 2006 / SODA 2007) are built on:
+//!
+//! * [`graph::Graph`] — weighted undirected graphs with `u64` weights;
+//! * [`shortest_paths`] — deterministic Dijkstra, all-pairs tables and
+//!   next-hop queries;
+//! * [`space::MetricSpace`] — the shortest-path metric with exact ball
+//!   queries and the `r_u(j)` radii (radius of the smallest ball around `u`
+//!   containing `2^j` nodes);
+//! * [`eps::Eps`] — rational `ε` with exact cross-multiplied comparisons, so
+//!   every threshold in the paper (`d ≤ 2^i/ε`, `(ε/6)·r_u(j) ≤ 2^i`, …) is
+//!   evaluated without floating point;
+//! * [`nets::NetHierarchy`] — the nested `2^i`-net hierarchy `Y_i`, zooming
+//!   sequences, and the netting tree `T({Y_i})` with its DFS leaf enumeration
+//!   (Section 2 of the paper);
+//! * [`packing::BallPacking`] — the ball packings `ℬ_j` of Lemma 2.3 and
+//!   their Voronoi assignment;
+//! * [`doubling`] — an empirical doubling-dimension estimator;
+//! * [`gen`] — reproducible generators for the graph families used by the
+//!   benchmark harness.
+//!
+//! All distances are `u64` and all comparisons are exact; tie-breaking is
+//! always `(distance, least node id)`, the globally consistent rule the paper
+//! requires for zooming sequences.
+//!
+//! # Example
+//!
+//! ```rust
+//! use doubling_metric::gen;
+//! use doubling_metric::space::MetricSpace;
+//! use doubling_metric::nets::NetHierarchy;
+//!
+//! let g = gen::grid(8, 8);
+//! let m = MetricSpace::new(&g);
+//! let nets = NetHierarchy::new(&m);
+//! // Every node appears in the bottom net Y_0.
+//! assert_eq!(nets.level(0).len(), g.node_count());
+//! // The top net is a single root.
+//! assert_eq!(nets.level(nets.num_levels() - 1).len(), 1);
+//! ```
+
+pub mod doubling;
+pub mod eps;
+pub mod gen;
+pub mod graph;
+pub mod nets;
+pub mod packing;
+pub mod shortest_paths;
+pub mod space;
+pub mod viz;
+
+pub use eps::Eps;
+pub use graph::{Dist, Graph, NodeId};
+pub use space::MetricSpace;
+
+/// Ceiling of `log2(x)` for `x ≥ 1`; `ceil_log2(1) == 0`.
+///
+/// # Panics
+///
+/// Panics if `x == 0`.
+#[inline]
+pub fn ceil_log2(x: u64) -> u32 {
+    assert!(x > 0, "ceil_log2 of zero");
+    64 - (x - 1).leading_zeros().min(64)
+}
+
+/// Floor of `log2(x)` for `x ≥ 1`.
+///
+/// # Panics
+///
+/// Panics if `x == 0`.
+#[inline]
+pub fn floor_log2(x: u64) -> u32 {
+    assert!(x > 0, "floor_log2 of zero");
+    63 - x.leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_basics() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
+    }
+
+    #[test]
+    fn floor_log2_basics() {
+        assert_eq!(floor_log2(1), 0);
+        assert_eq!(floor_log2(2), 1);
+        assert_eq!(floor_log2(3), 1);
+        assert_eq!(floor_log2(4), 2);
+        assert_eq!(floor_log2(u64::MAX), 63);
+    }
+
+    #[test]
+    fn ceil_floor_relation() {
+        for x in 1..2000u64 {
+            let c = ceil_log2(x);
+            let f = floor_log2(x);
+            assert!(c == f || c == f + 1);
+            assert!(1u64 << f <= x);
+            assert!(x <= 1u64.checked_shl(c).unwrap_or(u64::MAX));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn ceil_log2_zero_panics() {
+        ceil_log2(0);
+    }
+}

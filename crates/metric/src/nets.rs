@@ -1,0 +1,471 @@
+//! The nested `2^i`-net hierarchy, zooming sequences, and the netting tree
+//! (Section 2 of the paper).
+//!
+//! An *r-net* of a metric `(V, d)` is a subset `Y ⊆ V` such that every point
+//! of `V` is within distance `r` of `Y` (covering) and any two points of `Y`
+//! are at distance at least `r` (packing) — Definition 2.1. The hierarchy
+//! `Y_0 ⊇ Y_1 ⊇ … ⊇ Y_L` is built top-down by greedy expansion, so the nets
+//! are *nested* (Eqn. (1)): `Y_L` is a singleton at scale `s_L ≥ diameter`,
+//! and `Y_0 = V` because all pairwise distances are at least `s_0 =
+//! min_dist`.
+//!
+//! The *zooming sequence* of `u` is `u(0) = u` and `u(i) =` the nearest
+//! member of `Y_i` to `u(i−1)` (ties by least id). Because `u(i)` depends
+//! only on `u(i−1)`, the union of all zooming sequences forms the *netting
+//! tree* `T({Y_i})`, whose level-`i` nodes are the members of `Y_i` and
+//! whose leaves are exactly `V`. A DFS of the netting tree (children in
+//! increasing id order) enumerates the leaves; this enumeration is the
+//! `⌈log n⌉`-bit label assignment `l : V → [n]` of the labeled scheme
+//! (Section 4.1), and `Range(x, i)` is the contiguous interval of leaf
+//! labels below the level-`i` tree node `x`.
+
+use crate::graph::{Dist, NodeId};
+use crate::space::MetricSpace;
+
+/// The full net hierarchy with zooming sequences, netting tree and DFS leaf
+/// labels.
+///
+/// # Examples
+///
+/// ```rust
+/// use doubling_metric::{gen, MetricSpace};
+/// use doubling_metric::nets::NetHierarchy;
+///
+/// let m = MetricSpace::new(&gen::grid(4, 4));
+/// let h = NetHierarchy::new(&m);
+/// // The zooming sequence of every node ends at the hierarchy root.
+/// for u in 0..16 {
+///     assert_eq!(*h.zoom_seq(u).last().unwrap(), 0);
+/// }
+/// // l(u) ∈ Range(x, i) exactly when x = u(i).
+/// let u = 13;
+/// let x = h.zoom(u, 1);
+/// let (lo, hi) = h.range(1, x).unwrap();
+/// assert!(lo <= h.label(u) && h.label(u) <= hi);
+/// ```
+/// The full net hierarchy with zooming sequences, netting tree and DFS leaf
+/// labels.
+#[derive(Debug, Clone)]
+pub struct NetHierarchy {
+    /// `levels[i]` = members of `Y_i`, sorted by node id. `levels.len()`
+    /// equals `MetricSpace::num_scales()`.
+    levels: Vec<Vec<NodeId>>,
+    /// `parent[i][k]` = netting-tree parent (in `Y_{i+1}`) of `levels[i][k]`.
+    /// For the top level the parent is the node itself.
+    parent: Vec<Vec<NodeId>>,
+    /// `zoom[u]` = the zooming sequence `u(0), …, u(L)`.
+    zoom: Vec<Vec<NodeId>>,
+    /// DFS leaf label `l(u)` for every node.
+    label: Vec<u32>,
+    /// Inverse of `label`.
+    node_of_label: Vec<NodeId>,
+    /// `range[i][k]` = inclusive label interval of leaves below the level-`i`
+    /// tree node `levels[i][k]`.
+    range: Vec<Vec<(u32, u32)>>,
+    /// Highest level at which each node appears (`level_of[u] = max {i : u ∈ Y_i}`).
+    level_of: Vec<u32>,
+}
+
+impl NetHierarchy {
+    /// Builds the nested hierarchy for all scales of `m` by top-down greedy
+    /// expansion with `(distance, id)` tie-breaking.
+    pub fn new(m: &MetricSpace) -> Self {
+        let n = m.n();
+        let num = m.num_scales();
+        let top = num - 1;
+
+        // Top net: a singleton — the least node id (the paper allows any).
+        let mut levels: Vec<Vec<NodeId>> = vec![Vec::new(); num];
+        levels[top] = vec![0];
+
+        // Greedy expansion downwards: Y_i starts from Y_{i+1} and adds, in id
+        // order, every node at distance >= s_i from all current members.
+        for i in (0..top).rev() {
+            let s_i = m.scale(i);
+            let mut members = levels[i + 1].clone();
+            // Track the minimum distance from each node to the current set,
+            // so the pass below is O(n·|added|) rather than O(n·|Y_i|²).
+            let mut min_d: Vec<Dist> = vec![Dist::MAX; n];
+            for &y in &members {
+                for v in 0..n as NodeId {
+                    let d = m.dist(v, y);
+                    if d < min_d[v as usize] {
+                        min_d[v as usize] = d;
+                    }
+                }
+            }
+            for v in 0..n as NodeId {
+                if min_d[v as usize] >= s_i {
+                    members.push(v);
+                    for x in 0..n as NodeId {
+                        let d = m.dist(x, v);
+                        if d < min_d[x as usize] {
+                            min_d[x as usize] = d;
+                        }
+                    }
+                }
+            }
+            members.sort_unstable();
+            levels[i] = members;
+        }
+        debug_assert_eq!(levels[0].len(), n, "Y_0 must equal V");
+
+        // Netting-tree parents: parent of y ∈ Y_i is the nearest member of
+        // Y_{i+1} (ties by least id). If y ∈ Y_{i+1}, that is y itself
+        // (distance 0 beats everything).
+        let mut parent: Vec<Vec<NodeId>> = Vec::with_capacity(num);
+        for i in 0..num {
+            if i == top {
+                parent.push(levels[i].clone());
+                break;
+            }
+            let ps: Vec<NodeId> = levels[i]
+                .iter()
+                .map(|&y| {
+                    m.nearest_in(y, &levels[i + 1]).expect("upper net nonempty")
+                })
+                .collect();
+            parent.push(ps);
+        }
+
+        // Zooming sequences follow parent pointers from the leaf level.
+        let mut zoom: Vec<Vec<NodeId>> = Vec::with_capacity(n);
+        // Index maps per level for parent lookup.
+        let index_of = |level: &Vec<NodeId>, y: NodeId| -> usize {
+            level.binary_search(&y).expect("member of net level")
+        };
+        for u in 0..n as NodeId {
+            let mut seq = Vec::with_capacity(num);
+            seq.push(u);
+            let mut cur = u;
+            for i in 0..top {
+                let k = index_of(&levels[i], cur);
+                cur = parent[i][k];
+                seq.push(cur);
+            }
+            zoom.push(seq);
+        }
+
+        // DFS leaf enumeration. Children of tree node (i+1, y): members
+        // x ∈ Y_i with parent x→y, visited in increasing id order. The node
+        // y itself is among its own children (distance 0), and is visited
+        // first only if it has the least id — order is by id, per the
+        // deterministic rule.
+        let mut children: Vec<Vec<Vec<u32>>> = Vec::with_capacity(num);
+        // children[i][k] = indices (into levels[i]) of level-i nodes whose
+        // parent is levels[i+1][k].
+        for i in 0..top {
+            let mut c: Vec<Vec<u32>> = vec![Vec::new(); levels[i + 1].len()];
+            for (k, &p) in parent[i].iter().enumerate() {
+                let pk = index_of(&levels[i + 1], p);
+                c[pk].push(k as u32);
+            }
+            children.push(c);
+        }
+
+        let mut label = vec![0u32; n];
+        let mut node_of_label = vec![0 as NodeId; n];
+        let mut range: Vec<Vec<(u32, u32)>> =
+            levels.iter().map(|l| vec![(u32::MAX, 0); l.len()]).collect();
+
+        // Iterative DFS from the root (top, index 0).
+        let mut next_label = 0u32;
+        // Stack entries: (level, index, child cursor). Post-order range
+        // computation: leaf gets [l, l]; internal nodes get min/max of
+        // children.
+        enum Frame {
+            Enter(usize, u32),
+            Exit(usize, u32),
+        }
+        let mut stack = vec![Frame::Enter(top, 0)];
+        while let Some(f) = stack.pop() {
+            match f {
+                Frame::Enter(i, k) => {
+                    if i == 0 {
+                        let u = levels[0][k as usize];
+                        label[u as usize] = next_label;
+                        node_of_label[next_label as usize] = u;
+                        range[0][k as usize] = (next_label, next_label);
+                        next_label += 1;
+                    } else {
+                        stack.push(Frame::Exit(i, k));
+                        // Push children in reverse so they pop in id order.
+                        for &ck in children[i - 1][k as usize].iter().rev() {
+                            stack.push(Frame::Enter(i - 1, ck));
+                        }
+                    }
+                }
+                Frame::Exit(i, k) => {
+                    let mut lo = u32::MAX;
+                    let mut hi = 0u32;
+                    for &ck in &children[i - 1][k as usize] {
+                        let (clo, chi) = range[i - 1][ck as usize];
+                        lo = lo.min(clo);
+                        hi = hi.max(chi);
+                    }
+                    range[i][k as usize] = (lo, hi);
+                }
+            }
+        }
+        debug_assert_eq!(next_label as usize, n, "every node must be a leaf");
+
+        let mut level_of = vec![0u32; n];
+        for (i, l) in levels.iter().enumerate() {
+            for &y in l {
+                level_of[y as usize] = level_of[y as usize].max(i as u32);
+            }
+        }
+
+        NetHierarchy { levels, parent, zoom, label, node_of_label, range, level_of }
+    }
+
+    /// Number of levels (`= MetricSpace::num_scales()`).
+    #[inline]
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Members of `Y_i`, sorted by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn level(&self, i: usize) -> &[NodeId] {
+        &self.levels[i]
+    }
+
+    /// Whether `u ∈ Y_i`.
+    pub fn in_level(&self, i: usize, u: NodeId) -> bool {
+        i < self.levels.len() && self.levels[i].binary_search(&u).is_ok()
+    }
+
+    /// The highest level at which `u` appears.
+    #[inline]
+    pub fn max_level_of(&self, u: NodeId) -> u32 {
+        self.level_of[u as usize]
+    }
+
+    /// The zooming sequence member `u(i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `i` is out of range.
+    #[inline]
+    pub fn zoom(&self, u: NodeId, i: usize) -> NodeId {
+        self.zoom[u as usize][i]
+    }
+
+    /// The full zooming sequence `u(0), …, u(L)`.
+    #[inline]
+    pub fn zoom_seq(&self, u: NodeId) -> &[NodeId] {
+        &self.zoom[u as usize]
+    }
+
+    /// The netting-tree parent of `y ∈ Y_i` (a member of `Y_{i+1}`); for the
+    /// top level, `y` itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y ∉ Y_i`.
+    pub fn net_parent(&self, i: usize, y: NodeId) -> NodeId {
+        let k = self.levels[i].binary_search(&y).expect("y must be in Y_i");
+        self.parent[i][k]
+    }
+
+    /// The DFS leaf label `l(u) ∈ [n]`.
+    #[inline]
+    pub fn label(&self, u: NodeId) -> u32 {
+        self.label[u as usize]
+    }
+
+    /// The node with label `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l ≥ n`.
+    #[inline]
+    pub fn node_of_label(&self, l: u32) -> NodeId {
+        self.node_of_label[l as usize]
+    }
+
+    /// `Range(x, i)`: the inclusive interval of leaf labels below the
+    /// level-`i` netting-tree node `x`, or `None` if `x ∉ Y_i`.
+    pub fn range(&self, i: usize, x: NodeId) -> Option<(u32, u32)> {
+        let k = self.levels[i].binary_search(&x).ok()?;
+        Some(self.range[i][k])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::space::MetricSpace;
+
+    fn hierarchy(g: &crate::graph::Graph) -> (MetricSpace, NetHierarchy) {
+        let m = MetricSpace::new(g);
+        let h = NetHierarchy::new(&m);
+        (m, h)
+    }
+
+    #[test]
+    fn net_packing_and_covering_properties() {
+        let g = gen::random_geometric(70, 220, 13);
+        let (m, h) = hierarchy(&g);
+        for i in 0..h.num_levels() {
+            let s = m.scale(i);
+            let y = h.level(i);
+            // Packing: pairwise distances at least s_i.
+            for (a, &p) in y.iter().enumerate() {
+                for &q in &y[a + 1..] {
+                    assert!(m.dist(p, q) >= s, "packing violated at level {i}");
+                }
+            }
+            // Covering: every node within s_i of the net.
+            for u in 0..m.n() as NodeId {
+                let d = y.iter().map(|&p| m.dist(u, p)).min().unwrap();
+                assert!(d <= s, "covering violated at level {i} for node {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn nets_are_nested() {
+        let g = gen::grid(6, 6);
+        let (_, h) = hierarchy(&g);
+        for i in 0..h.num_levels() - 1 {
+            for &y in h.level(i + 1) {
+                assert!(h.in_level(i, y), "Y_{} ⊄ Y_{}", i + 1, i);
+            }
+        }
+    }
+
+    #[test]
+    fn bottom_is_all_top_is_single() {
+        let g = gen::grid(5, 4);
+        let (m, h) = hierarchy(&g);
+        assert_eq!(h.level(0).len(), m.n());
+        assert_eq!(h.level(h.num_levels() - 1), &[0]);
+    }
+
+    #[test]
+    fn zooming_sequence_steps_are_bounded() {
+        // Eqn (2): d(u(k-1), u(k)) <= s_k.
+        let g = gen::random_geometric(50, 250, 21);
+        let (m, h) = hierarchy(&g);
+        for u in 0..m.n() as NodeId {
+            let seq = h.zoom_seq(u);
+            assert_eq!(seq[0], u);
+            for k in 1..seq.len() {
+                assert!(
+                    m.dist(seq[k - 1], seq[k]) <= m.scale(k),
+                    "zoom step too long at node {u} level {k}"
+                );
+                assert!(h.in_level(k, seq[k]));
+            }
+            assert_eq!(*seq.last().unwrap(), 0, "all sequences end at the root");
+        }
+    }
+
+    #[test]
+    fn zoom_follows_net_parents() {
+        let g = gen::grid(5, 5);
+        let (_, h) = hierarchy(&g);
+        for u in 0..25 as NodeId {
+            let seq = h.zoom_seq(u);
+            for i in 0..seq.len() - 1 {
+                assert_eq!(h.net_parent(i, seq[i]), seq[i + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_a_bijection() {
+        let g = gen::random_geometric(40, 260, 5);
+        let (m, h) = hierarchy(&g);
+        let mut seen = vec![false; m.n()];
+        for u in 0..m.n() as NodeId {
+            let l = h.label(u);
+            assert!(!seen[l as usize], "duplicate label");
+            seen[l as usize] = true;
+            assert_eq!(h.node_of_label(l), u);
+        }
+    }
+
+    #[test]
+    fn range_membership_iff_on_zoom_sequence() {
+        // l(u) ∈ Range(x, i) iff x = u(i)  (Section 4.1).
+        let g = gen::grid(6, 4);
+        let (m, h) = hierarchy(&g);
+        for u in 0..m.n() as NodeId {
+            let l = h.label(u);
+            for i in 0..h.num_levels() {
+                for &x in h.level(i) {
+                    let (lo, hi) = h.range(i, x).unwrap();
+                    let inside = lo <= l && l <= hi;
+                    assert_eq!(
+                        inside,
+                        h.zoom(u, i) == x,
+                        "range test failed u={u} i={i} x={x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_partition_labels_per_level() {
+        let g = gen::spider(5, 4);
+        let (m, h) = hierarchy(&g);
+        for i in 0..h.num_levels() {
+            let mut covered = vec![false; m.n()];
+            for &x in h.level(i) {
+                let (lo, hi) = h.range(i, x).unwrap();
+                for l in lo..=hi {
+                    assert!(!covered[l as usize], "ranges overlap at level {i}");
+                    covered[l as usize] = true;
+                }
+            }
+            assert!(covered.iter().all(|&c| c), "ranges must cover all labels");
+        }
+    }
+
+    #[test]
+    fn net_size_bound_lemma_2_2() {
+        // Lemma 2.2: |B_u(r') ∩ Y| ≤ (4r'/r)^α for an r-net Y. We check the
+        // qualitative consequence used throughout: rings X_i(u) =
+        // B_u(s_i/ε) ∩ Y_i have size bounded by a constant independent of n
+        // for grids (α ≈ 2, ε = 1/2 → bound (8·2)^2).
+        let g = gen::grid(8, 8);
+        let (m, h) = hierarchy(&g);
+        for i in 0..h.num_levels() {
+            let r = 2 * m.scale(i); // 2^i/ε with ε = 1/2
+            for u in 0..m.n() as NodeId {
+                let count = h
+                    .level(i)
+                    .iter()
+                    .filter(|&&y| m.dist(u, y) <= r)
+                    .count();
+                assert!(count <= 256, "ring unexpectedly large: {count}");
+            }
+        }
+    }
+
+    #[test]
+    fn exp_path_hierarchy_depth() {
+        let g = gen::exp_weight_path(16);
+        let (m, h) = hierarchy(&g);
+        assert_eq!(h.num_levels(), m.num_scales());
+        assert!(h.num_levels() >= 15);
+    }
+
+    #[test]
+    fn single_node() {
+        let g = crate::graph::GraphBuilder::new(1).build().unwrap();
+        let (_, h) = hierarchy(&g);
+        assert_eq!(h.num_levels(), 1);
+        assert_eq!(h.label(0), 0);
+        assert_eq!(h.zoom_seq(0), &[0]);
+    }
+}

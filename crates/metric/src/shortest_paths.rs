@@ -1,0 +1,304 @@
+//! Deterministic Dijkstra shortest paths and all-pairs tables.
+//!
+//! Routing schemes in this workspace need three primitives from the metric:
+//! exact distances `d(u, v)`, shortest-path *trees* (for "which neighbour of
+//! `u` is on the shortest path to `x`" table entries), and next-hop queries.
+//!
+//! Determinism matters: the paper's zooming sequences require a globally
+//! consistent tie-breaking rule. Our Dijkstra settles nodes in
+//! `(distance, node id)` order and, among equal-length paths, prefers the
+//! predecessor with the least node id, so shortest-path trees — and hence
+//! every structure built on them — are unique functions of the input graph.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::graph::{Dist, Graph, NodeId, INFINITY};
+
+/// The shortest-path tree rooted at a single source.
+#[derive(Debug, Clone)]
+pub struct ShortestPathTree {
+    source: NodeId,
+    dist: Vec<Dist>,
+    parent: Vec<NodeId>,
+}
+
+impl ShortestPathTree {
+    /// Runs Dijkstra from `source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn new(g: &Graph, source: NodeId) -> Self {
+        let n = g.node_count();
+        assert!((source as usize) < n, "source out of range");
+        let mut dist = vec![INFINITY; n];
+        let mut parent = vec![source; n];
+        let mut settled = vec![false; n];
+        let mut heap: BinaryHeap<Reverse<(Dist, NodeId)>> = BinaryHeap::new();
+        dist[source as usize] = 0;
+        heap.push(Reverse((0, source)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if settled[u as usize] {
+                continue;
+            }
+            settled[u as usize] = true;
+            debug_assert_eq!(d, dist[u as usize]);
+            for nb in g.neighbors(u) {
+                let v = nb.node as usize;
+                if settled[v] {
+                    continue;
+                }
+                let nd = d.saturating_add(nb.weight);
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    parent[v] = u;
+                    heap.push(Reverse((nd, nb.node)));
+                } else if nd == dist[v] && u < parent[v] {
+                    // Equal-length path through a smaller-id predecessor:
+                    // deterministic tie-break.
+                    parent[v] = u;
+                }
+            }
+        }
+        ShortestPathTree { source, dist, parent }
+    }
+
+    /// The source node of this tree.
+    #[inline]
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Distance from the source to `v`.
+    #[inline]
+    pub fn dist(&self, v: NodeId) -> Dist {
+        self.dist[v as usize]
+    }
+
+    /// Predecessor of `v` on the shortest path from the source (the source
+    /// is its own predecessor).
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> NodeId {
+        self.parent[v as usize]
+    }
+
+    /// The full shortest path from the source to `v`, inclusive.
+    pub fn path_to(&self, v: NodeId) -> Vec<NodeId> {
+        let mut path = vec![v];
+        let mut cur = v;
+        while cur != self.source {
+            cur = self.parent(cur);
+            path.push(cur);
+        }
+        path.reverse();
+        path
+    }
+
+    /// Borrow the raw distance array.
+    #[inline]
+    pub fn dists(&self) -> &[Dist] {
+        &self.dist
+    }
+}
+
+/// All-pairs shortest-path tables: one deterministic Dijkstra tree per
+/// source, stored flat.
+///
+/// Memory is `Θ(n²)` (`12n²` bytes), which is the honest cost of an exact
+/// metric oracle; the workspace keeps `n` in the low thousands.
+///
+/// # Examples
+///
+/// ```rust
+/// use doubling_metric::gen;
+/// use doubling_metric::shortest_paths::Apsp;
+///
+/// let g = gen::ring(6);
+/// let apsp = Apsp::new(&g);
+/// assert_eq!(apsp.dist(0, 3), 3);
+/// assert_eq!(apsp.path(0, 2), vec![0, 1, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Apsp {
+    n: usize,
+    dist: Vec<Dist>,
+    parent: Vec<NodeId>,
+}
+
+impl Apsp {
+    /// Computes all-pairs shortest paths by `n` Dijkstra runs.
+    pub fn new(g: &Graph) -> Self {
+        let n = g.node_count();
+        let mut dist = Vec::with_capacity(n * n);
+        let mut parent = Vec::with_capacity(n * n);
+        for s in 0..n as NodeId {
+            let t = ShortestPathTree::new(g, s);
+            dist.extend_from_slice(&t.dist);
+            parent.extend_from_slice(&t.parent);
+        }
+        Apsp { n, dist, parent }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Exact shortest-path distance `d(u, v)`.
+    #[inline]
+    pub fn dist(&self, u: NodeId, v: NodeId) -> Dist {
+        self.dist[u as usize * self.n + v as usize]
+    }
+
+    /// Predecessor of `v` on the shortest path from `src` (in the Dijkstra
+    /// tree rooted at `src`).
+    #[inline]
+    pub fn parent(&self, src: NodeId, v: NodeId) -> NodeId {
+        self.parent[src as usize * self.n + v as usize]
+    }
+
+    /// The neighbour of `src` that lies on the (deterministic) shortest path
+    /// from `src` to `dst`; `None` if `src == dst`.
+    ///
+    /// This is exactly the "next hop" a routing-table entry stores.
+    pub fn next_hop(&self, src: NodeId, dst: NodeId) -> Option<NodeId> {
+        if src == dst {
+            return None;
+        }
+        let mut cur = dst;
+        loop {
+            let p = self.parent(src, cur);
+            if p == src {
+                return Some(cur);
+            }
+            cur = p;
+        }
+    }
+
+    /// The full shortest path from `src` to `dst`, inclusive of both.
+    pub fn path(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+        let mut path = vec![dst];
+        let mut cur = dst;
+        while cur != src {
+            cur = self.parent(src, cur);
+            path.push(cur);
+        }
+        path.reverse();
+        path
+    }
+
+    /// Row of distances from `u` (indexed by destination).
+    #[inline]
+    pub fn row(&self, u: NodeId) -> &[Dist] {
+        &self.dist[u as usize * self.n..(u as usize + 1) * self.n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    /// 0 -1- 1 -1- 2
+    /// |           |
+    /// +----5------+
+    fn cycle() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.edge(0, 1, 1).unwrap();
+        b.edge(1, 2, 1).unwrap();
+        b.edge(0, 2, 5).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheap_path() {
+        let t = ShortestPathTree::new(&cycle(), 0);
+        assert_eq!(t.dist(0), 0);
+        assert_eq!(t.dist(1), 1);
+        assert_eq!(t.dist(2), 2);
+        assert_eq!(t.path_to(2), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn tie_break_prefers_smaller_parent() {
+        // Two equal-length paths 0->1->3 and 0->2->3; parent of 3 must be 1.
+        let mut b = GraphBuilder::new(4);
+        b.edge(0, 1, 1).unwrap();
+        b.edge(0, 2, 1).unwrap();
+        b.edge(1, 3, 1).unwrap();
+        b.edge(2, 3, 1).unwrap();
+        let g = b.build().unwrap();
+        let t = ShortestPathTree::new(&g, 0);
+        assert_eq!(t.dist(3), 2);
+        assert_eq!(t.parent(3), 1);
+    }
+
+    #[test]
+    fn apsp_symmetric_and_triangle() {
+        let g = crate::gen::grid(4, 3);
+        let apsp = Apsp::new(&g);
+        let n = apsp.node_count() as NodeId;
+        for u in 0..n {
+            assert_eq!(apsp.dist(u, u), 0);
+            for v in 0..n {
+                assert_eq!(apsp.dist(u, v), apsp.dist(v, u), "symmetry {u} {v}");
+                for w in 0..n {
+                    assert!(
+                        apsp.dist(u, w) <= apsp.dist(u, v) + apsp.dist(v, w),
+                        "triangle inequality violated at {u},{v},{w}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn next_hop_walks_shortest_path() {
+        let g = crate::gen::grid(5, 5);
+        let apsp = Apsp::new(&g);
+        let n = apsp.node_count() as NodeId;
+        for u in 0..n {
+            for v in 0..n {
+                if u == v {
+                    assert_eq!(apsp.next_hop(u, v), None);
+                    continue;
+                }
+                let h = apsp.next_hop(u, v).unwrap();
+                assert!(g.has_edge(u, h));
+                // Moving to the next hop makes exact progress.
+                assert_eq!(
+                    apsp.dist(u, v),
+                    g.edge_weight(u, h).unwrap() + apsp.dist(h, v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn path_endpoints_and_cost() {
+        let g = crate::gen::grid(6, 2);
+        let apsp = Apsp::new(&g);
+        let p = apsp.path(0, 11);
+        assert_eq!(*p.first().unwrap(), 0);
+        assert_eq!(*p.last().unwrap(), 11);
+        let mut cost = 0;
+        for w in p.windows(2) {
+            cost += g.edge_weight(w[0], w[1]).unwrap();
+        }
+        assert_eq!(cost, apsp.dist(0, 11));
+    }
+
+    #[test]
+    fn apsp_matches_single_source() {
+        let g = crate::gen::random_geometric(40, 260, 7);
+        let apsp = Apsp::new(&g);
+        for s in [0u32, 5, 17] {
+            let t = ShortestPathTree::new(&g, s);
+            for v in 0..g.node_count() as NodeId {
+                assert_eq!(t.dist(v), apsp.dist(s, v));
+            }
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Graphviz DOT export for graphs and hierarchies — visualization support
+//! for debugging and documentation.
+//!
+//! The exports are plain strings; render with `dot -Tsvg` or any Graphviz
+//! front end. Netting-tree exports draw one box per `(level, net point)`
+//! pair, so the zooming sequences are visible as root-to-leaf paths.
+
+use std::fmt::Write as _;
+
+use crate::graph::Graph;
+use crate::nets::NetHierarchy;
+
+/// Renders the graph as an undirected Graphviz document. Edge labels are
+/// the weights; unit weights are omitted to reduce clutter.
+pub fn graph_to_dot(g: &Graph, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {name} {{");
+    let _ = writeln!(out, "  node [shape=circle fontsize=10];");
+    for u in g.nodes() {
+        let _ = writeln!(out, "  n{u};");
+    }
+    for (u, v, w) in g.edges() {
+        if w == 1 {
+            let _ = writeln!(out, "  n{u} -- n{v};");
+        } else {
+            let _ = writeln!(out, "  n{u} -- n{v} [label=\"{w}\"];");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the netting tree as a Graphviz document: one node per
+/// `(level, net point)`, edges along netting-tree parents, leaf labels
+/// annotated with the DFS label `l(u)`.
+pub fn netting_tree_to_dot(h: &NetHierarchy, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=BT; node [shape=box fontsize=10];");
+    for i in 0..h.num_levels() {
+        for &y in h.level(i) {
+            if i == 0 {
+                let _ = writeln!(out, "  l{i}_{y} [label=\"{y}@{i}\\nl={}\"];", h.label(y));
+            } else {
+                let _ = writeln!(out, "  l{i}_{y} [label=\"{y}@{i}\"];");
+            }
+        }
+    }
+    for i in 0..h.num_levels().saturating_sub(1) {
+        for &y in h.level(i) {
+            let p = h.net_parent(i, y);
+            let _ = writeln!(out, "  l{i}_{y} -> l{}_{p};", i + 1);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::space::MetricSpace;
+
+    #[test]
+    fn graph_dot_contains_all_edges() {
+        let g = gen::grid(3, 2);
+        let dot = graph_to_dot(&g, "g");
+        assert!(dot.starts_with("graph g {"));
+        assert!(dot.trim_end().ends_with('}'));
+        // 7 edges, all unit weight → no labels.
+        assert_eq!(dot.matches(" -- ").count(), g.edge_count());
+        assert!(!dot.contains("label=\"1\""));
+    }
+
+    #[test]
+    fn weighted_edges_get_labels() {
+        let g = gen::exp_weight_path(4); // weights 1, 2, 4
+        let dot = graph_to_dot(&g, "p");
+        assert!(dot.contains("label=\"2\""));
+        assert!(dot.contains("label=\"4\""));
+    }
+
+    #[test]
+    fn netting_tree_dot_is_well_formed() {
+        let m = MetricSpace::new(&gen::grid(3, 3));
+        let h = NetHierarchy::new(&m);
+        let dot = netting_tree_to_dot(&h, "nt");
+        assert!(dot.starts_with("digraph nt {"));
+        // Every level-0 node appears with its DFS label.
+        for u in 0..9 {
+            assert!(dot.contains(&format!("{u}@0")), "missing leaf {u}");
+        }
+        // One parent edge per (level < top, member).
+        let expect_edges: usize =
+            (0..h.num_levels() - 1).map(|i| h.level(i).len()).sum();
+        assert_eq!(dot.matches(" -> ").count(), expect_edges);
+    }
+}

@@ -1,0 +1,492 @@
+//! The scale-free name-independent scheme — **Theorem 1.1**, Section 3.3
+//! of the paper.
+//!
+//! The simpler scheme's `log Δ` factor comes from keeping a search tree for
+//! *every* ball `B_u(2^i/ε)`, `u ∈ Y_i`, `i ∈ [log Δ]`. The scale-free
+//! scheme keeps two families instead:
+//!
+//! * **ℬ-type** (one per packed ball `B ∈ ℬ_j`, all `j ∈ [log n]`): a
+//!   search tree over `B`'s own `2^j` nodes storing the `(name, label)`
+//!   pairs of the *larger* ball `B_c(r_c(j+2))` — `2^{j+2}` pairs, i.e. 4
+//!   pairs per node.
+//! * **𝒜-type** (the surviving per-round balls): the round-`k` ball
+//!   `B_y(ρ_k)` keeps its own search tree **unless** some packed ball
+//!   `B ∈ ℬ_j` satisfies `B ⊆ B_y(ρ_k + 2^{i_k})` and
+//!   `B_y(ρ_k) ⊆ B_c(r_c(j+2))` — then the ℬ-type tree of `B` already
+//!   indexes everything `B_y(ρ_k)` would, and `y` stores only the link
+//!   `H(y, k)` (the underlying label of `B`'s center). Claim 3.7 shows a
+//!   surviving round must roughly double the ball size, so by Claim 3.6
+//!   each node carries `O(log n · log(1/ε))` surviving rounds; Claim 3.9
+//!   bounds the links per node by `O(log n)` distinct balls.
+//!
+//! Routing is Algorithm 3 with `Search()` (**Algorithm 4**) in place of
+//! the direct lookup: at the round-`k` host, either search the own 𝒜-tree,
+//! or detour to the linked ball's center, search its ℬ-tree, and return.
+//! Either way the search covers `B_{u(i_k)}(ρ_k)` at cost `≈ 2ρ_k(1+O(ε))`,
+//! so Lemma 3.4's `(9+O(ε))` stretch argument applies unchanged.
+
+use doubling_metric::graph::NodeId;
+use doubling_metric::space::MetricSpace;
+use doubling_metric::Eps;
+
+use labeled_routing::{ScaleFreeLabeled, SchemeError};
+use netsim::bits::{BitTally, FieldWidths};
+use netsim::naming::Naming;
+use netsim::route::{Route, RouteError, RouteRecorder};
+use netsim::scheme::{Label, LabeledScheme, Name, NameIndependentScheme};
+use searchtree::{SearchTree, SearchTreeConfig};
+
+use crate::rounds::Rounds;
+
+/// Per-(round, net point) search facility: own 𝒜-type tree, or a link to a
+/// ℬ-type tree.
+#[derive(Debug, Clone)]
+enum Facility {
+    /// The ball keeps its own search tree (member of 𝒜).
+    Own(Box<SearchTree<Label>>),
+    /// `H(y, k)`: redirect to the ℬ-type tree of ball `ball` in `ℬ_j`.
+    Link { j: u32, ball: u32 },
+}
+
+/// The `(9+O(ε))`-stretch scale-free name-independent scheme.
+///
+/// # Examples
+///
+/// ```rust
+/// use doubling_metric::{gen, Eps, MetricSpace};
+/// use name_independent::ScaleFreeNameIndependent;
+/// use netsim::{NameIndependentScheme, Naming};
+///
+/// let m = MetricSpace::new(&gen::grid(5, 5));
+/// let naming = Naming::random(25, 7);
+/// let s = ScaleFreeNameIndependent::new(&m, Eps::one_over(8), naming.clone())?;
+/// let route = s.route(&m, 3, 11)?;
+/// assert_eq!(route.dst, naming.node_of(11));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScaleFreeNameIndependent {
+    underlying: ScaleFreeLabeled,
+    naming: Naming,
+    widths: FieldWidths,
+    rounds: Rounds,
+    /// `btrees[j][k]` = ℬ-type search tree of ball `k` in `ℬ_j`.
+    btrees: Vec<Vec<SearchTree<Label>>>,
+    /// `facility[k][j]` for the `j`-th member of round `k`'s hosting level.
+    facility: Vec<Vec<Facility>>,
+    /// Per-node search-tree storage share (bits).
+    search_bits: Vec<u64>,
+}
+
+impl ScaleFreeNameIndependent {
+    /// Preprocesses the scheme.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SchemeError::EpsTooLarge`] from the underlying
+    /// scale-free labeled scheme (`ε ≤ 1/4`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `naming.n() != m.n()`.
+    pub fn new(m: &MetricSpace, eps: Eps, naming: Naming) -> Result<Self, SchemeError> {
+        assert_eq!(naming.n(), m.n(), "naming must cover the graph");
+        let underlying = ScaleFreeLabeled::new(m, eps)?;
+        let widths = FieldWidths::new(m);
+        let rounds = Rounds::new(m, eps);
+        let log2_n = m.log2_n();
+        let mut search_bits = vec![0u64; m.n()];
+
+        // --- ℬ-type trees: one per packed ball, storing the pairs of the
+        // 4×-larger ball. ---
+        let mut btrees: Vec<Vec<SearchTree<Label>>> = Vec::with_capacity(log2_n as usize + 1);
+        for j in 0..=log2_n {
+            let packing = underlying.packings().at(j);
+            let mut level = Vec::with_capacity(packing.balls().len());
+            for ball in packing.balls() {
+                let c = ball.center;
+                let r_big = m.r_small(c, (j + 2).min(log2_n));
+                let pairs: Vec<(u64, Label)> = m
+                    .ball(c, r_big)
+                    .iter()
+                    .map(|&(_, v)| (naming.name_of(v) as u64, underlying.label_of(v)))
+                    .collect();
+                let tree = SearchTree::new(
+                    m,
+                    c,
+                    &ball.nodes,
+                    SearchTreeConfig {
+                        eps_r: eps.mul_floor(ball.radius).max(1),
+                        max_levels: None,
+                    },
+                    pairs,
+                );
+                for &v in tree.tree().nodes() {
+                    search_bits[v as usize] +=
+                        tree.storage_bits(v, widths.node, widths.node, |_| widths.node);
+                }
+                for (v, _) in tree.relay_nodes() {
+                    if !tree.contains(v) {
+                        search_bits[v as usize] += tree.relay_bits(v, widths.node);
+                    }
+                }
+                level.push(tree);
+            }
+            btrees.push(level);
+        }
+
+        // --- 𝒜-type trees or H(y, k) links, per round. ---
+        let nets = underlying.nets();
+        let mut facility: Vec<Vec<Facility>> = Vec::with_capacity(rounds.count());
+        for k in 0..rounds.count() {
+            let rho = rounds.radius(k);
+            let host = rounds.host_level(k);
+            let s_host = m.scale(host);
+            let mut level = Vec::with_capacity(nets.level(host).len());
+            for &y in nets.level(host) {
+                // Find H(y, k): minimal j, then minimal (d(y,c), c), with
+                //   (1) d(y,c) + r_c(j) ≤ ρ_k + 2^{i_k}   [B inside the
+                //       slightly enlarged search ball around y]
+                //   (2) d(y,c) + ρ_k ≤ r_c(j+2)          [y's search ball
+                //       inside the indexed ball]
+                // — exact integer comparisons.
+                let mut link: Option<(u32, u32)> = None;
+                'levels: for j in 0..=log2_n {
+                    let packing = underlying.packings().at(j);
+                    let mut best: Option<(u64, NodeId, u32)> = None;
+                    for (bk, b) in packing.balls().iter().enumerate() {
+                        let d = m.dist(y, b.center);
+                        if d.saturating_add(b.radius) > rho.saturating_add(s_host) {
+                            continue;
+                        }
+                        let r_big = m.r_small(b.center, (j + 2).min(log2_n));
+                        if d.saturating_add(rho) > r_big {
+                            continue;
+                        }
+                        if best.map_or(true, |(bd, bc, _)| (d, b.center) < (bd, bc)) {
+                            best = Some((d, b.center, bk as u32));
+                        }
+                    }
+                    if let Some((_, _, bk)) = best {
+                        link = Some((j, bk));
+                        break 'levels;
+                    }
+                }
+                match link {
+                    Some((j, ball)) => level.push(Facility::Link { j, ball }),
+                    None => {
+                        let ball: Vec<NodeId> =
+                            m.ball(y, rho).iter().map(|&(_, x)| x).collect();
+                        let pairs: Vec<(u64, Label)> = ball
+                            .iter()
+                            .map(|&v| (naming.name_of(v) as u64, underlying.label_of(v)))
+                            .collect();
+                        let tree = SearchTree::new(
+                            m,
+                            y,
+                            &ball,
+                            SearchTreeConfig {
+                                eps_r: eps.mul_floor(rho).max(1),
+                                max_levels: None,
+                            },
+                            pairs,
+                        );
+                        for &v in tree.tree().nodes() {
+                            search_bits[v as usize] +=
+                                tree.storage_bits(v, widths.node, widths.node, |_| widths.node);
+                        }
+                        for (v, _) in tree.relay_nodes() {
+                            if !tree.contains(v) {
+                                search_bits[v as usize] += tree.relay_bits(v, widths.node);
+                            }
+                        }
+                        level.push(Facility::Own(Box::new(tree)));
+                    }
+                }
+            }
+            facility.push(level);
+        }
+
+        Ok(ScaleFreeNameIndependent {
+            underlying,
+            naming,
+            widths,
+            rounds,
+            btrees,
+            facility,
+            search_bits,
+        })
+    }
+
+    /// The underlying scale-free labeled scheme.
+    pub fn underlying(&self) -> &ScaleFreeLabeled {
+        &self.underlying
+    }
+
+    /// The naming this scheme resolves.
+    pub fn naming(&self) -> &Naming {
+        &self.naming
+    }
+
+    /// The round schedule.
+    pub fn rounds(&self) -> &Rounds {
+        &self.rounds
+    }
+
+    /// How many rounds hosted by `y` use a link rather than their own tree
+    /// (`|S(y)|` in the paper's notation, bounded by Claim 3.9).
+    pub fn link_count(&self, y: NodeId) -> usize {
+        let nets = self.underlying.nets();
+        (0..self.facility.len())
+            .filter(|&k| {
+                nets.level(self.rounds.host_level(k))
+                    .binary_search(&y)
+                    .ok()
+                    .map_or(false, |j| matches!(self.facility[k][j], Facility::Link { .. }))
+            })
+            .count()
+    }
+
+    /// Fraction of (round, net point) facilities that are links — the
+    /// storage the packing machinery saves (ablation A2).
+    pub fn link_fraction(&self) -> f64 {
+        let mut links = 0usize;
+        let mut total = 0usize;
+        for level in &self.facility {
+            for f in level {
+                total += 1;
+                if matches!(f, Facility::Link { .. }) {
+                    links += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            links as f64 / total as f64
+        }
+    }
+
+    fn go(
+        &self,
+        m: &MetricSpace,
+        rec: &mut RouteRecorder<'_>,
+        target: Label,
+    ) -> Result<(), RouteError> {
+        if self.underlying.label_of(rec.current()) == target {
+            return Ok(());
+        }
+        let sub = self.underlying.route(m, rec.current(), target)?;
+        rec.absorb(&sub)
+    }
+
+    /// Algorithm 4: search for `name` in the area of `B_{u(i_k)}(ρ_k)`,
+    /// from the current position (the round-`k` host). Returns the label
+    /// if found, with the packet back at the host.
+    fn search(
+        &self,
+        m: &MetricSpace,
+        rec: &mut RouteRecorder<'_>,
+        k: usize,
+        j: usize,
+        name: Name,
+    ) -> Result<Option<Label>, RouteError> {
+        match &self.facility[k][j] {
+            Facility::Own(tree) => {
+                let walk = tree.search(name as u64);
+                for &x in &walk.nodes[1..] {
+                    self.go(m, rec, self.underlying.label_of(x))?;
+                }
+                Ok(walk.result)
+            }
+            Facility::Link { j: bj, ball } => {
+                let tree = &self.btrees[*bj as usize][*ball as usize];
+                let y = rec.current();
+                // Go to the packed ball's center via the labeled scheme.
+                self.go(m, rec, self.underlying.label_of(tree.center()))?;
+                let walk = tree.search(name as u64);
+                for &x in &walk.nodes[1..] {
+                    self.go(m, rec, self.underlying.label_of(x))?;
+                }
+                // Return to the host.
+                self.go(m, rec, self.underlying.label_of(y))?;
+                Ok(walk.result)
+            }
+        }
+    }
+}
+
+impl NameIndependentScheme for ScaleFreeNameIndependent {
+    fn scheme_name(&self) -> &'static str {
+        "scale-free-name-independent"
+    }
+
+    fn table_bits(&self, u: NodeId) -> u64 {
+        let mut t = BitTally::new();
+        t.raw(self.underlying.table_bits(u));
+        // One netting-tree parent label.
+        t.nodes(&self.widths, 1);
+        // H(u, k) links: round tag + center label, for each linked round
+        // that u hosts.
+        let nets = self.underlying.nets();
+        for k in 0..self.facility.len() {
+            if let Ok(j) = nets.level(self.rounds.host_level(k)).binary_search(&u) {
+                if matches!(self.facility[k][j], Facility::Link { .. }) {
+                    t.levels(&self.widths, 1);
+                    t.nodes(&self.widths, 1);
+                }
+            }
+        }
+        // Search-tree shares (both ℬ- and 𝒜-type).
+        t.raw(self.search_bits[u as usize]);
+        t.total()
+    }
+
+    fn route(&self, m: &MetricSpace, src: NodeId, name: Name) -> Result<Route, RouteError> {
+        let mut rec = RouteRecorder::new(m, src);
+        rec.note_header_bits(self.widths.node + self.widths.level);
+
+        if self.naming.name_of(src) == name {
+            return Ok(rec.finish());
+        }
+
+        let nets = self.underlying.nets();
+        for k in 0..self.rounds.count() {
+            let host = self.rounds.host_level(k);
+            let y = nets.zoom(src, host);
+            rec.begin_segment("zoom", Some(k as u32));
+            self.go(m, &mut rec, self.underlying.label_of(y))?;
+
+            rec.begin_segment("search", Some(k as u32));
+            let j = nets.level(host).binary_search(&y).expect("zoom lands in Y_i");
+            if let Some(label) = self.search(m, &mut rec, k, j, name)? {
+                rec.begin_segment("final", Some(k as u32));
+                self.go(m, &mut rec, label)?;
+                return Ok(rec.finish());
+            }
+        }
+        Err(RouteError::LookupFailed {
+            at: rec.current(),
+            detail: format!("name {name} not found at any round (top ball must cover V)"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stretch_envelope;
+    use doubling_metric::gen;
+    use netsim::stats::{all_pairs, eval_name_independent, sample_pairs};
+
+    fn check(g: &doubling_metric::Graph, eps: Eps, seed: u64) -> netsim::stats::EvalResult {
+        let m = MetricSpace::new(g);
+        let naming = Naming::random(m.n(), seed);
+        let s = ScaleFreeNameIndependent::new(&m, eps, naming.clone()).unwrap();
+        let pairs = if m.n() <= 36 { all_pairs(m.n()) } else { sample_pairs(m.n(), 250, 7) };
+        let res = eval_name_independent(&s, &m, &naming, &pairs);
+        assert_eq!(res.failures, 0, "all routes must deliver");
+        assert!(
+            res.max_stretch <= stretch_envelope(eps) + 1.0,
+            "stretch {} exceeds envelope on eps {}",
+            res.max_stretch,
+            eps
+        );
+        res
+    }
+
+    #[test]
+    fn delivers_on_grid() {
+        check(&gen::grid(6, 6), Eps::one_over(8), 3);
+    }
+
+    #[test]
+    fn delivers_on_all_families() {
+        for f in gen::Family::all() {
+            let g = f.build(50, 11);
+            check(&g, Eps::one_over(8), 5);
+        }
+    }
+
+    #[test]
+    fn delivers_on_exp_path_scale_free_regime() {
+        check(&gen::exp_weight_path(24), Eps::one_over(8), 1);
+    }
+
+    #[test]
+    fn adjacent_pairs_have_bounded_stretch() {
+        let m = MetricSpace::new(&gen::grid(6, 6));
+        let naming = Naming::random(36, 2);
+        for k in [8u64, 16] {
+            let s =
+                ScaleFreeNameIndependent::new(&m, Eps::one_over(k), naming.clone()).unwrap();
+            for (u, v, _) in m.graph().edges() {
+                let r = s.route(&m, u, naming.name_of(v)).unwrap();
+                assert!(
+                    r.stretch(&m) <= 7.0,
+                    "adjacent stretch {} at eps 1/{k}",
+                    r.stretch(&m)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn links_replace_trees_somewhere() {
+        // The whole point of ℬ/𝒜: on a reasonably dense graph some rounds
+        // must be served by links into packed-ball trees.
+        let m = MetricSpace::new(&gen::grid(8, 8));
+        let s =
+            ScaleFreeNameIndependent::new(&m, Eps::one_over(4), Naming::identity(64)).unwrap();
+        assert!(
+            s.link_fraction() > 0.0,
+            "no H(u,k) links were created — packing reuse inactive"
+        );
+    }
+
+    #[test]
+    fn link_counts_obey_claim_3_9_order() {
+        // Claim 3.9: O(log n) distinct balls; our per-round links can
+        // repeat a ball across rounds, so allow a log(1/ε) slack factor.
+        let m = MetricSpace::new(&gen::exp_weight_path(32));
+        let eps = Eps::one_over(4);
+        let s = ScaleFreeNameIndependent::new(&m, eps, Naming::identity(32)).unwrap();
+        let bound = 8 * (m.log2_n() as usize + 1) * 3;
+        for u in 0..32 {
+            assert!(
+                s.link_count(u) <= bound,
+                "node {u} has {} links, bound {bound}",
+                s.link_count(u)
+            );
+        }
+    }
+
+    #[test]
+    fn scale_free_tables_beat_simple_on_huge_delta() {
+        // The headline claim of Theorem 1.1 vs Theorem 1.4: on a graph with
+        // Δ exponential in n, the scale-free scheme's max table is smaller.
+        let m = MetricSpace::new(&gen::exp_weight_path(48));
+        let eps = Eps::one_over(4);
+        let naming = Naming::random(48, 3);
+        let simple = crate::SimpleNameIndependent::new(&m, eps, naming.clone()).unwrap();
+        let scale_free = ScaleFreeNameIndependent::new(&m, eps, naming.clone()).unwrap();
+        let max_simple = (0..48).map(|u| simple.table_bits(u)).max().unwrap();
+        let max_sf = (0..48)
+            .map(|u| NameIndependentScheme::table_bits(&scale_free, u))
+            .max()
+            .unwrap();
+        assert!(
+            max_sf < max_simple,
+            "scale-free {max_sf} bits should beat simple {max_simple} bits at huge Δ"
+        );
+    }
+
+    #[test]
+    fn self_route_is_free() {
+        let m = MetricSpace::new(&gen::grid(3, 3));
+        let s =
+            ScaleFreeNameIndependent::new(&m, Eps::one_over(4), Naming::identity(9)).unwrap();
+        let r = s.route(&m, 5, 5).unwrap();
+        assert_eq!(r.cost, 0);
+    }
+}

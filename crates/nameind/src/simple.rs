@@ -1,0 +1,349 @@
+//! The simpler (non-scale-free) name-independent scheme — **Theorem 1.4**,
+//! Sections 3.1–3.2 of the paper.
+//!
+//! For every search round `k` (see [`crate::rounds::Rounds`]) and every net
+//! point `y` of the hosting level there is a search tree `T(y, ρ_k)` over
+//! the ball `B_y(ρ_k)`, storing the pair `(name(v), label(v))` for every
+//! node `v` in the ball — the paper's `T(u, 2^i/ε)` family, with the radii
+//! anchored at the minimum-distance scale so that the first successful
+//! round always costs `O(d)` (Lemma 3.4's envelope; see the rounds module
+//! for why the literal `2^i/ε` start breaks adjacent pairs).
+//!
+//! Routing (**Algorithm 3**): the source walks its zooming sequence; at
+//! the round-`k` host `u(i_k)` it runs Algorithm 2 on `T(u(i_k), ρ_k)`;
+//! the first successful round yields the destination's label, and the
+//! underlying labeled scheme finishes the job. Every movement —
+//! zooming-hop, search-tree virtual edge, final leg — is executed as a
+//! real route of the underlying labeled scheme and charged its true cost.
+//!
+//! Storage (Lemma 3.3): each node appears in `(1/ε)^{O(α)}` search trees
+//! per round and `O(log Δ + log 1/ε)` rounds —
+//! `(1/ε)^{O(α)}·log Δ·log n` bits.
+
+use doubling_metric::graph::NodeId;
+use doubling_metric::space::MetricSpace;
+use doubling_metric::Eps;
+
+use labeled_routing::{NetLabeled, SchemeError};
+use netsim::bits::{BitTally, FieldWidths};
+use netsim::naming::Naming;
+use netsim::route::{Route, RouteError, RouteRecorder};
+use netsim::scheme::{Label, LabeledScheme, Name, NameIndependentScheme};
+use searchtree::{SearchTree, SearchTreeConfig};
+
+use crate::rounds::Rounds;
+
+/// The `(9+O(ε))`-stretch non-scale-free name-independent scheme.
+///
+/// # Examples
+///
+/// ```rust
+/// use doubling_metric::{gen, Eps, MetricSpace};
+/// use name_independent::SimpleNameIndependent;
+/// use netsim::{NameIndependentScheme, Naming};
+///
+/// let m = MetricSpace::new(&gen::grid(5, 5));
+/// let naming = Naming::random(25, 7);
+/// let s = SimpleNameIndependent::new(&m, Eps::one_over(8), naming.clone())?;
+/// // Route by *name*: the scheme discovers where the name lives.
+/// let route = s.route(&m, 0, 17)?;
+/// assert_eq!(route.dst, naming.node_of(17));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimpleNameIndependent {
+    underlying: NetLabeled,
+    naming: Naming,
+    eps: Eps,
+    widths: FieldWidths,
+    rounds: Rounds,
+    /// `trees[k][j]` = search tree of the `j`-th member of the round-`k`
+    /// hosting net level.
+    trees: Vec<Vec<SearchTree<Label>>>,
+    /// Per-node search-tree storage share (bits), precomputed.
+    search_bits: Vec<u64>,
+}
+
+impl SimpleNameIndependent {
+    /// Preprocesses the scheme over `m` with the adversarial `naming`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SchemeError::EpsTooLarge`] from the underlying labeled
+    /// scheme (`ε ≤ 1/2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `naming.n() != m.n()`.
+    pub fn new(m: &MetricSpace, eps: Eps, naming: Naming) -> Result<Self, SchemeError> {
+        assert_eq!(naming.n(), m.n(), "naming must cover the graph");
+        let underlying = NetLabeled::new(m, eps)?;
+        let widths = FieldWidths::new(m);
+        let rounds = Rounds::new(m, eps);
+        let mut search_bits = vec![0u64; m.n()];
+
+        let mut trees: Vec<Vec<SearchTree<Label>>> = Vec::with_capacity(rounds.count());
+        for k in 0..rounds.count() {
+            let radius = rounds.radius(k);
+            let mut level = Vec::new();
+            for &y in underlying.nets().level(rounds.host_level(k)) {
+                let ball: Vec<NodeId> = m.ball(y, radius).iter().map(|&(_, x)| x).collect();
+                let pairs: Vec<(u64, Label)> = ball
+                    .iter()
+                    .map(|&v| (naming.name_of(v) as u64, underlying.label_of(v)))
+                    .collect();
+                let tree = SearchTree::new(
+                    m,
+                    y,
+                    &ball,
+                    SearchTreeConfig { eps_r: eps.mul_floor(radius).max(1), max_levels: None },
+                    pairs,
+                );
+                for &v in tree.tree().nodes() {
+                    search_bits[v as usize] +=
+                        tree.storage_bits(v, widths.node, widths.node, |_| widths.node);
+                }
+                for (v, _) in tree.relay_nodes() {
+                    if !tree.contains(v) {
+                        search_bits[v as usize] += tree.relay_bits(v, widths.node);
+                    }
+                }
+                level.push(tree);
+            }
+            trees.push(level);
+        }
+
+        Ok(SimpleNameIndependent { underlying, naming, eps, widths, rounds, trees, search_bits })
+    }
+
+    /// The underlying labeled scheme.
+    pub fn underlying(&self) -> &NetLabeled {
+        &self.underlying
+    }
+
+    /// The naming this scheme resolves.
+    pub fn naming(&self) -> &Naming {
+        &self.naming
+    }
+
+    /// The round schedule.
+    pub fn rounds(&self) -> &Rounds {
+        &self.rounds
+    }
+
+    /// The `ε` this scheme was built with.
+    pub fn eps(&self) -> Eps {
+        self.eps
+    }
+
+    /// The search tree hosted by net point `y` for round `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is not in the hosting level of round `k`.
+    pub fn tree_of(&self, k: usize, y: NodeId) -> &SearchTree<Label> {
+        let level = self.underlying.nets().level(self.rounds.host_level(k));
+        let j = level.binary_search(&y).expect("y must host round k");
+        &self.trees[k][j]
+    }
+
+    /// Routes via the underlying labeled scheme and absorbs the sub-route.
+    fn go(
+        &self,
+        m: &MetricSpace,
+        rec: &mut RouteRecorder<'_>,
+        target: Label,
+    ) -> Result<(), RouteError> {
+        if self.underlying.label_of(rec.current()) == target {
+            return Ok(());
+        }
+        let sub = self.underlying.route(m, rec.current(), target)?;
+        rec.absorb(&sub)
+    }
+}
+
+impl NameIndependentScheme for SimpleNameIndependent {
+    fn scheme_name(&self) -> &'static str {
+        "simple-name-independent"
+    }
+
+    fn table_bits(&self, u: NodeId) -> u64 {
+        let mut t = BitTally::new();
+        // Underlying labeled tables.
+        t.raw(self.underlying.table_bits(u));
+        // One netting-tree parent label.
+        t.nodes(&self.widths, 1);
+        // Search-tree shares.
+        t.raw(self.search_bits[u as usize]);
+        t.total()
+    }
+
+    fn route(&self, m: &MetricSpace, src: NodeId, name: Name) -> Result<Route, RouteError> {
+        let mut rec = RouteRecorder::new(m, src);
+        // Name-independent header: the destination name plus the current
+        // round; underlying headers are folded in by absorb().
+        rec.note_header_bits(self.widths.node + self.widths.level);
+
+        if self.naming.name_of(src) == name {
+            return Ok(rec.finish());
+        }
+
+        let nets = self.underlying.nets();
+        for k in 0..self.rounds.count() {
+            // Go to the round's host u(i_k) — reached by netting-tree hops
+            // whose labels the intermediate net points store.
+            let y = nets.zoom(src, self.rounds.host_level(k));
+            rec.begin_segment("zoom", Some(k as u32));
+            self.go(m, &mut rec, self.underlying.label_of(y))?;
+
+            // Local search of B_y(ρ_k) (Algorithm 2).
+            rec.begin_segment("search", Some(k as u32));
+            let walk = self.tree_of(k, y).search(name as u64);
+            for &x in &walk.nodes[1..] {
+                self.go(m, &mut rec, self.underlying.label_of(x))?;
+            }
+            if let Some(label) = walk.result {
+                rec.begin_segment("final", Some(k as u32));
+                self.go(m, &mut rec, label)?;
+                return Ok(rec.finish());
+            }
+        }
+        Err(RouteError::LookupFailed {
+            at: rec.current(),
+            detail: format!("name {name} not found at any round (top ball must cover V)"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stretch_envelope;
+    use doubling_metric::gen;
+    use netsim::stats::{all_pairs, eval_name_independent, sample_pairs};
+
+    fn check(g: &doubling_metric::Graph, eps: Eps, seed: u64) -> netsim::stats::EvalResult {
+        let m = MetricSpace::new(g);
+        let naming = Naming::random(m.n(), seed);
+        let s = SimpleNameIndependent::new(&m, eps, naming.clone()).unwrap();
+        let pairs = if m.n() <= 36 { all_pairs(m.n()) } else { sample_pairs(m.n(), 300, 7) };
+        let res = eval_name_independent(&s, &m, &naming, &pairs);
+        assert_eq!(res.failures, 0, "all routes must deliver");
+        assert!(
+            res.max_stretch <= stretch_envelope(eps),
+            "stretch {} exceeds envelope {} on eps {}",
+            res.max_stretch,
+            stretch_envelope(eps),
+            eps
+        );
+        res
+    }
+
+    #[test]
+    fn delivers_on_grid_within_envelope() {
+        check(&gen::grid(6, 6), Eps::one_over(8), 3);
+    }
+
+    #[test]
+    fn delivers_on_all_families() {
+        for f in gen::Family::all() {
+            let g = f.build(50, 11);
+            check(&g, Eps::one_over(8), 5);
+        }
+    }
+
+    #[test]
+    fn adjacent_pairs_have_bounded_stretch() {
+        // The round-schedule fix: nearest-neighbour routes must not pay the
+        // Θ(1/ε) of a radius-2⁰/ε search, even for tiny ε.
+        let m = MetricSpace::new(&gen::grid(7, 7));
+        let naming = Naming::random(49, 2);
+        for k in [8u64, 16, 32] {
+            let s = SimpleNameIndependent::new(&m, Eps::one_over(k), naming.clone()).unwrap();
+            for (u, v, _) in m.graph().edges() {
+                let r = s.route(&m, u, naming.name_of(v)).unwrap();
+                assert!(
+                    r.stretch(&m) <= 6.0,
+                    "adjacent stretch {} at eps 1/{k}",
+                    r.stretch(&m)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_stretch_does_not_blow_up_as_eps_shrinks() {
+        let m = MetricSpace::new(&gen::grid(7, 7));
+        let naming = Naming::random(49, 2);
+        let pairs = all_pairs(49);
+        let mut maxes = Vec::new();
+        for k in [4u64, 8, 16, 32] {
+            let s = SimpleNameIndependent::new(&m, Eps::one_over(k), naming.clone()).unwrap();
+            let r = eval_name_independent(&s, &m, &naming, &pairs);
+            assert_eq!(r.failures, 0);
+            maxes.push(r.max_stretch);
+        }
+        // The 9+O(ε) envelope: every measured max must stay below ~13 and
+        // must not grow as ε shrinks beyond noise.
+        for &mx in &maxes {
+            assert!(mx <= 13.0, "max stretch {mx} out of envelope: {maxes:?}");
+        }
+        assert!(
+            *maxes.last().unwrap() <= maxes[0] + 1.0,
+            "stretch should not degrade as eps shrinks: {maxes:?}"
+        );
+    }
+
+    #[test]
+    fn naming_is_respected() {
+        let m = MetricSpace::new(&gen::grid(4, 4));
+        let naming = Naming::random(16, 9);
+        let s = SimpleNameIndependent::new(&m, Eps::one_over(4), naming.clone()).unwrap();
+        for v in 0..16u32 {
+            let r = s.route(&m, 3, naming.name_of(v)).unwrap();
+            assert_eq!(r.dst, v, "route must end at the named node");
+        }
+    }
+
+    #[test]
+    fn self_route_is_free() {
+        let m = MetricSpace::new(&gen::grid(3, 3));
+        let naming = Naming::identity(9);
+        let s = SimpleNameIndependent::new(&m, Eps::one_over(4), naming).unwrap();
+        let r = s.route(&m, 5, 5).unwrap();
+        assert_eq!(r.cost, 0);
+        assert_eq!(r.dst, 5);
+    }
+
+    #[test]
+    fn segments_follow_zoom_search_final_pattern() {
+        let m = MetricSpace::new(&gen::grid(6, 6));
+        let naming = Naming::random(36, 4);
+        let s = SimpleNameIndependent::new(&m, Eps::one_over(8), naming.clone()).unwrap();
+        for (u, v) in sample_pairs(36, 40, 1) {
+            let r = s.route(&m, u, naming.name_of(v)).unwrap();
+            let labels: Vec<&str> = r.segments.iter().map(|sg| sg.label).collect();
+            assert_eq!(*labels.last().unwrap(), "final", "route must end with the final leg");
+            for l in &labels {
+                assert!(["zoom", "search", "final"].contains(l));
+            }
+        }
+    }
+
+    #[test]
+    fn table_bits_scale_with_log_delta() {
+        // Same n, exponentially larger Δ → more rounds → bigger tables.
+        let m_small = MetricSpace::new(&gen::path(32));
+        let m_big = MetricSpace::new(&gen::exp_weight_path(32));
+        let eps = Eps::one_over(4);
+        let s_small =
+            SimpleNameIndependent::new(&m_small, eps, Naming::identity(32)).unwrap();
+        let s_big = SimpleNameIndependent::new(&m_big, eps, Naming::identity(32)).unwrap();
+        let max_small = (0..32).map(|u| s_small.table_bits(u)).max().unwrap();
+        let max_big = (0..32).map(|u| s_big.table_bits(u)).max().unwrap();
+        assert!(
+            max_big > 2 * max_small,
+            "exp-Δ tables ({max_big}) should dwarf poly-Δ tables ({max_small})"
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! The full-table shortest-path baseline.
+//!
+//! Every node stores the next hop toward every destination: `Θ(n log n)`
+//! bits per node, stretch exactly 1. This is the non-compact reference
+//! point in Table 1 / Table 2 — the "what you pay for optimal paths"
+//! column against which the compact schemes' polylogarithmic tables are
+//! compared.
+
+use doubling_metric::graph::NodeId;
+use doubling_metric::space::MetricSpace;
+
+use crate::bits::{BitTally, FieldWidths};
+use crate::naming::Naming;
+use crate::route::{Route, RouteError, RouteRecorder};
+use crate::scheme::{Label, LabeledScheme, Name, NameIndependentScheme};
+
+/// Full shortest-path routing tables (stretch 1, linear storage).
+///
+/// As a labeled scheme its labels are node ids; as a name-independent
+/// scheme it stores a name→next-hop row (the name table costs the same as
+/// the id table since names are a permutation).
+#[derive(Debug, Clone)]
+pub struct FullTable {
+    widths: FieldWidths,
+    n: usize,
+    naming: Naming,
+}
+
+impl FullTable {
+    /// Builds the baseline over the metric with the identity naming.
+    pub fn new(m: &MetricSpace) -> Self {
+        Self::with_naming(m, Naming::identity(m.n()))
+    }
+
+    /// Builds the baseline resolving the given naming.
+    pub fn with_naming(m: &MetricSpace, naming: Naming) -> Self {
+        assert_eq!(naming.n(), m.n(), "naming size must match the graph");
+        FullTable { widths: FieldWidths::new(m), n: m.n(), naming }
+    }
+
+    fn table(&self) -> u64 {
+        // One next-hop entry per destination.
+        let mut t = BitTally::new();
+        t.nodes(&self.widths, self.n as u64);
+        t.total()
+    }
+
+    fn run(&self, m: &MetricSpace, src: NodeId, dst: NodeId) -> Result<Route, RouteError> {
+        let mut r = RouteRecorder::new(m, src);
+        // Header: just the destination id.
+        r.note_header_bits(self.widths.node);
+        r.begin_segment("shortest", None);
+        // Hop-by-hop next-hop lookups (each node consults only its row).
+        while r.current() != dst {
+            let nh = m
+                .next_hop(r.current(), dst)
+                .expect("distinct nodes have a next hop");
+            r.hop(nh)?;
+        }
+        Ok(r.finish())
+    }
+}
+
+impl LabeledScheme for FullTable {
+    fn scheme_name(&self) -> &'static str {
+        "full-table"
+    }
+
+    fn label_of(&self, v: NodeId) -> Label {
+        v
+    }
+
+    fn label_bits(&self) -> u64 {
+        self.widths.node
+    }
+
+    fn table_bits(&self, _u: NodeId) -> u64 {
+        self.table()
+    }
+
+    fn route(&self, m: &MetricSpace, src: NodeId, target: Label) -> Result<Route, RouteError> {
+        self.run(m, src, target as NodeId)
+    }
+}
+
+impl NameIndependentScheme for FullTable {
+    fn scheme_name(&self) -> &'static str {
+        "full-table"
+    }
+
+    fn table_bits(&self, _u: NodeId) -> u64 {
+        // Name-indexed next-hop table.
+        self.table()
+    }
+
+    fn route(&self, m: &MetricSpace, src: NodeId, name: Name) -> Result<Route, RouteError> {
+        self.run(m, src, self.naming.node_of(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doubling_metric::gen;
+
+    #[test]
+    fn stretch_is_exactly_one() {
+        let m = MetricSpace::new(&gen::random_geometric(40, 260, 2));
+        let s = FullTable::new(&m);
+        for u in 0..m.n() as NodeId {
+            for v in 0..m.n() as NodeId {
+                let r = LabeledScheme::route(&s, &m, u, v).unwrap();
+                assert_eq!(r.cost, m.dist(u, v));
+                assert_eq!(r.dst, v);
+                r.verify(&m).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn name_independent_resolves_names() {
+        let m = MetricSpace::new(&gen::grid(4, 4));
+        let nm = Naming::random(16, 9);
+        let s = FullTable::with_naming(&m, nm.clone());
+        for v in 0..16u32 {
+            let r = NameIndependentScheme::route(&s, &m, 0, nm.name_of(v)).unwrap();
+            assert_eq!(r.dst, v);
+            assert_eq!(r.cost, m.dist(0, v));
+        }
+    }
+
+    #[test]
+    fn table_is_linear() {
+        let m = MetricSpace::new(&gen::grid(8, 8)); // n = 64
+        let s = FullTable::new(&m);
+        assert_eq!(LabeledScheme::table_bits(&s, 0), 64 * 6);
+    }
+}

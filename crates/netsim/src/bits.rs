@@ -1,0 +1,139 @@
+//! Storage and header bit-accounting conventions.
+//!
+//! The paper states table/header/label sizes in bits; to *measure* them we
+//! fix a serialization convention and have every scheme report its tables
+//! through it:
+//!
+//! * node ids, labels, names, next-hop "ports": `⌈log₂ n⌉` bits (at least
+//!   1 — following the convention that a field always occupies at least one
+//!   bit);
+//! * distances: `⌈log₂(diameter + 1)⌉` bits;
+//! * level indices: `⌈log₂(L + 1)⌉` bits where `L + 1` is the number of
+//!   scales (`Θ(log Δ)`);
+//! * size exponents `j`: `⌈log₂(⌈log₂ n⌉ + 1)⌉` bits.
+//!
+//! Next hops are charged as full node ids rather than local port numbers;
+//! this is (slightly) conservative and uniform across schemes, so
+//! comparisons remain fair.
+
+use doubling_metric::ceil_log2;
+use doubling_metric::space::MetricSpace;
+
+/// Bits needed to distinguish `count` values (minimum 1).
+#[inline]
+pub fn bits_for_count(count: u64) -> u64 {
+    if count <= 1 {
+        1
+    } else {
+        ceil_log2(count) as u64
+    }
+}
+
+/// Field widths for one metric space, fixed at preprocessing time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldWidths {
+    /// Bits per node id / label / name / next-hop.
+    pub node: u64,
+    /// Bits per distance value.
+    pub dist: u64,
+    /// Bits per hierarchy level index.
+    pub level: u64,
+    /// Bits per ball-size exponent `j`.
+    pub size_exp: u64,
+}
+
+impl FieldWidths {
+    /// Derives the widths from a metric space.
+    pub fn new(m: &MetricSpace) -> Self {
+        FieldWidths {
+            node: bits_for_count(m.n() as u64),
+            dist: bits_for_count(m.diameter() + 1),
+            level: bits_for_count(m.num_scales() as u64),
+            size_exp: bits_for_count(m.log2_n() as u64 + 1),
+        }
+    }
+}
+
+/// A per-node storage tally. Schemes create one per node at preprocessing
+/// time and add fields as they populate tables; `total()` is then reported
+/// by `table_bits`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BitTally {
+    total: u64,
+}
+
+impl BitTally {
+    /// An empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `count` node-id-sized fields.
+    pub fn nodes(&mut self, w: &FieldWidths, count: u64) -> &mut Self {
+        self.total += w.node * count;
+        self
+    }
+
+    /// Adds `count` distance fields.
+    pub fn dists(&mut self, w: &FieldWidths, count: u64) -> &mut Self {
+        self.total += w.dist * count;
+        self
+    }
+
+    /// Adds `count` level-index fields.
+    pub fn levels(&mut self, w: &FieldWidths, count: u64) -> &mut Self {
+        self.total += w.level * count;
+        self
+    }
+
+    /// Adds `count` size-exponent fields.
+    pub fn size_exps(&mut self, w: &FieldWidths, count: u64) -> &mut Self {
+        self.total += w.size_exp * count;
+        self
+    }
+
+    /// Adds raw bits (e.g. a sub-scheme's reported table).
+    pub fn raw(&mut self, bits: u64) -> &mut Self {
+        self.total += bits;
+        self
+    }
+
+    /// The tallied total in bits.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doubling_metric::gen;
+
+    #[test]
+    fn bits_for_count_floor_cases() {
+        assert_eq!(bits_for_count(0), 1);
+        assert_eq!(bits_for_count(1), 1);
+        assert_eq!(bits_for_count(2), 1);
+        assert_eq!(bits_for_count(3), 2);
+        assert_eq!(bits_for_count(256), 8);
+        assert_eq!(bits_for_count(257), 9);
+    }
+
+    #[test]
+    fn widths_from_grid() {
+        let m = MetricSpace::new(&gen::grid(4, 4)); // n=16, diam=6
+        let w = FieldWidths::new(&m);
+        assert_eq!(w.node, 4);
+        assert_eq!(w.dist, 3); // ceil_log2(7) = 3
+        assert_eq!(w.level, 2); // 4 scales
+    }
+
+    #[test]
+    fn tally_accumulates() {
+        let m = MetricSpace::new(&gen::grid(4, 4));
+        let w = FieldWidths::new(&m);
+        let mut t = BitTally::new();
+        t.nodes(&w, 3).dists(&w, 2).raw(10);
+        assert_eq!(t.total(), 3 * 4 + 2 * 3 + 10);
+    }
+}

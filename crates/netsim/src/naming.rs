@@ -1,0 +1,183 @@
+//! Arbitrary original node names.
+//!
+//! Name-independent routing works on top of names the designer does not
+//! control (Definition 5.1 of the paper: a naming is a bijection
+//! `ℓ : V → [n]`). For experiments we use seeded random permutations —
+//! the adversary of Section 5 is modelled separately in the `lowerbound`
+//! crate.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use doubling_metric::graph::NodeId;
+
+use crate::scheme::Name;
+
+/// A bijection between nodes and names.
+///
+/// # Examples
+///
+/// ```rust
+/// use netsim::Naming;
+///
+/// let nm = Naming::random(8, 42);
+/// for v in 0..8 {
+///     assert_eq!(nm.node_of(nm.name_of(v)), v);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Naming {
+    name_of: Vec<Name>,
+    node_of: Vec<NodeId>,
+}
+
+impl Naming {
+    /// The identity naming (`name(v) = v`).
+    pub fn identity(n: usize) -> Self {
+        Naming {
+            name_of: (0..n as Name).collect(),
+            node_of: (0..n as NodeId).collect(),
+        }
+    }
+
+    /// A seeded uniformly-random naming.
+    pub fn random(n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut name_of: Vec<Name> = (0..n as Name).collect();
+        name_of.shuffle(&mut rng);
+        Self::from_names(name_of).expect("shuffled identity is a bijection")
+    }
+
+    /// Builds a naming from an explicit `name_of` vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if the vector is not a permutation of `0..n`.
+    pub fn from_names(name_of: Vec<Name>) -> Result<Self, NamingError> {
+        let n = name_of.len();
+        let mut node_of = vec![NodeId::MAX; n];
+        for (v, &nm) in name_of.iter().enumerate() {
+            if nm as usize >= n {
+                return Err(NamingError::OutOfRange { name: nm, n });
+            }
+            if node_of[nm as usize] != NodeId::MAX {
+                return Err(NamingError::Duplicate { name: nm });
+            }
+            node_of[nm as usize] = v as NodeId;
+        }
+        Ok(Naming { name_of, node_of })
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.name_of.len()
+    }
+
+    /// The name of node `v`.
+    #[inline]
+    pub fn name_of(&self, v: NodeId) -> Name {
+        self.name_of[v as usize]
+    }
+
+    /// The node carrying `name`.
+    #[inline]
+    pub fn node_of(&self, name: Name) -> NodeId {
+        self.node_of[name as usize]
+    }
+
+    /// Iterate `(node, name)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Name)> + '_ {
+        self.name_of.iter().enumerate().map(|(v, &nm)| (v as NodeId, nm))
+    }
+}
+
+/// Errors from [`Naming::from_names`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NamingError {
+    /// A name was `≥ n`.
+    OutOfRange {
+        /// The offending name.
+        name: Name,
+        /// Number of nodes.
+        n: usize,
+    },
+    /// A name appeared twice.
+    Duplicate {
+        /// The duplicated name.
+        name: Name,
+    },
+}
+
+impl std::fmt::Display for NamingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NamingError::OutOfRange { name, n } => {
+                write!(f, "name {name} out of range for {n} nodes")
+            }
+            NamingError::Duplicate { name } => write!(f, "duplicate name {name}"),
+        }
+    }
+}
+
+impl std::error::Error for NamingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_roundtrip() {
+        let nm = Naming::identity(5);
+        for v in 0..5 {
+            assert_eq!(nm.name_of(v), v);
+            assert_eq!(nm.node_of(v), v);
+        }
+    }
+
+    #[test]
+    fn random_is_bijective_and_reproducible() {
+        let a = Naming::random(100, 7);
+        let b = Naming::random(100, 7);
+        assert_eq!(a, b);
+        let mut seen = vec![false; 100];
+        for v in 0..100 {
+            let nm = a.name_of(v);
+            assert!(!seen[nm as usize]);
+            seen[nm as usize] = true;
+            assert_eq!(a.node_of(nm), v);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Naming::random(50, 1);
+        let b = Naming::random(50, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn from_names_validates() {
+        assert!(Naming::from_names(vec![1, 0, 2]).is_ok());
+        assert_eq!(
+            Naming::from_names(vec![0, 0, 2]).unwrap_err(),
+            NamingError::Duplicate { name: 0 }
+        );
+        assert_eq!(
+            Naming::from_names(vec![0, 3, 1]).unwrap_err(),
+            NamingError::OutOfRange { name: 3, n: 3 }
+        );
+    }
+
+    #[test]
+    fn iter_yields_all_pairs() {
+        let nm = Naming::random(10, 3);
+        let pairs: Vec<_> = nm.iter().collect();
+        assert_eq!(pairs.len(), 10);
+        for (v, name) in pairs {
+            assert_eq!(nm.node_of(name), v);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! The two routing-scheme interfaces of the paper.
+//!
+//! *Labeled* (name-dependent) schemes assign each node a short routing label
+//! at preprocessing time; the source must know the destination's label.
+//! *Name-independent* schemes must deliver given only the destination's
+//! arbitrary original name (see [`crate::naming::Naming`]).
+//!
+//! Both traits take the [`MetricSpace`] explicitly on `route` so scheme
+//! structs own only their *tables* — the `Θ(n²)` metric is shared, and the
+//! accounting of per-node storage stays honest.
+
+use doubling_metric::graph::NodeId;
+use doubling_metric::space::MetricSpace;
+
+use crate::route::{Route, RouteError};
+
+/// A routing label assigned by a labeled scheme (`⌈log n⌉` bits for the
+/// schemes in this workspace).
+pub type Label = u32;
+
+/// An arbitrary original node name (assigned adversarially, `⌈log n⌉` bits).
+pub type Name = u32;
+
+/// A labeled (name-dependent) routing scheme.
+pub trait LabeledScheme {
+    /// Human-readable scheme name for tables.
+    fn scheme_name(&self) -> &'static str;
+
+    /// The label this scheme assigned to `v`.
+    fn label_of(&self, v: NodeId) -> Label;
+
+    /// The size of a routing label in bits.
+    fn label_bits(&self) -> u64;
+
+    /// Routing-table size at node `u`, in bits, per the [`crate::bits`]
+    /// conventions.
+    fn table_bits(&self, u: NodeId) -> u64;
+
+    /// Routes a packet from `src` to the node labeled `target`.
+    ///
+    /// # Errors
+    ///
+    /// Any error indicates a scheme bug; the paper's schemes always deliver.
+    fn route(&self, m: &MetricSpace, src: NodeId, target: Label) -> Result<Route, RouteError>;
+
+    /// Convenience: route to a node by id (looking up its label first).
+    fn route_to_node(
+        &self,
+        m: &MetricSpace,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Result<Route, RouteError> {
+        self.route(m, src, self.label_of(dst))
+    }
+}
+
+/// A name-independent routing scheme: must deliver given only the original
+/// (adversarial) name of the destination.
+pub trait NameIndependentScheme {
+    /// Human-readable scheme name for tables.
+    fn scheme_name(&self) -> &'static str;
+
+    /// Routing-table size at node `u`, in bits.
+    fn table_bits(&self, u: NodeId) -> u64;
+
+    /// Routes a packet from `src` to the node whose original name is
+    /// `name`.
+    ///
+    /// # Errors
+    ///
+    /// Any error indicates a scheme bug; the paper's schemes always deliver.
+    fn route(&self, m: &MetricSpace, src: NodeId, name: Name) -> Result<Route, RouteError>;
+}

@@ -1,0 +1,407 @@
+//! Evaluation harness: run a scheme over a sample of source–destination
+//! pairs and aggregate the quantities the paper's tables report.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use doubling_metric::graph::NodeId;
+use doubling_metric::space::MetricSpace;
+
+use crate::naming::Naming;
+use crate::scheme::{LabeledScheme, NameIndependentScheme};
+
+/// Aggregated measurements for one scheme on one graph.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct EvalResult {
+    /// Scheme display name.
+    pub scheme: &'static str,
+    /// Worst stretch over all routed pairs.
+    pub max_stretch: f64,
+    /// Mean stretch.
+    pub avg_stretch: f64,
+    /// Number of routed pairs.
+    pub routes: usize,
+    /// Number of failed routes (must be 0 for correct schemes).
+    pub failures: usize,
+    /// Largest per-node table, in bits.
+    pub max_table_bits: u64,
+    /// Mean per-node table, in bits.
+    pub avg_table_bits: f64,
+    /// Largest header observed on any hop of any route, in bits.
+    pub max_header_bits: u64,
+}
+
+impl EvalResult {
+    fn from_parts(
+        scheme: &'static str,
+        stretches: &[f64],
+        failures: usize,
+        tables: &[u64],
+        max_header_bits: u64,
+    ) -> Self {
+        let max_stretch = stretches.iter().cloned().fold(0.0f64, f64::max).max(1.0);
+        let avg_stretch = if stretches.is_empty() {
+            1.0
+        } else {
+            stretches.iter().sum::<f64>() / stretches.len() as f64
+        };
+        let max_table_bits = tables.iter().cloned().max().unwrap_or(0);
+        let avg_table_bits = if tables.is_empty() {
+            0.0
+        } else {
+            tables.iter().sum::<u64>() as f64 / tables.len() as f64
+        };
+        EvalResult {
+            scheme,
+            max_stretch,
+            avg_stretch,
+            routes: stretches.len(),
+            failures,
+            max_table_bits,
+            avg_table_bits,
+            max_header_bits,
+        }
+    }
+}
+
+/// Deterministic sample of `count` ordered pairs of distinct nodes.
+pub fn sample_pairs(n: usize, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    assert!(n >= 2, "need at least two nodes to sample pairs");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let u = rng.gen_range(0..n) as NodeId;
+            let mut v = rng.gen_range(0..n - 1) as NodeId;
+            if v >= u {
+                v += 1;
+            }
+            (u, v)
+        })
+        .collect()
+}
+
+/// All ordered pairs of distinct nodes (use only for small `n`).
+pub fn all_pairs(n: usize) -> Vec<(NodeId, NodeId)> {
+    let mut out = Vec::with_capacity(n * (n - 1));
+    for u in 0..n as NodeId {
+        for v in 0..n as NodeId {
+            if u != v {
+                out.push((u, v));
+            }
+        }
+    }
+    out
+}
+
+/// Evaluates a labeled scheme over the given pairs, verifying every route.
+///
+/// # Panics
+///
+/// Panics if a delivered route fails trace verification or ends at the
+/// wrong node — those are simulator-level invariants, not measurements.
+pub fn eval_labeled<S: LabeledScheme>(
+    scheme: &S,
+    m: &MetricSpace,
+    pairs: &[(NodeId, NodeId)],
+) -> EvalResult {
+    let mut stretches = Vec::with_capacity(pairs.len());
+    let mut failures = 0usize;
+    let mut max_header = 0u64;
+    for &(u, v) in pairs {
+        match scheme.route(m, u, scheme.label_of(v)) {
+            Ok(r) => {
+                assert_eq!(r.dst, v, "labeled route delivered to the wrong node");
+                r.verify(m).expect("route must verify");
+                max_header = max_header.max(r.max_header_bits);
+                stretches.push(r.stretch(m));
+            }
+            Err(_) => failures += 1,
+        }
+    }
+    let tables: Vec<u64> = (0..m.n() as NodeId).map(|u| scheme.table_bits(u)).collect();
+    EvalResult::from_parts(scheme.scheme_name(), &stretches, failures, &tables, max_header)
+}
+
+/// Evaluates a name-independent scheme over the given pairs under `naming`.
+///
+/// # Panics
+///
+/// Panics if a delivered route fails verification or ends at the wrong
+/// node.
+pub fn eval_name_independent<S: NameIndependentScheme>(
+    scheme: &S,
+    m: &MetricSpace,
+    naming: &Naming,
+    pairs: &[(NodeId, NodeId)],
+) -> EvalResult {
+    let mut stretches = Vec::with_capacity(pairs.len());
+    let mut failures = 0usize;
+    let mut max_header = 0u64;
+    for &(u, v) in pairs {
+        match scheme.route(m, u, naming.name_of(v)) {
+            Ok(r) => {
+                assert_eq!(r.dst, v, "name-independent route delivered to the wrong node");
+                r.verify(m).expect("route must verify");
+                max_header = max_header.max(r.max_header_bits);
+                stretches.push(r.stretch(m));
+            }
+            Err(_) => failures += 1,
+        }
+    }
+    let tables: Vec<u64> = (0..m.n() as NodeId).map(|u| scheme.table_bits(u)).collect();
+    EvalResult::from_parts(scheme.scheme_name(), &stretches, failures, &tables, max_header)
+}
+
+/// Stretch quantiles over a set of routed pairs — the measurement behind
+/// the paper's concluding open question (can relaxing the guarantee for a
+/// small fraction of pairs buy better stretch?): the distribution shows
+/// how far below the worst case typical routes sit.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct StretchQuantiles {
+    /// Median stretch.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl StretchQuantiles {
+    /// Computes quantiles from raw stretch values (empty input yields all
+    /// 1.0).
+    pub fn from_stretches(stretches: &[f64]) -> Self {
+        if stretches.is_empty() {
+            return StretchQuantiles { p50: 1.0, p90: 1.0, p99: 1.0, max: 1.0 };
+        }
+        let mut s = stretches.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("stretches are finite"));
+        let at = |q: f64| s[((s.len() - 1) as f64 * q).round() as usize];
+        StretchQuantiles { p50: at(0.50), p90: at(0.90), p99: at(0.99), max: *s.last().unwrap() }
+    }
+}
+
+/// Routes all pairs with a name-independent scheme and returns the raw
+/// stretch values (for quantile analysis).
+///
+/// # Panics
+///
+/// Panics if any route fails, misdelivers, or does not verify.
+pub fn stretch_samples_ni<S: NameIndependentScheme>(
+    scheme: &S,
+    m: &MetricSpace,
+    naming: &Naming,
+    pairs: &[(NodeId, NodeId)],
+) -> Vec<f64> {
+    pairs
+        .iter()
+        .map(|&(u, v)| {
+            let r = scheme.route(m, u, naming.name_of(v)).expect("route must deliver");
+            assert_eq!(r.dst, v);
+            r.stretch(m)
+        })
+        .collect()
+}
+
+/// Parallel variant of [`eval_labeled`]: splits the pairs across
+/// `threads` OS threads (schemes route through `&self`, so any `Sync`
+/// scheme works). Results are identical to the serial version.
+pub fn eval_labeled_par<S: LabeledScheme + Sync>(
+    scheme: &S,
+    m: &MetricSpace,
+    pairs: &[(NodeId, NodeId)],
+    threads: usize,
+) -> EvalResult {
+    let threads = threads.max(1).min(pairs.len().max(1));
+    let chunk = pairs.len().div_ceil(threads);
+    let partials: Vec<(Vec<f64>, usize, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = pairs
+            .chunks(chunk.max(1))
+            .map(|slice| {
+                s.spawn(move || {
+                    let mut stretches = Vec::with_capacity(slice.len());
+                    let mut failures = 0usize;
+                    let mut max_header = 0u64;
+                    for &(u, v) in slice {
+                        match scheme.route(m, u, scheme.label_of(v)) {
+                            Ok(r) => {
+                                assert_eq!(r.dst, v);
+                                r.verify(m).expect("route must verify");
+                                max_header = max_header.max(r.max_header_bits);
+                                stretches.push(r.stretch(m));
+                            }
+                            Err(_) => failures += 1,
+                        }
+                    }
+                    (stretches, failures, max_header)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    let mut stretches = Vec::with_capacity(pairs.len());
+    let mut failures = 0;
+    let mut max_header = 0;
+    for (s, f, h) in partials {
+        stretches.extend(s);
+        failures += f;
+        max_header = max_header.max(h);
+    }
+    let tables: Vec<u64> = (0..m.n() as NodeId).map(|u| scheme.table_bits(u)).collect();
+    EvalResult::from_parts(scheme.scheme_name(), &stretches, failures, &tables, max_header)
+}
+
+/// Parallel variant of [`eval_name_independent`].
+pub fn eval_name_independent_par<S: NameIndependentScheme + Sync>(
+    scheme: &S,
+    m: &MetricSpace,
+    naming: &Naming,
+    pairs: &[(NodeId, NodeId)],
+    threads: usize,
+) -> EvalResult {
+    let threads = threads.max(1).min(pairs.len().max(1));
+    let chunk = pairs.len().div_ceil(threads);
+    let partials: Vec<(Vec<f64>, usize, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = pairs
+            .chunks(chunk.max(1))
+            .map(|slice| {
+                s.spawn(move || {
+                    let mut stretches = Vec::with_capacity(slice.len());
+                    let mut failures = 0usize;
+                    let mut max_header = 0u64;
+                    for &(u, v) in slice {
+                        match scheme.route(m, u, naming.name_of(v)) {
+                            Ok(r) => {
+                                assert_eq!(r.dst, v);
+                                r.verify(m).expect("route must verify");
+                                max_header = max_header.max(r.max_header_bits);
+                                stretches.push(r.stretch(m));
+                            }
+                            Err(_) => failures += 1,
+                        }
+                    }
+                    (stretches, failures, max_header)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    let mut stretches = Vec::with_capacity(pairs.len());
+    let mut failures = 0;
+    let mut max_header = 0;
+    for (s, f, h) in partials {
+        stretches.extend(s);
+        failures += f;
+        max_header = max_header.max(h);
+    }
+    let tables: Vec<u64> = (0..m.n() as NodeId).map(|u| scheme.table_bits(u)).collect();
+    EvalResult::from_parts(scheme.scheme_name(), &stretches, failures, &tables, max_header)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::FullTable;
+    use doubling_metric::gen;
+
+    #[test]
+    fn sample_pairs_distinct_and_reproducible() {
+        let a = sample_pairs(10, 50, 3);
+        let b = sample_pairs(10, 50, 3);
+        assert_eq!(a, b);
+        for &(u, v) in &a {
+            assert_ne!(u, v);
+            assert!((u as usize) < 10 && (v as usize) < 10);
+        }
+    }
+
+    #[test]
+    fn all_pairs_count() {
+        assert_eq!(all_pairs(5).len(), 20);
+    }
+
+    #[test]
+    fn baseline_eval_has_unit_stretch() {
+        let m = MetricSpace::new(&gen::grid(5, 5));
+        let s = FullTable::new(&m);
+        let res = eval_labeled(&s, &m, &all_pairs(25));
+        assert_eq!(res.failures, 0);
+        assert_eq!(res.routes, 600);
+        assert!((res.max_stretch - 1.0).abs() < 1e-12);
+        assert!((res.avg_stretch - 1.0).abs() < 1e-12);
+        assert!(res.max_table_bits > 0);
+    }
+
+    #[test]
+    fn baseline_eval_name_independent() {
+        let m = MetricSpace::new(&gen::grid(4, 4));
+        let nm = Naming::random(16, 5);
+        let s = FullTable::with_naming(&m, nm.clone());
+        let res = eval_name_independent(&s, &m, &nm, &sample_pairs(16, 40, 1));
+        assert_eq!(res.failures, 0);
+        assert!((res.max_stretch - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_eval_matches_serial() {
+        let m = MetricSpace::new(&gen::grid(6, 6));
+        let s = FullTable::new(&m);
+        let pairs = sample_pairs(36, 120, 2);
+        let serial = eval_labeled(&s, &m, &pairs);
+        for threads in [1usize, 2, 4, 7] {
+            let par = eval_labeled_par(&s, &m, &pairs, threads);
+            assert_eq!(par.routes, serial.routes);
+            assert!((par.max_stretch - serial.max_stretch).abs() < 1e-12);
+            assert!((par.avg_stretch - serial.avg_stretch).abs() < 1e-9);
+            assert_eq!(par.max_table_bits, serial.max_table_bits);
+            assert_eq!(par.max_header_bits, serial.max_header_bits);
+        }
+    }
+
+    #[test]
+    fn parallel_ni_eval_matches_serial() {
+        let m = MetricSpace::new(&gen::grid(5, 5));
+        let nm = Naming::random(25, 3);
+        let s = FullTable::with_naming(&m, nm.clone());
+        let pairs = sample_pairs(25, 80, 4);
+        let serial = eval_name_independent(&s, &m, &nm, &pairs);
+        let par = eval_name_independent_par(&s, &m, &nm, &pairs, 3);
+        assert_eq!(par.routes, serial.routes);
+        assert!((par.avg_stretch - serial.avg_stretch).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_eval_handles_more_threads_than_pairs() {
+        let m = MetricSpace::new(&gen::grid(3, 3));
+        let s = FullTable::new(&m);
+        let pairs = sample_pairs(9, 3, 5);
+        let par = eval_labeled_par(&s, &m, &pairs, 64);
+        assert_eq!(par.routes, 3);
+    }
+
+    #[test]
+    fn quantiles_of_known_distribution() {
+        let stretches: Vec<f64> = (1..=100).map(|k| k as f64).collect();
+        let q = StretchQuantiles::from_stretches(&stretches);
+        assert_eq!(q.p50, 51.0);
+        assert_eq!(q.p90, 90.0);
+        assert_eq!(q.p99, 99.0);
+        assert_eq!(q.max, 100.0);
+        let empty = StretchQuantiles::from_stretches(&[]);
+        assert_eq!(empty.max, 1.0);
+    }
+
+    #[test]
+    fn stretch_samples_match_eval() {
+        let m = MetricSpace::new(&gen::grid(4, 4));
+        let nm = Naming::random(16, 5);
+        let s = FullTable::with_naming(&m, nm.clone());
+        let pairs = sample_pairs(16, 30, 1);
+        let samples = stretch_samples_ni(&s, &m, &nm, &pairs);
+        assert_eq!(samples.len(), 30);
+        assert!(samples.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+    }
+}

@@ -1,0 +1,58 @@
+//! Persistence: graphs, namings and results serialize with serde (feature
+//! "serde"), enabling experiment inputs/outputs to be saved and reloaded.
+#![cfg(feature = "serde")]
+
+use doubling_metric::{gen, Graph, MetricSpace};
+use netsim::baseline::FullTable;
+use netsim::scheme::LabeledScheme;
+use netsim::stats::{eval_labeled, sample_pairs, StretchQuantiles};
+use netsim::Naming;
+
+#[test]
+fn graph_roundtrips_through_json() {
+    let g = gen::random_geometric(30, 300, 5);
+    let json = serde_json::to_string(&g).unwrap();
+    let back: Graph = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.node_count(), g.node_count());
+    assert_eq!(back.edge_count(), g.edge_count());
+    let e1: Vec<_> = g.edges().collect();
+    let e2: Vec<_> = back.edges().collect();
+    assert_eq!(e1, e2);
+    // The reloaded graph produces the identical metric.
+    let m1 = MetricSpace::new(&g);
+    let m2 = MetricSpace::new(&back);
+    for u in 0..30u32 {
+        for v in 0..30u32 {
+            assert_eq!(m1.dist(u, v), m2.dist(u, v));
+        }
+    }
+}
+
+#[test]
+fn naming_roundtrips_through_json() {
+    let nm = Naming::random(40, 9);
+    let json = serde_json::to_string(&nm).unwrap();
+    let back: Naming = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, nm);
+}
+
+#[test]
+fn results_serialize() {
+    let m = MetricSpace::new(&gen::grid(4, 4));
+    let s = FullTable::new(&m);
+    let res = eval_labeled(&s, &m, &sample_pairs(16, 20, 1));
+    let json = serde_json::to_string(&res).unwrap();
+    assert!(json.contains("\"max_stretch\":1.0"));
+    let q = StretchQuantiles::from_stretches(&[1.0, 2.0, 3.0]);
+    let json = serde_json::to_string(&q).unwrap();
+    assert!(json.contains("\"p50\":2.0"));
+}
+
+#[test]
+fn routes_serialize() {
+    let m = MetricSpace::new(&gen::path(4));
+    let s = FullTable::new(&m);
+    let r = s.route(&m, 0, 3).unwrap();
+    let json = serde_json::to_string(&r).unwrap();
+    assert!(json.contains("\"hops\":[0,1,2,3]"));
+}

@@ -1,0 +1,220 @@
+//! DFS interval routing on trees.
+//!
+//! Labels are DFS numbers (`⌈log n⌉` bits). Each node stores its own DFS
+//! interval, its parent, and the interval of each child; the next hop is
+//! found by a range test. Storage is `O(deg · log n)` bits per node, which
+//! is compact exactly when degrees are bounded — the situation inside the
+//! paper's search trees, whose degrees are `(1/ε)^{O(α)}` by Lemma 2.2.
+
+use doubling_metric::graph::NodeId;
+
+use crate::tree::Tree;
+
+/// Interval routing tables over a [`Tree`].
+#[derive(Debug, Clone)]
+pub struct IntervalRouter {
+    tree: Tree,
+    /// DFS entry number per local index.
+    dfs: Vec<u32>,
+    /// Inclusive DFS interval (entry, max-descendant-entry) per local index.
+    interval: Vec<(u32, u32)>,
+    /// Local index in DFS-number order (inverse of `dfs`).
+    by_dfs: Vec<u32>,
+}
+
+impl IntervalRouter {
+    /// Builds the router (children visited in graph-id order).
+    pub fn new(tree: Tree) -> Self {
+        let n = tree.len();
+        let mut dfs = vec![0u32; n];
+        let mut interval = vec![(0u32, 0u32); n];
+        let mut by_dfs = vec![0u32; n];
+        let mut counter = 0u32;
+        // Iterative DFS with post-processing for intervals.
+        enum Frame {
+            Enter(u32),
+            Exit(u32),
+        }
+        let mut stack = vec![Frame::Enter(0)];
+        while let Some(f) = stack.pop() {
+            match f {
+                Frame::Enter(u) => {
+                    dfs[u as usize] = counter;
+                    by_dfs[counter as usize] = u;
+                    counter += 1;
+                    stack.push(Frame::Exit(u));
+                    for &c in tree.children(u).iter().rev() {
+                        stack.push(Frame::Enter(c));
+                    }
+                }
+                Frame::Exit(u) => {
+                    let mut hi = dfs[u as usize];
+                    for &c in tree.children(u) {
+                        hi = hi.max(interval[c as usize].1);
+                    }
+                    interval[u as usize] = (dfs[u as usize], hi);
+                }
+            }
+        }
+        IntervalRouter { tree, dfs, interval, by_dfs }
+    }
+
+    /// The underlying tree.
+    #[inline]
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// The routing label (DFS number) of graph node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not in the tree.
+    pub fn label_of(&self, v: NodeId) -> u32 {
+        self.dfs[self.tree.local(v).expect("node in tree") as usize]
+    }
+
+    /// The graph node with DFS number `l`.
+    pub fn node_of_label(&self, l: u32) -> NodeId {
+        self.tree.node(self.by_dfs[l as usize])
+    }
+
+    /// Next hop (as a graph node) from `from` toward the node labeled
+    /// `target`, or `None` if `from` is the target.
+    ///
+    /// The decision uses only `from`'s stored intervals — this is the
+    /// per-hop forwarding function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not in the tree or `target` is out of range.
+    pub fn next_hop(&self, from: NodeId, target: u32) -> Option<NodeId> {
+        let u = self.tree.local(from).expect("node in tree");
+        if self.dfs[u as usize] == target {
+            return None;
+        }
+        let (lo, hi) = self.interval[u as usize];
+        if target < lo || target > hi {
+            return Some(self.tree.node(self.tree.parent(u)));
+        }
+        // Child whose interval contains the target: children's intervals
+        // are disjoint; scan (bounded degree) — a binary search would also
+        // work since DFS-order children have sorted intervals.
+        for &c in self.tree.children(u) {
+            let (clo, chi) = self.interval[c as usize];
+            if clo <= target && target <= chi {
+                return Some(self.tree.node(c));
+            }
+        }
+        unreachable!("target inside own interval must be in some child subtree")
+    }
+
+    /// Full hop-by-hop route from `from` to the node labeled `target`,
+    /// as a sequence of graph nodes (inclusive).
+    pub fn route(&self, from: NodeId, target: u32) -> Vec<NodeId> {
+        let mut path = vec![from];
+        let mut cur = from;
+        while let Some(next) = self.next_hop(cur, target) {
+            path.push(next);
+            cur = next;
+        }
+        path
+    }
+
+    /// Table bits at graph node `v`: own interval + parent + per-child
+    /// `(child, interval)` entries, fields of `node_bits` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not in the tree.
+    pub fn table_bits(&self, v: NodeId, node_bits: u64) -> u64 {
+        let u = self.tree.local(v).expect("node in tree");
+        let deg = self.tree.children(u).len() as u64;
+        // own (lo, hi) + parent id + children: id + (lo, hi) each.
+        (2 + 1) * node_bits + deg * 3 * node_bits
+    }
+
+    /// Label size in bits.
+    pub fn label_bits(&self, node_bits: u64) -> u64 {
+        node_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Tree;
+
+    fn sample() -> IntervalRouter {
+        IntervalRouter::new(
+            Tree::new(
+                10,
+                vec![(20, 10, 1), (30, 10, 2), (40, 20, 3), (50, 20, 4), (60, 30, 5)],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn labels_are_dfs_numbers() {
+        let r = sample();
+        assert_eq!(r.label_of(10), 0);
+        // Children in id order: 20 before 30.
+        assert_eq!(r.label_of(20), 1);
+        assert_eq!(r.label_of(40), 2);
+        assert_eq!(r.label_of(50), 3);
+        assert_eq!(r.label_of(30), 4);
+        assert_eq!(r.label_of(60), 5);
+        for v in [10, 20, 30, 40, 50, 60] {
+            assert_eq!(r.node_of_label(r.label_of(v)), v);
+        }
+    }
+
+    #[test]
+    fn routes_match_tree_paths() {
+        let r = sample();
+        let nodes = [10, 20, 30, 40, 50, 60];
+        for &a in &nodes {
+            for &b in &nodes {
+                let route = r.route(a, r.label_of(b));
+                assert_eq!(route, r.tree().path(a, b), "route {a} -> {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn next_hop_none_at_target() {
+        let r = sample();
+        assert_eq!(r.next_hop(40, r.label_of(40)), None);
+    }
+
+    #[test]
+    fn table_bits_scale_with_degree() {
+        let r = sample();
+        assert!(r.table_bits(10, 8) > r.table_bits(60, 8));
+        assert_eq!(r.label_bits(8), 8);
+    }
+
+    #[test]
+    fn random_tree_routing_is_optimal() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..20 {
+            let n = rng.gen_range(2..60);
+            let mut edges = Vec::new();
+            for c in 1..n {
+                let p = rng.gen_range(0..c);
+                edges.push((c as NodeId, p as NodeId, rng.gen_range(1..10u64)));
+            }
+            let tree = Tree::new(0, edges).unwrap();
+            let r = IntervalRouter::new(tree);
+            for a in 0..n as NodeId {
+                for b in 0..n as NodeId {
+                    let route = r.route(a, r.label_of(b));
+                    assert_eq!(route, r.tree().path(a, b), "trial {trial}: {a}->{b}");
+                }
+            }
+        }
+    }
+}

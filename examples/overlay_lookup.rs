@@ -1,0 +1,71 @@
+//! Overlay lookup: the DHT-style workload the paper's introduction
+//! motivates — nodes carry application-assigned identifiers (keys), and
+//! lookups must reach a key's holder without any central directory,
+//! paying only a constant factor over the direct path.
+//!
+//! We place nodes in the plane (a wireless-mesh-like random geometric
+//! graph), hash keys to node names, and issue lookups from random
+//! sources. The name-independent scheme resolves each lookup with
+//! bounded stretch; a full-table baseline shows the optimum.
+//!
+//! Run with: `cargo run --example overlay_lookup`
+
+use compact_routing::netsim::baseline::FullTable;
+use compact_routing::{gen, Eps, MetricSpace, Naming};
+use compact_routing::{NameIndependentScheme, SimpleNameIndependent};
+
+fn main() {
+    let n = 120;
+    let graph = gen::random_geometric(n, 180, 7);
+    let metric = MetricSpace::new(&graph);
+    println!(
+        "mesh: {} nodes, {} links, diameter {}",
+        graph.node_count(),
+        graph.edge_count(),
+        metric.diameter()
+    );
+
+    // Keys are hashed to names uniformly — the scheme has no say.
+    let naming = Naming::random(metric.n(), 99);
+    let eps = Eps::one_over(8);
+    let overlay =
+        SimpleNameIndependent::new(&metric, eps, naming.clone()).expect("ε ≤ 1/2");
+    let oracle = FullTable::with_naming(&metric, naming.clone());
+
+    // Issue lookups: every 7th node queries 5 keys.
+    let mut histogram = [0usize; 10]; // stretch buckets [1,2), [2,3), ...
+    let mut total = 0usize;
+    let mut worst: f64 = 1.0;
+    let mut sum = 0.0;
+    for src in (0..metric.n() as u32).step_by(7) {
+        for k in 0..5u32 {
+            let key = (src * 31 + k * 17 + 3) % metric.n() as u32;
+            let route = overlay.route(&metric, src, key).expect("lookup resolves");
+            let opt = NameIndependentScheme::route(&oracle, &metric, src, key)
+                .expect("oracle resolves");
+            assert_eq!(route.dst, opt.dst, "both must reach the key holder");
+            let stretch = route.stretch(&metric);
+            worst = worst.max(stretch);
+            sum += stretch;
+            let bucket = ((stretch - 1.0).floor() as usize).min(9);
+            histogram[bucket] += 1;
+            total += 1;
+        }
+    }
+
+    println!("\n{total} lookups resolved; avg stretch {:.2}, worst {:.2}", sum / total as f64, worst);
+    println!("stretch histogram:");
+    for (b, &count) in histogram.iter().enumerate() {
+        if count > 0 {
+            println!(
+                "  [{},{}):{}{}",
+                b + 1,
+                b + 2,
+                " ".repeat(1),
+                "#".repeat(count * 60 / total)
+            );
+        }
+    }
+    println!("\nthe 9+O(eps) guarantee holds for the worst key placement; typical");
+    println!("lookups resolve much closer to the optimum.");
+}

@@ -1,0 +1,61 @@
+//! Side-by-side comparison of all four schemes plus the full-table
+//! baseline on two contrasting networks: a polynomial-diameter grid and
+//! an exponential-diameter weighted path (the scale-free regime).
+//!
+//! Run with: `cargo run --example scheme_comparison`
+
+use compact_routing::netsim::baseline::FullTable;
+use compact_routing::netsim::stats::{eval_labeled, eval_name_independent, sample_pairs};
+use compact_routing::{gen, Eps, MetricSpace, Naming};
+use compact_routing::{
+    NetLabeled, ScaleFreeLabeled, ScaleFreeNameIndependent, SimpleNameIndependent,
+};
+
+fn main() {
+    let eps = Eps::one_over(8);
+    for (name, graph) in [
+        ("grid 12x12 (Δ = poly n)", gen::grid(12, 12)),
+        ("exp-path 40 (Δ = 2^n)", gen::exp_weight_path(40)),
+    ] {
+        let metric = MetricSpace::new(&graph);
+        let naming = Naming::random(metric.n(), 5);
+        let pairs = sample_pairs(metric.n(), 300, 11);
+        println!(
+            "\n=== {name}: n={}, log2(Δ)≈{:.0} ===",
+            metric.n(),
+            (metric.diameter() as f64 / metric.min_dist() as f64).log2()
+        );
+        println!(
+            "{:<28} {:>11} {:>11} {:>14} {:>10}",
+            "scheme", "max-stretch", "avg-stretch", "max-table(b)", "header(b)"
+        );
+
+        let show = |scheme: &str, max_s: f64, avg_s: f64, table: u64, header: u64| {
+            println!("{scheme:<28} {max_s:>11.2} {avg_s:>11.2} {table:>14} {header:>10}");
+        };
+
+        let nl = NetLabeled::new(&metric, eps).unwrap();
+        let r = eval_labeled(&nl, &metric, &pairs);
+        show(r.scheme, r.max_stretch, r.avg_stretch, r.max_table_bits, r.max_header_bits);
+
+        let sfl = ScaleFreeLabeled::new(&metric, eps).unwrap();
+        let r = eval_labeled(&sfl, &metric, &pairs);
+        show(r.scheme, r.max_stretch, r.avg_stretch, r.max_table_bits, r.max_header_bits);
+
+        let sni = SimpleNameIndependent::new(&metric, eps, naming.clone()).unwrap();
+        let r = eval_name_independent(&sni, &metric, &naming, &pairs);
+        show(r.scheme, r.max_stretch, r.avg_stretch, r.max_table_bits, r.max_header_bits);
+
+        let sfni = ScaleFreeNameIndependent::new(&metric, eps, naming.clone()).unwrap();
+        let r = eval_name_independent(&sfni, &metric, &naming, &pairs);
+        show(r.scheme, r.max_stretch, r.avg_stretch, r.max_table_bits, r.max_header_bits);
+
+        let full = FullTable::with_naming(&metric, naming.clone());
+        let r = eval_name_independent(&full, &metric, &naming, &pairs);
+        show("full-table (baseline)", r.max_stretch, r.avg_stretch, r.max_table_bits, r.max_header_bits);
+    }
+
+    println!("\nreading guide: labeled schemes hit 1+O(eps); name-independent hit");
+    println!("9+O(eps) (optimal, Theorem 1.3); on the exp-path the scale-free");
+    println!("schemes' tables stay flat while the log Δ schemes blow up.");
+}

@@ -1,0 +1,61 @@
+//! # compact-routing
+//!
+//! A full reproduction of *"Compact Routing Schemes in Networks of Low
+//! Doubling Dimension"* (Konjevod, Richa, Xia — combining PODC 2006's
+//! "Optimal-stretch name-independent compact routing in doubling metrics"
+//! and SODA 2007's "Optimal scale-free compact routing schemes in doubling
+//! networks").
+//!
+//! The workspace implements, from scratch:
+//!
+//! * the exact-arithmetic metric substrate ([`metric`]): graphs, shortest
+//!   paths, `r`-net hierarchies, netting trees, ball packings, doubling
+//!   estimation, graph generators;
+//! * a routing simulator ([`netsim`]) with verified hop-by-hop traces and
+//!   bit-exact table/header accounting;
+//! * compact tree routing ([`treeroute`], Lemma 4.1) and metric-ball
+//!   search trees ([`searchtree`], Definitions 3.2/4.2, Algorithms 1–2);
+//! * the labeled schemes ([`labeled`]): the non-scale-free net-hierarchy
+//!   scheme (Lemma 3.1's role) and **Theorem 1.2**'s scale-free scheme;
+//! * the name-independent schemes ([`nameind`]): **Theorem 1.4**'s simpler
+//!   scheme and **Theorem 1.1**'s scale-free scheme — `(9+O(ε))`-stretch,
+//!   which is optimal;
+//! * the matching lower bound ([`lowerbound`], **Theorem 1.3**): the
+//!   Figure-3 tree, the congruent-naming counting lemmas, and the
+//!   adversarial search game.
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use compact_routing::{gen, Eps, MetricSpace, Naming};
+//! use compact_routing::{NameIndependentScheme, ScaleFreeNameIndependent};
+//!
+//! // A 8×8 grid; names are assigned adversarially (here: a random
+//! // permutation the scheme has no control over).
+//! let graph = gen::grid(8, 8);
+//! let metric = MetricSpace::new(&graph);
+//! let naming = Naming::random(metric.n(), 42);
+//!
+//! // Preprocess Theorem 1.1's scheme with ε = 1/8.
+//! let scheme = ScaleFreeNameIndependent::new(&metric, Eps::one_over(8), naming.clone())
+//!     .expect("ε ≤ 1/4");
+//!
+//! // Route from node 0 to the node *named* 17, wherever it lives.
+//! let route = scheme.route(&metric, 0, 17).expect("always delivers");
+//! assert_eq!(route.dst, naming.node_of(17));
+//! assert!(route.stretch(&metric) <= 9.0 + 8.0); // 9 + O(ε) envelope
+//! ```
+
+pub use doubling_metric as metric;
+pub use labeled_routing as labeled;
+pub use lowerbound;
+pub use name_independent as nameind;
+pub use netsim;
+pub use searchtree;
+pub use treeroute;
+
+// Convenience re-exports of the main types.
+pub use doubling_metric::{gen, Eps, Graph, MetricSpace};
+pub use labeled_routing::{NetLabeled, ScaleFreeLabeled, SchemeError};
+pub use name_independent::{ScaleFreeNameIndependent, SimpleNameIndependent};
+pub use netsim::{Label, LabeledScheme, Name, NameIndependentScheme, Naming, Route};

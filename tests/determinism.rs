@@ -1,0 +1,85 @@
+//! Determinism: the entire stack — generators, metric, hierarchies,
+//! schemes, routes — must be a pure function of its inputs. Two
+//! independent constructions must agree bit for bit; this is what makes
+//! every number in EXPERIMENTS.md reproducible.
+
+use compact_routing::{gen, Eps, MetricSpace, Naming};
+use compact_routing::{
+    LabeledScheme, NameIndependentScheme, ScaleFreeLabeled, ScaleFreeNameIndependent,
+};
+
+#[test]
+fn metric_and_hierarchy_are_deterministic() {
+    let g1 = gen::random_geometric(60, 240, 77);
+    let g2 = gen::random_geometric(60, 240, 77);
+    let m1 = MetricSpace::new(&g1);
+    let m2 = MetricSpace::new(&g2);
+    assert_eq!(m1.n(), m2.n());
+    for u in 0..m1.n() as u32 {
+        for v in 0..m1.n() as u32 {
+            assert_eq!(m1.dist(u, v), m2.dist(u, v));
+            assert_eq!(m1.next_hop(u, v), m2.next_hop(u, v));
+        }
+    }
+    use compact_routing::metric::nets::NetHierarchy;
+    let h1 = NetHierarchy::new(&m1);
+    let h2 = NetHierarchy::new(&m2);
+    for i in 0..h1.num_levels() {
+        assert_eq!(h1.level(i), h2.level(i));
+    }
+    for u in 0..m1.n() as u32 {
+        assert_eq!(h1.label(u), h2.label(u));
+        assert_eq!(h1.zoom_seq(u), h2.zoom_seq(u));
+    }
+}
+
+#[test]
+fn labeled_routes_are_bitwise_identical() {
+    let g = gen::grid(7, 7);
+    let m = MetricSpace::new(&g);
+    let s1 = ScaleFreeLabeled::new(&m, Eps::one_over(8)).unwrap();
+    let s2 = ScaleFreeLabeled::new(&m, Eps::one_over(8)).unwrap();
+    for u in 0..49u32 {
+        for v in 0..49u32 {
+            assert_eq!(s1.label_of(v), s2.label_of(v));
+            let r1 = s1.route(&m, u, s1.label_of(v)).unwrap();
+            let r2 = s2.route(&m, u, s2.label_of(v)).unwrap();
+            assert_eq!(r1.hops, r2.hops, "routes must be identical for {u}->{v}");
+            assert_eq!(r1.cost, r2.cost);
+            assert_eq!(r1.max_header_bits, r2.max_header_bits);
+        }
+    }
+    for u in 0..49u32 {
+        assert_eq!(s1.table_bits(u), s2.table_bits(u));
+    }
+}
+
+#[test]
+fn name_independent_routes_are_bitwise_identical() {
+    let g = gen::spider(5, 5);
+    let m = MetricSpace::new(&g);
+    let naming = Naming::random(m.n(), 9);
+    let s1 = ScaleFreeNameIndependent::new(&m, Eps::one_over(8), naming.clone()).unwrap();
+    let s2 = ScaleFreeNameIndependent::new(&m, Eps::one_over(8), naming.clone()).unwrap();
+    for u in 0..m.n() as u32 {
+        for v in 0..m.n() as u32 {
+            let r1 = s1.route(&m, u, naming.name_of(v)).unwrap();
+            let r2 = s2.route(&m, u, naming.name_of(v)).unwrap();
+            assert_eq!(r1.hops, r2.hops);
+        }
+    }
+}
+
+#[test]
+fn route_describe_is_informative() {
+    let g = gen::grid(6, 6);
+    let m = MetricSpace::new(&g);
+    let naming = Naming::random(36, 2);
+    let s = compact_routing::SimpleNameIndependent::new(&m, Eps::one_over(8), naming.clone())
+        .unwrap();
+    let r = s.route(&m, 0, naming.name_of(35)).unwrap();
+    let text = r.describe(&m);
+    assert!(text.contains("route 0 -> 35"));
+    assert!(text.contains("stretch"));
+    assert!(text.contains("final"), "segment names must appear: {text}");
+}

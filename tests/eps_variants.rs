@@ -1,0 +1,90 @@
+//! Non-unit-fraction ε values (2/7, 3/16, 5/32, …) exercise every exact
+//! cross-multiplied comparison in the stack; all schemes must keep their
+//! guarantees for any rational ε in range.
+
+use compact_routing::netsim::stats::{eval_labeled, eval_name_independent, sample_pairs};
+use compact_routing::{gen, Eps, MetricSpace, Naming};
+use compact_routing::{
+    LabeledScheme, NameIndependentScheme, NetLabeled, ScaleFreeLabeled,
+    ScaleFreeNameIndependent, SimpleNameIndependent,
+};
+
+#[test]
+fn labeled_schemes_accept_rational_eps() {
+    let m = MetricSpace::new(&gen::grid(7, 7));
+    let pairs = sample_pairs(m.n(), 150, 3);
+    for (num, den) in [(2u64, 7u64), (3, 16), (5, 32), (1, 3), (7, 64)] {
+        let eps = Eps::new(num, den).unwrap();
+        let nl = NetLabeled::new(&m, eps).unwrap();
+        let r = eval_labeled(&nl, &m, &pairs);
+        assert_eq!(r.failures, 0, "net-labeled at eps {eps}");
+        assert!(r.max_stretch <= 3.0, "stretch {} at eps {eps}", r.max_stretch);
+
+        if eps.mul_le(4, 1) {
+            // ε ≤ 1/4: the scale-free scheme accepts it.
+            let sf = ScaleFreeLabeled::new(&m, eps).unwrap();
+            let r = eval_labeled(&sf, &m, &pairs);
+            assert_eq!(r.failures, 0, "scale-free-labeled at eps {eps}");
+            assert!(r.max_stretch <= 3.0);
+        }
+    }
+}
+
+#[test]
+fn name_independent_schemes_accept_rational_eps() {
+    let m = MetricSpace::new(&gen::random_geometric(60, 240, 9));
+    let naming = Naming::random(m.n(), 13);
+    let pairs = sample_pairs(m.n(), 120, 4);
+    for (num, den) in [(2u64, 9u64), (3, 16), (1, 5)] {
+        let eps = Eps::new(num, den).unwrap();
+        let si = SimpleNameIndependent::new(&m, eps, naming.clone()).unwrap();
+        let r = eval_name_independent(&si, &m, &naming, &pairs);
+        assert_eq!(r.failures, 0, "simple NI at eps {eps}");
+        assert!(
+            r.max_stretch <= name_independent::stretch_envelope(eps),
+            "stretch {} at eps {eps}",
+            r.max_stretch
+        );
+
+        if eps.mul_le(4, 1) {
+            let sf = ScaleFreeNameIndependent::new(&m, eps, naming.clone()).unwrap();
+            let r = eval_name_independent(&sf, &m, &naming, &pairs);
+            assert_eq!(r.failures, 0, "scale-free NI at eps {eps}");
+        }
+    }
+}
+
+#[test]
+fn boundary_eps_values() {
+    let m = MetricSpace::new(&gen::grid(5, 5));
+    // Exactly ε = 1/2: accepted by the non-scale-free pair.
+    assert!(NetLabeled::new(&m, Eps::one_over(2)).is_ok());
+    assert!(SimpleNameIndependent::new(&m, Eps::one_over(2), Naming::identity(25)).is_ok());
+    // Exactly ε = 1/4: accepted by the scale-free pair.
+    assert!(ScaleFreeLabeled::new(&m, Eps::one_over(4)).is_ok());
+    // Just above the bounds: rejected.
+    assert!(NetLabeled::new(&m, Eps::new(33, 64).unwrap()).is_err());
+    assert!(ScaleFreeLabeled::new(&m, Eps::new(17, 64).unwrap()).is_err());
+}
+
+#[test]
+fn tiny_graphs_with_all_schemes() {
+    // n = 2 and n = 3: degenerate hierarchies must still work.
+    for g in [gen::path(2), gen::path(3), gen::ring(3)] {
+        let m = MetricSpace::new(&g);
+        let naming = Naming::identity(m.n());
+        let eps = Eps::one_over(8);
+        let nl = NetLabeled::new(&m, eps).unwrap();
+        let sf = ScaleFreeLabeled::new(&m, eps).unwrap();
+        let si = SimpleNameIndependent::new(&m, eps, naming.clone()).unwrap();
+        let sn = ScaleFreeNameIndependent::new(&m, eps, naming.clone()).unwrap();
+        for u in 0..m.n() as u32 {
+            for v in 0..m.n() as u32 {
+                assert_eq!(nl.route(&m, u, nl.label_of(v)).unwrap().dst, v);
+                assert_eq!(sf.route(&m, u, sf.label_of(v)).unwrap().dst, v);
+                assert_eq!(si.route(&m, u, v).unwrap().dst, v);
+                assert_eq!(sn.route(&m, u, v).unwrap().dst, v);
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Cross-crate integration of the lower bound with the upper bounds: our
+//! compact schemes run on the Theorem 1.3 construction, and the measured
+//! quantities sit where the theory says they must.
+
+use compact_routing::lowerbound::{game, LbParams, LowerBoundTree};
+use compact_routing::metric::doubling;
+use compact_routing::{Eps, MetricSpace, NameIndependentScheme, Naming, SimpleNameIndependent};
+
+#[test]
+fn scheme_stretch_on_lower_bound_tree_sits_between_bounds() {
+    // ε_lb = 4 ⇒ lower bound 9 − 4 = 5 for compact schemes on this family
+    // (for worst-case namings at scale); our scheme's guarantee is 9+O(ε).
+    let params = LbParams::from_eps(4, 1);
+    let t = LowerBoundTree::new(params, 240);
+    let m = MetricSpace::new(&t.to_graph());
+    let eps = Eps::one_over(8);
+
+    let mut worst: f64 = 1.0;
+    for seed in 0..3u64 {
+        let naming = Naming::random(m.n(), seed);
+        let s = SimpleNameIndependent::new(&m, eps, naming.clone()).unwrap();
+        for v in 1..m.n() as u32 {
+            let r = s.route(&m, 0, naming.name_of(v)).unwrap();
+            assert_eq!(r.dst, v);
+            worst = worst.max(r.stretch(&m));
+        }
+    }
+    assert!(
+        worst <= name_independent::stretch_envelope(eps),
+        "upper bound violated: {worst}"
+    );
+    // The construction bites: routing from the root is substantially
+    // harder than stretch-1 (the measured worst close to the optimum 9).
+    assert!(worst >= 3.0, "construction should force real stretch, got {worst}");
+}
+
+#[test]
+fn construction_is_doubling_and_game_respects_floor() {
+    for &eps in &[2u64, 4] {
+        let params = LbParams::from_eps(eps, 1);
+        let t = LowerBoundTree::new(params, 220);
+        let m = MetricSpace::new(&t.to_graph());
+        let est = doubling::estimate(&m, Some(16));
+        let alpha_bound = 6.0 - (eps as f64).log2();
+        assert!(
+            est.dimension <= alpha_bound + 2.0,
+            "α estimate {} vs Lemma 5.8 bound {alpha_bound}",
+            est.dimension
+        );
+
+        let big = LowerBoundTree::new(params, 1 << 15);
+        let floor = 9.0 - eps as f64;
+        for order in [
+            game::increasing_weight_order(&big),
+            game::random_order(&big, 3),
+            game::optimize_order(&big, 1500, 5),
+        ] {
+            let (stretch, _) = game::worst_case_stretch(&big, &order);
+            assert!(stretch >= floor, "order beat the floor: {stretch} < {floor}");
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests over random graphs: delivery, verification and
+//! invariants must hold for arbitrary inputs, not just the curated
+//! families.
+
+use proptest::prelude::*;
+
+use compact_routing::metric::graph::GraphBuilder;
+use compact_routing::metric::nets::NetHierarchy;
+use compact_routing::metric::packing::BallPacking;
+use compact_routing::{Eps, Graph, MetricSpace, Naming};
+use compact_routing::{LabeledScheme, NameIndependentScheme, NetLabeled, SimpleNameIndependent};
+
+/// Strategy: a random connected weighted graph on `n` nodes — a random
+/// spanning tree plus a few extra edges.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (3usize..=max_n).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec(1u64..=6, n - 1),
+            proptest::collection::vec((0u32..n as u32, 0u32..n as u32, 1u64..=6), 0..n / 2),
+            proptest::collection::vec(0usize..usize::MAX, n - 1),
+        )
+            .prop_map(|(n, tree_w, extra, parents)| {
+                let mut b = GraphBuilder::new(n);
+                for c in 1..n {
+                    let p = (parents[c - 1] % c) as u32;
+                    b.edge(c as u32, p, tree_w[c - 1]).unwrap();
+                }
+                for (u, v, w) in extra {
+                    if u != v {
+                        b.edge(u, v, w).unwrap();
+                    }
+                }
+                b.build().expect("spanning tree keeps it connected")
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn net_hierarchy_invariants_hold(g in arb_graph(24)) {
+        let m = MetricSpace::new(&g);
+        let h = NetHierarchy::new(&m);
+        // Packing + covering at every level.
+        for i in 0..h.num_levels() {
+            let s = m.scale(i);
+            let y = h.level(i);
+            for (a, &p) in y.iter().enumerate() {
+                for &q in &y[a + 1..] {
+                    prop_assert!(m.dist(p, q) >= s);
+                }
+            }
+            for u in 0..m.n() as u32 {
+                let dmin = y.iter().map(|&p| m.dist(u, p)).min().unwrap();
+                prop_assert!(dmin <= s);
+            }
+        }
+        // Zooming sequences are geometric.
+        for u in 0..m.n() as u32 {
+            let seq = h.zoom_seq(u);
+            for k in 1..seq.len() {
+                prop_assert!(m.dist(seq[k - 1], seq[k]) <= m.scale(k));
+            }
+        }
+        // Labels are a bijection.
+        let mut seen = vec![false; m.n()];
+        for u in 0..m.n() as u32 {
+            let l = h.label(u) as usize;
+            prop_assert!(!seen[l]);
+            seen[l] = true;
+        }
+    }
+
+    #[test]
+    fn packing_invariants_hold(g in arb_graph(20), j in 0u32..4) {
+        let m = MetricSpace::new(&g);
+        let j = j.min(m.log2_n());
+        let p = BallPacking::new(&m, j);
+        let want = (1usize << j).min(m.n());
+        let mut seen = vec![false; m.n()];
+        for b in p.balls() {
+            prop_assert_eq!(b.nodes.len(), want);
+            for &x in &b.nodes {
+                prop_assert!(!seen[x as usize]);
+                seen[x as usize] = true;
+            }
+        }
+        // Lemma 2.3 property (2) via the witness.
+        for u in 0..m.n() as u32 {
+            let w = p.witness(&m, u);
+            prop_assert!(w.radius <= m.r_small(u, j));
+            prop_assert!(m.dist(u, w.center) <= 2 * m.r_small(u, j));
+        }
+    }
+
+    #[test]
+    fn labeled_routing_always_delivers(g in arb_graph(18), seed in 0u64..1000) {
+        let m = MetricSpace::new(&g);
+        let s = NetLabeled::new(&m, Eps::one_over(8)).unwrap();
+        let n = m.n() as u32;
+        let u = (seed % n as u64) as u32;
+        for v in 0..n {
+            let r = s.route(&m, u, s.label_of(v)).unwrap();
+            prop_assert_eq!(r.dst, v);
+            prop_assert!(r.verify(&m).is_ok());
+            prop_assert!(r.stretch(&m) <= 5.0, "stretch {}", r.stretch(&m));
+        }
+    }
+
+    #[test]
+    fn name_independent_routing_always_delivers(g in arb_graph(14), seed in 0u64..1000) {
+        let m = MetricSpace::new(&g);
+        let naming = Naming::random(m.n(), seed);
+        let s = SimpleNameIndependent::new(&m, Eps::one_over(8), naming.clone()).unwrap();
+        let n = m.n() as u32;
+        let u = (seed % n as u64) as u32;
+        for v in 0..n {
+            let r = s.route(&m, u, naming.name_of(v)).unwrap();
+            prop_assert_eq!(r.dst, v);
+            prop_assert!(r.verify(&m).is_ok());
+            prop_assert!(
+                r.stretch(&m) <= name_independent::stretch_envelope(Eps::one_over(8)),
+                "stretch {}", r.stretch(&m)
+            );
+        }
+    }
+}
