@@ -1,0 +1,8 @@
+//! Churn experiment: fault injection and rebuild cost for all four
+//! schemes; prints the grid and writes `results/churn.json`.
+//!
+//! Usage: `cargo run --release --bin churn [n] [1/eps] [pairs]`
+
+fn main() {
+    bench::churn::churn_main();
+}

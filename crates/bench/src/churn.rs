@@ -1,0 +1,335 @@
+//! The churn experiment: all four routing schemes under fault injection.
+//!
+//! For every (removal strategy × removal fraction) cell, the experiment
+//! measures each scheme twice:
+//!
+//! * **stale** — the scheme routes with the tables it built *before* the
+//!   failures (see [`netsim::scheme::LabeledScheme::route_with_faults`]);
+//!   reported as reachability, surviving-route stretch, and a loss
+//!   breakdown ([`FaultEvalResult`]).
+//! * **rebuilt** — preprocessing is re-run from scratch on the largest
+//!   surviving component ([`SurvivingNetwork`]), wall-clock measured;
+//!   reachability then counts exactly the sampled pairs that ended up in
+//!   that component, and stretch is measured against the survivor metric.
+//!
+//! The gap between the two columns is the cost of *not* rebuilding; the
+//! `rebuild(ms)` column is the cost of rebuilding.
+
+use std::time::Instant;
+
+use doubling_metric::graph::NodeId;
+use doubling_metric::nets::NetHierarchy;
+use doubling_metric::{gen, Eps, MetricSpace};
+use labeled_routing::{NetLabeled, ScaleFreeLabeled};
+use name_independent::{ScaleFreeNameIndependent, SimpleNameIndependent};
+use netsim::faults::{FaultPlan, SurvivingNetwork};
+use netsim::json::Value;
+use netsim::route::Route;
+use netsim::scheme::{LabeledScheme, NameIndependentScheme};
+use netsim::stats::{
+    eval_labeled_under_faults, eval_name_independent_under_faults, sample_pairs, FaultEvalResult,
+};
+use netsim::Naming;
+
+use crate::table::f2;
+
+/// Reachability and mean stretch after a full rebuild on the surviving
+/// component, over the same sampled pairs as the stale evaluation.
+fn rebuilt_on(
+    sn: &SurvivingNetwork,
+    plan: &FaultPlan,
+    pairs: &[(NodeId, NodeId)],
+    mut route: impl FnMut(NodeId, NodeId) -> Route,
+) -> (f64, f64) {
+    let mut attempted = 0usize;
+    let mut delivered = 0usize;
+    let mut stretch_sum = 0.0f64;
+    for &(u, v) in pairs {
+        if plan.is_node_dead(u) || plan.is_node_dead(v) {
+            continue; // same denominator as the stale evaluation
+        }
+        attempted += 1;
+        if let (Some(nu), Some(nv)) = (sn.new_id(u), sn.new_id(v)) {
+            let r = route(nu, nv);
+            r.verify(&sn.metric).expect("rebuilt route must verify");
+            assert_eq!(r.dst, nv, "rebuilt route must reach the destination");
+            delivered += 1;
+            stretch_sum += r.stretch(&sn.metric);
+        }
+    }
+    let reach = if attempted == 0 { 1.0 } else { delivered as f64 / attempted as f64 };
+    let avg = if delivered == 0 { 1.0 } else { stretch_sum / delivered as f64 };
+    (reach, avg)
+}
+
+/// One scheme's measurements in one (strategy, fraction) cell.
+struct SchemeCell {
+    stale: FaultEvalResult,
+    /// `None` when every node failed (no component to rebuild on).
+    rebuilt: Option<(f64, f64, f64)>, // (reachability, avg stretch, rebuild ms)
+}
+
+impl SchemeCell {
+    fn to_json(&self) -> Value {
+        let mut fields = vec![
+            ("scheme".to_string(), self.stale.scheme.into()),
+            ("stale".to_string(), self.stale.to_json()),
+        ];
+        match self.rebuilt {
+            Some((reach, stretch, ms)) => {
+                fields.push(("rebuilt_reachability".into(), reach.into()));
+                fields.push(("rebuilt_avg_stretch".into(), stretch.into()));
+                fields.push(("rebuild_ms".into(), ms.into()));
+            }
+            None => fields.push(("rebuilt_reachability".into(), Value::Null)),
+        }
+        Value::Object(fields)
+    }
+
+    fn row(&self, strategy: &str, fraction: f64) -> Vec<String> {
+        let (rr, rs, ms) = match self.rebuilt {
+            Some((r, s, m)) => (f2(r), f2(s), f2(m)),
+            None => ("-".into(), "-".into(), "-".into()),
+        };
+        vec![
+            strategy.to_string(),
+            f2(fraction),
+            self.stale.scheme.to_string(),
+            f2(self.stale.reachability),
+            rr,
+            f2(self.stale.avg_stretch),
+            rs,
+            ms,
+        ]
+    }
+}
+
+/// Times `build` on the survivor metric, then evaluates it over `pairs`.
+fn rebuild_and_eval<S>(
+    sn: &SurvivingNetwork,
+    plan: &FaultPlan,
+    pairs: &[(NodeId, NodeId)],
+    build: impl FnOnce(&MetricSpace) -> S,
+    route: impl Fn(&S, &MetricSpace, NodeId, NodeId) -> Route,
+) -> (f64, f64, f64) {
+    let t0 = Instant::now();
+    let scheme = build(&sn.metric);
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    let (reach, stretch) = rebuilt_on(sn, plan, pairs, |u, v| route(&scheme, &sn.metric, u, v));
+    (reach, stretch, ms)
+}
+
+/// Runs the churn grid on a unit grid graph: every scheme × every removal
+/// strategy × every removal fraction. Returns table headers/rows for the
+/// console plus the full JSON document.
+pub fn run_churn(
+    n: usize,
+    eps: Eps,
+    pairs_count: usize,
+    fractions: &[f64],
+    seed: u64,
+) -> (Vec<&'static str>, Vec<Vec<String>>, Value) {
+    let g = gen::Family::Grid.build(n, seed);
+    let m = MetricSpace::new(&g);
+    let naming = Naming::random(m.n(), seed ^ 0xA5);
+    let pairs = sample_pairs(m.n(), pairs_count, seed ^ 0x5A);
+    let nets = NetHierarchy::new(&m);
+
+    // Pre-failure ("stale") tables, built once on the intact network.
+    let nl = NetLabeled::new(&m, eps).expect("eps within range");
+    let sfl = ScaleFreeLabeled::new(&m, eps).expect("eps within range");
+    let sni = SimpleNameIndependent::new(&m, eps, naming.clone()).expect("eps within range");
+    let sfni = ScaleFreeNameIndependent::new(&m, eps, naming.clone()).expect("eps within range");
+
+    let headers = vec![
+        "strategy",
+        "fraction",
+        "scheme",
+        "stale-reach",
+        "rebuilt-reach",
+        "stale-stretch",
+        "rebuilt-stretch",
+        "rebuild(ms)",
+    ];
+    let mut rows = Vec::new();
+    let mut cells = Vec::new();
+
+    for &fraction in fractions {
+        let plans: Vec<(&'static str, FaultPlan)> = vec![
+            ("random", FaultPlan::random_nodes(m.n(), fraction, seed ^ 0xC0)),
+            ("degree", FaultPlan::targeted_by_degree(&g, fraction)),
+            ("netcenter", FaultPlan::targeted_net_centers(&nets, m.n(), fraction)),
+        ];
+        for (strategy, plan) in plans {
+            let sn = SurvivingNetwork::build(&g, &plan);
+            let naming2 = sn.as_ref().map(|sn| Naming::random(sn.n(), seed ^ 0xA5));
+
+            let scheme_cells = vec![
+                SchemeCell {
+                    stale: eval_labeled_under_faults(&nl, &m, &plan, &pairs),
+                    rebuilt: sn.as_ref().map(|sn| {
+                        rebuild_and_eval(
+                            sn,
+                            &plan,
+                            &pairs,
+                            |m2| NetLabeled::new(m2, eps).expect("eps within range"),
+                            |s, m2, u, v| s.route_to_node(m2, u, v).expect("delivers"),
+                        )
+                    }),
+                },
+                SchemeCell {
+                    stale: eval_labeled_under_faults(&sfl, &m, &plan, &pairs),
+                    rebuilt: sn.as_ref().map(|sn| {
+                        rebuild_and_eval(
+                            sn,
+                            &plan,
+                            &pairs,
+                            |m2| ScaleFreeLabeled::new(m2, eps).expect("eps within range"),
+                            |s, m2, u, v| s.route_to_node(m2, u, v).expect("delivers"),
+                        )
+                    }),
+                },
+                SchemeCell {
+                    stale: eval_name_independent_under_faults(&sni, &m, &naming, &plan, &pairs),
+                    rebuilt: sn.as_ref().map(|sn| {
+                        let nm = naming2.as_ref().unwrap();
+                        rebuild_and_eval(
+                            sn,
+                            &plan,
+                            &pairs,
+                            |m2| {
+                                SimpleNameIndependent::new(m2, eps, nm.clone())
+                                    .expect("eps within range")
+                            },
+                            |s, m2, u, v| s.route(m2, u, nm.name_of(v)).expect("delivers"),
+                        )
+                    }),
+                },
+                SchemeCell {
+                    stale: eval_name_independent_under_faults(&sfni, &m, &naming, &plan, &pairs),
+                    rebuilt: sn.as_ref().map(|sn| {
+                        let nm = naming2.as_ref().unwrap();
+                        rebuild_and_eval(
+                            sn,
+                            &plan,
+                            &pairs,
+                            |m2| {
+                                ScaleFreeNameIndependent::new(m2, eps, nm.clone())
+                                    .expect("eps within range")
+                            },
+                            |s, m2, u, v| s.route(m2, u, nm.name_of(v)).expect("delivers"),
+                        )
+                    }),
+                },
+            ];
+
+            for c in &scheme_cells {
+                rows.push(c.row(strategy, fraction));
+            }
+            cells.push(Value::Object(vec![
+                ("strategy".into(), strategy.into()),
+                ("fraction".into(), fraction.into()),
+                ("dead_nodes".into(), plan.dead_node_count().into()),
+                (
+                    "surviving_component".into(),
+                    sn.as_ref().map_or(Value::from(0u32), |sn| sn.n().into()),
+                ),
+                (
+                    "schemes".into(),
+                    Value::Array(scheme_cells.iter().map(SchemeCell::to_json).collect()),
+                ),
+            ]));
+        }
+    }
+
+    let doc = Value::Object(vec![
+        ("family".into(), "grid".into()),
+        ("n".into(), m.n().into()),
+        ("eps".into(), eps.to_string().into()),
+        ("pairs".into(), pairs.len().into()),
+        ("seed".into(), seed.into()),
+        ("cells".into(), Value::Array(cells)),
+    ]);
+    (headers, rows, doc)
+}
+
+/// Entry point shared by the root `churn` binary and
+/// `cargo run -p bench --bin churn`: runs the grid, prints the table, and
+/// writes `results/churn.json`.
+///
+/// Usage: `churn [n] [1/eps] [pairs]`.
+pub fn churn_main() {
+    let mut argv = std::env::args().skip(1);
+    let n: usize = argv.next().and_then(|s| s.parse().ok()).unwrap_or(196);
+    let inv: u64 = argv.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let pairs: usize = argv.next().and_then(|s| s.parse().ok()).unwrap_or(300);
+    let fractions = [0.05, 0.10, 0.20, 0.30];
+    let (headers, rows, doc) = run_churn(n, Eps::one_over(inv), pairs, &fractions, 42);
+    crate::table::emit(
+        &format!("Churn: reachability under node removal (n≈{n}, eps=1/{inv}, {pairs} pairs)"),
+        &headers,
+        &rows,
+    );
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/churn.json", doc.to_string_pretty() + "\n")
+        .expect("write results/churn.json");
+    println!("\nwrote results/churn.json");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_grid_covers_all_cells_and_rebuild_beats_stale_under_targeting() {
+        let fractions = [0.1, 0.2];
+        let (h, rows, doc) = run_churn(64, Eps::one_over(8), 150, &fractions, 7);
+        assert_eq!(h.len(), 8);
+        // 4 schemes × 3 strategies × 2 fractions.
+        assert_eq!(rows.len(), 4 * 3 * 2);
+
+        let cells = doc.get("cells").and_then(Value::as_array).expect("cells");
+        assert_eq!(cells.len(), 3 * 2);
+        for cell in cells {
+            let schemes = cell.get("schemes").and_then(Value::as_array).expect("schemes");
+            assert_eq!(schemes.len(), 4);
+            for s in schemes {
+                let stale = s.get("stale").expect("stale block");
+                let stale_reach = stale.get("reachability").and_then(Value::as_f64).expect("reach");
+                let rebuilt = s
+                    .get("rebuilt_reachability")
+                    .and_then(Value::as_f64)
+                    .expect("component survives at these fractions");
+                assert!((0.0..=1.0).contains(&stale_reach));
+                // Rebuilding can only help: stale routes die to any casualty
+                // on the precomputed path, rebuilt routes only to actual
+                // disconnection.
+                assert!(stale_reach <= rebuilt + 1e-12, "stale {stale_reach} > rebuilt {rebuilt}");
+                // The scheme itself must never be the cause of a loss.
+                assert_eq!(
+                    stale.get("lost_other").and_then(Value::as_u64),
+                    Some(0),
+                    "scheme error under faults"
+                );
+            }
+            // At 20% targeted removal, stale tables must be strictly worse
+            // than rebuilding (the headline acceptance criterion).
+            let frac = cell.get("fraction").and_then(Value::as_f64).unwrap();
+            let strategy = cell.get("strategy").and_then(Value::as_str).unwrap();
+            if (frac - 0.2).abs() < 1e-9 && strategy != "random" {
+                for s in schemes {
+                    let stale_reach = s
+                        .get("stale")
+                        .and_then(|v| v.get("reachability"))
+                        .and_then(Value::as_f64)
+                        .unwrap();
+                    let rebuilt = s.get("rebuilt_reachability").and_then(Value::as_f64).unwrap();
+                    assert!(
+                        stale_reach < rebuilt,
+                        "{strategy}@{frac}: stale {stale_reach} not strictly below rebuilt {rebuilt}"
+                    );
+                }
+            }
+        }
+    }
+}

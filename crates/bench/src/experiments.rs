@@ -54,8 +54,14 @@ pub fn run_table1(
     seed: u64,
 ) -> (Vec<&'static str>, Vec<Vec<String>>) {
     let headers = vec![
-        "family", "n", "scheme", "max-stretch", "avg-stretch", "max-table(b)",
-        "avg-table(b)", "header(b)",
+        "family",
+        "n",
+        "scheme",
+        "max-stretch",
+        "avg-stretch",
+        "max-table(b)",
+        "avg-table(b)",
+        "header(b)",
     ];
     let mut rows = Vec::new();
     for f in table_families() {
@@ -64,16 +70,29 @@ pub fn run_table1(
         let naming = Naming::random(m.n(), seed ^ 0xA5);
         let pairs = sample_pairs(m.n(), pairs_per_graph, seed ^ 0x5A);
 
-        let simple = SimpleNameIndependent::new(&m, eps, naming.clone())
-            .expect("eps within range");
-        rows.push(eval_row(f.name(), m.n(), &eval_name_independent(&simple, &m, &naming, &pairs), None));
+        let simple = SimpleNameIndependent::new(&m, eps, naming.clone()).expect("eps within range");
+        rows.push(eval_row(
+            f.name(),
+            m.n(),
+            &eval_name_independent(&simple, &m, &naming, &pairs),
+            None,
+        ));
 
-        let sf = ScaleFreeNameIndependent::new(&m, eps, naming.clone())
-            .expect("eps within range");
-        rows.push(eval_row(f.name(), m.n(), &eval_name_independent(&sf, &m, &naming, &pairs), None));
+        let sf = ScaleFreeNameIndependent::new(&m, eps, naming.clone()).expect("eps within range");
+        rows.push(eval_row(
+            f.name(),
+            m.n(),
+            &eval_name_independent(&sf, &m, &naming, &pairs),
+            None,
+        ));
 
         let full = FullTable::with_naming(&m, naming.clone());
-        rows.push(eval_row(f.name(), m.n(), &eval_name_independent(&full, &m, &naming, &pairs), None));
+        rows.push(eval_row(
+            f.name(),
+            m.n(),
+            &eval_name_independent(&full, &m, &naming, &pairs),
+            None,
+        ));
     }
     (headers, rows)
 }
@@ -87,8 +106,15 @@ pub fn run_table2(
     seed: u64,
 ) -> (Vec<&'static str>, Vec<Vec<String>>) {
     let headers = vec![
-        "family", "n", "scheme", "max-stretch", "avg-stretch", "max-table(b)",
-        "avg-table(b)", "header(b)", "label(b)",
+        "family",
+        "n",
+        "scheme",
+        "max-stretch",
+        "avg-stretch",
+        "max-table(b)",
+        "avg-table(b)",
+        "header(b)",
+        "label(b)",
     ];
     let mut rows = Vec::new();
     for f in table_families() {
@@ -118,7 +144,13 @@ pub fn run_table2(
 /// distance, and the zoom/search/final cost split.
 pub fn run_fig1(n: usize, eps: Eps, seed: u64) -> (Vec<&'static str>, Vec<Vec<String>>) {
     let headers = vec![
-        "family", "round", "routes", "avg-d(u,v)", "avg-zoom", "avg-search", "avg-final",
+        "family",
+        "round",
+        "routes",
+        "avg-d(u,v)",
+        "avg-zoom",
+        "avg-search",
+        "avg-final",
         "avg-stretch",
     ];
     let mut rows = Vec::new();
@@ -180,14 +212,20 @@ pub fn run_fig1(n: usize, eps: Eps, seed: u64) -> (Vec<&'static str>, Vec<Vec<St
 /// the packing machinery engaged.
 pub fn run_fig2(eps: Eps, seed: u64) -> (Vec<&'static str>, Vec<Vec<String>>) {
     let headers = vec![
-        "family", "phase-mix", "routes", "avg-d(u,v)", "avg-ring-walk", "avg-to-center",
-        "avg-tree-search", "avg-to-target", "avg-stretch",
+        "family",
+        "phase-mix",
+        "routes",
+        "avg-d(u,v)",
+        "avg-ring-walk",
+        "avg-to-center",
+        "avg-tree-search",
+        "avg-to-target",
+        "avg-stretch",
     ];
     let mut rows = Vec::new();
-    for (name, g) in [
-        ("grid", gen::Family::Grid.build(144, seed)),
-        ("exp-path", gen::exp_weight_path(48)),
-    ] {
+    for (name, g) in
+        [("grid", gen::Family::Grid.build(144, seed)), ("exp-path", gen::exp_weight_path(48))]
+    {
         let m = MetricSpace::new(&g);
         let s = ScaleFreeLabeled::new(&m, eps).expect("eps ok");
         let mut agg: std::collections::BTreeMap<&str, (usize, f64, [f64; 4], f64)> =
@@ -209,8 +247,8 @@ pub fn run_fig2(eps: Eps, seed: u64) -> (Vec<&'static str>, Vec<Vec<String>>) {
             let e = agg.entry(mix).or_insert((0, 0.0, [0.0; 4], 0.0));
             e.0 += 1;
             e.1 += m.dist(u, v) as f64;
-            for i in 0..4 {
-                e.2[i] += parts[i];
+            for (acc, p) in e.2.iter_mut().zip(parts) {
+                *acc += p;
             }
             e.3 += r.stretch(&m);
         }
@@ -237,8 +275,18 @@ pub fn run_fig2(eps: Eps, seed: u64) -> (Vec<&'static str>, Vec<Vec<String>>) {
 /// envelope, and the search-game stretch (oblivious / optimized / 9−ε).
 pub fn run_fig3(seed: u64) -> (Vec<&'static str>, Vec<Vec<String>>) {
     let headers = vec![
-        "eps", "p", "q", "c=pq", "nodes", "alpha-est", "alpha-bound", "log2(delta)",
-        "log2(envelope)", "oblivious", "optimized", "9-eps",
+        "eps",
+        "p",
+        "q",
+        "c=pq",
+        "nodes",
+        "alpha-est",
+        "alpha-bound",
+        "log2(delta)",
+        "log2(envelope)",
+        "oblivious",
+        "optimized",
+        "9-eps",
     ];
     let mut rows = Vec::new();
     for &eps in &[2u64, 4, 6] {
@@ -298,18 +346,42 @@ pub fn run_sweep_eps(n: usize, seed: u64) -> (Vec<&'static str>, Vec<Vec<String>
         let eps = Eps::one_over(k);
         let nl = NetLabeled::new(&m, eps).expect("eps ok");
         let r = eval_labeled(&nl, &m, &pairs);
-        rows.push(vec![eps.to_string(), r.scheme.into(), f2(r.max_stretch), f2(r.avg_stretch), "1+O(eps)".into()]);
+        rows.push(vec![
+            eps.to_string(),
+            r.scheme.into(),
+            f2(r.max_stretch),
+            f2(r.avg_stretch),
+            "1+O(eps)".into(),
+        ]);
         if k >= 4 {
             let sf = ScaleFreeLabeled::new(&m, eps).expect("eps ok");
             let r = eval_labeled(&sf, &m, &pairs);
-            rows.push(vec![eps.to_string(), r.scheme.into(), f2(r.max_stretch), f2(r.avg_stretch), "1+O(eps)".into()]);
+            rows.push(vec![
+                eps.to_string(),
+                r.scheme.into(),
+                f2(r.max_stretch),
+                f2(r.avg_stretch),
+                "1+O(eps)".into(),
+            ]);
         }
         let si = SimpleNameIndependent::new(&m, eps, naming.clone()).expect("eps ok");
         let r = eval_name_independent(&si, &m, &naming, &pairs);
-        rows.push(vec![eps.to_string(), r.scheme.into(), f2(r.max_stretch), f2(r.avg_stretch), "9+O(eps)".into()]);
+        rows.push(vec![
+            eps.to_string(),
+            r.scheme.into(),
+            f2(r.max_stretch),
+            f2(r.avg_stretch),
+            "9+O(eps)".into(),
+        ]);
         let sfni = ScaleFreeNameIndependent::new(&m, eps, naming.clone()).expect("eps ok");
         let r = eval_name_independent(&sfni, &m, &naming, &pairs);
-        rows.push(vec![eps.to_string(), r.scheme.into(), f2(r.max_stretch), f2(r.avg_stretch), "9+O(eps)".into()]);
+        rows.push(vec![
+            eps.to_string(),
+            r.scheme.into(),
+            f2(r.max_stretch),
+            f2(r.avg_stretch),
+            "9+O(eps)".into(),
+        ]);
     }
     (headers, rows)
 }
@@ -319,7 +391,12 @@ pub fn run_sweep_eps(n: usize, seed: u64) -> (Vec<&'static str>, Vec<Vec<String>
 /// on unit paths (Δ = n) vs exponential paths (Δ = 2^n).
 pub fn run_sweep_scale(eps: Eps, seed: u64) -> (Vec<&'static str>, Vec<Vec<String>>) {
     let headers = vec![
-        "graph", "n", "log2(delta)", "simple-max-table(b)", "scale-free-max-table(b)", "ratio",
+        "graph",
+        "n",
+        "log2(delta)",
+        "simple-max-table(b)",
+        "scale-free-max-table(b)",
+        "ratio",
     ];
     let mut rows = Vec::new();
     let mut push = |name: &str, g: doubling_metric::Graph| {
@@ -328,10 +405,8 @@ pub fn run_sweep_scale(eps: Eps, seed: u64) -> (Vec<&'static str>, Vec<Vec<Strin
         let si = SimpleNameIndependent::new(&m, eps, naming.clone()).expect("eps ok");
         let sf = ScaleFreeNameIndependent::new(&m, eps, naming).expect("eps ok");
         let max_si = (0..m.n() as u32).map(|u| si.table_bits(u)).max().unwrap();
-        let max_sf = (0..m.n() as u32)
-            .map(|u| NameIndependentScheme::table_bits(&sf, u))
-            .max()
-            .unwrap();
+        let max_sf =
+            (0..m.n() as u32).map(|u| NameIndependentScheme::table_bits(&sf, u)).max().unwrap();
         rows.push(vec![
             name.to_string(),
             m.n().to_string(),
@@ -353,8 +428,14 @@ pub fn run_sweep_scale(eps: Eps, seed: u64) -> (Vec<&'static str>, Vec<Vec<Strin
 /// levels; ScaleFreeLabeled prunes to R(u) + packing machinery).
 pub fn run_ablation_rings(seed: u64) -> (Vec<&'static str>, Vec<Vec<String>>) {
     let headers = vec![
-        "graph", "levels-total", "avg|R(u)|", "max|R(u)|", "all-levels-max-stretch",
-        "pruned-max-stretch", "all-levels-max-table(b)", "pruned-max-table(b)",
+        "graph",
+        "levels-total",
+        "avg|R(u)|",
+        "max|R(u)|",
+        "all-levels-max-stretch",
+        "pruned-max-stretch",
+        "all-levels-max-table(b)",
+        "pruned-max-table(b)",
     ];
     let eps = Eps::one_over(8);
     let mut rows = Vec::new();
@@ -368,8 +449,7 @@ pub fn run_ablation_rings(seed: u64) -> (Vec<&'static str>, Vec<Vec<String>>) {
         let sf = ScaleFreeLabeled::new(&m, eps).expect("eps ok");
         let rn = eval_labeled(&nl, &m, &pairs);
         let rs = eval_labeled(&sf, &m, &pairs);
-        let ring_counts: Vec<usize> =
-            (0..m.n() as u32).map(|u| sf.ring_levels(u).len()).collect();
+        let ring_counts: Vec<usize> = (0..m.n() as u32).map(|u| sf.ring_levels(u).len()).collect();
         rows.push(vec![
             name.to_string(),
             m.num_scales().to_string(),
@@ -388,9 +468,8 @@ pub fn run_ablation_rings(seed: u64) -> (Vec<&'static str>, Vec<Vec<String>>) {
 /// facilities served by `H(u,i)` links instead of private search trees,
 /// and per-node link counts (Claim 3.9's regime).
 pub fn run_ablation_packing(seed: u64) -> (Vec<&'static str>, Vec<Vec<String>>) {
-    let headers = vec![
-        "graph", "link-fraction", "avg-links/node", "max-links/node", "max-table(b)",
-    ];
+    let headers =
+        vec!["graph", "link-fraction", "avg-links/node", "max-links/node", "max-table(b)"];
     let eps = Eps::one_over(4);
     let mut rows = Vec::new();
     for (name, g) in [
@@ -402,10 +481,8 @@ pub fn run_ablation_packing(seed: u64) -> (Vec<&'static str>, Vec<Vec<String>>) 
         let naming = Naming::random(m.n(), seed);
         let sf = ScaleFreeNameIndependent::new(&m, eps, naming).expect("eps ok");
         let links: Vec<usize> = (0..m.n() as u32).map(|u| sf.link_count(u)).collect();
-        let max_table = (0..m.n() as u32)
-            .map(|u| NameIndependentScheme::table_bits(&sf, u))
-            .max()
-            .unwrap();
+        let max_table =
+            (0..m.n() as u32).map(|u| NameIndependentScheme::table_bits(&sf, u)).max().unwrap();
         rows.push(vec![
             name.to_string(),
             f2(sf.link_fraction()),
@@ -421,9 +498,8 @@ pub fn run_ablation_packing(seed: u64) -> (Vec<&'static str>, Vec<Vec<String>>) 
 /// (`n·log n`) bits per node. Compactness is asymptotic; this measures the
 /// growth-rate separation directly and lets the crossover be projected.
 pub fn run_storage_growth(ns: &[usize], seed: u64) -> (Vec<&'static str>, Vec<Vec<String>>) {
-    let headers = vec![
-        "n", "full-table(b)", "sf-labeled max(b)", "sf-NI max(b)", "sfNI/full", "sfNI-growth",
-    ];
+    let headers =
+        vec!["n", "full-table(b)", "sf-labeled max(b)", "sf-NI max(b)", "sfNI/full", "sfNI-growth"];
     let eps = Eps::one_over(8);
     let mut rows = Vec::new();
     let mut prev_sf: Option<f64> = None;
@@ -435,10 +511,8 @@ pub fn run_storage_growth(ns: &[usize], seed: u64) -> (Vec<&'static str>, Vec<Ve
         let sfl = ScaleFreeLabeled::new(&m, eps).expect("eps ok");
         let sfl_max = (0..m.n() as u32).map(|u| sfl.table_bits(u)).max().unwrap();
         let sfni = ScaleFreeNameIndependent::new(&m, eps, naming).expect("eps ok");
-        let sfni_max = (0..m.n() as u32)
-            .map(|u| NameIndependentScheme::table_bits(&sfni, u))
-            .max()
-            .unwrap();
+        let sfni_max =
+            (0..m.n() as u32).map(|u| NameIndependentScheme::table_bits(&sfni, u)).max().unwrap();
         let growth = prev_sf.map(|p| sfni_max as f64 / p);
         prev_sf = Some(sfni_max as f64);
         rows.push(vec![
@@ -539,11 +613,8 @@ mod tests {
         let (_, rows) = run_sweep_scale(Eps::one_over(4), 3);
         // On exp-paths, the simple/scale-free ratio must exceed 1 and grow
         // with n; on unit paths it stays near or below ~1.5.
-        let exp_ratios: Vec<f64> = rows
-            .iter()
-            .filter(|r| r[0] == "exp-path")
-            .map(|r| r[5].parse().unwrap())
-            .collect();
+        let exp_ratios: Vec<f64> =
+            rows.iter().filter(|r| r[0] == "exp-path").map(|r| r[5].parse().unwrap()).collect();
         assert!(exp_ratios.iter().all(|&x| x > 1.0), "{exp_ratios:?}");
         assert!(exp_ratios.windows(2).all(|w| w[1] >= w[0] * 0.9), "{exp_ratios:?}");
     }

@@ -19,6 +19,9 @@
 //! Criterion benches (`benches/`) time preprocessing, routing, search-tree
 //! lookups and game evaluation on the same inputs.
 
+#![warn(missing_docs)]
+
+pub mod churn;
 pub mod experiments;
 pub mod table;
 

@@ -75,10 +75,8 @@ mod json_tests {
 
     #[test]
     fn json_shape() {
-        let json = to_json(
-            &["a", "b"],
-            &[vec!["1".into(), "x\"y".into()], vec!["2".into(), "z".into()]],
-        );
+        let json =
+            to_json(&["a", "b"], &[vec!["1".into(), "x\"y".into()], vec!["2".into(), "z".into()]]);
         assert_eq!(json, r#"[{"a":"1","b":"x\"y"},{"a":"2","b":"z"}]"#);
     }
 

@@ -51,11 +51,8 @@ fn fig3_advice_curve_is_monotone() {
 #[test]
 fn sweep_eps_labeled_stretch_monotone() {
     let (_, rows) = run_sweep_eps(49, 3);
-    let nl: Vec<f64> = rows
-        .iter()
-        .filter(|r| r[1] == "net-labeled")
-        .map(|r| r[2].parse().unwrap())
-        .collect();
+    let nl: Vec<f64> =
+        rows.iter().filter(|r| r[1] == "net-labeled").map(|r| r[2].parse().unwrap()).collect();
     assert!(nl.len() >= 3);
     for w in nl.windows(2) {
         assert!(w[1] <= w[0] + 1e-9, "labeled stretch must shrink with eps: {nl:?}");

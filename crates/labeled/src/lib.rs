@@ -24,6 +24,8 @@
 //!   shortest-path tree `T_c(j)`. Storage drops to `(1/ε)^{O(α)}·log³ n`
 //!   bits — independent of Δ.
 
+#![warn(missing_docs)]
+
 pub mod error;
 pub mod net_labeled;
 pub mod oracle;

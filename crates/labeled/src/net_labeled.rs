@@ -226,7 +226,7 @@ mod tests {
         let m = MetricSpace::new(&gen::grid(8, 8));
         let s = NetLabeled::new(&m, Eps::one_over(4)).unwrap();
         assert_eq!(s.label_bits(), 6); // ⌈log₂ 64⌉
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         for v in 0..64 {
             let l = s.label_of(v);
             assert!(!seen[l as usize]);

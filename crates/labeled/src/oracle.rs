@@ -179,11 +179,7 @@ mod tests {
     #[test]
     fn scale_free_bounds_are_certified() {
         use crate::scale_free::ScaleFreeLabeled;
-        for g in [
-            gen::grid(7, 7),
-            gen::exp_weight_path(20),
-            gen::random_geometric(40, 260, 2),
-        ] {
+        for g in [gen::grid(7, 7), gen::exp_weight_path(20), gen::random_geometric(40, 260, 2)] {
             let m = MetricSpace::new(&g);
             let s = ScaleFreeLabeled::new(&m, Eps::one_over(8)).unwrap();
             for u in 0..m.n() as NodeId {

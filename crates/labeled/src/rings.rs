@@ -82,11 +82,8 @@ mod tests {
                     assert_eq!(e.dist, m.dist(u, e.x));
                 }
                 // Completeness: every qualifying net point is present.
-                let count = nets
-                    .level(i)
-                    .iter()
-                    .filter(|&&x| eps.mul_le(m.dist(u, x), m.scale(i)))
-                    .count();
+                let count =
+                    nets.level(i).iter().filter(|&&x| eps.mul_le(m.dist(u, x), m.scale(i))).count();
                 assert_eq!(ring.len(), count);
             }
         }

@@ -132,8 +132,8 @@ impl ScaleFreeLabeled {
                     (v, p, w)
                 });
                 let tree = Tree::new(c, edges).expect("region forms a tree");
-                let router = PortTreeRouter::new(tree, m.graph())
-                    .expect("T_c(j) edges are graph edges");
+                let router =
+                    PortTreeRouter::new(tree, m.graph()).expect("T_c(j) edges are graph edges");
 
                 // Search tree II over B_c(r_c(j)), holding (l(v), l(v;c,j))
                 // for v ∈ V(c,j) ∩ B_c(r_c(j+1)).
@@ -149,19 +149,14 @@ impl ScaleFreeLabeled {
                     m,
                     c,
                     &tree_ball,
-                    SearchTreeConfig {
-                        eps_r: eps.mul_floor(r_j),
-                        max_levels: Some(log2_n.max(1)),
-                    },
+                    SearchTreeConfig { eps_r: eps.mul_floor(r_j), max_levels: Some(log2_n.max(1)) },
                     pairs,
                 );
                 for &v in search.tree().nodes() {
-                    search_bits[v as usize] += search.storage_bits(
-                        v,
-                        widths.node,
-                        widths.node,
-                        |lbl| lbl.bits(widths.node, router.port_bits()),
-                    );
+                    search_bits[v as usize] +=
+                        search.storage_bits(v, widths.node, widths.node, |lbl| {
+                            lbl.bits(widths.node, router.port_bits())
+                        });
                 }
                 for (v, _) in search.relay_nodes() {
                     if !search.contains(v) {
@@ -173,16 +168,7 @@ impl ScaleFreeLabeled {
             cells.push(level_cells);
         }
 
-        Ok(ScaleFreeLabeled {
-            nets,
-            eps,
-            widths,
-            rings,
-            packings,
-            cells,
-            search_bits,
-            log2_n,
-        })
+        Ok(ScaleFreeLabeled { nets, eps, widths, rings, packings, cells, search_bits, log2_n })
     }
 
     /// The net hierarchy the labels come from.

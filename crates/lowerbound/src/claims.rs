@@ -57,7 +57,7 @@ pub fn analyze(t: &LowerBoundTree, order: &[usize]) -> SigmaAnalysis {
     let mut sigma: Vec<u64> = Vec::new();
     for &k in order {
         let w = t.subtrees()[k].w;
-        if sigma.last().map_or(true, |&last| w > last) {
+        if sigma.last().is_none_or(|&last| w > last) {
             sigma.push(w);
         }
     }
@@ -70,10 +70,7 @@ pub fn analyze(t: &LowerBoundTree, order: &[usize]) -> SigmaAnalysis {
     let witness = (0..sigma.len().saturating_sub(1))
         .map(|k| (k, prefix[k + 1] as f64 / sigma[k] as f64))
         .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite ratios"));
-    let max_step_ratio = sigma
-        .windows(2)
-        .map(|w| w[1] as f64 / w[0] as f64)
-        .fold(1.0f64, f64::max);
+    let max_step_ratio = sigma.windows(2).map(|w| w[1] as f64 / w[0] as f64).fold(1.0f64, f64::max);
 
     SigmaAnalysis { sigma, prefix, witness, max_step_ratio }
 }
@@ -131,10 +128,7 @@ mod tests {
             ] {
                 let a = analyze(&t, &order);
                 let (_, ratio) = a.witness.expect("nontrivial sigma");
-                assert!(
-                    ratio > threshold,
-                    "witness ratio {ratio} below {threshold} at eps {eps}"
-                );
+                assert!(ratio > threshold, "witness ratio {ratio} below {threshold} at eps {eps}");
             }
         }
     }
@@ -151,10 +145,7 @@ mod tests {
         let (k, ratio) = a.witness.unwrap();
         // ratio = A_{k+1}/b_k > 4 − ε/4 ⇒ stretch ≥ 2·ratio/(1+2/q) + 1.
         let implied = 2.0 * ratio / (1.0 + 2.0 / q) + 1.0;
-        assert!(
-            implied >= 9.0 - 4.0,
-            "implied stretch {implied} below 9−ε at witness {k}"
-        );
+        assert!(implied >= 9.0 - 4.0, "implied stretch {implied} below 9−ε at witness {k}");
         // And the game measurement agrees (it maximizes over placements).
         let (measured, _) = game::worst_case_stretch(&t, &order);
         assert!(measured + 1e-6 >= implied * 0.8, "game {measured} vs implied {implied}");

@@ -69,10 +69,7 @@ where
 /// Lemma 5.5's observation made executable for small instances: the set
 /// of names that can appear on a given node set across a naming family.
 /// Returns `(always_used, never_used)` — `Y_i` and `N_i` in the paper.
-pub fn name_usage(
-    namings: &[Naming],
-    node_set: &[u32],
-) -> (Vec<u32>, Vec<u32>) {
+pub fn name_usage(namings: &[Naming], node_set: &[u32]) -> (Vec<u32>, Vec<u32>) {
     assert!(!namings.is_empty());
     let n = namings[0].n();
     let mut always = vec![true; n];
@@ -130,14 +127,11 @@ mod tests {
         // functions, the largest congruent family is ≥ n!/2^{β·|prefix|}.
         let n = 6usize;
         let fact = 720usize;
-        let cases: Vec<(&str, u32, Box<dyn Fn(&Naming, u32) -> u64>)> = vec![
+        type TableFn = Box<dyn Fn(&Naming, u32) -> u64>;
+        let cases: Vec<(&str, u32, TableFn)> = vec![
             ("name-low-bit", 1, Box::new(|nm: &Naming, v: u32| (nm.name_of(v) & 1) as u64)),
             ("name-two-bits", 2, Box::new(|nm: &Naming, v: u32| (nm.name_of(v) & 3) as u64)),
-            (
-                "neighbor-of-zero",
-                2,
-                Box::new(|nm: &Naming, _v: u32| (nm.node_of(0) & 3) as u64),
-            ),
+            ("neighbor-of-zero", 2, Box::new(|nm: &Naming, _v: u32| (nm.node_of(0) & 3) as u64)),
         ];
         for (label, beta, f) in cases {
             for prefix_len in 1..=3usize {
@@ -185,8 +179,7 @@ mod tests {
         // Check some name is ambiguous about membership in {2,3}: appears
         // there under one naming, elsewhere under another.
         let (always, never) = name_usage(family, &[2, 3]);
-        let ambiguous =
-            (0..n as u32).any(|x| !always.contains(&x) && !never.contains(&x));
+        let ambiguous = (0..n as u32).any(|x| !always.contains(&x) && !never.contains(&x));
         assert!(ambiguous, "no ambiguous target name found");
     }
 }

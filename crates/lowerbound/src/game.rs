@@ -143,7 +143,7 @@ pub fn optimize_order(t: &LowerBoundTree, iters: usize, seed: u64) -> Vec<usize>
 /// Panics if `limit` is 0 or above 22 (memory).
 pub fn optimal_order_exact(t: &LowerBoundTree, limit: usize) -> (f64, Vec<usize>) {
     let c = limit.min(t.subtrees().len());
-    assert!(c >= 1 && c <= 22, "bitmask DP limited to 1..=22 subtrees");
+    assert!((1..=22).contains(&c), "bitmask DP limited to 1..=22 subtrees");
     let visit: Vec<u128> = (0..c).map(|k| visit_cost(t, k)).collect();
     let dist: Vec<u128> = (0..c).map(|k| target_dist(t, k)).collect();
 
@@ -274,15 +274,9 @@ mod tests {
         let t = tree(4, 1 << 14);
         let (oblivious, _) = worst_case_stretch(&t, &increasing_weight_order(&t));
         let (optimized, _) = worst_case_stretch(&t, &optimize_order(&t, 4000, 11));
-        assert!(
-            optimized <= oblivious,
-            "optimizer must not be worse: {optimized} vs {oblivious}"
-        );
+        assert!(optimized <= oblivious, "optimizer must not be worse: {optimized} vs {oblivious}");
         assert!(optimized >= 5.0, "optimized {optimized} violates 9 − ε = 5");
-        assert!(
-            oblivious > 9.0,
-            "oblivious sweep should pay well above 9: {oblivious}"
-        );
+        assert!(oblivious > 9.0, "oblivious sweep should pay well above 9: {oblivious}");
     }
 
     #[test]
@@ -333,8 +327,7 @@ mod tests {
         for &k in order.iter().filter(|&&k| k < limit) {
             let d = (t.scaled_w(&t.subtrees()[k])) as u128;
             worst = worst.max((prefix + d) as f64 / d as f64);
-            prefix += 2 * t.scaled_w(&t.subtrees()[k]) as u128
-                + 2 * t.subtrees()[k].len as u128;
+            prefix += 2 * t.scaled_w(&t.subtrees()[k]) as u128 + 2 * t.subtrees()[k].len as u128;
         }
         worst
     }

@@ -28,6 +28,8 @@
 //!   and a `β`-bit-advice relaxation — the curve Figure 3's experiment
 //!   (F3 in EXPERIMENTS.md) reports.
 
+#![warn(missing_docs)]
+
 pub mod claims;
 pub mod counting;
 pub mod game;

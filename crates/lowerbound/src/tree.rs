@@ -174,8 +174,7 @@ impl LowerBoundTree {
         for s in &self.subtrees {
             let first = next;
             for k in 0..s.len.saturating_sub(1) {
-                b.edge(first + k as NodeId, first + k as NodeId + 1, 1)
-                    .expect("valid path edge");
+                b.edge(first + k as NodeId, first + k as NodeId + 1, 1).expect("valid path edge");
             }
             let middle = first + (s.len / 2) as NodeId;
             b.edge(0, middle, self.scaled_w(s)).expect("valid attachment edge");

@@ -37,18 +37,9 @@ pub fn greedy_half_cover(m: &MetricSpace, u: NodeId, r: Dist) -> usize {
     let half = r.div_ceil(2);
     let mut covered = vec![false; ball.len()];
     let mut count = 0;
-    loop {
-        // Farthest uncovered node from u (ties: least id — ball order is
-        // ascending (dist, id), so take the last uncovered).
-        let pick = match ball
-            .iter()
-            .enumerate()
-            .rev()
-            .find(|(k, _)| !covered[*k])
-        {
-            Some((k, _)) => k,
-            None => break,
-        };
+    // Farthest uncovered node from u (ties: least id — ball order is
+    // ascending (dist, id), so take the last uncovered).
+    while let Some((pick, _)) = ball.iter().enumerate().rev().find(|(k, _)| !covered[*k]) {
         let c = ball[pick];
         count += 1;
         for (k, &x) in ball.iter().enumerate() {
@@ -131,7 +122,7 @@ pub fn exact_half_cover(m: &MetricSpace, u: NodeId, r: Dist) -> usize {
 pub fn estimate(m: &MetricSpace, max_centers: Option<usize>) -> DoublingEstimate {
     let n = m.n();
     let stride = match max_centers {
-        Some(k) if k < n => (n + k - 1) / k,
+        Some(k) if k < n => n.div_ceil(k),
         _ => 1,
     };
     let mut max_cover = 1usize;
@@ -146,11 +137,7 @@ pub fn estimate(m: &MetricSpace, max_centers: Option<usize>) -> DoublingEstimate
             u += stride;
         }
     }
-    DoublingEstimate {
-        max_cover,
-        dimension: (max_cover as f64).log2(),
-        balls_examined: examined,
-    }
+    DoublingEstimate { max_cover, dimension: (max_cover as f64).log2(), balls_examined: examined }
 }
 
 #[cfg(test)]
@@ -172,11 +159,7 @@ mod tests {
         let m = MetricSpace::new(&gen::grid(12, 12));
         let est = estimate(&m, Some(24));
         assert!(est.max_cover >= 3, "grid should need several half-balls");
-        assert!(
-            est.max_cover <= 40,
-            "grid doubling constant too large: {}",
-            est.max_cover
-        );
+        assert!(est.max_cover <= 40, "grid doubling constant too large: {}", est.max_cover);
     }
 
     #[test]
@@ -241,6 +224,6 @@ mod tests {
         // plus the two endpoints... exactly 1 if half=1 covers all 5? No:
         // B_3(2) = {1..5}, half = 1 → need ≥ 2; exact finds the optimum.
         let e = exact_half_cover(&m, 3, 2);
-        assert!(e >= 2 && e <= 3, "exact path cover {e}");
+        assert!((2..=3).contains(&e), "exact path cover {e}");
     }
 }

@@ -15,7 +15,12 @@ use crate::graph::Dist;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EpsError {
     /// `ε` must satisfy `0 < ε < 1`.
-    OutOfRange { num: u64, den: u64 },
+    OutOfRange {
+        /// Numerator of the rejected value.
+        num: u64,
+        /// Denominator of the rejected value.
+        den: u64,
+    },
     /// Denominator must be nonzero.
     ZeroDenominator,
 }
@@ -146,7 +151,7 @@ impl Eps {
     #[inline]
     pub fn div_ceil(&self, a: Dist) -> Dist {
         let num = self.num as u128;
-        let v = ((a as u128) * (self.den as u128) + num - 1) / num;
+        let v = ((a as u128) * (self.den as u128)).div_ceil(num);
         v.min(u64::MAX as u128) as Dist
     }
 
@@ -203,7 +208,7 @@ mod tests {
     #[test]
     fn comparisons_with_non_unit_numerator() {
         let e = Eps::new(2, 3).unwrap(); // b/ε = 3b/2
-        // 7 ≤ 5/ε = 7.5
+                                         // 7 ≤ 5/ε = 7.5
         assert!(e.mul_le(7, 5));
         // 8 > 7.5
         assert!(!e.mul_le(8, 5));

@@ -169,7 +169,7 @@ pub fn random_geometric(n: usize, radius: u64, seed: u64) -> Graph {
             for &i in first {
                 for &j in other.iter() {
                     let d = w(pts[i], pts[j]);
-                    if best.map_or(true, |(bd, _, _)| d < bd) {
+                    if best.is_none_or(|(bd, _, _)| d < bd) {
                         best = Some((d, i, j));
                     }
                 }
@@ -340,10 +340,7 @@ pub fn sierpinski(depth: usize) -> Graph {
         }
     }
     let mut id_of: HashMap<(usize, usize), NodeId> = HashMap::new();
-    let mut coords: Vec<(usize, usize)> = edges
-        .iter()
-        .flat_map(|&(a, b)| [a, b])
-        .collect();
+    let mut coords: Vec<(usize, usize)> = edges.iter().flat_map(|&(a, b)| [a, b]).collect();
     coords.sort_unstable();
     coords.dedup();
     for (i, &c) in coords.iter().enumerate() {
@@ -361,7 +358,7 @@ pub fn sierpinski(depth: usize) -> Graph {
 /// routing is **not** promised by the paper (its guarantees assume
 /// `α = O(log log n)`). Used to show where the assumptions bind.
 pub fn hypercube(d: usize) -> Graph {
-    assert!(d >= 1 && d <= 16);
+    assert!((1..=16).contains(&d));
     let n = 1usize << d;
     let mut b = GraphBuilder::new(n);
     for u in 0..n {
@@ -427,7 +424,7 @@ pub fn clustered_geometric(clusters: usize, per_cluster: usize, seed: u64) -> Gr
             for &i in first {
                 for &j in other.iter() {
                     let d = w(pts[i], pts[j]);
-                    if best.map_or(true, |(bd, _, _)| d < bd) {
+                    if best.is_none_or(|(bd, _, _)| d < bd) {
                         best = Some((d, i, j));
                     }
                 }
@@ -604,8 +601,7 @@ mod tests {
                     for x2 in 0..5u32 {
                         let a = y1 * 5 + x1;
                         let b = y2 * 5 + x2;
-                        let manhattan =
-                            (x1.abs_diff(x2) + y1.abs_diff(y2)) as u64;
+                        let manhattan = (x1.abs_diff(x2) + y1.abs_diff(y2)) as u64;
                         assert_eq!(m.dist(a, b), manhattan);
                     }
                 }

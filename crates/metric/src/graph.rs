@@ -21,11 +21,24 @@ pub const INFINITY: Dist = Dist::MAX;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GraphError {
     /// An edge referenced a node index `>= n`.
-    NodeOutOfRange { node: NodeId, n: usize },
+    NodeOutOfRange {
+        /// The out-of-range index.
+        node: NodeId,
+        /// The graph's node count.
+        n: usize,
+    },
     /// An edge had weight zero (the metric requires positive weights).
-    ZeroWeight { u: NodeId, v: NodeId },
+    ZeroWeight {
+        /// One endpoint of the offending edge.
+        u: NodeId,
+        /// The other endpoint.
+        v: NodeId,
+    },
     /// A self-loop was added.
-    SelfLoop { u: NodeId },
+    SelfLoop {
+        /// The node with the self-loop.
+        u: NodeId,
+    },
     /// The graph is not connected (routing schemes require connectivity).
     Disconnected,
     /// The graph has no nodes.
@@ -52,7 +65,6 @@ impl std::error::Error for GraphError {}
 
 /// A half-edge in the adjacency list: the neighbour and the edge weight.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Neighbor {
     /// The node at the other end of the edge.
     pub node: NodeId,
@@ -80,7 +92,6 @@ pub struct Neighbor {
 /// # }
 /// ```
 #[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Graph {
     adj: Vec<Vec<Neighbor>>,
     edge_count: usize,
@@ -125,7 +136,7 @@ impl Graph {
 
     /// Iterator over all node ids.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.node_count() as NodeId).into_iter()
+        0..self.node_count() as NodeId
     }
 
     /// Iterator over all undirected edges as `(u, v, w)` with `u < v`.
@@ -144,9 +155,7 @@ impl Graph {
     /// The weight of edge `(u, v)` if present.
     pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<Dist> {
         let ns = &self.adj[u as usize];
-        ns.binary_search_by_key(&v, |nb| nb.node)
-            .ok()
-            .map(|i| ns[i].weight)
+        ns.binary_search_by_key(&v, |nb| nb.node).ok().map(|i| ns[i].weight)
     }
 
     /// Whether `u` and `v` are adjacent.

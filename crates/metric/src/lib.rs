@@ -42,6 +42,8 @@
 //! assert_eq!(nets.level(nets.num_levels() - 1).len(), 1);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod doubling;
 pub mod eps;
 pub mod gen;

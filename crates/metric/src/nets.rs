@@ -121,9 +121,7 @@ impl NetHierarchy {
             }
             let ps: Vec<NodeId> = levels[i]
                 .iter()
-                .map(|&y| {
-                    m.nearest_in(y, &levels[i + 1]).expect("upper net nonempty")
-                })
+                .map(|&y| m.nearest_in(y, &levels[i + 1]).expect("upper net nonempty"))
                 .collect();
             parent.push(ps);
         }
@@ -404,11 +402,7 @@ mod tests {
                 for &x in h.level(i) {
                     let (lo, hi) = h.range(i, x).unwrap();
                     let inside = lo <= l && l <= hi;
-                    assert_eq!(
-                        inside,
-                        h.zoom(u, i) == x,
-                        "range test failed u={u} i={i} x={x}"
-                    );
+                    assert_eq!(inside, h.zoom(u, i) == x, "range test failed u={u} i={i} x={x}");
                 }
             }
         }
@@ -442,11 +436,7 @@ mod tests {
         for i in 0..h.num_levels() {
             let r = 2 * m.scale(i); // 2^i/ε with ε = 1/2
             for u in 0..m.n() as NodeId {
-                let count = h
-                    .level(i)
-                    .iter()
-                    .filter(|&&y| m.dist(u, y) <= r)
-                    .count();
+                let count = h.level(i).iter().filter(|&&y| m.dist(u, y) <= r).count();
                 assert!(count <= 256, "ring unexpectedly large: {count}");
             }
         }

@@ -94,7 +94,7 @@ impl BallPacking {
             let mut best: Option<(Dist, NodeId, u32)> = None;
             for (k, &c) in centers.iter().enumerate() {
                 let d = m.dist(v, c);
-                if best.map_or(true, |(bd, bc, _)| (d, c) < (bd, bc)) {
+                if best.is_none_or(|(bd, bc, _)| (d, c) < (bd, bc)) {
                     best = Some((d, c, k as u32));
                 }
             }
@@ -163,7 +163,7 @@ impl BallPacking {
         for &(_, x) in m.nearest_set(u, self.j) {
             if let Some(k) = self.ball_of[x as usize] {
                 let b = &self.balls[k as usize];
-                if best.map_or(true, |(br, bc, _)| (b.radius, b.center) < (br, bc)) {
+                if best.is_none_or(|(br, bc, _)| (b.radius, b.center) < (br, bc)) {
                     best = Some((b.radius, b.center, k));
                 }
             }
@@ -264,10 +264,8 @@ mod tests {
         for j in 0..=m.log2_n() {
             let p = BallPacking::new(&m, j);
             for u in 0..m.n() as NodeId {
-                let intersects = m
-                    .nearest_set(u, j)
-                    .iter()
-                    .any(|&(_, x)| p.ball_index_of(x).is_some());
+                let intersects =
+                    m.nearest_set(u, j).iter().any(|&(_, x)| p.ball_index_of(x).is_some());
                 assert!(intersects, "maximality violated at j={j}, u={u}");
             }
         }
@@ -295,10 +293,7 @@ mod tests {
             for b in p.balls() {
                 let dv = m.dist(v, mine.center);
                 let db = m.dist(v, b.center);
-                assert!(
-                    (dv, mine.center) <= (db, b.center),
-                    "voronoi not nearest for v={v}"
-                );
+                assert!((dv, mine.center) <= (db, b.center), "voronoi not nearest for v={v}");
             }
         }
     }

@@ -268,10 +268,7 @@ mod tests {
                 let h = apsp.next_hop(u, v).unwrap();
                 assert!(g.has_edge(u, h));
                 // Moving to the next hop makes exact progress.
-                assert_eq!(
-                    apsp.dist(u, v),
-                    g.edge_weight(u, h).unwrap() + apsp.dist(h, v)
-                );
+                assert_eq!(apsp.dist(u, v), g.edge_weight(u, h).unwrap() + apsp.dist(h, v));
             }
         }
     }

@@ -177,10 +177,7 @@ impl MetricSpace {
     /// The nearest member of `set` to `u`, breaking ties by least id.
     /// Returns `None` for an empty set.
     pub fn nearest_in(&self, u: NodeId, set: &[NodeId]) -> Option<NodeId> {
-        set.iter()
-            .map(|&y| (self.dist(u, y), y))
-            .min()
-            .map(|(_, y)| y)
+        set.iter().map(|&y| (self.dist(u, y), y)).min().map(|(_, y)| y)
     }
 
     /// The neighbour of `src` on the deterministic shortest path to `dst`.
@@ -208,7 +205,7 @@ mod tests {
         assert_eq!(m.n(), 16);
         assert_eq!(m.min_dist(), 1);
         assert_eq!(m.diameter(), 6); // Manhattan distance corner to corner
-        // scales: 1,2,4,8 → num_scales = 4 (ceil_log2(6)=3, +1)
+                                     // scales: 1,2,4,8 → num_scales = 4 (ceil_log2(6)=3, +1)
         assert_eq!(m.num_scales(), 4);
         assert_eq!(m.scale(0), 1);
         assert_eq!(m.scale(3), 8);
@@ -251,13 +248,15 @@ mod tests {
                 assert!(m.ball_size(u, r) >= (1usize << j).min(m.n()));
                 // A strictly smaller radius has fewer than 2^j nodes.
                 if r > 0 {
-                    assert!(m.ball_size(u, r - 1) < (1usize << j).min(m.n()) || {
-                        // ties: r_small picks the 2^j-th sorted distance, so
-                        // a smaller radius must cut below 2^j *in sorted
-                        // (dist,id) order*; ball_size counts by distance only
-                        // and may exceed due to equal distances.
-                        m.sorted_row(u)[(1usize << j).min(m.n()) - 1].0 == r
-                    });
+                    assert!(
+                        m.ball_size(u, r - 1) < (1usize << j).min(m.n()) || {
+                            // ties: r_small picks the 2^j-th sorted distance, so
+                            // a smaller radius must cut below 2^j *in sorted
+                            // (dist,id) order*; ball_size counts by distance only
+                            // and may exceed due to equal distances.
+                            m.sorted_row(u)[(1usize << j).min(m.n()) - 1].0 == r
+                        }
+                    );
                 }
                 prev = r;
             }

@@ -92,8 +92,7 @@ mod tests {
             assert!(dot.contains(&format!("{u}@0")), "missing leaf {u}");
         }
         // One parent edge per (level < top, member).
-        let expect_edges: usize =
-            (0..h.num_levels() - 1).map(|i| h.level(i).len()).sum();
+        let expect_edges: usize = (0..h.num_levels() - 1).map(|i| h.level(i).len()).sum();
         assert_eq!(dot.matches(" -> ").count(), expect_edges);
     }
 }

@@ -29,6 +29,8 @@
 //!   optimal-stretch scale-free name-independent compact routing scheme
 //!   for doubling networks.
 
+#![warn(missing_docs)]
+
 pub mod objects;
 pub mod rounds;
 pub mod scale_free;

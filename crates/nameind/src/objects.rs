@@ -216,7 +216,12 @@ impl<'s> ObjectDirectory<'s> {
             let j = level.binary_search(&y).expect("zoom lands in net level");
             let walk = self.trees[k][j].search_all(key as u64);
             for &x in &walk.nodes[1..] {
-                go(underlying, m, &mut rec, netsim::scheme::LabeledScheme::label_of(underlying, x))?;
+                go(
+                    underlying,
+                    m,
+                    &mut rec,
+                    netsim::scheme::LabeledScheme::label_of(underlying, x),
+                )?;
             }
             if let Some(label) = walk.result {
                 rec.begin_segment("final", Some(k as u32));
@@ -279,10 +284,7 @@ mod tests {
     fn unknown_key_errors() {
         let (m, s) = setup(4);
         let dir = ObjectDirectory::new(&m, &s, &[(1, vec![3])]);
-        assert!(matches!(
-            dir.locate(&m, 0, 99),
-            Err(RouteError::LookupFailed { .. })
-        ));
+        assert!(matches!(dir.locate(&m, 0, 99), Err(RouteError::LookupFailed { .. })));
     }
 
     #[test]
@@ -332,8 +334,7 @@ mod tests {
     #[test]
     fn multiple_objects_coexist() {
         let (m, s) = setup(5);
-        let dir =
-            ObjectDirectory::new(&m, &s, &[(1, vec![0]), (2, vec![24]), (3, vec![12, 4])]);
+        let dir = ObjectDirectory::new(&m, &s, &[(1, vec![0]), (2, vec![24]), (3, vec![12, 4])]);
         assert_eq!(dir.placements().len(), 4);
         let (_, r1) = dir.locate(&m, 13, 1).unwrap();
         let (_, r2) = dir.locate(&m, 13, 2).unwrap();

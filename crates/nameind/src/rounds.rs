@@ -40,11 +40,7 @@ impl Rounds {
     /// Builds the schedule for a metric and `ε`.
     pub fn new(m: &MetricSpace, eps: Eps) -> Self {
         let inv = eps.den().div_ceil(eps.num()).max(2);
-        Rounds {
-            lb: ceil_log2(inv),
-            top: (m.num_scales() - 1) as u32,
-            s0: m.min_dist(),
-        }
+        Rounds { lb: ceil_log2(inv), top: (m.num_scales() - 1) as u32, s0: m.min_dist() }
     }
 
     /// Total number of rounds (`⌈log 1/ε⌉ + log Δ + 1`). The last round's

@@ -115,10 +115,7 @@ impl ScaleFreeNameIndependent {
                     m,
                     c,
                     &ball.nodes,
-                    SearchTreeConfig {
-                        eps_r: eps.mul_floor(ball.radius).max(1),
-                        max_levels: None,
-                    },
+                    SearchTreeConfig { eps_r: eps.mul_floor(ball.radius).max(1), max_levels: None },
                     pairs,
                 );
                 for &v in tree.tree().nodes() {
@@ -163,7 +160,7 @@ impl ScaleFreeNameIndependent {
                         if d.saturating_add(rho) > r_big {
                             continue;
                         }
-                        if best.map_or(true, |(bd, bc, _)| (d, b.center) < (bd, bc)) {
+                        if best.is_none_or(|(bd, bc, _)| (d, b.center) < (bd, bc)) {
                             best = Some((d, b.center, bk as u32));
                         }
                     }
@@ -175,8 +172,7 @@ impl ScaleFreeNameIndependent {
                 match link {
                     Some((j, ball)) => level.push(Facility::Link { j, ball }),
                     None => {
-                        let ball: Vec<NodeId> =
-                            m.ball(y, rho).iter().map(|&(_, x)| x).collect();
+                        let ball: Vec<NodeId> = m.ball(y, rho).iter().map(|&(_, x)| x).collect();
                         let pairs: Vec<(u64, Label)> = ball
                             .iter()
                             .map(|&v| (naming.name_of(v) as u64, underlying.label_of(v)))
@@ -185,10 +181,7 @@ impl ScaleFreeNameIndependent {
                             m,
                             y,
                             &ball,
-                            SearchTreeConfig {
-                                eps_r: eps.mul_floor(rho).max(1),
-                                max_levels: None,
-                            },
+                            SearchTreeConfig { eps_r: eps.mul_floor(rho).max(1), max_levels: None },
                             pairs,
                         );
                         for &v in tree.tree().nodes() {
@@ -242,7 +235,7 @@ impl ScaleFreeNameIndependent {
                 nets.level(self.rounds.host_level(k))
                     .binary_search(&y)
                     .ok()
-                    .map_or(false, |j| matches!(self.facility[k][j], Facility::Link { .. }))
+                    .is_some_and(|j| matches!(self.facility[k][j], Facility::Link { .. }))
             })
             .count()
     }
@@ -418,15 +411,10 @@ mod tests {
         let m = MetricSpace::new(&gen::grid(6, 6));
         let naming = Naming::random(36, 2);
         for k in [8u64, 16] {
-            let s =
-                ScaleFreeNameIndependent::new(&m, Eps::one_over(k), naming.clone()).unwrap();
+            let s = ScaleFreeNameIndependent::new(&m, Eps::one_over(k), naming.clone()).unwrap();
             for (u, v, _) in m.graph().edges() {
                 let r = s.route(&m, u, naming.name_of(v)).unwrap();
-                assert!(
-                    r.stretch(&m) <= 7.0,
-                    "adjacent stretch {} at eps 1/{k}",
-                    r.stretch(&m)
-                );
+                assert!(r.stretch(&m) <= 7.0, "adjacent stretch {} at eps 1/{k}", r.stretch(&m));
             }
         }
     }
@@ -436,12 +424,8 @@ mod tests {
         // The whole point of ℬ/𝒜: on a reasonably dense graph some rounds
         // must be served by links into packed-ball trees.
         let m = MetricSpace::new(&gen::grid(8, 8));
-        let s =
-            ScaleFreeNameIndependent::new(&m, Eps::one_over(4), Naming::identity(64)).unwrap();
-        assert!(
-            s.link_fraction() > 0.0,
-            "no H(u,k) links were created — packing reuse inactive"
-        );
+        let s = ScaleFreeNameIndependent::new(&m, Eps::one_over(4), Naming::identity(64)).unwrap();
+        assert!(s.link_fraction() > 0.0, "no H(u,k) links were created — packing reuse inactive");
     }
 
     #[test]
@@ -471,10 +455,8 @@ mod tests {
         let simple = crate::SimpleNameIndependent::new(&m, eps, naming.clone()).unwrap();
         let scale_free = ScaleFreeNameIndependent::new(&m, eps, naming.clone()).unwrap();
         let max_simple = (0..48).map(|u| simple.table_bits(u)).max().unwrap();
-        let max_sf = (0..48)
-            .map(|u| NameIndependentScheme::table_bits(&scale_free, u))
-            .max()
-            .unwrap();
+        let max_sf =
+            (0..48).map(|u| NameIndependentScheme::table_bits(&scale_free, u)).max().unwrap();
         assert!(
             max_sf < max_simple,
             "scale-free {max_sf} bits should beat simple {max_simple} bits at huge Δ"
@@ -484,8 +466,7 @@ mod tests {
     #[test]
     fn self_route_is_free() {
         let m = MetricSpace::new(&gen::grid(3, 3));
-        let s =
-            ScaleFreeNameIndependent::new(&m, Eps::one_over(4), Naming::identity(9)).unwrap();
+        let s = ScaleFreeNameIndependent::new(&m, Eps::one_over(4), Naming::identity(9)).unwrap();
         let r = s.route(&m, 5, 5).unwrap();
         assert_eq!(r.cost, 0);
     }

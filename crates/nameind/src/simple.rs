@@ -262,11 +262,7 @@ mod tests {
             let s = SimpleNameIndependent::new(&m, Eps::one_over(k), naming.clone()).unwrap();
             for (u, v, _) in m.graph().edges() {
                 let r = s.route(&m, u, naming.name_of(v)).unwrap();
-                assert!(
-                    r.stretch(&m) <= 6.0,
-                    "adjacent stretch {} at eps 1/{k}",
-                    r.stretch(&m)
-                );
+                assert!(r.stretch(&m) <= 6.0, "adjacent stretch {} at eps 1/{k}", r.stretch(&m));
             }
         }
     }
@@ -336,8 +332,7 @@ mod tests {
         let m_small = MetricSpace::new(&gen::path(32));
         let m_big = MetricSpace::new(&gen::exp_weight_path(32));
         let eps = Eps::one_over(4);
-        let s_small =
-            SimpleNameIndependent::new(&m_small, eps, Naming::identity(32)).unwrap();
+        let s_small = SimpleNameIndependent::new(&m_small, eps, Naming::identity(32)).unwrap();
         let s_big = SimpleNameIndependent::new(&m_big, eps, Naming::identity(32)).unwrap();
         let max_small = (0..32).map(|u| s_small.table_bits(u)).max().unwrap();
         let max_big = (0..32).map(|u| s_big.table_bits(u)).max().unwrap();

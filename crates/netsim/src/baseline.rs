@@ -52,9 +52,7 @@ impl FullTable {
         r.begin_segment("shortest", None);
         // Hop-by-hop next-hop lookups (each node consults only its row).
         while r.current() != dst {
-            let nh = m
-                .next_hop(r.current(), dst)
-                .expect("distinct nodes have a next hop");
+            let nh = m.next_hop(r.current(), dst).expect("distinct nodes have a next hop");
             r.hop(nh)?;
         }
         Ok(r.finish())

@@ -1,0 +1,393 @@
+//! Fault injection: failure plans, adversarial removal strategies, and the
+//! surviving subnetwork used to measure rebuild cost.
+//!
+//! The paper proves its guarantees on *static* networks; a deployed
+//! routing scheme meets churn. This module supplies the vocabulary the
+//! churn experiments need:
+//!
+//! * A [`FaultPlan`] is a set of dead nodes and dead edges. Plans are built
+//!   by removal strategies — uniformly random ([`FaultPlan::random_nodes`],
+//!   [`FaultPlan::random_edges`]), targeted at high-degree nodes
+//!   ([`FaultPlan::targeted_by_degree`]), or targeted at the net centers of
+//!   the paper's hierarchies ([`FaultPlan::targeted_net_centers`]) — the
+//!   natural adversarial target, since a level-`i` net center carries the
+//!   search-tree and zoom traffic of its whole level-`i` cell.
+//! * **Stale-table routing**: [`crate::route::RouteRecorder::with_faults`]
+//!   rejects any hop into a dead node or over a dead edge, so a route
+//!   computed from pre-failure tables is delivered only if its realized
+//!   path avoids every casualty. [`FaultPlan::check_route`] replays a
+//!   finished route under this rule.
+//! * **Rebuild**: [`SurvivingNetwork`] extracts the largest connected
+//!   component of the post-failure graph with a fresh [`MetricSpace`], so
+//!   callers can re-run preprocessing and measure its wall-clock cost and
+//!   the recovered reachability.
+//!
+//! # Example
+//!
+//! ```rust
+//! use doubling_metric::{gen, MetricSpace};
+//! use netsim::baseline::FullTable;
+//! use netsim::faults::FaultPlan;
+//! use netsim::scheme::LabeledScheme;
+//!
+//! let m = MetricSpace::new(&gen::grid(4, 4));
+//! let scheme = FullTable::new(&m);
+//! let mut plan = FaultPlan::none(m.n());
+//! plan.kill_node(5); // on the shortest 0 → 15 route's path? replay decides
+//! let stale = scheme.route_with_faults(&m, 0, scheme.label_of(15), &plan);
+//! // Either the packet got through on a survivor path, or it was lost at a
+//! // dead element — never silently misdelivered.
+//! if let Ok(route) = &stale {
+//!     assert!(route.hops.iter().all(|&h| !plan.is_node_dead(h)));
+//! }
+//! ```
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use doubling_metric::graph::{Graph, GraphBuilder, NodeId};
+use doubling_metric::nets::NetHierarchy;
+use doubling_metric::space::MetricSpace;
+
+use crate::route::{Route, RouteError, RouteRecorder};
+
+/// A set of failed nodes and edges to inject into routing.
+///
+/// The plan is independent of any scheme: the same plan can be applied to
+/// every scheme under test, which is what makes per-scheme degradation
+/// curves comparable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// `dead[v]` — node `v` has failed.
+    dead_nodes: Vec<bool>,
+    /// Dead edges in canonical `(min, max)` form. Edges incident to dead
+    /// nodes are implicitly dead and not stored here.
+    dead_edges: HashSet<(NodeId, NodeId)>,
+    dead_node_count: usize,
+}
+
+impl FaultPlan {
+    /// The empty plan on `n` nodes: nothing fails, and fault-aware routing
+    /// is byte-identical to plain routing.
+    pub fn none(n: usize) -> Self {
+        FaultPlan { dead_nodes: vec![false; n], dead_edges: HashSet::new(), dead_node_count: 0 }
+    }
+
+    /// Number of nodes the plan covers.
+    pub fn n(&self) -> usize {
+        self.dead_nodes.len()
+    }
+
+    /// `true` if nothing fails under this plan.
+    pub fn is_empty(&self) -> bool {
+        self.dead_node_count == 0 && self.dead_edges.is_empty()
+    }
+
+    /// Marks node `v` failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn kill_node(&mut self, v: NodeId) {
+        if !self.dead_nodes[v as usize] {
+            self.dead_nodes[v as usize] = true;
+            self.dead_node_count += 1;
+        }
+    }
+
+    /// Marks the undirected edge `(u, v)` failed.
+    pub fn kill_edge(&mut self, u: NodeId, v: NodeId) {
+        self.dead_edges.insert((u.min(v), u.max(v)));
+    }
+
+    /// Whether node `v` has failed.
+    #[inline]
+    pub fn is_node_dead(&self, v: NodeId) -> bool {
+        self.dead_nodes[v as usize]
+    }
+
+    /// Whether the edge `(u, v)` has failed — directly, or because an
+    /// endpoint is dead.
+    #[inline]
+    pub fn is_edge_dead(&self, u: NodeId, v: NodeId) -> bool {
+        self.is_node_dead(u)
+            || self.is_node_dead(v)
+            || self.dead_edges.contains(&(u.min(v), u.max(v)))
+    }
+
+    /// Number of failed nodes.
+    pub fn dead_node_count(&self) -> usize {
+        self.dead_node_count
+    }
+
+    /// Number of directly failed edges (not counting edges lost to dead
+    /// endpoints).
+    pub fn dead_edge_count(&self) -> usize {
+        self.dead_edges.len()
+    }
+
+    /// The surviving node ids, ascending.
+    pub fn alive_nodes(&self) -> Vec<NodeId> {
+        (0..self.n() as NodeId).filter(|&v| !self.is_node_dead(v)).collect()
+    }
+
+    /// How many nodes a `fraction` in `[0, 1]` removes from `n` (rounded,
+    /// capped at `n`).
+    fn removal_count(n: usize, fraction: f64) -> usize {
+        assert!((0.0..=1.0).contains(&fraction), "removal fraction out of [0, 1]");
+        ((n as f64 * fraction).round() as usize).min(n)
+    }
+
+    /// Kills a uniformly random `fraction` of the `n` nodes (deterministic
+    /// in `seed`).
+    pub fn random_nodes(n: usize, fraction: f64, seed: u64) -> Self {
+        let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        Self::targeted_by_order(&order, n, fraction)
+    }
+
+    /// Kills a uniformly random `fraction` of the edges (deterministic in
+    /// `seed`). Nodes all survive; only links fail.
+    pub fn random_edges(g: &Graph, fraction: f64, seed: u64) -> Self {
+        let mut edges: Vec<(NodeId, NodeId)> = g.edges().map(|(u, v, _)| (u, v)).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        edges.shuffle(&mut rng);
+        let k = Self::removal_count(edges.len(), fraction);
+        let mut plan = Self::none(g.node_count());
+        for &(u, v) in &edges[..k] {
+            plan.kill_edge(u, v);
+        }
+        plan
+    }
+
+    /// Kills the `fraction` of nodes with the highest degree (ties broken
+    /// by least id) — the classic "targeted attack" of the scale-free
+    /// robustness literature.
+    pub fn targeted_by_degree(g: &Graph, fraction: f64) -> Self {
+        let mut order: Vec<NodeId> = (0..g.node_count() as NodeId).collect();
+        order.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+        Self::targeted_by_order(&order, g.node_count(), fraction)
+    }
+
+    /// Kills the `fraction` of nodes that appear in the highest net levels
+    /// (ties broken by least id). Net centers are where the paper's
+    /// hierarchies concentrate responsibility, so this is the adversarial
+    /// strategy tailored to these schemes.
+    pub fn targeted_net_centers(nets: &NetHierarchy, n: usize, fraction: f64) -> Self {
+        let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+        order.sort_by_key(|&v| (std::cmp::Reverse(nets.max_level_of(v)), v));
+        Self::targeted_by_order(&order, n, fraction)
+    }
+
+    /// Kills the first `fraction · n` nodes of an explicit priority order.
+    /// The building block behind the targeted strategies; exposed so
+    /// experiments can plug in their own orderings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` has fewer entries than the number to remove.
+    pub fn targeted_by_order(order: &[NodeId], n: usize, fraction: f64) -> Self {
+        let k = Self::removal_count(n, fraction);
+        assert!(order.len() >= k, "priority order shorter than removal count");
+        let mut plan = Self::none(n);
+        for &v in &order[..k] {
+            plan.kill_node(v);
+        }
+        plan
+    }
+
+    /// Replays a finished route under this plan through a fault-aware
+    /// [`RouteRecorder`]: delivery stands only if no hop enters a dead node
+    /// or crosses a dead edge.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::NodeFailed`] / [`RouteError::EdgeFailed`] at the first
+    /// casualty on the path (including a dead source).
+    pub fn check_route(&self, m: &MetricSpace, route: &Route) -> Result<(), RouteError> {
+        let mut rec = RouteRecorder::with_faults(m, route.src, self)?;
+        for &x in &route.hops[1..] {
+            rec.hop(x)?;
+        }
+        Ok(())
+    }
+}
+
+/// The largest connected component of the graph that survives a
+/// [`FaultPlan`], with id mappings between the original and rebuilt
+/// networks.
+///
+/// Rebuilding a scheme means re-running its preprocessing on
+/// [`SurvivingNetwork::metric`]; the churn experiment times exactly that.
+pub struct SurvivingNetwork {
+    /// Metric of the surviving component (node ids are re-compacted).
+    pub metric: MetricSpace,
+    to_new: Vec<Option<NodeId>>,
+    to_old: Vec<NodeId>,
+}
+
+impl SurvivingNetwork {
+    /// Extracts the largest surviving component (ties broken toward the
+    /// component containing the smallest node id). Returns `None` if every
+    /// node failed.
+    pub fn build(g: &Graph, plan: &FaultPlan) -> Option<Self> {
+        let n = g.node_count();
+        assert_eq!(plan.n(), n, "plan covers a different node count than the graph");
+        // Connected components over surviving nodes and edges.
+        let mut comp = vec![usize::MAX; n];
+        let mut comp_sizes: Vec<usize> = Vec::new();
+        for start in 0..n as NodeId {
+            if plan.is_node_dead(start) || comp[start as usize] != usize::MAX {
+                continue;
+            }
+            let id = comp_sizes.len();
+            let mut size = 0usize;
+            let mut stack = vec![start];
+            comp[start as usize] = id;
+            while let Some(u) = stack.pop() {
+                size += 1;
+                for nb in g.neighbors(u) {
+                    if comp[nb.node as usize] == usize::MAX && !plan.is_edge_dead(u, nb.node) {
+                        comp[nb.node as usize] = id;
+                        stack.push(nb.node);
+                    }
+                }
+            }
+            comp_sizes.push(size);
+        }
+        let best =
+            comp_sizes.iter().enumerate().max_by_key(|&(i, &s)| (s, std::cmp::Reverse(i)))?.0;
+        let to_old: Vec<NodeId> = (0..n as NodeId).filter(|&v| comp[v as usize] == best).collect();
+        let mut to_new = vec![None; n];
+        for (new, &old) in to_old.iter().enumerate() {
+            to_new[old as usize] = Some(new as NodeId);
+        }
+        let mut b = GraphBuilder::new(to_old.len());
+        for (u, v, w) in g.edges() {
+            if let (Some(nu), Some(nv)) = (to_new[u as usize], to_new[v as usize]) {
+                if !plan.is_edge_dead(u, v) {
+                    b.edge(nu, nv, w).expect("surviving edge is valid");
+                }
+            }
+        }
+        let graph = b.build().expect("largest surviving component is connected");
+        Some(SurvivingNetwork { metric: MetricSpace::new(&graph), to_new, to_old })
+    }
+
+    /// Nodes in the surviving component.
+    pub fn n(&self) -> usize {
+        self.to_old.len()
+    }
+
+    /// The rebuilt id of original node `old`, if it survived into the
+    /// largest component.
+    pub fn new_id(&self, old: NodeId) -> Option<NodeId> {
+        self.to_new[old as usize]
+    }
+
+    /// The original id of rebuilt node `new`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new` is out of range.
+    pub fn old_id(&self, new: NodeId) -> NodeId {
+        self.to_old[new as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doubling_metric::gen;
+
+    #[test]
+    fn empty_plan_is_empty() {
+        let plan = FaultPlan::none(10);
+        assert!(plan.is_empty());
+        assert_eq!(plan.dead_node_count(), 0);
+        assert_eq!(plan.alive_nodes().len(), 10);
+        assert!(!plan.is_edge_dead(0, 1));
+    }
+
+    #[test]
+    fn node_kill_implies_incident_edges_dead() {
+        let mut plan = FaultPlan::none(4);
+        plan.kill_node(2);
+        plan.kill_node(2); // idempotent
+        assert_eq!(plan.dead_node_count(), 1);
+        assert!(plan.is_node_dead(2));
+        assert!(plan.is_edge_dead(2, 3));
+        assert!(plan.is_edge_dead(1, 2));
+        assert!(!plan.is_edge_dead(0, 1));
+    }
+
+    #[test]
+    fn edge_kill_is_undirected() {
+        let mut plan = FaultPlan::none(4);
+        plan.kill_edge(3, 1);
+        assert!(plan.is_edge_dead(1, 3));
+        assert!(plan.is_edge_dead(3, 1));
+        assert!(!plan.is_node_dead(1));
+        assert_eq!(plan.dead_edge_count(), 1);
+    }
+
+    #[test]
+    fn random_removal_hits_requested_fraction() {
+        let plan = FaultPlan::random_nodes(100, 0.2, 7);
+        assert_eq!(plan.dead_node_count(), 20);
+        // Deterministic in the seed.
+        assert_eq!(plan, FaultPlan::random_nodes(100, 0.2, 7));
+        assert_ne!(plan, FaultPlan::random_nodes(100, 0.2, 8));
+    }
+
+    #[test]
+    fn degree_targeting_kills_hubs_first() {
+        // A star: node 0 has degree 5, everyone else degree 1.
+        let mut b = doubling_metric::graph::GraphBuilder::new(6);
+        for v in 1..6 {
+            b.edge(0, v, 1).unwrap();
+        }
+        let g = b.build().unwrap();
+        let plan = FaultPlan::targeted_by_degree(&g, 0.2); // 1 node
+        assert!(plan.is_node_dead(0));
+        assert_eq!(plan.dead_node_count(), 1);
+    }
+
+    #[test]
+    fn surviving_network_takes_largest_component() {
+        // Path 0-1-2-3-4; killing 1 leaves {0} and {2,3,4}.
+        let m = MetricSpace::new(&gen::path(5));
+        let mut plan = FaultPlan::none(5);
+        plan.kill_node(1);
+        let s = SurvivingNetwork::build(m.graph(), &plan).unwrap();
+        assert_eq!(s.n(), 3);
+        assert_eq!(s.new_id(0), None);
+        assert_eq!(s.new_id(1), None);
+        assert_eq!(s.new_id(2), Some(0));
+        assert_eq!(s.old_id(2), 4);
+        assert_eq!(s.metric.dist(0, 2), 2);
+    }
+
+    #[test]
+    fn surviving_network_respects_dead_edges() {
+        // Ring of 6; killing edges (0,1) and (3,4) splits it into two arcs.
+        let m = MetricSpace::new(&gen::ring(6));
+        let mut plan = FaultPlan::none(6);
+        plan.kill_edge(0, 1);
+        plan.kill_edge(3, 4);
+        let s = SurvivingNetwork::build(m.graph(), &plan).unwrap();
+        assert_eq!(s.n(), 3); // arcs {1,2,3} and {4,5,0}: tie → smaller id
+        assert!(s.new_id(0).is_some());
+    }
+
+    #[test]
+    fn total_failure_yields_none() {
+        let m = MetricSpace::new(&gen::path(3));
+        let plan = FaultPlan::targeted_by_order(&[0, 1, 2], 3, 1.0);
+        assert!(SurvivingNetwork::build(m.graph(), &plan).is_none());
+    }
+}

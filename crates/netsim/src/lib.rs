@@ -35,8 +35,12 @@
 //! assert_eq!(route.cost, m.dist(0, 15)); // stretch 1
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod baseline;
 pub mod bits;
+pub mod faults;
+pub mod json;
 pub mod naming;
 pub mod route;
 pub mod scheme;

@@ -27,7 +27,6 @@ use crate::scheme::Name;
 /// }
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Naming {
     name_of: Vec<Name>,
     node_of: Vec<NodeId>,
@@ -36,10 +35,7 @@ pub struct Naming {
 impl Naming {
     /// The identity naming (`name(v) = v`).
     pub fn identity(n: usize) -> Self {
-        Naming {
-            name_of: (0..n as Name).collect(),
-            node_of: (0..n as NodeId).collect(),
-        }
+        Naming { name_of: (0..n as Name).collect(), node_of: (0..n as NodeId).collect() }
     }
 
     /// A seeded uniformly-random naming.
@@ -142,7 +138,7 @@ mod tests {
         let a = Naming::random(100, 7);
         let b = Naming::random(100, 7);
         assert_eq!(a, b);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for v in 0..100 {
             let nm = a.name_of(v);
             assert!(!seen[nm as usize]);

@@ -14,18 +14,51 @@ use std::fmt;
 use doubling_metric::graph::{Dist, NodeId};
 use doubling_metric::space::MetricSpace;
 
-/// Why a route failed. Any failure is a bug in a scheme (the paper's
-/// schemes always deliver); surfacing them as errors rather than panics
-/// lets the test suite assert their absence over large samples.
+use crate::faults::FaultPlan;
+
+/// Why a route failed. Without fault injection, any failure is a bug in a
+/// scheme (the paper's schemes always deliver); surfacing them as errors
+/// rather than panics lets the test suite assert their absence over large
+/// samples. Under a [`FaultPlan`], the `NodeFailed` / `EdgeFailed`
+/// variants are expected outcomes — a packet lost to churn — and are
+/// counted by the reachability statistics rather than treated as bugs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RouteError {
     /// The destination's label/name was not found where the scheme expected
     /// it (e.g. a search-tree lookup failed).
-    LookupFailed { at: NodeId, detail: String },
+    LookupFailed {
+        /// Node at which the lookup failed.
+        at: NodeId,
+        /// Human-readable description of what was missing.
+        detail: String,
+    },
     /// The scheme exceeded its hop budget — a routing loop.
-    HopBudgetExceeded { budget: usize },
+    HopBudgetExceeded {
+        /// The budget that was exhausted.
+        budget: usize,
+    },
+    /// The packet tried to enter (or originate at) a failed node.
+    NodeFailed {
+        /// The dead node.
+        node: NodeId,
+    },
+    /// The packet tried to cross a failed edge.
+    EdgeFailed {
+        /// One endpoint of the dead edge.
+        u: NodeId,
+        /// The other endpoint.
+        v: NodeId,
+    },
     /// Internal invariant violation.
     Internal(String),
+}
+
+impl RouteError {
+    /// Whether this error is an expected fault-injection loss (as opposed
+    /// to a scheme bug).
+    pub fn is_fault(&self) -> bool {
+        matches!(self, RouteError::NodeFailed { .. } | RouteError::EdgeFailed { .. })
+    }
 }
 
 impl fmt::Display for RouteError {
@@ -37,6 +70,8 @@ impl fmt::Display for RouteError {
             RouteError::HopBudgetExceeded { budget } => {
                 write!(f, "hop budget of {budget} exceeded (routing loop?)")
             }
+            RouteError::NodeFailed { node } => write!(f, "node {node} has failed"),
+            RouteError::EdgeFailed { u, v } => write!(f, "edge ({u}, {v}) has failed"),
             RouteError::Internal(s) => write!(f, "internal routing invariant violated: {s}"),
         }
     }
@@ -46,7 +81,6 @@ impl std::error::Error for RouteError {}
 
 /// One phase of a route, for figure-style decompositions.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct Segment {
     /// Phase tag, e.g. `"zoom"`, `"search"`, `"final"`, `"ring-walk"`.
     pub label: &'static str,
@@ -72,8 +106,7 @@ pub struct Segment {
 /// assert_eq!(route.stretch(&m), 1.0);
 /// route.verify(&m).unwrap();
 /// ```
-#[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Route {
     /// Source node.
     pub src: NodeId,
@@ -164,10 +197,7 @@ impl Route {
         }
         let seg_total: Dist = self.segments.iter().map(|s| s.cost).sum();
         if !self.segments.is_empty() && seg_total != self.cost {
-            return Err(format!(
-                "segment costs sum to {seg_total}, route cost is {}",
-                self.cost
-            ));
+            return Err(format!("segment costs sum to {seg_total}, route cost is {}", self.cost));
         }
         Ok(())
     }
@@ -179,6 +209,7 @@ impl Route {
 /// exactly costed as it happens.
 pub struct RouteRecorder<'m> {
     m: &'m MetricSpace,
+    faults: Option<&'m FaultPlan>,
     hops: Vec<NodeId>,
     cost: Dist,
     max_header_bits: u64,
@@ -195,6 +226,7 @@ impl<'m> RouteRecorder<'m> {
     pub fn new(m: &'m MetricSpace, src: NodeId) -> Self {
         RouteRecorder {
             m,
+            faults: None,
             hops: vec![src],
             cost: 0,
             max_header_bits: 0,
@@ -204,6 +236,27 @@ impl<'m> RouteRecorder<'m> {
             seg_level: None,
             hop_budget: 64 * m.n() + 64,
         }
+    }
+
+    /// Starts a fault-aware route at `src`: every subsequent hop is
+    /// rejected if it enters a dead node or crosses a dead edge of
+    /// `faults`.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::NodeFailed`] immediately if the source itself is dead
+    /// — a failed node cannot originate traffic.
+    pub fn with_faults(
+        m: &'m MetricSpace,
+        src: NodeId,
+        faults: &'m FaultPlan,
+    ) -> Result<Self, RouteError> {
+        if faults.is_node_dead(src) {
+            return Err(RouteError::NodeFailed { node: src });
+        }
+        let mut rec = Self::new(m, src);
+        rec.faults = Some(faults);
+        Ok(rec)
     }
 
     /// The node the packet currently sits at.
@@ -238,7 +291,11 @@ impl<'m> RouteRecorder<'m> {
             // recorded (keeps single-phase zero-cost routes clean).
         }
         if spent > 0 {
-            self.segments.push(Segment { label: self.seg_label, level: self.seg_level, cost: spent });
+            self.segments.push(Segment {
+                label: self.seg_label,
+                level: self.seg_level,
+                cost: spent,
+            });
         }
         self.seg_start_cost = self.cost;
     }
@@ -257,6 +314,14 @@ impl<'m> RouteRecorder<'m> {
         let w = self.m.graph().edge_weight(cur, next).ok_or_else(|| {
             RouteError::Internal(format!("scheme attempted non-edge hop {cur} -> {next}"))
         })?;
+        if let Some(faults) = self.faults {
+            if faults.is_node_dead(next) {
+                return Err(RouteError::NodeFailed { node: next });
+            }
+            if faults.is_edge_dead(cur, next) {
+                return Err(RouteError::EdgeFailed { u: cur, v: next });
+            }
+        }
         if self.hops.len() > self.hop_budget {
             return Err(RouteError::HopBudgetExceeded { budget: self.hop_budget });
         }

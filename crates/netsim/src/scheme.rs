@@ -12,6 +12,7 @@
 use doubling_metric::graph::NodeId;
 use doubling_metric::space::MetricSpace;
 
+use crate::faults::FaultPlan;
 use crate::route::{Route, RouteError};
 
 /// A routing label assigned by a labeled scheme (`⌈log n⌉` bits for the
@@ -52,6 +53,49 @@ pub trait LabeledScheme {
     ) -> Result<Route, RouteError> {
         self.route(m, src, self.label_of(dst))
     }
+
+    /// Routes under *stale tables* with the given faults injected: the
+    /// scheme picks its path as if nothing failed (its tables predate the
+    /// failures), and the simulator delivers the packet only if that path
+    /// avoids every dead node and edge.
+    ///
+    /// With an empty plan, the returned route is byte-identical to
+    /// [`LabeledScheme::route`].
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::NodeFailed`] / [`RouteError::EdgeFailed`] when the
+    /// packet is lost to a casualty (including a dead source), plus
+    /// whatever scheme errors plain routing can produce.
+    fn route_with_faults(
+        &self,
+        m: &MetricSpace,
+        src: NodeId,
+        target: Label,
+        faults: &FaultPlan,
+    ) -> Result<Route, RouteError> {
+        if faults.is_node_dead(src) {
+            return Err(RouteError::NodeFailed { node: src });
+        }
+        let route = self.route(m, src, target)?;
+        faults.check_route(m, &route)?;
+        Ok(route)
+    }
+
+    /// Convenience: [`LabeledScheme::route_with_faults`] to a node by id.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LabeledScheme::route_with_faults`].
+    fn route_to_node_with_faults(
+        &self,
+        m: &MetricSpace,
+        src: NodeId,
+        dst: NodeId,
+        faults: &FaultPlan,
+    ) -> Result<Route, RouteError> {
+        self.route_with_faults(m, src, self.label_of(dst), faults)
+    }
 }
 
 /// A name-independent routing scheme: must deliver given only the original
@@ -70,4 +114,27 @@ pub trait NameIndependentScheme {
     ///
     /// Any error indicates a scheme bug; the paper's schemes always deliver.
     fn route(&self, m: &MetricSpace, src: NodeId, name: Name) -> Result<Route, RouteError>;
+
+    /// Routes under *stale tables* with the given faults injected; see
+    /// [`LabeledScheme::route_with_faults`] for the model.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::NodeFailed`] / [`RouteError::EdgeFailed`] when the
+    /// packet is lost to a casualty (including a dead source), plus
+    /// whatever scheme errors plain routing can produce.
+    fn route_with_faults(
+        &self,
+        m: &MetricSpace,
+        src: NodeId,
+        name: Name,
+        faults: &FaultPlan,
+    ) -> Result<Route, RouteError> {
+        if faults.is_node_dead(src) {
+            return Err(RouteError::NodeFailed { node: src });
+        }
+        let route = self.route(m, src, name)?;
+        faults.check_route(m, &route)?;
+        Ok(route)
+    }
 }

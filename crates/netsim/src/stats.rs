@@ -7,12 +7,13 @@ use rand::{Rng, SeedableRng};
 use doubling_metric::graph::NodeId;
 use doubling_metric::space::MetricSpace;
 
+use crate::faults::FaultPlan;
 use crate::naming::Naming;
+use crate::route::{Route, RouteError};
 use crate::scheme::{LabeledScheme, NameIndependentScheme};
 
 /// Aggregated measurements for one scheme on one graph.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct EvalResult {
     /// Scheme display name.
     pub scheme: &'static str,
@@ -153,12 +154,138 @@ pub fn eval_name_independent<S: NameIndependentScheme>(
     EvalResult::from_parts(scheme.scheme_name(), &stretches, failures, &tables, max_header)
 }
 
+/// Aggregated measurements for one scheme routing under a [`FaultPlan`].
+///
+/// Reachability follows the DRFE-R convention: the denominator is the set
+/// of sampled pairs whose *endpoints* both survive (a dead endpoint is a
+/// lost customer, not a routing failure), and a pair counts as delivered
+/// only if the scheme's path avoided every casualty.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvalResult {
+    /// Scheme display name.
+    pub scheme: &'static str,
+    /// Pairs attempted (both endpoints alive).
+    pub attempted: usize,
+    /// Pairs delivered (path avoided all dead nodes/edges).
+    pub delivered: usize,
+    /// `delivered / attempted` (1.0 when nothing was attempted).
+    pub reachability: f64,
+    /// Mean stretch over delivered routes.
+    pub avg_stretch: f64,
+    /// Worst stretch over delivered routes.
+    pub max_stretch: f64,
+    /// Routes lost entering a dead node.
+    pub lost_to_node: usize,
+    /// Routes lost crossing a dead edge.
+    pub lost_to_edge: usize,
+    /// Routes lost to non-fault scheme errors (must stay 0 for correct
+    /// schemes).
+    pub lost_other: usize,
+}
+
+impl FaultEvalResult {
+    fn from_outcomes(
+        scheme: &'static str,
+        attempted: usize,
+        stretches: &[f64],
+        lost_to_node: usize,
+        lost_to_edge: usize,
+        lost_other: usize,
+    ) -> Self {
+        let delivered = stretches.len();
+        let reachability = if attempted == 0 { 1.0 } else { delivered as f64 / attempted as f64 };
+        let max_stretch = stretches.iter().cloned().fold(0.0f64, f64::max).max(1.0);
+        let avg_stretch = if stretches.is_empty() {
+            1.0
+        } else {
+            stretches.iter().sum::<f64>() / stretches.len() as f64
+        };
+        FaultEvalResult {
+            scheme,
+            attempted,
+            delivered,
+            reachability,
+            avg_stretch,
+            max_stretch,
+            lost_to_node,
+            lost_to_edge,
+            lost_other,
+        }
+    }
+}
+
+/// Shared fault-eval accumulation over per-pair route outcomes.
+fn eval_under_faults_impl<F>(
+    scheme_name: &'static str,
+    m: &MetricSpace,
+    faults: &FaultPlan,
+    pairs: &[(NodeId, NodeId)],
+    mut route_pair: F,
+) -> FaultEvalResult
+where
+    F: FnMut(NodeId, NodeId) -> Result<Route, RouteError>,
+{
+    let mut stretches = Vec::new();
+    let mut attempted = 0usize;
+    let (mut lost_node, mut lost_edge, mut lost_other) = (0usize, 0usize, 0usize);
+    for &(u, v) in pairs {
+        if faults.is_node_dead(u) || faults.is_node_dead(v) {
+            continue; // dead endpoint: out of the denominator entirely
+        }
+        attempted += 1;
+        match route_pair(u, v) {
+            Ok(r) => {
+                assert_eq!(r.dst, v, "fault-free delivery must reach the destination");
+                r.verify(m).expect("route must verify");
+                stretches.push(r.stretch(m));
+            }
+            Err(RouteError::NodeFailed { .. }) => lost_node += 1,
+            Err(RouteError::EdgeFailed { .. }) => lost_edge += 1,
+            Err(_) => lost_other += 1,
+        }
+    }
+    FaultEvalResult::from_outcomes(
+        scheme_name,
+        attempted,
+        &stretches,
+        lost_node,
+        lost_edge,
+        lost_other,
+    )
+}
+
+/// Evaluates a labeled scheme routing with *stale tables* under `faults`:
+/// reachability, surviving-route stretch, and loss breakdown.
+pub fn eval_labeled_under_faults<S: LabeledScheme>(
+    scheme: &S,
+    m: &MetricSpace,
+    faults: &FaultPlan,
+    pairs: &[(NodeId, NodeId)],
+) -> FaultEvalResult {
+    eval_under_faults_impl(scheme.scheme_name(), m, faults, pairs, |u, v| {
+        scheme.route_with_faults(m, u, scheme.label_of(v), faults)
+    })
+}
+
+/// Evaluates a name-independent scheme routing with *stale tables* under
+/// `faults`.
+pub fn eval_name_independent_under_faults<S: NameIndependentScheme>(
+    scheme: &S,
+    m: &MetricSpace,
+    naming: &Naming,
+    faults: &FaultPlan,
+    pairs: &[(NodeId, NodeId)],
+) -> FaultEvalResult {
+    eval_under_faults_impl(scheme.scheme_name(), m, faults, pairs, |u, v| {
+        scheme.route_with_faults(m, u, naming.name_of(v), faults)
+    })
+}
+
 /// Stretch quantiles over a set of routed pairs — the measurement behind
 /// the paper's concluding open question (can relaxing the guarantee for a
 /// small fraction of pairs buy better stretch?): the distribution shows
 /// how far below the worst case typical routes sit.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct StretchQuantiles {
     /// Median stretch.
     pub p50: f64,

@@ -1,9 +1,10 @@
-//! Persistence: graphs, namings and results serialize with serde (feature
-//! "serde"), enabling experiment inputs/outputs to be saved and reloaded.
-#![cfg(feature = "serde")]
+//! Persistence: graphs, namings, routes and results serialize through the
+//! dependency-free [`netsim::json`] module, enabling experiment inputs and
+//! outputs to be saved and reloaded without crates.io access.
 
-use doubling_metric::{gen, Graph, MetricSpace};
+use doubling_metric::{gen, MetricSpace};
 use netsim::baseline::FullTable;
+use netsim::json::{graph_from_json, graph_to_json, naming_from_json, naming_to_json, Value};
 use netsim::scheme::LabeledScheme;
 use netsim::stats::{eval_labeled, sample_pairs, StretchQuantiles};
 use netsim::Naming;
@@ -11,8 +12,8 @@ use netsim::Naming;
 #[test]
 fn graph_roundtrips_through_json() {
     let g = gen::random_geometric(30, 300, 5);
-    let json = serde_json::to_string(&g).unwrap();
-    let back: Graph = serde_json::from_str(&json).unwrap();
+    let json = graph_to_json(&g).to_string();
+    let back = graph_from_json(&Value::parse(&json).unwrap()).unwrap();
     assert_eq!(back.node_count(), g.node_count());
     assert_eq!(back.edge_count(), g.edge_count());
     let e1: Vec<_> = g.edges().collect();
@@ -31,8 +32,8 @@ fn graph_roundtrips_through_json() {
 #[test]
 fn naming_roundtrips_through_json() {
     let nm = Naming::random(40, 9);
-    let json = serde_json::to_string(&nm).unwrap();
-    let back: Naming = serde_json::from_str(&json).unwrap();
+    let json = naming_to_json(&nm).to_string();
+    let back = naming_from_json(&Value::parse(&json).unwrap()).unwrap();
     assert_eq!(back, nm);
 }
 
@@ -41,11 +42,11 @@ fn results_serialize() {
     let m = MetricSpace::new(&gen::grid(4, 4));
     let s = FullTable::new(&m);
     let res = eval_labeled(&s, &m, &sample_pairs(16, 20, 1));
-    let json = serde_json::to_string(&res).unwrap();
-    assert!(json.contains("\"max_stretch\":1.0"));
+    let json = res.to_json().to_string();
+    assert!(json.contains("\"max_stretch\":1.0"), "json was: {json}");
     let q = StretchQuantiles::from_stretches(&[1.0, 2.0, 3.0]);
-    let json = serde_json::to_string(&q).unwrap();
-    assert!(json.contains("\"p50\":2.0"));
+    let json = q.to_json().to_string();
+    assert!(json.contains("\"p50\":2.0"), "json was: {json}");
 }
 
 #[test]
@@ -53,6 +54,9 @@ fn routes_serialize() {
     let m = MetricSpace::new(&gen::path(4));
     let s = FullTable::new(&m);
     let r = s.route(&m, 0, 3).unwrap();
-    let json = serde_json::to_string(&r).unwrap();
-    assert!(json.contains("\"hops\":[0,1,2,3]"));
+    let json = r.to_json().to_string();
+    assert!(
+        json.contains("\"hops\":[0.0,1.0,2.0,3.0]") || json.contains("\"hops\":[0,1,2,3]"),
+        "json was: {json}"
+    );
 }

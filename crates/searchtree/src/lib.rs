@@ -25,6 +25,8 @@
 //! machinery (shortest-path next hops or an underlying labeled scheme) and
 //! charges the true cost.
 
+#![warn(missing_docs)]
+
 use std::collections::HashMap;
 
 use doubling_metric::graph::{Dist, NodeId};
@@ -163,10 +165,7 @@ impl<D: Clone> SearchTree<D> {
         let has_tails = !remaining.is_empty();
         if has_tails {
             let sites = &level_sets[levels as usize];
-            assert!(
-                !sites.is_empty(),
-                "tails require a nonempty last net level"
-            );
+            assert!(!sites.is_empty(), "tails require a nonempty last net level");
             // Voronoi assignment of leftovers to last-level sites.
             let mut tail_members: Vec<Vec<NodeId>> = vec![Vec::new(); sites.len()];
             for &x in &remaining {
@@ -287,10 +286,7 @@ impl<D: Clone> SearchTree<D> {
         let mut cur = 0u32;
         'descend: loop {
             // If the current node itself stores the key, stop here.
-            if self.pairs[cur as usize]
-                .binary_search_by_key(&key, |&(k, _)| k)
-                .is_ok()
-            {
+            if self.pairs[cur as usize].binary_search_by_key(&key, |&(k, _)| k).is_ok() {
                 break;
             }
             for &c in self.tree.children(cur) {
@@ -476,12 +472,7 @@ impl<D: Clone> SearchTree<D> {
     /// The maximum [`Self::depth_cost`] over all members — the height that
     /// Eqn. (3) bounds by `(1+O(ε))·r`.
     pub fn height(&self) -> Dist {
-        self.tree
-            .nodes()
-            .iter()
-            .map(|&v| self.depth_cost(v))
-            .max()
-            .unwrap_or(0)
+        self.tree.nodes().iter().map(|&v| self.depth_cost(v)).max().unwrap_or(0)
     }
 
     /// Serialized table bits a member contributes, given field widths and a
@@ -498,10 +489,7 @@ impl<D: Clone> SearchTree<D> {
         let deg = self.tree.children(u).len() as u64;
         let ranges = 2 * key_bits * (deg + 1);
         let links = node_bits * (deg + 1);
-        let stored: u64 = self.pairs[u as usize]
-            .iter()
-            .map(|(_, d)| key_bits + data_bits(d))
-            .sum();
+        let stored: u64 = self.pairs[u as usize].iter().map(|(_, d)| key_bits + data_bits(d)).sum();
         ranges + links + stored + self.relay_bits(v, node_bits)
     }
 
@@ -574,11 +562,7 @@ mod tests {
             let r = m.diameter() / 2;
             let st = make(&m, c, r, eps, None);
             let bound = r + eps.mul_floor(r) + m.min_dist();
-            assert!(
-                st.height() <= bound,
-                "height {} exceeds (1+ε)r bound {bound}",
-                st.height()
-            );
+            assert!(st.height() <= bound, "height {} exceeds (1+ε)r bound {bound}", st.height());
         }
     }
 
@@ -601,13 +585,8 @@ mod tests {
         let m = MetricSpace::new(&gen::grid(6, 6));
         let ball = ball_of(&m, 14, 4);
         let pairs: Vec<(u64, u32)> = (0..3 * ball.len() as u64).map(|k| (k, k as u32)).collect();
-        let st = SearchTree::new(
-            &m,
-            14,
-            &ball,
-            SearchTreeConfig { eps_r: 2, max_levels: None },
-            pairs,
-        );
+        let st =
+            SearchTree::new(&m, 14, &ball, SearchTreeConfig { eps_r: 2, max_levels: None }, pairs);
         for &v in st.tree().nodes() {
             assert!(st.pairs_at(v).len() <= 3, "⌈k/m⌉ = 3 pairs per node");
         }
@@ -639,10 +618,8 @@ mod tests {
             assert_eq!(capped.search(x as u64).result, Some(x));
         }
         // Tail members are at level levels()+1.
-        let tail_count = ball
-            .iter()
-            .filter(|&&x| capped.level_of(x) == capped.levels() + 1)
-            .count();
+        let tail_count =
+            ball.iter().filter(|&&x| capped.level_of(x) == capped.levels() + 1).count();
         assert!(tail_count > 0);
     }
 
@@ -687,12 +664,7 @@ mod tests {
     fn storage_bits_accounting() {
         let m = MetricSpace::new(&gen::grid(4, 4));
         let st = make(&m, 5, 3, Eps::one_over(2), None);
-        let total: u64 = st
-            .tree()
-            .nodes()
-            .iter()
-            .map(|&v| st.storage_bits(v, 4, 8, |_| 4))
-            .sum();
+        let total: u64 = st.tree().nodes().iter().map(|&v| st.storage_bits(v, 4, 8, |_| 4)).sum();
         assert!(total > 0);
         // Every member stores at least its own range + parent link.
         for &v in st.tree().nodes() {
@@ -705,13 +677,8 @@ mod tests {
         let m = MetricSpace::new(&gen::grid(3, 3));
         let ball = ball_of(&m, 4, 2);
         let pairs = vec![(5u64, 100u32), (5, 100), (7, 200)];
-        let st = SearchTree::new(
-            &m,
-            4,
-            &ball,
-            SearchTreeConfig { eps_r: 1, max_levels: None },
-            pairs,
-        );
+        let st =
+            SearchTree::new(&m, 4, &ball, SearchTreeConfig { eps_r: 1, max_levels: None }, pairs);
         assert_eq!(st.search(5).result, Some(100));
         assert_eq!(st.search(7).result, Some(200));
     }

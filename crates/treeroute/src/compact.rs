@@ -192,7 +192,9 @@ impl CompactTreeRouter {
                 return Some(child);
             }
         }
-        unreachable!("target inside interval but not under heavy child: trail must name the light edge")
+        unreachable!(
+            "target inside interval but not under heavy child: trail must name the light edge"
+        )
     }
 
     /// Full hop-by-hop route from `from` to the labeled node, as graph
@@ -258,10 +260,7 @@ mod tests {
             let r = CompactTreeRouter::new(random_tree(n, seed));
             let bound = ceil_log2(n as u64) as usize;
             for v in 0..n as NodeId {
-                assert!(
-                    r.label_of(v).lights.len() <= bound,
-                    "light trail too long at {v}"
-                );
+                assert!(r.label_of(v).lights.len() <= bound, "light trail too long at {v}");
             }
         }
     }

@@ -147,11 +147,8 @@ mod tests {
 
     fn sample() -> IntervalRouter {
         IntervalRouter::new(
-            Tree::new(
-                10,
-                vec![(20, 10, 1), (30, 10, 2), (40, 20, 3), (50, 20, 4), (60, 30, 5)],
-            )
-            .unwrap(),
+            Tree::new(10, vec![(20, 10, 1), (30, 10, 2), (40, 20, 3), (50, 20, 4), (60, 30, 5)])
+                .unwrap(),
         )
     }
 

@@ -27,6 +27,8 @@
 //! (a pure re-encoding); measured label sizes are reported honestly as
 //! `O(log² n)` (see DESIGN.md).
 
+#![warn(missing_docs)]
+
 pub mod compact;
 pub mod interval;
 pub mod port;

@@ -167,10 +167,7 @@ impl PortTreeRouter {
             }
         }
 
-        let max_deg = (0..n as u32)
-            .map(|i| g.degree(tree.node(i)) as u64)
-            .max()
-            .unwrap_or(1);
+        let max_deg = (0..n as u32).map(|i| g.degree(tree.node(i)) as u64).max().unwrap_or(1);
         let port_bits = netsim_bits(max_deg);
 
         Ok(PortTreeRouter { tree, dfs, interval, heavy, labels, port_bits })
@@ -247,11 +244,7 @@ impl PortTreeRouter {
 
     /// The largest label in bits.
     pub fn max_label_bits(&self, node_bits: u64) -> u64 {
-        self.labels
-            .iter()
-            .map(|l| l.bits(node_bits, self.port_bits))
-            .max()
-            .unwrap_or(node_bits)
+        self.labels.iter().map(|l| l.bits(node_bits, self.port_bits)).max().unwrap_or(node_bits)
     }
 }
 
@@ -319,10 +312,7 @@ mod tests {
         let m = MetricSpace::new(&gen::path(5));
         // Tree edge (0, 4) is not a graph edge on a path.
         let t = Tree::new(4, vec![(0, 4, 4)]).unwrap();
-        assert!(matches!(
-            PortTreeRouter::new(t, m.graph()),
-            Err(PortError::NotAGraphEdge { .. })
-        ));
+        assert!(matches!(PortTreeRouter::new(t, m.graph()), Err(PortError::NotAGraphEdge { .. })));
     }
 
     #[test]

@@ -142,10 +142,8 @@ impl Tree {
             return Err(TreeError::NotATree { reachable: order.len(), total: nodes.len() });
         }
         for &u in order.iter().rev() {
-            size[u as usize] = 1 + children[u as usize]
-                .iter()
-                .map(|&c| size[c as usize])
-                .sum::<u32>();
+            size[u as usize] =
+                1 + children[u as usize].iter().map(|&c| size[c as usize]).sum::<u32>();
         }
 
         Ok(Tree { nodes, local, parent, children, weight_up, subtree_size: size })
@@ -291,11 +289,8 @@ mod tests {
     ///                   /  \     \
     ///                  40   50    60
     fn sample() -> Tree {
-        Tree::new(
-            10,
-            vec![(20, 10, 1), (30, 10, 2), (40, 20, 3), (50, 20, 4), (60, 30, 5)],
-        )
-        .unwrap()
+        Tree::new(10, vec![(20, 10, 1), (30, 10, 2), (40, 20, 3), (50, 20, 4), (60, 30, 5)])
+            .unwrap()
     }
 
     #[test]

@@ -43,6 +43,8 @@ fn main() {
         "\ndense-ring estimates: worst relative error {worst_rel:.3} (bound 4ε/(1−2ε) = {:.3});",
         4.0 / (8.0 - 2.0)
     );
-    println!("sparse-ring certified bounds contained the truth {bounds_hits}/{total} times (always).");
+    println!(
+        "sparse-ring certified bounds contained the truth {bounds_hits}/{total} times (always)."
+    );
     println!("both answers are computed at u from its routing table — zero messages.");
 }

@@ -65,8 +65,7 @@ fn main() {
 
     // 5. An actual compact scheme routing on (a small instance of) the tree.
     let naming = Naming::random(m.n(), 13);
-    let scheme =
-        SimpleNameIndependent::new(&m, Eps::one_over(8), naming.clone()).expect("eps ok");
+    let scheme = SimpleNameIndependent::new(&m, Eps::one_over(8), naming.clone()).expect("eps ok");
     let mut worst: f64 = 1.0;
     for v in 1..m.n() as u32 {
         let r = scheme.route(&m, 0, naming.name_of(v)).expect("delivers");

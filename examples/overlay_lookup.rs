@@ -28,8 +28,7 @@ fn main() {
     // Keys are hashed to names uniformly — the scheme has no say.
     let naming = Naming::random(metric.n(), 99);
     let eps = Eps::one_over(8);
-    let overlay =
-        SimpleNameIndependent::new(&metric, eps, naming.clone()).expect("ε ≤ 1/2");
+    let overlay = SimpleNameIndependent::new(&metric, eps, naming.clone()).expect("ε ≤ 1/2");
     let oracle = FullTable::with_naming(&metric, naming.clone());
 
     // Issue lookups: every 7th node queries 5 keys.
@@ -41,8 +40,8 @@ fn main() {
         for k in 0..5u32 {
             let key = (src * 31 + k * 17 + 3) % metric.n() as u32;
             let route = overlay.route(&metric, src, key).expect("lookup resolves");
-            let opt = NameIndependentScheme::route(&oracle, &metric, src, key)
-                .expect("oracle resolves");
+            let opt =
+                NameIndependentScheme::route(&oracle, &metric, src, key).expect("oracle resolves");
             assert_eq!(route.dst, opt.dst, "both must reach the key holder");
             let stretch = route.stretch(&metric);
             worst = worst.max(stretch);
@@ -53,17 +52,15 @@ fn main() {
         }
     }
 
-    println!("\n{total} lookups resolved; avg stretch {:.2}, worst {:.2}", sum / total as f64, worst);
+    println!(
+        "\n{total} lookups resolved; avg stretch {:.2}, worst {:.2}",
+        sum / total as f64,
+        worst
+    );
     println!("stretch histogram:");
     for (b, &count) in histogram.iter().enumerate() {
         if count > 0 {
-            println!(
-                "  [{},{}):{}{}",
-                b + 1,
-                b + 2,
-                " ".repeat(1),
-                "#".repeat(count * 60 / total)
-            );
+            println!("  [{},{}): {}", b + 1, b + 2, "#".repeat(count * 60 / total));
         }
     }
     println!("\nthe 9+O(eps) guarantee holds for the worst key placement; typical");

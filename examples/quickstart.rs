@@ -23,11 +23,10 @@ fn main() {
 
     // Preprocess Theorem 1.1's scale-free scheme with ε = 1/8.
     let eps = Eps::one_over(8);
-    let scheme = ScaleFreeNameIndependent::new(&metric, eps, naming.clone())
-        .expect("ε ≤ 1/4 is required");
+    let scheme =
+        ScaleFreeNameIndependent::new(&metric, eps, naming.clone()).expect("ε ≤ 1/4 is required");
 
-    let table_bits: Vec<u64> =
-        (0..metric.n() as u32).map(|u| scheme.table_bits(u)).collect();
+    let table_bits: Vec<u64> = (0..metric.n() as u32).map(|u| scheme.table_bits(u)).collect();
     println!(
         "tables: max {} bits/node, avg {:.0} bits/node (full tables would need {} bits)",
         table_bits.iter().max().unwrap(),

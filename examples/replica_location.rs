@@ -12,8 +12,7 @@ fn main() {
     let graph = gen::grid(12, 12);
     let metric = MetricSpace::new(&graph);
     let naming = Naming::random(metric.n(), 11);
-    let scheme = SimpleNameIndependent::new(&metric, Eps::one_over(8), naming)
-        .expect("ε ≤ 1/2");
+    let scheme = SimpleNameIndependent::new(&metric, Eps::one_over(8), naming).expect("ε ≤ 1/2");
 
     // One object ("the video"), three replicas spread over the grid.
     let replicas = vec![(42u32, vec![0u32, 77, 143])];
@@ -27,17 +26,10 @@ fn main() {
     let mut worst: f64 = 1.0;
     for client in (0..metric.n() as u32).step_by(13) {
         let (route, replica) = dir.locate(&metric, client, 42).expect("object exists");
-        let d_near = [0u32, 77, 143]
-            .iter()
-            .map(|&h| metric.dist(client, h))
-            .min()
-            .unwrap();
+        let d_near = [0u32, 77, 143].iter().map(|&h| metric.dist(client, h)).min().unwrap();
         let ratio = if d_near == 0 { 1.0 } else { route.cost as f64 / d_near as f64 };
         worst = worst.max(ratio);
-        println!(
-            "{client:<8} {replica:>12} {d_near:>12} {:>10} {ratio:>9.2}",
-            route.cost
-        );
+        println!("{client:<8} {replica:>12} {d_near:>12} {:>10} {ratio:>9.2}", route.cost);
     }
     println!("\nworst locality ratio {worst:.2} — every client pays O(1)× the");
     println!("distance to its *nearest* copy, as the search-ball hierarchy promises.");

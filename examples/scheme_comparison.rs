@@ -52,7 +52,13 @@ fn main() {
 
         let full = FullTable::with_naming(&metric, naming.clone());
         let r = eval_name_independent(&full, &metric, &naming, &pairs);
-        show("full-table (baseline)", r.max_stretch, r.avg_stretch, r.max_table_bits, r.max_header_bits);
+        show(
+            "full-table (baseline)",
+            r.max_stretch,
+            r.avg_stretch,
+            r.max_table_bits,
+            r.max_header_bits,
+        );
     }
 
     println!("\nreading guide: labeled schemes hit 1+O(eps); name-independent hit");

@@ -1,0 +1,9 @@
+//! Workspace-root alias for the churn experiment, so that
+//! `cargo run --release --bin churn` works from the repository root.
+//! The implementation lives in [`bench::churn`].
+//!
+//! Usage: `cargo run --release --bin churn [n] [1/eps] [pairs]`
+
+fn main() {
+    bench::churn::churn_main();
+}

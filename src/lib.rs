@@ -46,6 +46,8 @@
 //! assert!(route.stretch(&metric) <= 9.0 + 8.0); // 9 + O(ε) envelope
 //! ```
 
+#![warn(missing_docs)]
+
 pub use doubling_metric as metric;
 pub use labeled_routing as labeled;
 pub use lowerbound;

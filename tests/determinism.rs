@@ -75,8 +75,8 @@ fn route_describe_is_informative() {
     let g = gen::grid(6, 6);
     let m = MetricSpace::new(&g);
     let naming = Naming::random(36, 2);
-    let s = compact_routing::SimpleNameIndependent::new(&m, Eps::one_over(8), naming.clone())
-        .unwrap();
+    let s =
+        compact_routing::SimpleNameIndependent::new(&m, Eps::one_over(8), naming.clone()).unwrap();
     let r = s.route(&m, 0, naming.name_of(35)).unwrap();
     let text = r.describe(&m);
     assert!(text.contains("route 0 -> 35"));

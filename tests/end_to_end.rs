@@ -5,8 +5,8 @@ use compact_routing::netsim::baseline::FullTable;
 use compact_routing::netsim::stats::{eval_labeled, eval_name_independent, sample_pairs};
 use compact_routing::{gen, Eps, MetricSpace, Naming};
 use compact_routing::{
-    LabeledScheme, NameIndependentScheme, NetLabeled, ScaleFreeLabeled,
-    ScaleFreeNameIndependent, SimpleNameIndependent,
+    LabeledScheme, NameIndependentScheme, NetLabeled, ScaleFreeLabeled, ScaleFreeNameIndependent,
+    SimpleNameIndependent,
 };
 
 #[test]

@@ -6,10 +6,7 @@
 use compact_routing::metric::{doubling, gen};
 use compact_routing::netsim::stats::{eval_labeled, eval_name_independent, sample_pairs};
 use compact_routing::{Eps, MetricSpace, Naming};
-use compact_routing::{
-    LabeledScheme, NameIndependentScheme, ScaleFreeLabeled, ScaleFreeNameIndependent,
-    SimpleNameIndependent,
-};
+use compact_routing::{ScaleFreeLabeled, ScaleFreeNameIndependent, SimpleNameIndependent};
 
 #[test]
 fn schemes_deliver_on_sierpinski() {

@@ -25,10 +25,7 @@ fn scheme_stretch_on_lower_bound_tree_sits_between_bounds() {
             worst = worst.max(r.stretch(&m));
         }
     }
-    assert!(
-        worst <= name_independent::stretch_envelope(eps),
-        "upper bound violated: {worst}"
-    );
+    assert!(worst <= name_independent::stretch_envelope(eps), "upper bound violated: {worst}");
     // The construction bites: routing from the root is substantially
     // harder than stretch-1 (the measured worst close to the optimum 9).
     assert!(worst >= 3.0, "construction should force real stretch, got {worst}");

@@ -4,8 +4,8 @@
 
 use compact_routing::{gen, Eps, MetricSpace, Naming};
 use compact_routing::{
-    LabeledScheme, NameIndependentScheme, NetLabeled, ScaleFreeLabeled,
-    ScaleFreeNameIndependent, SimpleNameIndependent,
+    LabeledScheme, NameIndependentScheme, NetLabeled, ScaleFreeLabeled, ScaleFreeNameIndependent,
+    SimpleNameIndependent,
 };
 
 /// Max table bits over all nodes, for both a poly-Δ and an exp-Δ graph of
@@ -26,12 +26,10 @@ fn labeled_storage_flat_in_delta() {
     // Non-scale-free: grows with log Δ.
     let nl_poly = NetLabeled::new(&m_poly, eps).unwrap();
     let nl_exp = NetLabeled::new(&m_exp, eps).unwrap();
-    let poly_bits = max_bits(&m_poly, |m| {
-        (0..m.n() as u32).map(|u| nl_poly.table_bits(u)).max().unwrap()
-    });
-    let exp_bits = max_bits(&m_exp, |m| {
-        (0..m.n() as u32).map(|u| nl_exp.table_bits(u)).max().unwrap()
-    });
+    let poly_bits =
+        max_bits(&m_poly, |m| (0..m.n() as u32).map(|u| nl_poly.table_bits(u)).max().unwrap());
+    let exp_bits =
+        max_bits(&m_exp, |m| (0..m.n() as u32).map(|u| nl_exp.table_bits(u)).max().unwrap());
     assert!(
         exp_bits > 2 * poly_bits,
         "NetLabeled should grow with log Δ: {poly_bits} -> {exp_bits}"
@@ -46,10 +44,7 @@ fn labeled_storage_flat_in_delta() {
     // scale-free tables grow ~2× (Lemma 4.3 relay chains on a path are
     // longer when virtual edges span more scales; the count per node stays
     // polylog in n, not log Δ).
-    assert!(
-        sfe < (5 * sfp) / 2,
-        "ScaleFreeLabeled must stay (nearly) flat in Δ: {sfp} -> {sfe}"
-    );
+    assert!(sfe < (5 * sfp) / 2, "ScaleFreeLabeled must stay (nearly) flat in Δ: {sfp} -> {sfe}");
 }
 
 #[test]
@@ -68,18 +63,9 @@ fn name_independent_storage_flat_in_delta() {
 
     let sf_poly = ScaleFreeNameIndependent::new(&m_poly, eps, naming.clone()).unwrap();
     let sf_exp = ScaleFreeNameIndependent::new(&m_exp, eps, naming.clone()).unwrap();
-    let fp = (0..n as u32)
-        .map(|u| NameIndependentScheme::table_bits(&sf_poly, u))
-        .max()
-        .unwrap();
-    let fe = (0..n as u32)
-        .map(|u| NameIndependentScheme::table_bits(&sf_exp, u))
-        .max()
-        .unwrap();
-    assert!(
-        fe < 3 * fp,
-        "scale-free NI must stay (nearly) flat in Δ: {fp} -> {fe}"
-    );
+    let fp = (0..n as u32).map(|u| NameIndependentScheme::table_bits(&sf_poly, u)).max().unwrap();
+    let fe = (0..n as u32).map(|u| NameIndependentScheme::table_bits(&sf_exp, u)).max().unwrap();
+    assert!(fe < 3 * fp, "scale-free NI must stay (nearly) flat in Δ: {fp} -> {fe}");
     // And the headline comparison at huge Δ:
     assert!(fe < se, "scale-free ({fe}) must beat simple ({se}) at huge Δ");
 }

@@ -5,9 +5,7 @@
 //! avoids for runtime reasons; they are the long-haul confidence runs
 //! behind the EXPERIMENTS.md numbers.
 
-use compact_routing::netsim::stats::{
-    eval_labeled_par, eval_name_independent_par, sample_pairs,
-};
+use compact_routing::netsim::stats::{eval_labeled_par, eval_name_independent_par, sample_pairs};
 use compact_routing::{gen, Eps, MetricSpace, Naming};
 use compact_routing::{ScaleFreeLabeled, ScaleFreeNameIndependent};
 
