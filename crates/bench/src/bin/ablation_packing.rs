@@ -1,12 +1,14 @@
 //! Ablation A2: ball-packing reuse in the scale-free name-independent
 //! scheme — link fractions and per-node link counts (Claims 3.6–3.9).
 //!
-//! Usage: `cargo run -p bench --bin ablation_packing`
+//! Usage: `cargo run -p bench --bin ablation_packing [--seed N] [--json]`
 
+use bench::cli::Cli;
 use bench::experiments::run_ablation_packing;
 use bench::table::emit;
 
 fn main() {
-    let (headers, rows) = run_ablation_packing(42);
+    let cli = Cli::parse_env(42);
+    let (headers, rows) = run_ablation_packing(cli.seed);
     emit("A2: packing reuse (H(u,i) links vs private trees)", &headers, &rows);
 }

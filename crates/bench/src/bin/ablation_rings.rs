@@ -2,12 +2,14 @@
 //! rings (NetLabeled) vs R(u)-only rings plus packing machinery
 //! (ScaleFreeLabeled).
 //!
-//! Usage: `cargo run -p bench --bin ablation_rings`
+//! Usage: `cargo run -p bench --bin ablation_rings [--seed N] [--json]`
 
+use bench::cli::Cli;
 use bench::experiments::run_ablation_rings;
 use bench::table::emit;
 
 fn main() {
-    let (headers, rows) = run_ablation_rings(42);
+    let cli = Cli::parse_env(42);
+    let (headers, rows) = run_ablation_rings(cli.seed);
     emit("A1: ring-level pruning (all levels vs R(u))", &headers, &rows);
 }

@@ -1,7 +1,8 @@
 //! Churn experiment: fault injection and rebuild cost for all four
-//! schemes; prints the grid and writes `results/churn.json`.
+//! schemes; prints the grid and writes `results/churn.json` (plus
+//! `results/churn_trace.jsonl` under `--trace`).
 //!
-//! Usage: `cargo run --release --bin churn [n] [1/eps] [pairs]`
+//! Usage: `cargo run --release --bin churn [n] [1/eps] [pairs] [--seed N] [--trace] [--json]`
 
 fn main() {
     bench::churn::churn_main();

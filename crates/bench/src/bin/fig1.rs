@@ -2,26 +2,25 @@
 //! zooming-sequence cost, per-round search cost, and the final leg,
 //! bucketed by the round at which the destination's label was found.
 //!
-//! Usage: `cargo run -p bench --bin fig1 [n] [1/eps]`
+//! Usage: `cargo run -p bench --bin fig1 [n] [1/eps] [--seed N] [--json]`
 
+use bench::cli::Cli;
 use bench::experiments::run_fig1;
 use bench::table::emit;
 use doubling_metric::Eps;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(196);
-    let inv: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
-    let (headers, rows) = run_fig1(n, Eps::one_over(inv), 42);
+    let cli = Cli::parse_env(42);
+    let n: usize = cli.pos(0, 196);
+    let inv: u64 = cli.pos(1, 8);
+    let (headers, rows) = run_fig1(n, Eps::one_over(inv), cli.seed);
     emit(
         &format!("Figure 1: name-independent route anatomy (n≈{n}, eps=1/{inv})"),
         &headers,
         &rows,
     );
-    if !std::env::args().any(|a| a == "--json") {
+    if !cli.json {
         println!("\nexpected shape: found-round grows with d(u,v); search dominates cost;");
-    }
-    if !std::env::args().any(|a| a == "--json") {
         println!("the stretch stays within 9+O(eps) at every round.");
     }
 }

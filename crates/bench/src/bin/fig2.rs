@@ -2,20 +2,20 @@
 //! greedy ring walk vs the ball-packing phases (to-center, tree-search,
 //! to-target).
 //!
-//! Usage: `cargo run -p bench --bin fig2 [1/eps]`
+//! Usage: `cargo run -p bench --bin fig2 [1/eps] [--seed N] [--json]`
 
+use bench::cli::Cli;
 use bench::experiments::run_fig2;
 use bench::table::emit;
 use doubling_metric::Eps;
 
 fn main() {
-    let inv: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
-    let (headers, rows) = run_fig2(Eps::one_over(inv), 42);
+    let cli = Cli::parse_env(42);
+    let inv: u64 = cli.pos(0, 8);
+    let (headers, rows) = run_fig2(Eps::one_over(inv), cli.seed);
     emit(&format!("Figure 2: labeled route anatomy (eps=1/{inv})"), &headers, &rows);
-    if !std::env::args().any(|a| a == "--json") {
+    if !cli.json {
         println!("\nexpected shape: packing phases engage only in the huge-Δ regime");
-    }
-    if !std::env::args().any(|a| a == "--json") {
         println!("(exp-path); stretch stays 1+O(eps) either way.");
     }
 }

@@ -3,17 +3,19 @@
 //! search game (oblivious vs optimized orders vs the 9−ε line), plus the
 //! advice curve.
 //!
-//! Usage: `cargo run -p bench --bin fig3`
+//! Usage: `cargo run -p bench --bin fig3 [--seed N] [--json]`
 
+use bench::cli::Cli;
 use bench::experiments::{run_fig3, run_fig3_advice};
 use bench::table::emit;
 
 fn main() {
-    let (headers, rows) = run_fig3(42);
+    let cli = Cli::parse_env(42);
+    let (headers, rows) = run_fig3(cli.seed);
     emit("Figure 3 / Theorem 1.3: lower-bound construction", &headers, &rows);
     let (h2, r2) = run_fig3_advice(4);
     emit("Theorem 1.3: stretch vs advice bits (eps=4)", &h2, &r2);
-    if !std::env::args().any(|a| a == "--json") {
+    if !cli.json {
         println!("\nexpected shape: optimized >= 9−eps always; advice curve decays toward 1.");
     }
 }

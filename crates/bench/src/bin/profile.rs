@@ -1,0 +1,14 @@
+//! Experiment P1: per-phase preprocessing breakdown (wall-clock and
+//! allocation) plus route-metric histograms for all four schemes; prints
+//! the two tables and writes `results/profile.json`.
+//!
+//! Usage: `cargo run --release -p bench --bin profile [n] [1/eps] [pairs] [--seed N] [--json]`
+
+// Installing the counting allocator here (and only in binaries) is what
+// makes the per-phase `alloc_bytes` columns nonzero.
+#[global_allocator]
+static GLOBAL: obs::alloc::CountingAlloc = obs::alloc::CountingAlloc::new();
+
+fn main() {
+    bench::profile::profile_main();
+}

@@ -2,22 +2,20 @@
 //! *distribution* of the name-independent schemes — how much headroom a
 //! relaxed per-pair guarantee would have.
 //!
-//! Usage: `cargo run -p bench --bin relaxed [n]`
+//! Usage: `cargo run -p bench --bin relaxed [n] [--seed N] [--json]`
 
+use bench::cli::Cli;
 use bench::experiments::run_relaxed;
 use bench::table::emit;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(144);
-    let (headers, rows) = run_relaxed(n, 42);
+    let cli = Cli::parse_env(42);
+    let n: usize = cli.pos(0, 144);
+    let (headers, rows) = run_relaxed(n, cli.seed);
     emit(&format!("R1: stretch quantiles (n≈{n})"), &headers, &rows);
-    if !std::env::args().any(|a| a == "--json") {
+    if !cli.json {
         println!("\nreading: the worst case sits far above p99 — a guarantee relaxed on");
-    }
-    if !std::env::args().any(|a| a == "--json") {
         println!("1% of pairs would already look much better than 9+O(eps), the");
-    }
-    if !std::env::args().any(|a| a == "--json") {
         println!("direction the paper's conclusion poses as an open question.");
     }
 }

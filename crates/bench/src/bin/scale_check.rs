@@ -1,33 +1,35 @@
 //! Scale smoke test: builds and evaluates the scale-free NI scheme on a
 //! larger instance to confirm preprocessing and routing remain tractable.
 //!
-//! Usage: `cargo run --release -p bench --bin scale_check [n]`
+//! Usage: `cargo run --release -p bench --bin scale_check [n] [--seed N] [--json]`
 
 use std::time::Instant;
 
+use bench::cli::Cli;
 use doubling_metric::{gen, Eps, MetricSpace};
 use name_independent::ScaleFreeNameIndependent;
 use netsim::stats::{eval_name_independent_par, sample_pairs};
 use netsim::{NameIndependentScheme, Naming};
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(400);
+    let cli = Cli::parse_env(3);
+    let n: usize = cli.pos(0, 400);
     let t0 = Instant::now();
-    let g = gen::Family::Grid.build(n, 3);
+    let g = gen::Family::Grid.build(n, cli.seed);
     let m = MetricSpace::new(&g);
-    if !std::env::args().any(|a| a == "--json") {
+    if !cli.json {
         println!("metric built: n={} in {:.1?}", m.n(), t0.elapsed());
     }
 
     let t1 = Instant::now();
-    let naming = Naming::random(m.n(), 5);
+    let naming = Naming::random(m.n(), cli.seed ^ 0xA5);
     let s = ScaleFreeNameIndependent::new(&m, Eps::one_over(8), naming.clone()).unwrap();
-    if !std::env::args().any(|a| a == "--json") {
+    if !cli.json {
         println!("scheme preprocessed in {:.1?}", t1.elapsed());
     }
 
     let t2 = Instant::now();
-    let pairs = sample_pairs(m.n(), 500, 7);
+    let pairs = sample_pairs(m.n(), 500, cli.seed ^ 0x5A);
     let res = eval_name_independent_par(&s, &m, &naming, &pairs, 8);
     println!(
         "500 routes in {:.1?}: max stretch {:.2}, avg {:.2}, failures {}, max table {} b",

@@ -1,21 +1,19 @@
 //! Experiment S3: per-node storage growth on grids — compact polylog vs
 //! full-table n·log n bits, and the projected crossover.
 //!
-//! Usage: `cargo run --release -p bench --bin storage_growth`
+//! Usage: `cargo run --release -p bench --bin storage_growth [--seed N] [--json]`
 
+use bench::cli::Cli;
 use bench::experiments::run_storage_growth;
 use bench::table::emit;
 
 fn main() {
-    let (headers, rows) = run_storage_growth(&[144, 256, 484, 1024, 2025], 42);
+    let cli = Cli::parse_env(42);
+    let (headers, rows) = run_storage_growth(&[144, 256, 484, 1024, 2025], cli.seed);
     emit("S3: storage growth vs n (grid, eps=1/8)", &headers, &rows);
-    if !std::env::args().any(|a| a == "--json") {
+    if !cli.json {
         println!("\nreading: full-table bits quadruple per 4x n (n·log n); the compact");
-    }
-    if !std::env::args().any(|a| a == "--json") {
         println!("schemes' bits grow far slower (polylog) — the sfNI/full ratio falls");
-    }
-    if !std::env::args().any(|a| a == "--json") {
         println!("toward the crossover the theory places at polylog < n.");
     }
 }

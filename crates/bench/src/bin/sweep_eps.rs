@@ -1,13 +1,15 @@
 //! Experiment S1: stretch vs eps for all four schemes — the 1+O(eps) vs
 //! 9+O(eps) separation.
 //!
-//! Usage: `cargo run -p bench --bin sweep_eps [n]`
+//! Usage: `cargo run -p bench --bin sweep_eps [n] [--seed N] [--json]`
 
+use bench::cli::Cli;
 use bench::experiments::run_sweep_eps;
 use bench::table::emit;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(144);
-    let (headers, rows) = run_sweep_eps(n, 42);
+    let cli = Cli::parse_env(42);
+    let n: usize = cli.pos(0, 144);
+    let (headers, rows) = run_sweep_eps(n, cli.seed);
     emit(&format!("S1: stretch vs eps (grid n≈{n})"), &headers, &rows);
 }

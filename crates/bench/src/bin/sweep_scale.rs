@@ -1,23 +1,21 @@
 //! Experiment S2: max table bits vs log Δ — the scale-free crossover
 //! between Theorem 1.4 (log Δ factor) and Theorem 1.1 (log³ n, flat in Δ).
 //!
-//! Usage: `cargo run -p bench --bin sweep_scale [1/eps]`
+//! Usage: `cargo run -p bench --bin sweep_scale [1/eps] [--seed N] [--json]`
 
+use bench::cli::Cli;
 use bench::experiments::run_sweep_scale;
 use bench::table::emit;
 use doubling_metric::Eps;
 
 fn main() {
-    let inv: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
-    let (headers, rows) = run_sweep_scale(Eps::one_over(inv), 42);
+    let cli = Cli::parse_env(42);
+    let inv: u64 = cli.pos(0, 4);
+    let (headers, rows) = run_sweep_scale(Eps::one_over(inv), cli.seed);
     emit(&format!("S2: storage vs log Δ (eps=1/{inv})"), &headers, &rows);
-    if !std::env::args().any(|a| a == "--json") {
+    if !cli.json {
         println!("\nexpected shape: on unit paths the schemes are comparable; on exp-paths");
-    }
-    if !std::env::args().any(|a| a == "--json") {
         println!("the simple scheme's tables grow with log Δ = Θ(n) while the scale-free");
-    }
-    if !std::env::args().any(|a| a == "--json") {
         println!("scheme stays polylog — the ratio column grows.");
     }
 }

@@ -1,27 +1,26 @@
 //! Regenerates Table 1 of the paper: name-independent compact routing
 //! schemes — measured stretch, per-node table bits, and header bits.
 //!
-//! Usage: `cargo run -p bench --bin table1 [n] [1/eps] [pairs]`
+//! Usage: `cargo run -p bench --bin table1 [n] [1/eps] [pairs] [--seed N] [--json]`
 
+use bench::cli::Cli;
 use bench::experiments::run_table1;
 use bench::table::emit;
 use doubling_metric::Eps;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(196);
-    let inv: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
-    let pairs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(300);
-    let (headers, rows) = run_table1(n, Eps::one_over(inv), pairs, 42);
+    let cli = Cli::parse_env(42);
+    let n: usize = cli.pos(0, 196);
+    let inv: u64 = cli.pos(1, 8);
+    let pairs: usize = cli.pos(2, 300);
+    let (headers, rows) = run_table1(n, Eps::one_over(inv), pairs, cli.seed);
     emit(
         &format!("Table 1: name-independent schemes (n≈{n}, eps=1/{inv}, {pairs} pairs/graph)"),
         &headers,
         &rows,
     );
-    if !std::env::args().any(|a| a == "--json") {
+    if !cli.json {
         println!("\npaper bounds: Thm 1.4 stretch 9+O(eps), (1/eps)^O(a)·logΔ·log n bits;");
-    }
-    if !std::env::args().any(|a| a == "--json") {
         println!("              Thm 1.1 stretch 9+O(eps), (1/eps)^O(a)·log^3 n bits (scale-free).");
     }
 }

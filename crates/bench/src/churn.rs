@@ -24,21 +24,57 @@ use labeled_routing::{NetLabeled, ScaleFreeLabeled};
 use name_independent::{ScaleFreeNameIndependent, SimpleNameIndependent};
 use netsim::faults::{FaultPlan, SurvivingNetwork};
 use netsim::json::Value;
-use netsim::route::Route;
+use netsim::route::{Route, RouteError};
 use netsim::scheme::{LabeledScheme, NameIndependentScheme};
 use netsim::stats::{
-    eval_labeled_under_faults, eval_name_independent_under_faults, sample_pairs, FaultEvalResult,
+    eval_labeled_under_faults_observed, eval_name_independent_under_faults_observed, sample_pairs,
+    FaultEvalResult,
 };
 use netsim::Naming;
+use obs::Tracer;
 
 use crate::table::f2;
 
+/// Event context identifying one (strategy, fraction, scheme) cell, so a
+/// trace consumer can attribute every individual loss.
+#[derive(Clone, Copy)]
+struct CellCtx<'t> {
+    tracer: &'t Tracer,
+    strategy: &'static str,
+    fraction: f64,
+    scheme: &'static str,
+}
+
+impl CellCtx<'_> {
+    fn fields(&self, u: NodeId, v: NodeId) -> Vec<(&'static str, Value)> {
+        vec![
+            ("strategy", self.strategy.into()),
+            ("fraction", self.fraction.into()),
+            ("scheme", self.scheme.into()),
+            ("src", u.into()),
+            ("dst", v.into()),
+        ]
+    }
+}
+
+/// The trace-event `kind` for one stale-routing loss.
+fn loss_kind(e: &RouteError) -> &'static str {
+    match e {
+        RouteError::NodeFailed { .. } => "node-failed",
+        RouteError::EdgeFailed { .. } => "edge-failed",
+        _ => "other",
+    }
+}
+
 /// Reachability and mean stretch after a full rebuild on the surviving
-/// component, over the same sampled pairs as the stale evaluation.
+/// component, over the same sampled pairs as the stale evaluation. Pairs
+/// that fall outside the surviving component are emitted as
+/// `"rebuilt-unreachable"` events when `ctx.tracer` is recording.
 fn rebuilt_on(
     sn: &SurvivingNetwork,
     plan: &FaultPlan,
     pairs: &[(NodeId, NodeId)],
+    ctx: CellCtx<'_>,
     mut route: impl FnMut(NodeId, NodeId) -> Route,
 ) -> (f64, f64) {
     let mut attempted = 0usize;
@@ -55,6 +91,8 @@ fn rebuilt_on(
             assert_eq!(r.dst, nv, "rebuilt route must reach the destination");
             delivered += 1;
             stretch_sum += r.stretch(&sn.metric);
+        } else {
+            ctx.tracer.event_lazy("rebuilt-unreachable", || ctx.fields(u, v));
         }
     }
     let reach = if attempted == 0 { 1.0 } else { delivered as f64 / attempted as f64 };
@@ -109,25 +147,48 @@ fn rebuild_and_eval<S>(
     sn: &SurvivingNetwork,
     plan: &FaultPlan,
     pairs: &[(NodeId, NodeId)],
+    ctx: CellCtx<'_>,
     build: impl FnOnce(&MetricSpace) -> S,
     route: impl Fn(&S, &MetricSpace, NodeId, NodeId) -> Route,
 ) -> (f64, f64, f64) {
     let t0 = Instant::now();
     let scheme = build(&sn.metric);
     let ms = t0.elapsed().as_secs_f64() * 1e3;
-    let (reach, stretch) = rebuilt_on(sn, plan, pairs, |u, v| route(&scheme, &sn.metric, u, v));
+    let (reach, stretch) =
+        rebuilt_on(sn, plan, pairs, ctx, |u, v| route(&scheme, &sn.metric, u, v));
     (reach, stretch, ms)
+}
+
+/// A per-pair observer emitting one `"stale-loss"` event (with the loss
+/// kind) for every pair the stale tables failed to deliver.
+fn stale_observer(ctx: CellCtx<'_>) -> impl FnMut(NodeId, NodeId, &Result<Route, RouteError>) + '_ {
+    move |u, v, res| {
+        if let Err(e) = res {
+            ctx.tracer.event_lazy("stale-loss", || {
+                let mut fields = ctx.fields(u, v);
+                fields.push(("kind", loss_kind(e).into()));
+                fields
+            });
+        }
+    }
 }
 
 /// Runs the churn grid on a unit grid graph: every scheme × every removal
 /// strategy × every removal fraction. Returns table headers/rows for the
 /// console plus the full JSON document.
+///
+/// When `tracer` is recording, every individual loss becomes an
+/// attributable event: `"stale-loss"` (strategy, fraction, scheme, pair,
+/// loss kind) for stale-table losses and `"rebuilt-unreachable"` for
+/// pairs outside the rebuilt component. With [`Tracer::noop`] the
+/// per-pair overhead is one branch.
 pub fn run_churn(
     n: usize,
     eps: Eps,
     pairs_count: usize,
     fractions: &[f64],
     seed: u64,
+    tracer: &Tracer,
 ) -> (Vec<&'static str>, Vec<Vec<String>>, Value) {
     let g = gen::Family::Grid.build(n, seed);
     let m = MetricSpace::new(&g);
@@ -164,39 +225,62 @@ pub fn run_churn(
             let sn = SurvivingNetwork::build(&g, &plan);
             let naming2 = sn.as_ref().map(|sn| Naming::random(sn.n(), seed ^ 0xA5));
 
+            let ctx = |scheme: &'static str| CellCtx { tracer, strategy, fraction, scheme };
             let scheme_cells = vec![
                 SchemeCell {
-                    stale: eval_labeled_under_faults(&nl, &m, &plan, &pairs),
+                    stale: eval_labeled_under_faults_observed(
+                        &nl,
+                        &m,
+                        &plan,
+                        &pairs,
+                        stale_observer(ctx(nl.scheme_name())),
+                    ),
                     rebuilt: sn.as_ref().map(|sn| {
                         rebuild_and_eval(
                             sn,
                             &plan,
                             &pairs,
+                            ctx(nl.scheme_name()),
                             |m2| NetLabeled::new(m2, eps).expect("eps within range"),
                             |s, m2, u, v| s.route_to_node(m2, u, v).expect("delivers"),
                         )
                     }),
                 },
                 SchemeCell {
-                    stale: eval_labeled_under_faults(&sfl, &m, &plan, &pairs),
+                    stale: eval_labeled_under_faults_observed(
+                        &sfl,
+                        &m,
+                        &plan,
+                        &pairs,
+                        stale_observer(ctx(sfl.scheme_name())),
+                    ),
                     rebuilt: sn.as_ref().map(|sn| {
                         rebuild_and_eval(
                             sn,
                             &plan,
                             &pairs,
+                            ctx(sfl.scheme_name()),
                             |m2| ScaleFreeLabeled::new(m2, eps).expect("eps within range"),
                             |s, m2, u, v| s.route_to_node(m2, u, v).expect("delivers"),
                         )
                     }),
                 },
                 SchemeCell {
-                    stale: eval_name_independent_under_faults(&sni, &m, &naming, &plan, &pairs),
+                    stale: eval_name_independent_under_faults_observed(
+                        &sni,
+                        &m,
+                        &naming,
+                        &plan,
+                        &pairs,
+                        stale_observer(ctx(sni.scheme_name())),
+                    ),
                     rebuilt: sn.as_ref().map(|sn| {
                         let nm = naming2.as_ref().unwrap();
                         rebuild_and_eval(
                             sn,
                             &plan,
                             &pairs,
+                            ctx(sni.scheme_name()),
                             |m2| {
                                 SimpleNameIndependent::new(m2, eps, nm.clone())
                                     .expect("eps within range")
@@ -206,13 +290,21 @@ pub fn run_churn(
                     }),
                 },
                 SchemeCell {
-                    stale: eval_name_independent_under_faults(&sfni, &m, &naming, &plan, &pairs),
+                    stale: eval_name_independent_under_faults_observed(
+                        &sfni,
+                        &m,
+                        &naming,
+                        &plan,
+                        &pairs,
+                        stale_observer(ctx(sfni.scheme_name())),
+                    ),
                     rebuilt: sn.as_ref().map(|sn| {
                         let nm = naming2.as_ref().unwrap();
                         rebuild_and_eval(
                             sn,
                             &plan,
                             &pairs,
+                            ctx(sfni.scheme_name()),
                             |m2| {
                                 ScaleFreeNameIndependent::new(m2, eps, nm.clone())
                                     .expect("eps within range")
@@ -255,16 +347,19 @@ pub fn run_churn(
 
 /// Entry point shared by the root `churn` binary and
 /// `cargo run -p bench --bin churn`: runs the grid, prints the table, and
-/// writes `results/churn.json`.
+/// writes `results/churn.json`. With `--trace`, every individual loss is
+/// recorded and the trace is written to `results/churn_trace.jsonl`.
 ///
-/// Usage: `churn [n] [1/eps] [pairs]`.
+/// Usage: `churn [n] [1/eps] [pairs] [--seed N] [--trace] [--json]`.
 pub fn churn_main() {
-    let mut argv = std::env::args().skip(1);
-    let n: usize = argv.next().and_then(|s| s.parse().ok()).unwrap_or(196);
-    let inv: u64 = argv.next().and_then(|s| s.parse().ok()).unwrap_or(8);
-    let pairs: usize = argv.next().and_then(|s| s.parse().ok()).unwrap_or(300);
+    let cli = crate::cli::Cli::parse_env(42);
+    let n: usize = cli.pos(0, 196);
+    let inv: u64 = cli.pos(1, 8);
+    let pairs: usize = cli.pos(2, 300);
     let fractions = [0.05, 0.10, 0.20, 0.30];
-    let (headers, rows, doc) = run_churn(n, Eps::one_over(inv), pairs, &fractions, 42);
+    let tracer = if cli.trace { Tracer::recording() } else { Tracer::noop() };
+    let (headers, rows, doc) =
+        run_churn(n, Eps::one_over(inv), pairs, &fractions, cli.seed, &tracer);
     crate::table::emit(
         &format!("Churn: reachability under node removal (n≈{n}, eps=1/{inv}, {pairs} pairs)"),
         &headers,
@@ -273,7 +368,16 @@ pub fn churn_main() {
     std::fs::create_dir_all("results").expect("create results/");
     std::fs::write("results/churn.json", doc.to_string_pretty() + "\n")
         .expect("write results/churn.json");
-    println!("\nwrote results/churn.json");
+    if !cli.json {
+        println!("\nwrote results/churn.json");
+    }
+    if cli.trace {
+        std::fs::write("results/churn_trace.jsonl", tracer.finish().to_jsonl())
+            .expect("write results/churn_trace.jsonl");
+        if !cli.json {
+            println!("wrote results/churn_trace.jsonl");
+        }
+    }
 }
 
 #[cfg(test)]
@@ -283,7 +387,8 @@ mod tests {
     #[test]
     fn churn_grid_covers_all_cells_and_rebuild_beats_stale_under_targeting() {
         let fractions = [0.1, 0.2];
-        let (h, rows, doc) = run_churn(64, Eps::one_over(8), 150, &fractions, 7);
+        let tracer = Tracer::recording();
+        let (h, rows, doc) = run_churn(64, Eps::one_over(8), 150, &fractions, 7, &tracer);
         assert_eq!(h.len(), 8);
         // 4 schemes × 3 strategies × 2 fractions.
         assert_eq!(rows.len(), 4 * 3 * 2);
@@ -331,5 +436,45 @@ mod tests {
                 }
             }
         }
+
+        // Every individual stale loss is an attributable trace event: the
+        // event count matches the aggregated loss counters exactly, and
+        // each event carries the full (strategy, fraction, scheme, pair,
+        // kind) context.
+        let log = tracer.finish();
+        let mut expected_losses = 0u64;
+        for cell in cells {
+            for s in cell.get("schemes").and_then(Value::as_array).unwrap() {
+                let stale = s.get("stale").unwrap();
+                for k in ["lost_to_node", "lost_to_edge", "lost_other"] {
+                    expected_losses += stale.get(k).and_then(Value::as_u64).unwrap();
+                }
+            }
+        }
+        let stale_events: Vec<_> = log.events.iter().filter(|e| e.name == "stale-loss").collect();
+        assert_eq!(stale_events.len() as u64, expected_losses, "one event per stale loss");
+        assert!(expected_losses > 0, "targeted removal at 20% must lose something");
+        for e in &stale_events {
+            let keys: Vec<&str> = e.fields.iter().map(|(k, _)| *k).collect();
+            assert_eq!(keys, ["strategy", "fraction", "scheme", "src", "dst", "kind"]);
+        }
+
+        // Likewise each pair outside the rebuilt component: the event
+        // count is exactly Σ attempted·(1 − rebuilt reachability).
+        let mut expected_unreachable = 0u64;
+        for cell in cells {
+            for s in cell.get("schemes").and_then(Value::as_array).unwrap() {
+                let attempted = s
+                    .get("stale")
+                    .and_then(|v| v.get("attempted"))
+                    .and_then(Value::as_u64)
+                    .unwrap();
+                let reach = s.get("rebuilt_reachability").and_then(Value::as_f64).unwrap();
+                expected_unreachable += (attempted as f64 * (1.0 - reach)).round() as u64;
+            }
+        }
+        let unreachable_events =
+            log.events.iter().filter(|e| e.name == "rebuilt-unreachable").count() as u64;
+        assert_eq!(unreachable_events, expected_unreachable);
     }
 }

@@ -1,0 +1,124 @@
+//! Shared command-line parsing for the experiment binaries.
+//!
+//! Every binary accepts the same flag vocabulary on top of its positional
+//! arguments:
+//!
+//! * `--seed N` / `--seed=N` — the experiment's RNG seed (graph
+//!   generation, namings, pair samples). Each binary supplies its own
+//!   default (historically `42`), so existing invocations keep producing
+//!   byte-identical output.
+//! * `--json` — machine-readable output; [`crate::table::emit`] also
+//!   checks for this flag, so the tables switch automatically, and the
+//!   binaries use [`Cli::json`] to suppress their prose footers.
+//! * `--trace` — opt into recording-tracer output where the binary
+//!   supports it (e.g. `churn` writes `results/churn_trace.jsonl`).
+//!
+//! Unknown `--flags` are rejected loudly rather than silently treated as
+//! positionals, so a typo like `--sed 7` cannot quietly run with the
+//! default seed.
+
+/// Parsed command line: positionals plus the shared flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cli {
+    positionals: Vec<String>,
+    /// The `--seed` value, or the binary's default.
+    pub seed: u64,
+    /// Whether `--json` was passed (machine-readable output).
+    pub json: bool,
+    /// Whether `--trace` was passed (record and dump a trace).
+    pub trace: bool,
+}
+
+impl Cli {
+    /// Parses the process arguments (skipping `argv[0]`).
+    ///
+    /// # Panics
+    ///
+    /// Exits with a message on an unknown flag or a malformed `--seed`
+    /// value — a mistyped flag must not silently fall back to defaults.
+    pub fn parse_env(default_seed: u64) -> Self {
+        Self::parse(std::env::args().skip(1), default_seed)
+    }
+
+    /// Parses an explicit argument iterator; see [`Cli::parse_env`].
+    ///
+    /// # Panics
+    ///
+    /// As [`Cli::parse_env`].
+    pub fn parse(args: impl Iterator<Item = String>, default_seed: u64) -> Self {
+        let mut cli =
+            Cli { positionals: Vec::new(), seed: default_seed, json: false, trace: false };
+        let mut args = args;
+        while let Some(a) = args.next() {
+            if a == "--json" {
+                cli.json = true;
+            } else if a == "--trace" {
+                cli.trace = true;
+            } else if a == "--seed" {
+                let v = args.next().expect("--seed requires a value");
+                cli.seed = v.parse().unwrap_or_else(|_| panic!("invalid --seed value: {v:?}"));
+            } else if let Some(v) = a.strip_prefix("--seed=") {
+                cli.seed = v.parse().unwrap_or_else(|_| panic!("invalid --seed value: {v:?}"));
+            } else if a.starts_with("--") {
+                panic!("unknown flag {a:?} (expected --seed, --json, --trace)");
+            } else {
+                cli.positionals.push(a);
+            }
+        }
+        cli
+    }
+
+    /// The `idx`-th positional argument parsed as `T`, or `default` when
+    /// absent or unparsable (matching the binaries' historical lenience
+    /// for positionals).
+    pub fn pos<T: std::str::FromStr>(&self, idx: usize, default: T) -> T {
+        self.positionals.get(idx).and_then(|s| s.parse().ok()).unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str], default_seed: u64) -> Cli {
+        Cli::parse(args.iter().map(|s| s.to_string()), default_seed)
+    }
+
+    #[test]
+    fn defaults_apply_when_nothing_is_passed() {
+        let c = parse(&[], 42);
+        assert_eq!(c.seed, 42);
+        assert!(!c.json);
+        assert!(!c.trace);
+        assert_eq!(c.pos(0, 196usize), 196);
+    }
+
+    #[test]
+    fn positionals_and_flags_mix_in_any_order() {
+        let c = parse(&["100", "--seed", "7", "8", "--json", "50", "--trace"], 42);
+        assert_eq!(c.seed, 7);
+        assert!(c.json);
+        assert!(c.trace);
+        assert_eq!(c.pos(0, 0usize), 100);
+        assert_eq!(c.pos(1, 0u64), 8);
+        assert_eq!(c.pos(2, 0usize), 50);
+        assert_eq!(c.pos(3, 9usize), 9); // absent → default
+    }
+
+    #[test]
+    fn seed_equals_form() {
+        assert_eq!(parse(&["--seed=123"], 42).seed, 123);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flags_are_rejected() {
+        parse(&["--sed", "7"], 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid --seed")]
+    fn malformed_seed_is_rejected() {
+        parse(&["--seed", "banana"], 42);
+    }
+}

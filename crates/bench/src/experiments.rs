@@ -31,6 +31,11 @@ fn eval_row(family: &str, n: usize, res: &EvalResult, label_bits: Option<u64>) -
     if res.failures > 0 {
         row.push(format!("FAILURES={}", res.failures));
     }
+    if res.understretch > 0 {
+        // A sub-1 stretch means the recorder under-charged a route — a
+        // harness bug worth shouting about, never silently clamped.
+        row.push(format!("UNDERSTRETCH={}", res.understretch));
+    }
     row
 }
 

@@ -15,6 +15,11 @@
 //! | `sweep_scale` | S2 — storage vs log Δ: the scale-free crossover |
 //! | `ablation_rings` | A1 — R(u) pruning vs full ring tables |
 //! | `ablation_packing` | A2 — ℬ/𝒜 reuse statistics (Claims 3.6–3.9) |
+//! | `profile` | P1 — per-phase preprocessing breakdown + route-metric histograms |
+//! | `churn` | fault injection: stale-table vs rebuilt routing |
+//!
+//! Every binary shares the flag vocabulary of [`cli::Cli`]
+//! (`--seed N`, `--json`, `--trace`).
 //!
 //! Criterion benches (`benches/`) time preprocessing, routing, search-tree
 //! lookups and game evaluation on the same inputs.
@@ -22,7 +27,9 @@
 #![warn(missing_docs)]
 
 pub mod churn;
+pub mod cli;
 pub mod experiments;
+pub mod profile;
 pub mod table;
 
 pub use table::{emit, print_table, to_json};

@@ -1,0 +1,255 @@
+//! Experiment P1: per-phase preprocessing profile and route-metric
+//! histograms for all four schemes, across the Table-1/2 graph families.
+//!
+//! For every (family, scheme) pair the runner:
+//!
+//! 1. builds the scheme with a recording [`Tracer`] (the `new_traced`
+//!    constructors wrap each preprocessing stage — net-tree construction,
+//!    ring building, packing/Voronoi trees, search-tree population, table
+//!    assembly — in a span), measuring total build wall-clock;
+//! 2. folds the trace into a [`PhaseBreakdown`] (per-phase wall time and
+//!    allocation delta; allocation is nonzero only under the binaries'
+//!    [`obs::alloc::CountingAlloc`] global allocator);
+//! 3. routes a pair sample through [`obs::eval::eval_labeled_traced`] /
+//!    [`obs::eval::eval_name_independent_traced`] with the *no-op* tracer,
+//!    collecting [`RouteMetrics`] (cost / hop / header-bit histograms,
+//!    per-level search-tree lookups, under-stretch counter).
+//!
+//! The binary prints the two tables and writes the full document —
+//! `schema_version` 1 — to `results/profile.json`.
+
+use std::time::Instant;
+
+use doubling_metric::{Eps, MetricSpace};
+use labeled_routing::{NetLabeled, ScaleFreeLabeled};
+use name_independent::{ScaleFreeNameIndependent, SimpleNameIndependent};
+use netsim::json::Value;
+use netsim::stats::{sample_pairs, EvalResult};
+use netsim::Naming;
+use obs::eval::{eval_labeled_traced, eval_name_independent_traced};
+use obs::{PhaseBreakdown, RouteMetrics, Tracer};
+
+use crate::experiments::table_families;
+use crate::table::f2;
+
+/// Version of the `results/profile.json` document layout.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Everything one profiling run produces: the two console tables and the
+/// JSON document for `results/profile.json`.
+pub struct ProfileReport {
+    /// Headers for the per-phase preprocessing table.
+    pub phase_headers: Vec<&'static str>,
+    /// One row per (family, scheme, phase), nested phases indented.
+    pub phase_rows: Vec<Vec<String>>,
+    /// Headers for the route-metrics table.
+    pub metric_headers: Vec<&'static str>,
+    /// One row per (family, scheme).
+    pub metric_rows: Vec<Vec<String>>,
+    /// The full document (`schema_version`, parameters, per-entry phases,
+    /// histograms, eval results).
+    pub doc: Value,
+}
+
+/// One scheme profiled on one family: build time, trace, route metrics.
+fn profile_one(
+    family: &'static str,
+    report: &mut ProfileReport,
+    entries: &mut Vec<Value>,
+    run: impl FnOnce(&Tracer) -> (f64, EvalResult, RouteMetrics),
+) {
+    let tracer = Tracer::recording();
+    let (build_ms, res, rm) = run(&tracer);
+    let breakdown = PhaseBreakdown::from_log(&tracer.finish());
+
+    for p in &breakdown.phases {
+        report.phase_rows.push(vec![
+            family.to_string(),
+            res.scheme.to_string(),
+            format!("{}{}", "  ".repeat(p.depth), p.name),
+            p.calls.to_string(),
+            f2(p.wall_us as f64 / 1e3),
+            f2(p.alloc_bytes as f64 / 1024.0),
+        ]);
+    }
+    let q = |hist: &obs::Log2Histogram, q: f64| {
+        hist.quantile_bound(q).map_or_else(|| "-".into(), |b| b.to_string())
+    };
+    let lookups: u64 = rm.search_lookups_by_level.values().sum();
+    report.metric_rows.push(vec![
+        family.to_string(),
+        res.scheme.to_string(),
+        f2(build_ms),
+        rm.cost.count().to_string(),
+        res.failures.to_string(),
+        q(&rm.cost, 0.5),
+        q(&rm.cost, 0.99),
+        rm.cost.max().map_or_else(|| "-".into(), |v| v.to_string()),
+        f2(rm.hops.mean()),
+        rm.header_bits.max().map_or_else(|| "-".into(), |v| v.to_string()),
+        lookups.to_string(),
+        res.understretch.to_string(),
+    ]);
+    entries.push(Value::Object(vec![
+        ("family".into(), family.into()),
+        ("scheme".into(), res.scheme.into()),
+        ("build_ms".into(), build_ms.into()),
+        ("phases".into(), breakdown.to_json()),
+        ("metrics".into(), rm.to_json()),
+        ("eval".into(), res.to_json()),
+    ]));
+}
+
+/// Runs the full profiling grid: every Table-1/2 family × all four
+/// schemes.
+pub fn run_profile(n: usize, eps: Eps, pairs_count: usize, seed: u64) -> ProfileReport {
+    let mut report = ProfileReport {
+        phase_headers: vec!["family", "scheme", "phase", "calls", "wall(ms)", "alloc(KiB)"],
+        phase_rows: Vec::new(),
+        metric_headers: vec![
+            "family",
+            "scheme",
+            "build(ms)",
+            "routes",
+            "failures",
+            "cost-p50<=",
+            "cost-p99<=",
+            "cost-max",
+            "hops-avg",
+            "hdr(b)",
+            "lookups",
+            "under",
+        ],
+        metric_rows: Vec::new(),
+        doc: Value::Null,
+    };
+    let mut entries = Vec::new();
+
+    for f in table_families() {
+        let g = f.build(n, seed);
+        let m = MetricSpace::new(&g);
+        let naming = Naming::random(m.n(), seed ^ 0xA5);
+        let pairs = sample_pairs(m.n(), pairs_count, seed ^ 0x5A);
+
+        profile_one(f.name(), &mut report, &mut entries, |tracer| {
+            let t0 = Instant::now();
+            let s = NetLabeled::new_traced(&m, eps, tracer).expect("eps within range");
+            let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let mut rm = RouteMetrics::new();
+            let res = eval_labeled_traced(&s, &m, &pairs, &Tracer::noop(), &mut rm);
+            (build_ms, res, rm)
+        });
+        profile_one(f.name(), &mut report, &mut entries, |tracer| {
+            let t0 = Instant::now();
+            let s = ScaleFreeLabeled::new_traced(&m, eps, tracer).expect("eps within range");
+            let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let mut rm = RouteMetrics::new();
+            let res = eval_labeled_traced(&s, &m, &pairs, &Tracer::noop(), &mut rm);
+            (build_ms, res, rm)
+        });
+        profile_one(f.name(), &mut report, &mut entries, |tracer| {
+            let t0 = Instant::now();
+            let s = SimpleNameIndependent::new_traced(&m, eps, naming.clone(), tracer)
+                .expect("eps within range");
+            let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let mut rm = RouteMetrics::new();
+            let res =
+                eval_name_independent_traced(&s, &m, &naming, &pairs, &Tracer::noop(), &mut rm);
+            (build_ms, res, rm)
+        });
+        profile_one(f.name(), &mut report, &mut entries, |tracer| {
+            let t0 = Instant::now();
+            let s = ScaleFreeNameIndependent::new_traced(&m, eps, naming.clone(), tracer)
+                .expect("eps within range");
+            let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let mut rm = RouteMetrics::new();
+            let res =
+                eval_name_independent_traced(&s, &m, &naming, &pairs, &Tracer::noop(), &mut rm);
+            (build_ms, res, rm)
+        });
+    }
+
+    report.doc = Value::Object(vec![
+        ("schema_version".into(), SCHEMA_VERSION.into()),
+        ("experiment".into(), "profile".into()),
+        ("n".into(), n.into()),
+        ("eps".into(), eps.to_string().into()),
+        ("pairs".into(), pairs_count.into()),
+        ("seed".into(), seed.into()),
+        ("alloc_counted".into(), (obs::alloc::allocated_bytes() > 0).into()),
+        ("entries".into(), Value::Array(entries)),
+    ]);
+    report
+}
+
+/// Entry point shared by the root `profile` binary and
+/// `cargo run -p bench --bin profile`: runs the grid, prints the two
+/// tables, and writes `results/profile.json`.
+///
+/// Usage: `profile [n] [1/eps] [pairs] [--seed N] [--json]`.
+pub fn profile_main() {
+    let cli = crate::cli::Cli::parse_env(42);
+    let n: usize = cli.pos(0, 100);
+    let inv: u64 = cli.pos(1, 8);
+    let pairs: usize = cli.pos(2, 200);
+    let report = run_profile(n, Eps::one_over(inv), pairs, cli.seed);
+    crate::table::emit(
+        &format!("P1a: preprocessing phases (n≈{n}, eps=1/{inv}, seed {})", cli.seed),
+        &report.phase_headers,
+        &report.phase_rows,
+    );
+    crate::table::emit(
+        &format!("P1b: route metrics ({pairs} pairs/graph)"),
+        &report.metric_headers,
+        &report.metric_rows,
+    );
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/profile.json", report.doc.to_string_pretty() + "\n")
+        .expect("write results/profile.json");
+    if !cli.json {
+        println!("\nwrote results/profile.json");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_covers_every_family_and_scheme() {
+        let report = run_profile(36, Eps::one_over(8), 40, 3);
+        let n_families = table_families().len();
+        assert_eq!(report.metric_rows.len(), n_families * 4);
+
+        let doc = &report.doc;
+        assert_eq!(
+            doc.get("schema_version").and_then(Value::as_u64),
+            Some(SCHEMA_VERSION),
+            "profile.json must carry its schema version"
+        );
+        let entries = doc.get("entries").and_then(Value::as_array).expect("entries");
+        assert_eq!(entries.len(), n_families * 4);
+        for e in entries {
+            let scheme = e.get("scheme").and_then(Value::as_str).expect("scheme");
+            let phases = e.get("phases").and_then(Value::as_array).expect("phases");
+            assert!(!phases.is_empty(), "{scheme}: traced build must record phases");
+            // Every scheme's trace leads with the net-tree span (the
+            // name-independent ones nest it under "underlying-labeled").
+            let names: Vec<&str> =
+                phases.iter().filter_map(|p| p.get("name").and_then(Value::as_str)).collect();
+            assert!(names.contains(&"net-hierarchy"), "{scheme}: phases {names:?}");
+            assert!(
+                e.get("build_ms").and_then(Value::as_f64).expect("build_ms") >= 0.0,
+                "{scheme}: build wall-clock missing"
+            );
+            // All sampled routes delivered; histograms saw each of them.
+            let eval = e.get("eval").expect("eval block");
+            assert_eq!(eval.get("failures").and_then(Value::as_u64), Some(0), "{scheme}");
+            assert_eq!(eval.get("understretch").and_then(Value::as_u64), Some(0), "{scheme}");
+            let cost = e.get("metrics").and_then(|m| m.get("cost")).expect("cost histogram");
+            assert_eq!(cost.get("count").and_then(Value::as_u64), Some(40), "{scheme}");
+        }
+        // The JSON document round-trips through the parser.
+        assert_eq!(Value::parse(&doc.to_string_pretty()).unwrap(), *doc);
+    }
+}

@@ -29,6 +29,7 @@ use doubling_metric::Eps;
 use netsim::bits::{BitTally, FieldWidths};
 use netsim::route::{Route, RouteError, RouteRecorder};
 use netsim::scheme::{Label, LabeledScheme};
+use obs::Tracer;
 
 use crate::error::SchemeError;
 use crate::rings::{build_ring, ring_lookup, RingEntry};
@@ -66,15 +67,32 @@ impl NetLabeled {
     /// Returns [`SchemeError::EpsTooLarge`] if `ε > 1/2` (the level-descent
     /// progress argument needs `2^i ≤ 2^{i−1}/ε`).
     pub fn new(m: &MetricSpace, eps: Eps) -> Result<Self, SchemeError> {
+        Self::new_traced(m, eps, &Tracer::noop())
+    }
+
+    /// [`Self::new`] with preprocessing phases recorded into `tracer`:
+    /// `"net-hierarchy"` (net-tree construction) and `"ring-build"` (all
+    /// `X_i(u)` rings). With [`Tracer::noop`] this is exactly `new`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::new`].
+    pub fn new_traced(m: &MetricSpace, eps: Eps, tracer: &Tracer) -> Result<Self, SchemeError> {
         if !eps.mul_le(2, 1) {
             // 2 ≤ 1/ε  ⟺  ε ≤ 1/2
             return Err(SchemeError::EpsTooLarge { got: eps, bound: "1/2" });
         }
-        let nets = NetHierarchy::new(m);
+        let nets = {
+            let _s = tracer.span("net-hierarchy");
+            NetHierarchy::new(m)
+        };
         let num_levels = m.num_scales();
-        let rings: Vec<Vec<Vec<RingEntry>>> = (0..m.n() as NodeId)
-            .map(|u| (0..num_levels).map(|i| build_ring(m, &nets, eps, u, i)).collect())
-            .collect();
+        let rings: Vec<Vec<Vec<RingEntry>>> = {
+            let _s = tracer.span("ring-build");
+            (0..m.n() as NodeId)
+                .map(|u| (0..num_levels).map(|i| build_ring(m, &nets, eps, u, i)).collect())
+                .collect()
+        };
         Ok(NetLabeled { nets, widths: FieldWidths::new(m), rings, num_levels })
     }
 

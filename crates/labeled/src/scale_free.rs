@@ -33,6 +33,7 @@ use doubling_metric::Eps;
 use netsim::bits::{BitTally, FieldWidths};
 use netsim::route::{Route, RouteError, RouteRecorder};
 use netsim::scheme::{Label, LabeledScheme};
+use obs::Tracer;
 use searchtree::{SearchTree, SearchTreeConfig};
 use treeroute::{PortLabel, PortTreeRouter, Tree};
 
@@ -88,11 +89,28 @@ impl ScaleFreeLabeled {
     /// hit exists at every node — see the module docs of
     /// [`crate::net_labeled`] and Claim 4.6's `ε < 3/4` requirement).
     pub fn new(m: &MetricSpace, eps: Eps) -> Result<Self, SchemeError> {
+        Self::new_traced(m, eps, &Tracer::noop())
+    }
+
+    /// [`Self::new`] with preprocessing phases recorded into `tracer`:
+    /// `"net-hierarchy"`, `"ring-build"` (rings on `R(u)`),
+    /// `"ball-packing"` (the `ℬ_j` packings), `"voronoi-trees"` (the
+    /// `T_c(j)` shortest-path-tree routers), `"search-tree-build"` (the
+    /// `T'(c, r_c(j))` trees), and `"table-assembly"` (per-node bit
+    /// shares). With [`Tracer::noop`] this is exactly `new`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::new`].
+    pub fn new_traced(m: &MetricSpace, eps: Eps, tracer: &Tracer) -> Result<Self, SchemeError> {
         if !eps.mul_le(4, 1) {
             // 4 ≤ 1/ε  ⟺  ε ≤ 1/4
             return Err(SchemeError::EpsTooLarge { got: eps, bound: "1/4" });
         }
-        let nets = NetHierarchy::new(m);
+        let nets = {
+            let _s = tracer.span("net-hierarchy");
+            NetHierarchy::new(m)
+        };
         let widths = FieldWidths::new(m);
         let log2_n = m.log2_n();
         let n = m.n();
@@ -100,72 +118,123 @@ impl ScaleFreeLabeled {
         // --- Ring tables on R(u). ---
         let eps6 = eps.div_by(6);
         let mut rings: Vec<Vec<(u32, Vec<RingEntry>)>> = Vec::with_capacity(n);
-        for u in 0..n as NodeId {
-            let r_of: Vec<Dist> = (0..=log2_n).map(|j| m.r_small(u, j)).collect();
-            let mut mine = Vec::new();
-            for i in 0..m.num_scales() {
-                let s_i = m.scale(i);
-                // i ∈ R(u) ⟺ ∃j: (ε/6)·r_u(j) ≤ s_i ≤ r_u(j).
-                let in_r = r_of.iter().any(|&r| eps6.mul_le(r, s_i) && s_i <= r);
-                if in_r {
-                    mine.push((i as u32, build_ring(m, &nets, eps, u, i)));
-                }
-            }
-            rings.push(mine);
-        }
-
-        // --- Ball packings, Voronoi trees, search trees. ---
-        let packings = Packings::new(m);
-        let mut cells: Vec<Vec<Cell>> = Vec::with_capacity(packings.len());
-        let mut search_bits = vec![0u64; n];
-        for j in 0..=log2_n {
-            let packing = packings.at(j);
-            let mut level_cells = Vec::with_capacity(packing.balls().len());
-            for (k, ball) in packing.balls().iter().enumerate() {
-                let c = ball.center;
-                let region = packing.voronoi_region(k as u32);
-                // Shortest-path tree T_c(j): deterministic Dijkstra parents;
-                // regions are shortest-path-closed so parents stay inside.
-                let edges = region.iter().filter(|&&v| v != c).map(|&v| {
-                    let p = m.apsp().parent(c, v);
-                    let w = m.graph().edge_weight(p, v).expect("tree edge is a graph edge");
-                    (v, p, w)
-                });
-                let tree = Tree::new(c, edges).expect("region forms a tree");
-                let router =
-                    PortTreeRouter::new(tree, m.graph()).expect("T_c(j) edges are graph edges");
-
-                // Search tree II over B_c(r_c(j)), holding (l(v), l(v;c,j))
-                // for v ∈ V(c,j) ∩ B_c(r_c(j+1)).
-                let r_j = m.r_small(c, j);
-                let r_j1 = m.r_small(c, (j + 1).min(log2_n));
-                let tree_ball: Vec<NodeId> = m.ball(c, r_j).iter().map(|&(_, x)| x).collect();
-                let pairs: Vec<(u64, PortLabel)> = region
-                    .iter()
-                    .filter(|&&v| m.dist(c, v) <= r_j1)
-                    .map(|&v| (nets.label(v) as u64, router.label_of(v).clone()))
-                    .collect();
-                let search = SearchTree::new(
-                    m,
-                    c,
-                    &tree_ball,
-                    SearchTreeConfig { eps_r: eps.mul_floor(r_j), max_levels: Some(log2_n.max(1)) },
-                    pairs,
-                );
-                for &v in search.tree().nodes() {
-                    search_bits[v as usize] +=
-                        search.storage_bits(v, widths.node, widths.node, |lbl| {
-                            lbl.bits(widths.node, router.port_bits())
-                        });
-                }
-                for (v, _) in search.relay_nodes() {
-                    if !search.contains(v) {
-                        search_bits[v as usize] += search.relay_bits(v, widths.node);
+        {
+            let _s = tracer.span("ring-build");
+            for u in 0..n as NodeId {
+                let r_of: Vec<Dist> = (0..=log2_n).map(|j| m.r_small(u, j)).collect();
+                let mut mine = Vec::new();
+                for i in 0..m.num_scales() {
+                    let s_i = m.scale(i);
+                    // i ∈ R(u) ⟺ ∃j: (ε/6)·r_u(j) ≤ s_i ≤ r_u(j).
+                    let in_r = r_of.iter().any(|&r| eps6.mul_le(r, s_i) && s_i <= r);
+                    if in_r {
+                        mine.push((i as u32, build_ring(m, &nets, eps, u, i)));
                     }
                 }
-                level_cells.push(Cell { router, search });
+                rings.push(mine);
             }
-            cells.push(level_cells);
+        }
+
+        // --- Ball packings. ---
+        let packings = {
+            let _s = tracer.span("ball-packing");
+            Packings::new(m)
+        };
+
+        // --- Voronoi shortest-path-tree routers, per (j, ball). ---
+        let routers: Vec<Vec<PortTreeRouter>> = {
+            let _s = tracer.span("voronoi-trees");
+            (0..=log2_n)
+                .map(|j| {
+                    let packing = packings.at(j);
+                    packing
+                        .balls()
+                        .iter()
+                        .enumerate()
+                        .map(|(k, ball)| {
+                            let c = ball.center;
+                            let region = packing.voronoi_region(k as u32);
+                            // Shortest-path tree T_c(j): deterministic
+                            // Dijkstra parents; regions are
+                            // shortest-path-closed so parents stay inside.
+                            let edges = region.iter().filter(|&&v| v != c).map(|&v| {
+                                let p = m.apsp().parent(c, v);
+                                let w =
+                                    m.graph().edge_weight(p, v).expect("tree edge is a graph edge");
+                                (v, p, w)
+                            });
+                            let tree = Tree::new(c, edges).expect("region forms a tree");
+                            PortTreeRouter::new(tree, m.graph())
+                                .expect("T_c(j) edges are graph edges")
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+
+        // --- Search trees over the packed balls. ---
+        let cells: Vec<Vec<Cell>> = {
+            let _s = tracer.span("search-tree-build");
+            routers
+                .into_iter()
+                .enumerate()
+                .map(|(j, level_routers)| {
+                    let j = j as u32;
+                    let packing = packings.at(j);
+                    level_routers
+                        .into_iter()
+                        .enumerate()
+                        .map(|(k, router)| {
+                            let c = packing.balls()[k].center;
+                            let region = packing.voronoi_region(k as u32);
+                            // Search tree II over B_c(r_c(j)), holding
+                            // (l(v), l(v;c,j)) for v ∈ V(c,j) ∩ B_c(r_c(j+1)).
+                            let r_j = m.r_small(c, j);
+                            let r_j1 = m.r_small(c, (j + 1).min(log2_n));
+                            let tree_ball: Vec<NodeId> =
+                                m.ball(c, r_j).iter().map(|&(_, x)| x).collect();
+                            let pairs: Vec<(u64, PortLabel)> = region
+                                .iter()
+                                .filter(|&&v| m.dist(c, v) <= r_j1)
+                                .map(|&v| (nets.label(v) as u64, router.label_of(v).clone()))
+                                .collect();
+                            let search = SearchTree::new(
+                                m,
+                                c,
+                                &tree_ball,
+                                SearchTreeConfig {
+                                    eps_r: eps.mul_floor(r_j),
+                                    max_levels: Some(log2_n.max(1)),
+                                },
+                                pairs,
+                            );
+                            Cell { router, search }
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+
+        // --- Per-node search-tree storage shares. ---
+        let mut search_bits = vec![0u64; n];
+        {
+            let _s = tracer.span("table-assembly");
+            for level_cells in &cells {
+                for cell in level_cells {
+                    let (router, search) = (&cell.router, &cell.search);
+                    for &v in search.tree().nodes() {
+                        search_bits[v as usize] +=
+                            search.storage_bits(v, widths.node, widths.node, |lbl| {
+                                lbl.bits(widths.node, router.port_bits())
+                            });
+                    }
+                    for (v, _) in search.relay_nodes() {
+                        if !search.contains(v) {
+                            search_bits[v as usize] += search.relay_bits(v, widths.node);
+                        }
+                    }
+                }
+            }
         }
 
         Ok(ScaleFreeLabeled { nets, eps, widths, rings, packings, cells, search_bits, log2_n })

@@ -34,6 +34,7 @@ use netsim::bits::{BitTally, FieldWidths};
 use netsim::naming::Naming;
 use netsim::route::{Route, RouteError, RouteRecorder};
 use netsim::scheme::{Label, LabeledScheme, Name, NameIndependentScheme};
+use obs::Tracer;
 use searchtree::{SearchTree, SearchTreeConfig};
 
 use crate::rounds::Rounds;
@@ -90,34 +91,152 @@ impl ScaleFreeNameIndependent {
     ///
     /// Panics if `naming.n() != m.n()`.
     pub fn new(m: &MetricSpace, eps: Eps, naming: Naming) -> Result<Self, SchemeError> {
+        Self::new_traced(m, eps, naming, &Tracer::noop())
+    }
+
+    /// [`Self::new`] with preprocessing phases recorded into `tracer`:
+    /// `"underlying-labeled"` (the [`ScaleFreeLabeled`] build, sub-phases
+    /// nested inside), `"round-schedule"`, `"btree-build"` (the ℬ-type
+    /// trees), `"facility-build"` (the 𝒜-type trees and `H(y, k)` links),
+    /// and `"table-assembly"` (per-node bit shares). With
+    /// [`Tracer::noop`] this is exactly `new`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `naming.n() != m.n()`.
+    pub fn new_traced(
+        m: &MetricSpace,
+        eps: Eps,
+        naming: Naming,
+        tracer: &Tracer,
+    ) -> Result<Self, SchemeError> {
         assert_eq!(naming.n(), m.n(), "naming must cover the graph");
-        let underlying = ScaleFreeLabeled::new(m, eps)?;
+        let underlying = {
+            let _s = tracer.span("underlying-labeled");
+            ScaleFreeLabeled::new_traced(m, eps, tracer)?
+        };
         let widths = FieldWidths::new(m);
-        let rounds = Rounds::new(m, eps);
+        let rounds = {
+            let _s = tracer.span("round-schedule");
+            Rounds::new(m, eps)
+        };
         let log2_n = m.log2_n();
-        let mut search_bits = vec![0u64; m.n()];
 
         // --- ℬ-type trees: one per packed ball, storing the pairs of the
         // 4×-larger ball. ---
-        let mut btrees: Vec<Vec<SearchTree<Label>>> = Vec::with_capacity(log2_n as usize + 1);
-        for j in 0..=log2_n {
-            let packing = underlying.packings().at(j);
-            let mut level = Vec::with_capacity(packing.balls().len());
-            for ball in packing.balls() {
-                let c = ball.center;
-                let r_big = m.r_small(c, (j + 2).min(log2_n));
-                let pairs: Vec<(u64, Label)> = m
-                    .ball(c, r_big)
-                    .iter()
-                    .map(|&(_, v)| (naming.name_of(v) as u64, underlying.label_of(v)))
-                    .collect();
-                let tree = SearchTree::new(
-                    m,
-                    c,
-                    &ball.nodes,
-                    SearchTreeConfig { eps_r: eps.mul_floor(ball.radius).max(1), max_levels: None },
-                    pairs,
-                );
+        let btrees: Vec<Vec<SearchTree<Label>>> = {
+            let _s = tracer.span("btree-build");
+            (0..=log2_n)
+                .map(|j| {
+                    let packing = underlying.packings().at(j);
+                    packing
+                        .balls()
+                        .iter()
+                        .map(|ball| {
+                            let c = ball.center;
+                            let r_big = m.r_small(c, (j + 2).min(log2_n));
+                            let pairs: Vec<(u64, Label)> = m
+                                .ball(c, r_big)
+                                .iter()
+                                .map(|&(_, v)| (naming.name_of(v) as u64, underlying.label_of(v)))
+                                .collect();
+                            SearchTree::new(
+                                m,
+                                c,
+                                &ball.nodes,
+                                SearchTreeConfig {
+                                    eps_r: eps.mul_floor(ball.radius).max(1),
+                                    max_levels: None,
+                                },
+                                pairs,
+                            )
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+
+        // --- 𝒜-type trees or H(y, k) links, per round. ---
+        let nets = underlying.nets();
+        let facility: Vec<Vec<Facility>> = {
+            let _s = tracer.span("facility-build");
+            (0..rounds.count())
+                .map(|k| {
+                    let rho = rounds.radius(k);
+                    let host = rounds.host_level(k);
+                    let s_host = m.scale(host);
+                    nets.level(host)
+                        .iter()
+                        .map(|&y| {
+                            // Find H(y, k): minimal j, then minimal
+                            // (d(y,c), c), with
+                            //   (1) d(y,c) + r_c(j) ≤ ρ_k + 2^{i_k}
+                            //       [B inside the slightly enlarged search
+                            //       ball around y]
+                            //   (2) d(y,c) + ρ_k ≤ r_c(j+2)
+                            //       [y's search ball inside the indexed ball]
+                            // — exact integer comparisons.
+                            let mut link: Option<(u32, u32)> = None;
+                            'levels: for j in 0..=log2_n {
+                                let packing = underlying.packings().at(j);
+                                let mut best: Option<(u64, NodeId, u32)> = None;
+                                for (bk, b) in packing.balls().iter().enumerate() {
+                                    let d = m.dist(y, b.center);
+                                    if d.saturating_add(b.radius) > rho.saturating_add(s_host) {
+                                        continue;
+                                    }
+                                    let r_big = m.r_small(b.center, (j + 2).min(log2_n));
+                                    if d.saturating_add(rho) > r_big {
+                                        continue;
+                                    }
+                                    if best.is_none_or(|(bd, bc, _)| (d, b.center) < (bd, bc)) {
+                                        best = Some((d, b.center, bk as u32));
+                                    }
+                                }
+                                if let Some((_, _, bk)) = best {
+                                    link = Some((j, bk));
+                                    break 'levels;
+                                }
+                            }
+                            match link {
+                                Some((j, ball)) => Facility::Link { j, ball },
+                                None => {
+                                    let ball: Vec<NodeId> =
+                                        m.ball(y, rho).iter().map(|&(_, x)| x).collect();
+                                    let pairs: Vec<(u64, Label)> = ball
+                                        .iter()
+                                        .map(|&v| {
+                                            (naming.name_of(v) as u64, underlying.label_of(v))
+                                        })
+                                        .collect();
+                                    let tree = SearchTree::new(
+                                        m,
+                                        y,
+                                        &ball,
+                                        SearchTreeConfig {
+                                            eps_r: eps.mul_floor(rho).max(1),
+                                            max_levels: None,
+                                        },
+                                        pairs,
+                                    );
+                                    Facility::Own(Box::new(tree))
+                                }
+                            }
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+
+        // --- Per-node search-tree storage shares (ℬ-type + own 𝒜-type). ---
+        let mut search_bits = vec![0u64; m.n()];
+        {
+            let _s = tracer.span("table-assembly");
+            let mut tally = |tree: &SearchTree<Label>| {
                 for &v in tree.tree().nodes() {
                     search_bits[v as usize] +=
                         tree.storage_bits(v, widths.node, widths.node, |_| widths.node);
@@ -127,77 +246,19 @@ impl ScaleFreeNameIndependent {
                         search_bits[v as usize] += tree.relay_bits(v, widths.node);
                     }
                 }
-                level.push(tree);
-            }
-            btrees.push(level);
-        }
-
-        // --- 𝒜-type trees or H(y, k) links, per round. ---
-        let nets = underlying.nets();
-        let mut facility: Vec<Vec<Facility>> = Vec::with_capacity(rounds.count());
-        for k in 0..rounds.count() {
-            let rho = rounds.radius(k);
-            let host = rounds.host_level(k);
-            let s_host = m.scale(host);
-            let mut level = Vec::with_capacity(nets.level(host).len());
-            for &y in nets.level(host) {
-                // Find H(y, k): minimal j, then minimal (d(y,c), c), with
-                //   (1) d(y,c) + r_c(j) ≤ ρ_k + 2^{i_k}   [B inside the
-                //       slightly enlarged search ball around y]
-                //   (2) d(y,c) + ρ_k ≤ r_c(j+2)          [y's search ball
-                //       inside the indexed ball]
-                // — exact integer comparisons.
-                let mut link: Option<(u32, u32)> = None;
-                'levels: for j in 0..=log2_n {
-                    let packing = underlying.packings().at(j);
-                    let mut best: Option<(u64, NodeId, u32)> = None;
-                    for (bk, b) in packing.balls().iter().enumerate() {
-                        let d = m.dist(y, b.center);
-                        if d.saturating_add(b.radius) > rho.saturating_add(s_host) {
-                            continue;
-                        }
-                        let r_big = m.r_small(b.center, (j + 2).min(log2_n));
-                        if d.saturating_add(rho) > r_big {
-                            continue;
-                        }
-                        if best.is_none_or(|(bd, bc, _)| (d, b.center) < (bd, bc)) {
-                            best = Some((d, b.center, bk as u32));
-                        }
-                    }
-                    if let Some((_, _, bk)) = best {
-                        link = Some((j, bk));
-                        break 'levels;
-                    }
+            };
+            for level in &btrees {
+                for tree in level {
+                    tally(tree);
                 }
-                match link {
-                    Some((j, ball)) => level.push(Facility::Link { j, ball }),
-                    None => {
-                        let ball: Vec<NodeId> = m.ball(y, rho).iter().map(|&(_, x)| x).collect();
-                        let pairs: Vec<(u64, Label)> = ball
-                            .iter()
-                            .map(|&v| (naming.name_of(v) as u64, underlying.label_of(v)))
-                            .collect();
-                        let tree = SearchTree::new(
-                            m,
-                            y,
-                            &ball,
-                            SearchTreeConfig { eps_r: eps.mul_floor(rho).max(1), max_levels: None },
-                            pairs,
-                        );
-                        for &v in tree.tree().nodes() {
-                            search_bits[v as usize] +=
-                                tree.storage_bits(v, widths.node, widths.node, |_| widths.node);
-                        }
-                        for (v, _) in tree.relay_nodes() {
-                            if !tree.contains(v) {
-                                search_bits[v as usize] += tree.relay_bits(v, widths.node);
-                            }
-                        }
-                        level.push(Facility::Own(Box::new(tree)));
+            }
+            for level in &facility {
+                for f in level {
+                    if let Facility::Own(tree) = f {
+                        tally(tree);
                     }
                 }
             }
-            facility.push(level);
         }
 
         Ok(ScaleFreeNameIndependent {

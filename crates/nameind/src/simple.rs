@@ -29,6 +29,7 @@ use netsim::bits::{BitTally, FieldWidths};
 use netsim::naming::Naming;
 use netsim::route::{Route, RouteError, RouteRecorder};
 use netsim::scheme::{Label, LabeledScheme, Name, NameIndependentScheme};
+use obs::Tracer;
 use searchtree::{SearchTree, SearchTreeConfig};
 
 use crate::rounds::Rounds;
@@ -76,41 +77,87 @@ impl SimpleNameIndependent {
     ///
     /// Panics if `naming.n() != m.n()`.
     pub fn new(m: &MetricSpace, eps: Eps, naming: Naming) -> Result<Self, SchemeError> {
-        assert_eq!(naming.n(), m.n(), "naming must cover the graph");
-        let underlying = NetLabeled::new(m, eps)?;
-        let widths = FieldWidths::new(m);
-        let rounds = Rounds::new(m, eps);
-        let mut search_bits = vec![0u64; m.n()];
+        Self::new_traced(m, eps, naming, &Tracer::noop())
+    }
 
-        let mut trees: Vec<Vec<SearchTree<Label>>> = Vec::with_capacity(rounds.count());
-        for k in 0..rounds.count() {
-            let radius = rounds.radius(k);
-            let mut level = Vec::new();
-            for &y in underlying.nets().level(rounds.host_level(k)) {
-                let ball: Vec<NodeId> = m.ball(y, radius).iter().map(|&(_, x)| x).collect();
-                let pairs: Vec<(u64, Label)> = ball
-                    .iter()
-                    .map(|&v| (naming.name_of(v) as u64, underlying.label_of(v)))
-                    .collect();
-                let tree = SearchTree::new(
-                    m,
-                    y,
-                    &ball,
-                    SearchTreeConfig { eps_r: eps.mul_floor(radius).max(1), max_levels: None },
-                    pairs,
-                );
-                for &v in tree.tree().nodes() {
-                    search_bits[v as usize] +=
-                        tree.storage_bits(v, widths.node, widths.node, |_| widths.node);
-                }
-                for (v, _) in tree.relay_nodes() {
-                    if !tree.contains(v) {
-                        search_bits[v as usize] += tree.relay_bits(v, widths.node);
+    /// [`Self::new`] with preprocessing phases recorded into `tracer`:
+    /// `"underlying-labeled"` (the [`NetLabeled`] build, with its own
+    /// sub-phases nested inside), `"round-schedule"`,
+    /// `"search-tree-build"` (all `T(y, ρ_k)`), and `"table-assembly"`
+    /// (per-node bit shares). With [`Tracer::noop`] this is exactly `new`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `naming.n() != m.n()`.
+    pub fn new_traced(
+        m: &MetricSpace,
+        eps: Eps,
+        naming: Naming,
+        tracer: &Tracer,
+    ) -> Result<Self, SchemeError> {
+        assert_eq!(naming.n(), m.n(), "naming must cover the graph");
+        let underlying = {
+            let _s = tracer.span("underlying-labeled");
+            NetLabeled::new_traced(m, eps, tracer)?
+        };
+        let widths = FieldWidths::new(m);
+        let rounds = {
+            let _s = tracer.span("round-schedule");
+            Rounds::new(m, eps)
+        };
+
+        let trees: Vec<Vec<SearchTree<Label>>> = {
+            let _s = tracer.span("search-tree-build");
+            (0..rounds.count())
+                .map(|k| {
+                    let radius = rounds.radius(k);
+                    underlying
+                        .nets()
+                        .level(rounds.host_level(k))
+                        .iter()
+                        .map(|&y| {
+                            let ball: Vec<NodeId> =
+                                m.ball(y, radius).iter().map(|&(_, x)| x).collect();
+                            let pairs: Vec<(u64, Label)> = ball
+                                .iter()
+                                .map(|&v| (naming.name_of(v) as u64, underlying.label_of(v)))
+                                .collect();
+                            SearchTree::new(
+                                m,
+                                y,
+                                &ball,
+                                SearchTreeConfig {
+                                    eps_r: eps.mul_floor(radius).max(1),
+                                    max_levels: None,
+                                },
+                                pairs,
+                            )
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+
+        let mut search_bits = vec![0u64; m.n()];
+        {
+            let _s = tracer.span("table-assembly");
+            for level in &trees {
+                for tree in level {
+                    for &v in tree.tree().nodes() {
+                        search_bits[v as usize] +=
+                            tree.storage_bits(v, widths.node, widths.node, |_| widths.node);
+                    }
+                    for (v, _) in tree.relay_nodes() {
+                        if !tree.contains(v) {
+                            search_bits[v as usize] += tree.relay_bits(v, widths.node);
+                        }
                     }
                 }
-                level.push(tree);
             }
-            trees.push(level);
         }
 
         Ok(SimpleNameIndependent { underlying, naming, eps, widths, rounds, trees, search_bits })

@@ -473,6 +473,7 @@ impl EvalResult {
             ("max_table_bits".into(), self.max_table_bits.into()),
             ("avg_table_bits".into(), self.avg_table_bits.into()),
             ("max_header_bits".into(), self.max_header_bits.into()),
+            ("understretch".into(), self.understretch.into()),
         ])
     }
 }
@@ -502,6 +503,7 @@ impl FaultEvalResult {
             ("lost_to_node".into(), self.lost_to_node.into()),
             ("lost_to_edge".into(), self.lost_to_edge.into()),
             ("lost_other".into(), self.lost_other.into()),
+            ("understretch".into(), self.understretch.into()),
         ])
     }
 }
@@ -518,6 +520,7 @@ impl Route {
                     ("label".into(), s.label.into()),
                     ("level".into(), s.level.map_or(Value::Null, Value::from)),
                     ("cost".into(), s.cost.into()),
+                    ("hops".into(), s.hops.into()),
                 ])
             })
             .collect();

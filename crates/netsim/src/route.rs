@@ -88,6 +88,10 @@ pub struct Segment {
     pub level: Option<u32>,
     /// Exact cost incurred during the phase.
     pub cost: Dist,
+    /// Edge traversals during the phase. Edge weights are positive, so
+    /// segment hop counts partition [`Route::hop_count`] exactly as
+    /// segment costs partition [`Route::cost`].
+    pub hops: usize,
 }
 
 /// A completed, verified route.
@@ -199,6 +203,13 @@ impl Route {
         if !self.segments.is_empty() && seg_total != self.cost {
             return Err(format!("segment costs sum to {seg_total}, route cost is {}", self.cost));
         }
+        let seg_hops: usize = self.segments.iter().map(|s| s.hops).sum();
+        if !self.segments.is_empty() && seg_hops != self.hop_count() {
+            return Err(format!(
+                "segment hops sum to {seg_hops}, route has {} hops",
+                self.hop_count()
+            ));
+        }
         Ok(())
     }
 }
@@ -215,6 +226,7 @@ pub struct RouteRecorder<'m> {
     max_header_bits: u64,
     segments: Vec<Segment>,
     seg_start_cost: Dist,
+    seg_start_hops: usize,
     seg_label: &'static str,
     seg_level: Option<u32>,
     hop_budget: usize,
@@ -232,6 +244,7 @@ impl<'m> RouteRecorder<'m> {
             max_header_bits: 0,
             segments: Vec::new(),
             seg_start_cost: 0,
+            seg_start_hops: 0,
             seg_label: "route",
             seg_level: None,
             hop_budget: 64 * m.n() + 64,
@@ -286,18 +299,19 @@ impl<'m> RouteRecorder<'m> {
 
     fn flush_segment(&mut self) {
         let spent = self.cost - self.seg_start_cost;
-        if spent > 0 || (!self.segments.is_empty() && spent == 0) {
-            // Record zero-cost segments only if something was already
-            // recorded (keeps single-phase zero-cost routes clean).
-        }
+        // Zero-cost phases are dropped (keeps single-phase zero-cost
+        // routes clean); edge weights are positive, so a dropped phase
+        // also made no hops.
         if spent > 0 {
             self.segments.push(Segment {
                 label: self.seg_label,
                 level: self.seg_level,
                 cost: spent,
+                hops: self.hops.len() - 1 - self.seg_start_hops,
             });
         }
         self.seg_start_cost = self.cost;
+        self.seg_start_hops = self.hops.len() - 1;
     }
 
     /// Moves one hop to an adjacent node, charging the edge weight.
@@ -414,6 +428,10 @@ mod tests {
         route.verify(&m).unwrap();
         assert_eq!(route.segments.len(), 2);
         assert_eq!(route.segments[0].cost, m.dist(0, 15));
+        // Segment hop counts partition the route's hops, like costs do.
+        let seg_hops: usize = route.segments.iter().map(|s| s.hops).sum();
+        assert_eq!(seg_hops, route.hop_count());
+        assert!(route.segments.iter().all(|s| s.hops > 0));
     }
 
     #[test]

@@ -31,6 +31,20 @@ pub struct EvalResult {
     pub avg_table_bits: f64,
     /// Largest header observed on any hop of any route, in bits.
     pub max_header_bits: u64,
+    /// Routed pairs whose measured stretch fell below 1 (beyond float
+    /// tolerance). A correct simulator never under-charges a route, so any
+    /// nonzero value flags an accounting bug; it is surfaced here instead
+    /// of being silently clamped away.
+    pub understretch: usize,
+}
+
+/// Float tolerance below which a stretch value counts as an under-stretch
+/// accounting violation rather than rounding noise.
+pub(crate) const UNDERSTRETCH_TOL: f64 = 1e-9;
+
+/// Counts stretch values strictly below `1 - UNDERSTRETCH_TOL`.
+fn count_understretch(stretches: &[f64]) -> usize {
+    stretches.iter().filter(|&&s| s < 1.0 - UNDERSTRETCH_TOL).count()
 }
 
 impl EvalResult {
@@ -41,7 +55,13 @@ impl EvalResult {
         tables: &[u64],
         max_header_bits: u64,
     ) -> Self {
-        let max_stretch = stretches.iter().cloned().fold(0.0f64, f64::max).max(1.0);
+        // No clamping: an observed max below 1.0 is a real signal and is
+        // reported as-is, with the violation count in `understretch`.
+        let max_stretch = if stretches.is_empty() {
+            1.0
+        } else {
+            stretches.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        };
         let avg_stretch = if stretches.is_empty() {
             1.0
         } else {
@@ -62,6 +82,7 @@ impl EvalResult {
             max_table_bits,
             avg_table_bits,
             max_header_bits,
+            understretch: count_understretch(stretches),
         }
     }
 }
@@ -106,11 +127,33 @@ pub fn eval_labeled<S: LabeledScheme>(
     m: &MetricSpace,
     pairs: &[(NodeId, NodeId)],
 ) -> EvalResult {
+    eval_labeled_observed(scheme, m, pairs, |_, _, _| {})
+}
+
+/// [`eval_labeled`] with a per-pair observer hook: `observe(u, v, outcome)`
+/// is called once per pair with the already-verified route (or the error).
+/// The aggregation is identical to [`eval_labeled`]; the hook exists so an
+/// observability layer can attach without `netsim` depending on it.
+///
+/// # Panics
+///
+/// As [`eval_labeled`].
+pub fn eval_labeled_observed<S, F>(
+    scheme: &S,
+    m: &MetricSpace,
+    pairs: &[(NodeId, NodeId)],
+    mut observe: F,
+) -> EvalResult
+where
+    S: LabeledScheme,
+    F: FnMut(NodeId, NodeId, &Result<Route, RouteError>),
+{
     let mut stretches = Vec::with_capacity(pairs.len());
     let mut failures = 0usize;
     let mut max_header = 0u64;
     for &(u, v) in pairs {
-        match scheme.route(m, u, scheme.label_of(v)) {
+        let res = scheme.route(m, u, scheme.label_of(v));
+        match &res {
             Ok(r) => {
                 assert_eq!(r.dst, v, "labeled route delivered to the wrong node");
                 r.verify(m).expect("route must verify");
@@ -119,6 +162,7 @@ pub fn eval_labeled<S: LabeledScheme>(
             }
             Err(_) => failures += 1,
         }
+        observe(u, v, &res);
     }
     let tables: Vec<u64> = (0..m.n() as NodeId).map(|u| scheme.table_bits(u)).collect();
     EvalResult::from_parts(scheme.scheme_name(), &stretches, failures, &tables, max_header)
@@ -136,11 +180,32 @@ pub fn eval_name_independent<S: NameIndependentScheme>(
     naming: &Naming,
     pairs: &[(NodeId, NodeId)],
 ) -> EvalResult {
+    eval_name_independent_observed(scheme, m, naming, pairs, |_, _, _| {})
+}
+
+/// [`eval_name_independent`] with a per-pair observer hook; see
+/// [`eval_labeled_observed`].
+///
+/// # Panics
+///
+/// As [`eval_name_independent`].
+pub fn eval_name_independent_observed<S, F>(
+    scheme: &S,
+    m: &MetricSpace,
+    naming: &Naming,
+    pairs: &[(NodeId, NodeId)],
+    mut observe: F,
+) -> EvalResult
+where
+    S: NameIndependentScheme,
+    F: FnMut(NodeId, NodeId, &Result<Route, RouteError>),
+{
     let mut stretches = Vec::with_capacity(pairs.len());
     let mut failures = 0usize;
     let mut max_header = 0u64;
     for &(u, v) in pairs {
-        match scheme.route(m, u, naming.name_of(v)) {
+        let res = scheme.route(m, u, naming.name_of(v));
+        match &res {
             Ok(r) => {
                 assert_eq!(r.dst, v, "name-independent route delivered to the wrong node");
                 r.verify(m).expect("route must verify");
@@ -149,6 +214,7 @@ pub fn eval_name_independent<S: NameIndependentScheme>(
             }
             Err(_) => failures += 1,
         }
+        observe(u, v, &res);
     }
     let tables: Vec<u64> = (0..m.n() as NodeId).map(|u| scheme.table_bits(u)).collect();
     EvalResult::from_parts(scheme.scheme_name(), &stretches, failures, &tables, max_header)
@@ -181,6 +247,9 @@ pub struct FaultEvalResult {
     /// Routes lost to non-fault scheme errors (must stay 0 for correct
     /// schemes).
     pub lost_other: usize,
+    /// Delivered routes whose measured stretch fell below 1 (see
+    /// [`EvalResult::understretch`]).
+    pub understretch: usize,
 }
 
 impl FaultEvalResult {
@@ -194,7 +263,12 @@ impl FaultEvalResult {
     ) -> Self {
         let delivered = stretches.len();
         let reachability = if attempted == 0 { 1.0 } else { delivered as f64 / attempted as f64 };
-        let max_stretch = stretches.iter().cloned().fold(0.0f64, f64::max).max(1.0);
+        // As in `EvalResult::from_parts`: no clamp, under-stretch counted.
+        let max_stretch = if stretches.is_empty() {
+            1.0
+        } else {
+            stretches.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        };
         let avg_stretch = if stretches.is_empty() {
             1.0
         } else {
@@ -210,20 +284,23 @@ impl FaultEvalResult {
             lost_to_node,
             lost_to_edge,
             lost_other,
+            understretch: count_understretch(stretches),
         }
     }
 }
 
 /// Shared fault-eval accumulation over per-pair route outcomes.
-fn eval_under_faults_impl<F>(
+fn eval_under_faults_impl<F, O>(
     scheme_name: &'static str,
     m: &MetricSpace,
     faults: &FaultPlan,
     pairs: &[(NodeId, NodeId)],
     mut route_pair: F,
+    mut observe: O,
 ) -> FaultEvalResult
 where
     F: FnMut(NodeId, NodeId) -> Result<Route, RouteError>,
+    O: FnMut(NodeId, NodeId, &Result<Route, RouteError>),
 {
     let mut stretches = Vec::new();
     let mut attempted = 0usize;
@@ -233,7 +310,8 @@ where
             continue; // dead endpoint: out of the denominator entirely
         }
         attempted += 1;
-        match route_pair(u, v) {
+        let res = route_pair(u, v);
+        match &res {
             Ok(r) => {
                 assert_eq!(r.dst, v, "fault-free delivery must reach the destination");
                 r.verify(m).expect("route must verify");
@@ -243,6 +321,7 @@ where
             Err(RouteError::EdgeFailed { .. }) => lost_edge += 1,
             Err(_) => lost_other += 1,
         }
+        observe(u, v, &res);
     }
     FaultEvalResult::from_outcomes(
         scheme_name,
@@ -262,9 +341,32 @@ pub fn eval_labeled_under_faults<S: LabeledScheme>(
     faults: &FaultPlan,
     pairs: &[(NodeId, NodeId)],
 ) -> FaultEvalResult {
-    eval_under_faults_impl(scheme.scheme_name(), m, faults, pairs, |u, v| {
-        scheme.route_with_faults(m, u, scheme.label_of(v), faults)
-    })
+    eval_labeled_under_faults_observed(scheme, m, faults, pairs, |_, _, _| {})
+}
+
+/// [`eval_labeled_under_faults`] with a per-pair observer hook, so each
+/// individual loss (node kill, edge kill) is attributable; see
+/// [`eval_labeled_observed`]. Pairs skipped for dead endpoints are not
+/// observed.
+pub fn eval_labeled_under_faults_observed<S, O>(
+    scheme: &S,
+    m: &MetricSpace,
+    faults: &FaultPlan,
+    pairs: &[(NodeId, NodeId)],
+    observe: O,
+) -> FaultEvalResult
+where
+    S: LabeledScheme,
+    O: FnMut(NodeId, NodeId, &Result<Route, RouteError>),
+{
+    eval_under_faults_impl(
+        scheme.scheme_name(),
+        m,
+        faults,
+        pairs,
+        |u, v| scheme.route_with_faults(m, u, scheme.label_of(v), faults),
+        observe,
+    )
 }
 
 /// Evaluates a name-independent scheme routing with *stale tables* under
@@ -276,9 +378,31 @@ pub fn eval_name_independent_under_faults<S: NameIndependentScheme>(
     faults: &FaultPlan,
     pairs: &[(NodeId, NodeId)],
 ) -> FaultEvalResult {
-    eval_under_faults_impl(scheme.scheme_name(), m, faults, pairs, |u, v| {
-        scheme.route_with_faults(m, u, naming.name_of(v), faults)
-    })
+    eval_name_independent_under_faults_observed(scheme, m, naming, faults, pairs, |_, _, _| {})
+}
+
+/// [`eval_name_independent_under_faults`] with a per-pair observer hook;
+/// see [`eval_labeled_under_faults_observed`].
+pub fn eval_name_independent_under_faults_observed<S, O>(
+    scheme: &S,
+    m: &MetricSpace,
+    naming: &Naming,
+    faults: &FaultPlan,
+    pairs: &[(NodeId, NodeId)],
+    observe: O,
+) -> FaultEvalResult
+where
+    S: NameIndependentScheme,
+    O: FnMut(NodeId, NodeId, &Result<Route, RouteError>),
+{
+    eval_under_faults_impl(
+        scheme.scheme_name(),
+        m,
+        faults,
+        pairs,
+        |u, v| scheme.route_with_faults(m, u, naming.name_of(v), faults),
+        observe,
+    )
 }
 
 /// Stretch quantiles over a set of routed pairs — the measurement behind
@@ -519,6 +643,58 @@ mod tests {
         assert_eq!(q.max, 100.0);
         let empty = StretchQuantiles::from_stretches(&[]);
         assert_eq!(empty.max, 1.0);
+    }
+
+    #[test]
+    fn understretch_is_surfaced_not_clamped() {
+        // A (bogus) stretch below 1.0 must show up both in max_stretch
+        // (unclamped) and in the violation counter.
+        let res = EvalResult::from_parts("bogus", &[0.5, 0.9, 1.2], 0, &[8], 4);
+        assert_eq!(res.understretch, 2);
+        assert!((res.max_stretch - 1.2).abs() < 1e-12);
+        // Rounding noise just below 1.0 is not a violation.
+        let ok = EvalResult::from_parts("ok", &[1.0 - 1e-12, 1.0], 0, &[8], 4);
+        assert_eq!(ok.understretch, 0);
+        // Empty input keeps the neutral 1.0 convention.
+        let empty = EvalResult::from_parts("empty", &[], 3, &[8], 0);
+        assert_eq!(empty.max_stretch, 1.0);
+        assert_eq!(empty.understretch, 0);
+    }
+
+    #[test]
+    fn fault_understretch_is_surfaced_not_clamped() {
+        let res = FaultEvalResult::from_outcomes("bogus", 4, &[0.8, 1.1], 1, 1, 0);
+        assert_eq!(res.understretch, 1);
+        assert!((res.max_stretch - 1.1).abs() < 1e-12);
+        let empty = FaultEvalResult::from_outcomes("empty", 0, &[], 0, 0, 0);
+        assert_eq!(empty.max_stretch, 1.0);
+        assert_eq!(empty.understretch, 0);
+    }
+
+    #[test]
+    fn observed_eval_sees_every_pair_and_matches_plain() {
+        let m = MetricSpace::new(&gen::grid(4, 4));
+        let s = FullTable::new(&m);
+        let pairs = sample_pairs(16, 25, 9);
+        let mut seen = Vec::new();
+        let observed = eval_labeled_observed(&s, &m, &pairs, |u, v, res| {
+            assert!(res.is_ok());
+            seen.push((u, v));
+        });
+        assert_eq!(seen, pairs);
+        assert_eq!(observed, eval_labeled(&s, &m, &pairs));
+    }
+
+    #[test]
+    fn observed_ni_eval_matches_plain() {
+        let m = MetricSpace::new(&gen::grid(4, 4));
+        let nm = Naming::random(16, 5);
+        let s = FullTable::with_naming(&m, nm.clone());
+        let pairs = sample_pairs(16, 25, 9);
+        let mut count = 0usize;
+        let observed = eval_name_independent_observed(&s, &m, &nm, &pairs, |_, _, _| count += 1);
+        assert_eq!(count, pairs.len());
+        assert_eq!(observed, eval_name_independent(&s, &m, &nm, &pairs));
     }
 
     #[test]

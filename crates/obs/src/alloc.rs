@@ -1,0 +1,75 @@
+//! Allocation counting without external dependencies.
+//!
+//! [`CountingAlloc`] wraps the system allocator and counts every byte ever
+//! allocated (a monotone total, deliberately *not* net of frees — phase
+//! deltas then measure allocation pressure, which is what a perf PR wants
+//! to shrink). Binaries opt in by declaring it as their global allocator:
+//!
+//! ```rust,ignore
+//! #[global_allocator]
+//! static GLOBAL: obs::alloc::CountingAlloc = obs::alloc::CountingAlloc::new();
+//! ```
+//!
+//! When no binary installs it, [`allocated_bytes`] stays at 0 and every
+//! reported allocation delta is 0 — library code can read it
+//! unconditionally.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATED: AtomicU64 = AtomicU64::new(0);
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Total bytes ever allocated through [`CountingAlloc`] (0 if it is not
+/// the installed global allocator).
+#[inline]
+pub fn allocated_bytes() -> u64 {
+    ALLOCATED.load(Ordering::Relaxed)
+}
+
+/// Total allocation calls ever made through [`CountingAlloc`].
+#[inline]
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A counting wrapper around the system allocator; see the
+/// [module docs](self).
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// Const constructor for `static` declarations.
+    pub const fn new() -> Self {
+        CountingAlloc
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: delegates every operation to `System`, only adding relaxed
+// atomic bookkeeping; layout contracts are passed through untouched.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // Count only the growth; shrinks are free.
+        let grow = new_size.saturating_sub(layout.size()) as u64;
+        if grow > 0 {
+            ALLOCATED.fetch_add(grow, Ordering::Relaxed);
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}

@@ -1,0 +1,61 @@
+//! Traced wrappers around the `netsim` evaluation harness.
+//!
+//! These drive [`netsim::stats::eval_labeled_observed`] /
+//! [`netsim::stats::eval_name_independent_observed`] with an observer that
+//! (a) folds every delivered route into a [`RouteMetrics`] set and (b) —
+//! only when the tracer is recording — emits one `"route"` event carrying
+//! the full [`crate::spans::route_span_tree`]. With [`Tracer::noop`] the
+//! per-route work reduces to the metrics fold plus one `enabled()` branch:
+//! no allocation, no clock reads, no assertions (the zero-overhead path
+//! the acceptance criteria pin down).
+
+use doubling_metric::graph::NodeId;
+use doubling_metric::space::MetricSpace;
+
+use netsim::scheme::{LabeledScheme, NameIndependentScheme};
+use netsim::stats::{self, EvalResult};
+use netsim::Naming;
+
+use crate::spans::{route_span_tree, RouteMetrics};
+use crate::trace::Tracer;
+
+/// [`netsim::stats::eval_labeled`] plus observability: histograms into
+/// `metrics`, one span-tree event per route when `tracer` is recording.
+pub fn eval_labeled_traced<S: LabeledScheme>(
+    scheme: &S,
+    m: &MetricSpace,
+    pairs: &[(NodeId, NodeId)],
+    tracer: &Tracer,
+    metrics: &mut RouteMetrics,
+) -> EvalResult {
+    stats::eval_labeled_observed(scheme, m, pairs, |_u, _v, res| {
+        if let Ok(r) = res {
+            metrics.record(r);
+            metrics.record_stretch(r.stretch(m));
+            tracer.event_lazy("route", || vec![("route", route_span_tree(r))]);
+        } else if tracer.enabled() {
+            tracer.event("route-error", vec![("src", _u.into()), ("dst", _v.into())]);
+        }
+    })
+}
+
+/// [`netsim::stats::eval_name_independent`] plus observability; see
+/// [`eval_labeled_traced`].
+pub fn eval_name_independent_traced<S: NameIndependentScheme>(
+    scheme: &S,
+    m: &MetricSpace,
+    naming: &Naming,
+    pairs: &[(NodeId, NodeId)],
+    tracer: &Tracer,
+    metrics: &mut RouteMetrics,
+) -> EvalResult {
+    stats::eval_name_independent_observed(scheme, m, naming, pairs, |_u, _v, res| {
+        if let Ok(r) = res {
+            metrics.record(r);
+            metrics.record_stretch(r.stretch(m));
+            tracer.event_lazy("route", || vec![("route", route_span_tree(r))]);
+        } else if tracer.enabled() {
+            tracer.event("route-error", vec![("src", _u.into()), ("dst", _v.into())]);
+        }
+    })
+}

@@ -1,0 +1,123 @@
+//! Phase profiling: aggregating a recorded trace into a per-phase
+//! time/allocation breakdown.
+//!
+//! The scheme constructors wrap each preprocessing stage (net-tree
+//! construction, ring building, packing/Voronoi trees, search-tree
+//! population, table assembly) in a [`crate::trace::Tracer`] span; this
+//! module folds the resulting [`TraceLog`] into one row per distinct span
+//! name — the table `cargo run --release --bin profile` prints.
+
+use netsim::json::Value;
+
+use crate::trace::TraceLog;
+
+/// One aggregated phase: every span with the same name, summed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Phase {
+    /// Span name.
+    pub name: &'static str,
+    /// Nesting depth of the first occurrence (0 = top level).
+    pub depth: usize,
+    /// Number of spans aggregated.
+    pub calls: u64,
+    /// Total wall-clock, microseconds.
+    pub wall_us: u64,
+    /// Total bytes allocated inside the spans (0 when the counting
+    /// allocator is not installed).
+    pub alloc_bytes: u64,
+}
+
+/// A per-phase breakdown of one recorded trace, in first-appearance order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// The aggregated phases.
+    pub phases: Vec<Phase>,
+}
+
+impl PhaseBreakdown {
+    /// Aggregates `log`'s spans by name. Nested spans keep their own rows
+    /// (with `depth > 0`); a parent's wall time includes its children's,
+    /// so only same-depth rows are disjoint.
+    pub fn from_log(log: &TraceLog) -> Self {
+        let mut depth_of = vec![0usize; log.spans.len()];
+        let mut phases: Vec<Phase> = Vec::new();
+        for (i, s) in log.spans.iter().enumerate() {
+            let depth = s.parent.map_or(0, |p| depth_of[p] + 1);
+            depth_of[i] = depth;
+            match phases.iter_mut().find(|p| p.name == s.name) {
+                Some(p) => {
+                    p.calls += 1;
+                    p.wall_us += s.dur_us;
+                    p.alloc_bytes += s.alloc_bytes;
+                }
+                None => phases.push(Phase {
+                    name: s.name,
+                    depth,
+                    calls: 1,
+                    wall_us: s.dur_us,
+                    alloc_bytes: s.alloc_bytes,
+                }),
+            }
+        }
+        PhaseBreakdown { phases }
+    }
+
+    /// Total wall-clock over top-level phases only (children are already
+    /// included in their parents).
+    pub fn top_level_wall_us(&self) -> u64 {
+        self.phases.iter().filter(|p| p.depth == 0).map(|p| p.wall_us).sum()
+    }
+
+    /// The breakdown as a JSON array of phase objects.
+    pub fn to_json(&self) -> Value {
+        Value::Array(
+            self.phases
+                .iter()
+                .map(|p| {
+                    Value::Object(vec![
+                        ("name".into(), p.name.into()),
+                        ("depth".into(), p.depth.into()),
+                        ("calls".into(), p.calls.into()),
+                        ("wall_us".into(), p.wall_us.into()),
+                        ("alloc_bytes".into(), p.alloc_bytes.into()),
+                    ])
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Tracer;
+
+    #[test]
+    fn aggregates_by_name_with_depth() {
+        let t = Tracer::recording();
+        {
+            let _outer = t.span("build");
+            for _ in 0..3 {
+                let _inner = t.span("ring-build");
+            }
+        }
+        let breakdown = PhaseBreakdown::from_log(&t.finish());
+        assert_eq!(breakdown.phases.len(), 2);
+        assert_eq!(breakdown.phases[0].name, "build");
+        assert_eq!(breakdown.phases[0].depth, 0);
+        assert_eq!(breakdown.phases[0].calls, 1);
+        assert_eq!(breakdown.phases[1].name, "ring-build");
+        assert_eq!(breakdown.phases[1].depth, 1);
+        assert_eq!(breakdown.phases[1].calls, 3);
+        // Children are nested inside the parent's wall time.
+        assert!(breakdown.phases[1].wall_us <= breakdown.phases[0].wall_us);
+        assert_eq!(breakdown.top_level_wall_us(), breakdown.phases[0].wall_us);
+    }
+
+    #[test]
+    fn empty_log_is_empty() {
+        let b = PhaseBreakdown::from_log(&TraceLog::default());
+        assert!(b.phases.is_empty());
+        assert_eq!(b.top_level_wall_us(), 0);
+    }
+}

@@ -51,6 +51,9 @@ pub struct SearchWalk<D> {
     pub nodes: Vec<NodeId>,
     /// The retrieved data, or `None` if no pair with the key exists.
     pub result: Option<D>,
+    /// Deepest tree level (edges below the root) the lookup descended to —
+    /// the per-lookup depth statistic the observability layer aggregates.
+    pub depth: usize,
 }
 
 /// A search tree over a ball, with stored `(key, data)` pairs.
@@ -308,7 +311,7 @@ impl<D: Clone> SearchTree<D> {
         let mut nodes: Vec<NodeId> = down.iter().map(|&u| self.tree.node(u)).collect();
         let back: Vec<NodeId> = down.iter().rev().skip(1).map(|&u| self.tree.node(u)).collect();
         nodes.extend(back);
-        SearchWalk { nodes, result }
+        SearchWalk { nodes, result, depth: down.len() - 1 }
     }
 
     /// Inserts a `(key, data)` pair after construction (mobility support:
@@ -354,17 +357,22 @@ impl<D: Clone> SearchTree<D> {
     pub fn search_all(&self, key: u64) -> SearchWalk<D> {
         let mut nodes: Vec<NodeId> = vec![self.tree.node(0)];
         let mut result = None;
+        let mut max_depth = 0usize;
         // Recursive DFS recording down-and-up movement.
+        #[allow(clippy::too_many_arguments)]
         fn dfs<D: Clone>(
             st: &SearchTree<D>,
             u: u32,
+            depth: usize,
             key: u64,
             nodes: &mut Vec<NodeId>,
             result: &mut Option<D>,
+            max_depth: &mut usize,
         ) {
             if result.is_some() {
                 return;
             }
+            *max_depth = (*max_depth).max(depth);
             if let Ok(idx) = st.pairs[u as usize].binary_search_by_key(&key, |&(k, _)| k) {
                 *result = Some(st.pairs[u as usize][idx].1.clone());
                 return;
@@ -376,7 +384,7 @@ impl<D: Clone> SearchTree<D> {
                 if let Some((lo, hi)) = st.subtree_range[c as usize] {
                     if lo <= key && key <= hi {
                         nodes.push(st.tree.node(c));
-                        dfs(st, c, key, nodes, result);
+                        dfs(st, c, depth + 1, key, nodes, result, max_depth);
                         if result.is_some() {
                             return;
                         }
@@ -385,7 +393,7 @@ impl<D: Clone> SearchTree<D> {
                 }
             }
         }
-        dfs(self, 0, key, &mut nodes, &mut result);
+        dfs(self, 0, 0, key, &mut nodes, &mut result, &mut max_depth);
         // Return to the root along the remaining spine.
         if let Some(&last) = nodes.last() {
             if last != self.center {
@@ -396,7 +404,7 @@ impl<D: Clone> SearchTree<D> {
                 }
             }
         }
-        SearchWalk { nodes, result }
+        SearchWalk { nodes, result, depth: max_depth }
     }
 
     /// The ball center (tree root).
@@ -709,7 +717,32 @@ mod tests {
             let b = st.search_all(x as u64 * 10);
             assert_eq!(a.result, b.result);
             assert_eq!(a.nodes, b.nodes, "walks must coincide on fresh trees");
+            assert_eq!(a.depth, b.depth, "descent depths must coincide too");
         }
+    }
+
+    #[test]
+    fn walk_depth_matches_descent() {
+        let m = MetricSpace::new(&gen::grid(8, 8));
+        let st = make(&m, 27, 6, Eps::one_over(2), None);
+        let mut some_deep = false;
+        for &x in st.tree().nodes() {
+            let w = st.search(x as u64 * 10);
+            // depth edges down + depth edges back = whole walk.
+            assert_eq!(w.nodes.len(), 2 * w.depth + 1);
+            assert!(w.depth <= (st.levels() + 1) as usize);
+            some_deep |= w.depth > 0;
+        }
+        assert!(some_deep, "a multi-node tree must have non-root holders");
+        // The root-stored key is found at depth 0.
+        let singleton = SearchTree::new(
+            &m,
+            27,
+            &[27],
+            SearchTreeConfig { eps_r: 1, max_levels: None },
+            vec![(1u64, 27u32)],
+        );
+        assert_eq!(singleton.search(1).depth, 0);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! `cargo run --release --bin churn` works from the repository root.
 //! The implementation lives in [`bench::churn`].
 //!
-//! Usage: `cargo run --release --bin churn [n] [1/eps] [pairs]`
+//! Usage: `cargo run --release --bin churn [n] [1/eps] [pairs] [--seed N] [--trace] [--json]`
 
 fn main() {
     bench::churn::churn_main();

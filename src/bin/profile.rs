@@ -1,0 +1,14 @@
+//! Workspace-root alias for the phase-profiling experiment, so that
+//! `cargo run --release --bin profile` works from the repository root.
+//! The implementation lives in [`bench::profile`].
+//!
+//! Usage: `cargo run --release --bin profile [n] [1/eps] [pairs] [--seed N] [--json]`
+
+// The counting allocator makes the per-phase `alloc_bytes` columns
+// nonzero; it is installed only in binaries, never in the libraries.
+#[global_allocator]
+static GLOBAL: obs::alloc::CountingAlloc = obs::alloc::CountingAlloc::new();
+
+fn main() {
+    bench::profile::profile_main();
+}

@@ -22,7 +22,12 @@
 //!   which is optimal;
 //! * the matching lower bound ([`lowerbound`], **Theorem 1.3**): the
 //!   Figure-3 tree, the congruent-naming counting lemmas, and the
-//!   adversarial search game.
+//!   adversarial search game;
+//! * a dependency-free observability layer ([`obs`]): structured
+//!   span/event tracing over every scheme's preprocessing (`new_traced`
+//!   constructors), log₂-bucketed route-metric histograms, Figure-1/2
+//!   route span trees, and a counting global allocator behind the
+//!   `profile` binary's per-phase breakdowns.
 //!
 //! ## Quickstart
 //!
@@ -53,6 +58,7 @@ pub use labeled_routing as labeled;
 pub use lowerbound;
 pub use name_independent as nameind;
 pub use netsim;
+pub use obs;
 pub use searchtree;
 pub use treeroute;
 

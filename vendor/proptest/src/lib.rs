@@ -142,7 +142,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// A length specification for [`vec`]: an exact size or a half-open
+    /// A length specification for [`vec()`]: an exact size or a half-open
     /// range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
@@ -163,7 +163,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
