@@ -6,9 +6,11 @@
 use bench::cli::Cli;
 use bench::experiments::run_ablation_packing;
 use bench::table::emit;
+use bench::MetricCache;
 
 fn main() {
     let cli = Cli::parse_env(42);
-    let (headers, rows) = run_ablation_packing(cli.seed);
+    let cache = MetricCache::new(cli.threads);
+    let (headers, rows) = run_ablation_packing(&cache, cli.seed);
     emit("A2: packing reuse (H(u,i) links vs private trees)", &headers, &rows);
 }

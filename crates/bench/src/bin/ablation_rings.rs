@@ -7,9 +7,11 @@
 use bench::cli::Cli;
 use bench::experiments::run_ablation_rings;
 use bench::table::emit;
+use bench::MetricCache;
 
 fn main() {
     let cli = Cli::parse_env(42);
-    let (headers, rows) = run_ablation_rings(cli.seed);
+    let cache = MetricCache::new(cli.threads);
+    let (headers, rows) = run_ablation_rings(&cache, cli.seed);
     emit("A1: ring-level pruning (all levels vs R(u))", &headers, &rows);
 }

@@ -1,0 +1,14 @@
+//! Experiment B1: metric preprocessing build-time scaling — wall-clock
+//! per phase, speedup vs 1 thread, per-source quantiles, allocation, and
+//! the parallel-vs-sequential determinism check; writes
+//! `results/bench_build.json`.
+//!
+//! Usage: `cargo run --release -p bench --bin bench_build [max_n] [--seed N] [--threads N] [--json]`
+
+// The counting allocator makes the alloc(MiB) column nonzero.
+#[global_allocator]
+static GLOBAL: obs::alloc::CountingAlloc = obs::alloc::CountingAlloc::new();
+
+fn main() {
+    bench::build_bench::build_bench_main();
+}

@@ -7,13 +7,15 @@
 use bench::cli::Cli;
 use bench::experiments::run_fig1;
 use bench::table::emit;
+use bench::MetricCache;
 use doubling_metric::Eps;
 
 fn main() {
     let cli = Cli::parse_env(42);
     let n: usize = cli.pos(0, 196);
     let inv: u64 = cli.pos(1, 8);
-    let (headers, rows) = run_fig1(n, Eps::one_over(inv), cli.seed);
+    let cache = MetricCache::new(cli.threads);
+    let (headers, rows) = run_fig1(&cache, n, Eps::one_over(inv), cli.seed);
     emit(
         &format!("Figure 1: name-independent route anatomy (n≈{n}, eps=1/{inv})"),
         &headers,

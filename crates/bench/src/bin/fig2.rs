@@ -7,12 +7,14 @@
 use bench::cli::Cli;
 use bench::experiments::run_fig2;
 use bench::table::emit;
+use bench::MetricCache;
 use doubling_metric::Eps;
 
 fn main() {
     let cli = Cli::parse_env(42);
     let inv: u64 = cli.pos(0, 8);
-    let (headers, rows) = run_fig2(Eps::one_over(inv), cli.seed);
+    let cache = MetricCache::new(cli.threads);
+    let (headers, rows) = run_fig2(&cache, Eps::one_over(inv), cli.seed);
     emit(&format!("Figure 2: labeled route anatomy (eps=1/{inv})"), &headers, &rows);
     if !cli.json {
         println!("\nexpected shape: packing phases engage only in the huge-Δ regime");

@@ -8,10 +8,12 @@
 use bench::cli::Cli;
 use bench::experiments::{run_fig3, run_fig3_advice};
 use bench::table::emit;
+use bench::MetricCache;
 
 fn main() {
     let cli = Cli::parse_env(42);
-    let (headers, rows) = run_fig3(cli.seed);
+    let cache = MetricCache::new(cli.threads);
+    let (headers, rows) = run_fig3(&cache, cli.seed);
     emit("Figure 3 / Theorem 1.3: lower-bound construction", &headers, &rows);
     let (h2, r2) = run_fig3_advice(4);
     emit("Theorem 1.3: stretch vs advice bits (eps=4)", &h2, &r2);

@@ -7,11 +7,13 @@
 use bench::cli::Cli;
 use bench::experiments::run_relaxed;
 use bench::table::emit;
+use bench::MetricCache;
 
 fn main() {
     let cli = Cli::parse_env(42);
     let n: usize = cli.pos(0, 144);
-    let (headers, rows) = run_relaxed(n, cli.seed);
+    let cache = MetricCache::new(cli.threads);
+    let (headers, rows) = run_relaxed(&cache, n, cli.seed);
     emit(&format!("R1: stretch quantiles (n≈{n})"), &headers, &rows);
     if !cli.json {
         println!("\nreading: the worst case sits far above p99 — a guarantee relaxed on");

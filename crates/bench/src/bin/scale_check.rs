@@ -6,6 +6,8 @@
 use std::time::Instant;
 
 use bench::cli::Cli;
+use std::sync::Arc;
+
 use doubling_metric::{gen, Eps, MetricSpace};
 use name_independent::ScaleFreeNameIndependent;
 use netsim::stats::{eval_name_independent_par, sample_pairs};
@@ -16,7 +18,7 @@ fn main() {
     let n: usize = cli.pos(0, 400);
     let t0 = Instant::now();
     let g = gen::Family::Grid.build(n, cli.seed);
-    let m = MetricSpace::new(&g);
+    let m = MetricSpace::from_shared(Arc::new(g), cli.threads);
     if !cli.json {
         println!("metric built: n={} in {:.1?}", m.n(), t0.elapsed());
     }

@@ -6,10 +6,12 @@
 use bench::cli::Cli;
 use bench::experiments::run_storage_growth;
 use bench::table::emit;
+use bench::MetricCache;
 
 fn main() {
     let cli = Cli::parse_env(42);
-    let (headers, rows) = run_storage_growth(&[144, 256, 484, 1024, 2025], cli.seed);
+    let cache = MetricCache::new(cli.threads);
+    let (headers, rows) = run_storage_growth(&cache, &[144, 256, 484, 1024, 2025], cli.seed);
     emit("S3: storage growth vs n (grid, eps=1/8)", &headers, &rows);
     if !cli.json {
         println!("\nreading: full-table bits quadruple per 4x n (n·log n); the compact");

@@ -6,10 +6,12 @@
 use bench::cli::Cli;
 use bench::experiments::run_sweep_eps;
 use bench::table::emit;
+use bench::MetricCache;
 
 fn main() {
     let cli = Cli::parse_env(42);
     let n: usize = cli.pos(0, 144);
-    let (headers, rows) = run_sweep_eps(n, cli.seed);
+    let cache = MetricCache::new(cli.threads);
+    let (headers, rows) = run_sweep_eps(&cache, n, cli.seed);
     emit(&format!("S1: stretch vs eps (grid n≈{n})"), &headers, &rows);
 }

@@ -6,12 +6,14 @@
 use bench::cli::Cli;
 use bench::experiments::run_sweep_scale;
 use bench::table::emit;
+use bench::MetricCache;
 use doubling_metric::Eps;
 
 fn main() {
     let cli = Cli::parse_env(42);
     let inv: u64 = cli.pos(0, 4);
-    let (headers, rows) = run_sweep_scale(Eps::one_over(inv), cli.seed);
+    let cache = MetricCache::new(cli.threads);
+    let (headers, rows) = run_sweep_scale(&cache, Eps::one_over(inv), cli.seed);
     emit(&format!("S2: storage vs log Δ (eps=1/{inv})"), &headers, &rows);
     if !cli.json {
         println!("\nexpected shape: on unit paths the schemes are comparable; on exp-paths");

@@ -6,6 +6,7 @@
 use bench::cli::Cli;
 use bench::experiments::run_table2;
 use bench::table::emit;
+use bench::MetricCache;
 use doubling_metric::Eps;
 
 fn main() {
@@ -13,7 +14,8 @@ fn main() {
     let n: usize = cli.pos(0, 196);
     let inv: u64 = cli.pos(1, 8);
     let pairs: usize = cli.pos(2, 300);
-    let (headers, rows) = run_table2(n, Eps::one_over(inv), pairs, cli.seed);
+    let cache = MetricCache::new(cli.threads);
+    let (headers, rows) = run_table2(&cache, n, Eps::one_over(inv), pairs, cli.seed);
     emit(
         &format!("Table 2: labeled schemes (n≈{n}, eps=1/{inv}, {pairs} pairs/graph)"),
         &headers,

@@ -33,6 +33,7 @@ use netsim::stats::{
 use netsim::Naming;
 use obs::Tracer;
 
+use crate::cache::MetricCache;
 use crate::table::f2;
 
 /// Event context identifying one (strategy, fraction, scheme) cell, so a
@@ -183,6 +184,7 @@ fn stale_observer(ctx: CellCtx<'_>) -> impl FnMut(NodeId, NodeId, &Result<Route,
 /// pairs outside the rebuilt component. With [`Tracer::noop`] the
 /// per-pair overhead is one branch.
 pub fn run_churn(
+    cache: &MetricCache,
     n: usize,
     eps: Eps,
     pairs_count: usize,
@@ -190,8 +192,8 @@ pub fn run_churn(
     seed: u64,
     tracer: &Tracer,
 ) -> (Vec<&'static str>, Vec<Vec<String>>, Value) {
-    let g = gen::Family::Grid.build(n, seed);
-    let m = MetricSpace::new(&g);
+    let m = cache.family_traced(gen::Family::Grid, n, seed, tracer);
+    let g = m.graph();
     let naming = Naming::random(m.n(), seed ^ 0xA5);
     let pairs = sample_pairs(m.n(), pairs_count, seed ^ 0x5A);
     let nets = NetHierarchy::new(&m);
@@ -218,11 +220,11 @@ pub fn run_churn(
     for &fraction in fractions {
         let plans: Vec<(&'static str, FaultPlan)> = vec![
             ("random", FaultPlan::random_nodes(m.n(), fraction, seed ^ 0xC0)),
-            ("degree", FaultPlan::targeted_by_degree(&g, fraction)),
+            ("degree", FaultPlan::targeted_by_degree(g, fraction)),
             ("netcenter", FaultPlan::targeted_net_centers(&nets, m.n(), fraction)),
         ];
         for (strategy, plan) in plans {
-            let sn = SurvivingNetwork::build(&g, &plan);
+            let sn = SurvivingNetwork::build(g, &plan);
             let naming2 = sn.as_ref().map(|sn| Naming::random(sn.n(), seed ^ 0xA5));
 
             let ctx = |scheme: &'static str| CellCtx { tracer, strategy, fraction, scheme };
@@ -340,6 +342,7 @@ pub fn run_churn(
         ("eps".into(), eps.to_string().into()),
         ("pairs".into(), pairs.len().into()),
         ("seed".into(), seed.into()),
+        ("metric_cache".into(), cache.stats().to_json()),
         ("cells".into(), Value::Array(cells)),
     ]);
     (headers, rows, doc)
@@ -350,7 +353,7 @@ pub fn run_churn(
 /// writes `results/churn.json`. With `--trace`, every individual loss is
 /// recorded and the trace is written to `results/churn_trace.jsonl`.
 ///
-/// Usage: `churn [n] [1/eps] [pairs] [--seed N] [--trace] [--json]`.
+/// Usage: `churn [n] [1/eps] [pairs] [--seed N] [--trace] [--json] [--threads N]`.
 pub fn churn_main() {
     let cli = crate::cli::Cli::parse_env(42);
     let n: usize = cli.pos(0, 196);
@@ -358,8 +361,9 @@ pub fn churn_main() {
     let pairs: usize = cli.pos(2, 300);
     let fractions = [0.05, 0.10, 0.20, 0.30];
     let tracer = if cli.trace { Tracer::recording() } else { Tracer::noop() };
+    let cache = MetricCache::new(cli.threads);
     let (headers, rows, doc) =
-        run_churn(n, Eps::one_over(inv), pairs, &fractions, cli.seed, &tracer);
+        run_churn(&cache, n, Eps::one_over(inv), pairs, &fractions, cli.seed, &tracer);
     crate::table::emit(
         &format!("Churn: reachability under node removal (n≈{n}, eps=1/{inv}, {pairs} pairs)"),
         &headers,
@@ -388,7 +392,10 @@ mod tests {
     fn churn_grid_covers_all_cells_and_rebuild_beats_stale_under_targeting() {
         let fractions = [0.1, 0.2];
         let tracer = Tracer::recording();
-        let (h, rows, doc) = run_churn(64, Eps::one_over(8), 150, &fractions, 7, &tracer);
+        let cache = MetricCache::new(1);
+        let (h, rows, doc) = run_churn(&cache, 64, Eps::one_over(8), 150, &fractions, 7, &tracer);
+        // One base metric build, no rebuild through the cache.
+        assert_eq!(cache.stats().builds, 1);
         assert_eq!(h.len(), 8);
         // 4 schemes × 3 strategies × 2 fractions.
         assert_eq!(rows.len(), 4 * 3 * 2);

@@ -12,6 +12,9 @@
 //!   binaries use [`Cli::json`] to suppress their prose footers.
 //! * `--trace` — opt into recording-tracer output where the binary
 //!   supports it (e.g. `churn` writes `results/churn_trace.jsonl`).
+//! * `--threads N` / `--threads=N` — worker threads for parallel metric
+//!   preprocessing (default: available parallelism; `1` recovers the
+//!   sequential build, which is byte-identical anyway).
 //!
 //! Unknown `--flags` are rejected loudly rather than silently treated as
 //! positionals, so a typo like `--sed 7` cannot quietly run with the
@@ -27,6 +30,15 @@ pub struct Cli {
     pub json: bool,
     /// Whether `--trace` was passed (record and dump a trace).
     pub trace: bool,
+    /// The `--threads` value, defaulting to the machine's available
+    /// parallelism. Always ≥ 1.
+    pub threads: usize,
+}
+
+/// The machine's available parallelism (≥ 1), the default for
+/// [`Cli::threads`].
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
 }
 
 impl Cli {
@@ -46,8 +58,20 @@ impl Cli {
     ///
     /// As [`Cli::parse_env`].
     pub fn parse(args: impl Iterator<Item = String>, default_seed: u64) -> Self {
-        let mut cli =
-            Cli { positionals: Vec::new(), seed: default_seed, json: false, trace: false };
+        let mut cli = Cli {
+            positionals: Vec::new(),
+            seed: default_seed,
+            json: false,
+            trace: false,
+            threads: default_threads(),
+        };
+        let parse_threads = |v: &str| -> usize {
+            let t: usize = v.parse().unwrap_or_else(|_| panic!("invalid --threads value: {v:?}"));
+            if t == 0 {
+                panic!("invalid --threads value: must be >= 1");
+            }
+            t
+        };
         let mut args = args;
         while let Some(a) = args.next() {
             if a == "--json" {
@@ -59,8 +83,13 @@ impl Cli {
                 cli.seed = v.parse().unwrap_or_else(|_| panic!("invalid --seed value: {v:?}"));
             } else if let Some(v) = a.strip_prefix("--seed=") {
                 cli.seed = v.parse().unwrap_or_else(|_| panic!("invalid --seed value: {v:?}"));
+            } else if a == "--threads" {
+                let v = args.next().expect("--threads requires a value");
+                cli.threads = parse_threads(&v);
+            } else if let Some(v) = a.strip_prefix("--threads=") {
+                cli.threads = parse_threads(v);
             } else if a.starts_with("--") {
-                panic!("unknown flag {a:?} (expected --seed, --json, --trace)");
+                panic!("unknown flag {a:?} (expected --seed, --json, --trace, --threads)");
             } else {
                 cli.positionals.push(a);
             }
@@ -108,6 +137,19 @@ mod tests {
     #[test]
     fn seed_equals_form() {
         assert_eq!(parse(&["--seed=123"], 42).seed, 123);
+    }
+
+    #[test]
+    fn threads_flag_both_forms() {
+        assert_eq!(parse(&[], 42).threads, default_threads());
+        assert_eq!(parse(&["--threads", "4"], 42).threads, 4);
+        assert_eq!(parse(&["--threads=2"], 42).threads, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid --threads")]
+    fn zero_threads_is_rejected() {
+        parse(&["--threads", "0"], 42);
     }
 
     #[test]

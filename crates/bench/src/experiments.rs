@@ -1,8 +1,12 @@
 //! Experiment runners. Every function is deterministic given its
 //! arguments (seeded generators, seeded pair samples) and returns
 //! `(headers, rows)` ready for [`crate::table::print_table`].
+//!
+//! All runners draw their metrics from a shared [`MetricCache`], so a
+//! binary that runs several experiments over the same `(family, n, seed)`
+//! builds each `Θ(n²)` metric exactly once.
 
-use doubling_metric::{doubling, gen, Eps, MetricSpace};
+use doubling_metric::{doubling, gen, Eps};
 use labeled_routing::{NetLabeled, ScaleFreeLabeled};
 use lowerbound::{game, LbParams, LowerBoundTree};
 use name_independent::{ScaleFreeNameIndependent, SimpleNameIndependent};
@@ -11,6 +15,7 @@ use netsim::scheme::{LabeledScheme, NameIndependentScheme};
 use netsim::stats::{eval_labeled, eval_name_independent, sample_pairs, EvalResult};
 use netsim::Naming;
 
+use crate::cache::MetricCache;
 use crate::table::f2;
 
 /// Result-row helper: one evaluated scheme on one graph.
@@ -53,6 +58,7 @@ pub fn table_families() -> Vec<gen::Family> {
 /// **Table 1** — name-independent schemes: stretch, table bits, header
 /// bits, across graph families (plus the full-table baseline row).
 pub fn run_table1(
+    cache: &MetricCache,
     n: usize,
     eps: Eps,
     pairs_per_graph: usize,
@@ -70,8 +76,7 @@ pub fn run_table1(
     ];
     let mut rows = Vec::new();
     for f in table_families() {
-        let g = f.build(n, seed);
-        let m = MetricSpace::new(&g);
+        let m = cache.family(f, n, seed);
         let naming = Naming::random(m.n(), seed ^ 0xA5);
         let pairs = sample_pairs(m.n(), pairs_per_graph, seed ^ 0x5A);
 
@@ -105,6 +110,7 @@ pub fn run_table1(
 /// **Table 2** — labeled schemes: stretch, table bits, label bits, header
 /// bits, across graph families.
 pub fn run_table2(
+    cache: &MetricCache,
     n: usize,
     eps: Eps,
     pairs_per_graph: usize,
@@ -123,8 +129,7 @@ pub fn run_table2(
     ];
     let mut rows = Vec::new();
     for f in table_families() {
-        let g = f.build(n, seed);
-        let m = MetricSpace::new(&g);
+        let m = cache.family(f, n, seed);
         let pairs = sample_pairs(m.n(), pairs_per_graph, seed ^ 0x5A);
 
         let nl = NetLabeled::new(&m, eps).expect("eps within range");
@@ -147,7 +152,12 @@ pub fn run_table2(
 /// **Figure 1** — anatomy of name-independent routes, bucketed by the
 /// search round at which the destination's label was found: counts, mean
 /// distance, and the zoom/search/final cost split.
-pub fn run_fig1(n: usize, eps: Eps, seed: u64) -> (Vec<&'static str>, Vec<Vec<String>>) {
+pub fn run_fig1(
+    cache: &MetricCache,
+    n: usize,
+    eps: Eps,
+    seed: u64,
+) -> (Vec<&'static str>, Vec<Vec<String>>) {
     let headers = vec![
         "family",
         "round",
@@ -160,8 +170,7 @@ pub fn run_fig1(n: usize, eps: Eps, seed: u64) -> (Vec<&'static str>, Vec<Vec<St
     ];
     let mut rows = Vec::new();
     for f in [gen::Family::Grid, gen::Family::Geometric] {
-        let g = f.build(n, seed);
-        let m = MetricSpace::new(&g);
+        let m = cache.family(f, n, seed);
         let naming = Naming::random(m.n(), seed ^ 0xA5);
         let s = SimpleNameIndependent::new(&m, eps, naming.clone()).expect("eps ok");
         // Buckets keyed by the final round (level of the "final" segment).
@@ -215,7 +224,7 @@ pub fn run_fig1(n: usize, eps: Eps, seed: u64) -> (Vec<&'static str>, Vec<Vec<St
 /// **Figure 2** — anatomy of scale-free labeled routes: cost split between
 /// the greedy ring walk and the three packing phases, bucketed by whether
 /// the packing machinery engaged.
-pub fn run_fig2(eps: Eps, seed: u64) -> (Vec<&'static str>, Vec<Vec<String>>) {
+pub fn run_fig2(cache: &MetricCache, eps: Eps, seed: u64) -> (Vec<&'static str>, Vec<Vec<String>>) {
     let headers = vec![
         "family",
         "phase-mix",
@@ -228,10 +237,10 @@ pub fn run_fig2(eps: Eps, seed: u64) -> (Vec<&'static str>, Vec<Vec<String>>) {
         "avg-stretch",
     ];
     let mut rows = Vec::new();
-    for (name, g) in
-        [("grid", gen::Family::Grid.build(144, seed)), ("exp-path", gen::exp_weight_path(48))]
-    {
-        let m = MetricSpace::new(&g);
+    for (name, m) in [
+        ("grid", cache.family(gen::Family::Grid, 144, seed)),
+        ("exp-path", cache.get_or_build("exp-path", 48, 0, || gen::exp_weight_path(48))),
+    ] {
         let s = ScaleFreeLabeled::new(&m, eps).expect("eps ok");
         let mut agg: std::collections::BTreeMap<&str, (usize, f64, [f64; 4], f64)> =
             std::collections::BTreeMap::new();
@@ -278,7 +287,7 @@ pub fn run_fig2(eps: Eps, seed: u64) -> (Vec<&'static str>, Vec<Vec<String>>) {
 /// **Figure 3 / Theorem 1.3** — the lower-bound construction: parameters,
 /// measured doubling constant vs Lemma 5.8, measured Δ vs the theorem's
 /// envelope, and the search-game stretch (oblivious / optimized / 9−ε).
-pub fn run_fig3(seed: u64) -> (Vec<&'static str>, Vec<Vec<String>>) {
+pub fn run_fig3(cache: &MetricCache, seed: u64) -> (Vec<&'static str>, Vec<Vec<String>>) {
     let headers = vec![
         "eps",
         "p",
@@ -300,7 +309,7 @@ pub fn run_fig3(seed: u64) -> (Vec<&'static str>, Vec<Vec<String>>) {
         // materialization (Θ(n²) memory).
         let big = LowerBoundTree::new(params, 1 << 16);
         let small = LowerBoundTree::new(params, 256);
-        let m = MetricSpace::new(&small.to_graph());
+        let m = cache.get_or_build("lb-tree", 256, eps, || small.to_graph());
         let est = doubling::estimate(&m, Some(24));
         let alpha_bound = 6.0 - (eps as f64).log2();
 
@@ -340,10 +349,13 @@ pub fn run_fig3_advice(eps: u64) -> (Vec<&'static str>, Vec<Vec<String>>) {
 }
 
 /// **S1** — max/avg stretch vs ε for all four schemes on one graph.
-pub fn run_sweep_eps(n: usize, seed: u64) -> (Vec<&'static str>, Vec<Vec<String>>) {
+pub fn run_sweep_eps(
+    cache: &MetricCache,
+    n: usize,
+    seed: u64,
+) -> (Vec<&'static str>, Vec<Vec<String>>) {
     let headers = vec!["eps", "scheme", "max-stretch", "avg-stretch", "bound"];
-    let g = gen::Family::Grid.build(n, seed);
-    let m = MetricSpace::new(&g);
+    let m = cache.family(gen::Family::Grid, n, seed);
     let naming = Naming::random(m.n(), seed ^ 1);
     let pairs = sample_pairs(m.n(), 400, seed ^ 2);
     let mut rows = Vec::new();
@@ -394,7 +406,11 @@ pub fn run_sweep_eps(n: usize, seed: u64) -> (Vec<&'static str>, Vec<Vec<String>
 /// **S2** — max table bits vs log Δ at (almost) fixed n: the scale-free
 /// crossover. Compares the simple vs scale-free name-independent schemes
 /// on unit paths (Δ = n) vs exponential paths (Δ = 2^n).
-pub fn run_sweep_scale(eps: Eps, seed: u64) -> (Vec<&'static str>, Vec<Vec<String>>) {
+pub fn run_sweep_scale(
+    cache: &MetricCache,
+    eps: Eps,
+    seed: u64,
+) -> (Vec<&'static str>, Vec<Vec<String>>) {
     let headers = vec![
         "graph",
         "n",
@@ -404,8 +420,8 @@ pub fn run_sweep_scale(eps: Eps, seed: u64) -> (Vec<&'static str>, Vec<Vec<Strin
         "ratio",
     ];
     let mut rows = Vec::new();
-    let mut push = |name: &str, g: doubling_metric::Graph| {
-        let m = MetricSpace::new(&g);
+    let mut push = |name: &str, n: usize, build: fn(usize) -> doubling_metric::Graph| {
+        let m = cache.get_or_build(name, n, 0, || build(n));
         let naming = Naming::random(m.n(), seed);
         let si = SimpleNameIndependent::new(&m, eps, naming.clone()).expect("eps ok");
         let sf = ScaleFreeNameIndependent::new(&m, eps, naming).expect("eps ok");
@@ -422,8 +438,8 @@ pub fn run_sweep_scale(eps: Eps, seed: u64) -> (Vec<&'static str>, Vec<Vec<Strin
         ]);
     };
     for n in [16usize, 32, 48] {
-        push("unit-path", gen::path(n));
-        push("exp-path", gen::exp_weight_path(n));
+        push("unit-path", n, gen::path);
+        push("exp-path", n, gen::exp_weight_path);
     }
     (headers, rows)
 }
@@ -431,7 +447,7 @@ pub fn run_sweep_scale(eps: Eps, seed: u64) -> (Vec<&'static str>, Vec<Vec<Strin
 /// **A1** — ring-table ablation: how many levels `R(u)` keeps vs the full
 /// hierarchy, and the stretch cost of the pruning (NetLabeled stores all
 /// levels; ScaleFreeLabeled prunes to R(u) + packing machinery).
-pub fn run_ablation_rings(seed: u64) -> (Vec<&'static str>, Vec<Vec<String>>) {
+pub fn run_ablation_rings(cache: &MetricCache, seed: u64) -> (Vec<&'static str>, Vec<Vec<String>>) {
     let headers = vec![
         "graph",
         "levels-total",
@@ -444,11 +460,10 @@ pub fn run_ablation_rings(seed: u64) -> (Vec<&'static str>, Vec<Vec<String>>) {
     ];
     let eps = Eps::one_over(8);
     let mut rows = Vec::new();
-    for (name, g) in [
-        ("grid-144", gen::Family::Grid.build(144, seed)),
-        ("exp-path-40", gen::exp_weight_path(40)),
+    for (name, m) in [
+        ("grid-144", cache.family(gen::Family::Grid, 144, seed)),
+        ("exp-path-40", cache.get_or_build("exp-path", 40, 0, || gen::exp_weight_path(40))),
     ] {
-        let m = MetricSpace::new(&g);
         let pairs = sample_pairs(m.n(), 300, seed);
         let nl = NetLabeled::new(&m, eps).expect("eps ok");
         let sf = ScaleFreeLabeled::new(&m, eps).expect("eps ok");
@@ -472,17 +487,19 @@ pub fn run_ablation_rings(seed: u64) -> (Vec<&'static str>, Vec<Vec<String>>) {
 /// **A2** — packing-reuse ablation: the fraction of (round, net point)
 /// facilities served by `H(u,i)` links instead of private search trees,
 /// and per-node link counts (Claim 3.9's regime).
-pub fn run_ablation_packing(seed: u64) -> (Vec<&'static str>, Vec<Vec<String>>) {
+pub fn run_ablation_packing(
+    cache: &MetricCache,
+    seed: u64,
+) -> (Vec<&'static str>, Vec<Vec<String>>) {
     let headers =
         vec!["graph", "link-fraction", "avg-links/node", "max-links/node", "max-table(b)"];
     let eps = Eps::one_over(4);
     let mut rows = Vec::new();
-    for (name, g) in [
-        ("grid-100", gen::Family::Grid.build(100, seed)),
-        ("geometric-100", gen::Family::Geometric.build(100, seed)),
-        ("exp-path-32", gen::exp_weight_path(32)),
+    for (name, m) in [
+        ("grid-100", cache.family(gen::Family::Grid, 100, seed)),
+        ("geometric-100", cache.family(gen::Family::Geometric, 100, seed)),
+        ("exp-path-32", cache.get_or_build("exp-path", 32, 0, || gen::exp_weight_path(32))),
     ] {
-        let m = MetricSpace::new(&g);
         let naming = Naming::random(m.n(), seed);
         let sf = ScaleFreeNameIndependent::new(&m, eps, naming).expect("eps ok");
         let links: Vec<usize> = (0..m.n() as u32).map(|u| sf.link_count(u)).collect();
@@ -502,15 +519,18 @@ pub fn run_ablation_packing(seed: u64) -> (Vec<&'static str>, Vec<Vec<String>>) 
 /// **S3** — storage growth vs n on grids: compact (polylog) vs full-table
 /// (`n·log n`) bits per node. Compactness is asymptotic; this measures the
 /// growth-rate separation directly and lets the crossover be projected.
-pub fn run_storage_growth(ns: &[usize], seed: u64) -> (Vec<&'static str>, Vec<Vec<String>>) {
+pub fn run_storage_growth(
+    cache: &MetricCache,
+    ns: &[usize],
+    seed: u64,
+) -> (Vec<&'static str>, Vec<Vec<String>>) {
     let headers =
         vec!["n", "full-table(b)", "sf-labeled max(b)", "sf-NI max(b)", "sfNI/full", "sfNI-growth"];
     let eps = Eps::one_over(8);
     let mut rows = Vec::new();
     let mut prev_sf: Option<f64> = None;
     for &n in ns {
-        let g = gen::Family::Grid.build(n, seed);
-        let m = MetricSpace::new(&g);
+        let m = cache.family(gen::Family::Grid, n, seed);
         let naming = Naming::random(m.n(), seed);
         let full_bits = m.n() as u64 * netsim::bits::bits_for_count(m.n() as u64);
         let sfl = ScaleFreeLabeled::new(&m, eps).expect("eps ok");
@@ -536,13 +556,16 @@ pub fn run_storage_growth(ns: &[usize], seed: u64) -> (Vec<&'static str>, Vec<Ve
 /// of the name-independent schemes. The paper's conclusion asks whether
 /// letting a small fraction of pairs exceed the bound buys better typical
 /// stretch; the quantiles show how much headroom exists (p50 ≪ p99 ≪ max).
-pub fn run_relaxed(n: usize, seed: u64) -> (Vec<&'static str>, Vec<Vec<String>>) {
+pub fn run_relaxed(
+    cache: &MetricCache,
+    n: usize,
+    seed: u64,
+) -> (Vec<&'static str>, Vec<Vec<String>>) {
     use netsim::stats::{stretch_samples_ni, StretchQuantiles};
     let headers = vec!["family", "scheme", "eps", "p50", "p90", "p99", "max"];
     let mut rows = Vec::new();
     for f in [gen::Family::Grid, gen::Family::Geometric] {
-        let g = f.build(n, seed);
-        let m = MetricSpace::new(&g);
+        let m = cache.family(f, n, seed);
         let naming = Naming::random(m.n(), seed ^ 9);
         let pairs = sample_pairs(m.n(), 500, seed ^ 5);
         for inv in [4u64, 8] {
@@ -578,9 +601,13 @@ pub fn run_relaxed(n: usize, seed: u64) -> (Vec<&'static str>, Vec<Vec<String>>)
 mod tests {
     use super::*;
 
+    fn cache() -> MetricCache {
+        MetricCache::new(1)
+    }
+
     #[test]
     fn table1_produces_rows_for_every_family_and_scheme() {
-        let (h, rows) = run_table1(36, Eps::one_over(8), 30, 3);
+        let (h, rows) = run_table1(&cache(), 36, Eps::one_over(8), 30, 3);
         assert_eq!(h.len(), 8);
         assert_eq!(rows.len(), table_families().len() * 3);
         // No failure annotations.
@@ -591,7 +618,7 @@ mod tests {
 
     #[test]
     fn table2_produces_rows() {
-        let (_, rows) = run_table2(36, Eps::one_over(8), 30, 3);
+        let (_, rows) = run_table2(&cache(), 36, Eps::one_over(8), 30, 3);
         assert_eq!(rows.len(), table_families().len() * 3);
         for r in &rows {
             assert!(!r.iter().any(|c| c.starts_with("FAILURES")), "row {r:?}");
@@ -600,7 +627,7 @@ mod tests {
 
     #[test]
     fn fig3_rows_respect_theorem_bounds() {
-        let (_, rows) = run_fig3(7);
+        let (_, rows) = run_fig3(&cache(), 7);
         for r in &rows {
             let optimized: f64 = r[10].parse().unwrap();
             let bound: f64 = r[11].parse().unwrap();
@@ -614,8 +641,20 @@ mod tests {
     }
 
     #[test]
+    fn experiments_share_metrics_through_the_cache() {
+        let c = cache();
+        run_table1(&c, 36, Eps::one_over(8), 10, 3);
+        let builds_after_t1 = c.stats().builds;
+        assert_eq!(builds_after_t1, table_families().len() as u64);
+        // Table 2 on the same (n, seed) must be served entirely from cache.
+        run_table2(&c, 36, Eps::one_over(8), 10, 3);
+        assert_eq!(c.stats().builds, builds_after_t1);
+        assert_eq!(c.stats().hits, table_families().len() as u64);
+    }
+
+    #[test]
     fn sweep_scale_shows_crossover() {
-        let (_, rows) = run_sweep_scale(Eps::one_over(4), 3);
+        let (_, rows) = run_sweep_scale(&cache(), Eps::one_over(4), 3);
         // On exp-paths, the simple/scale-free ratio must exceed 1 and grow
         // with n; on unit paths it stays near or below ~1.5.
         let exp_ratios: Vec<f64> =

@@ -26,10 +26,13 @@
 
 #![warn(missing_docs)]
 
+pub mod build_bench;
+pub mod cache;
 pub mod churn;
 pub mod cli;
 pub mod experiments;
 pub mod profile;
 pub mod table;
 
+pub use cache::MetricCache;
 pub use table::{emit, print_table, to_json};

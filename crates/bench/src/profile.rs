@@ -20,7 +20,7 @@
 
 use std::time::Instant;
 
-use doubling_metric::{Eps, MetricSpace};
+use doubling_metric::Eps;
 use labeled_routing::{NetLabeled, ScaleFreeLabeled};
 use name_independent::{ScaleFreeNameIndependent, SimpleNameIndependent};
 use netsim::json::Value;
@@ -29,6 +29,7 @@ use netsim::Naming;
 use obs::eval::{eval_labeled_traced, eval_name_independent_traced};
 use obs::{PhaseBreakdown, RouteMetrics, Tracer};
 
+use crate::cache::MetricCache;
 use crate::experiments::table_families;
 use crate::table::f2;
 
@@ -101,8 +102,16 @@ fn profile_one(
 }
 
 /// Runs the full profiling grid: every Table-1/2 family × all four
-/// schemes.
-pub fn run_profile(n: usize, eps: Eps, pairs_count: usize, seed: u64) -> ProfileReport {
+/// schemes. Metrics come from `cache`: the first scheme of each family
+/// pays the (traced) `metric-build`, the other three hit the cache — the
+/// `metric_cache` counters in the JSON document prove it.
+pub fn run_profile(
+    cache: &MetricCache,
+    n: usize,
+    eps: Eps,
+    pairs_count: usize,
+    seed: u64,
+) -> ProfileReport {
     let mut report = ProfileReport {
         phase_headers: vec!["family", "scheme", "phase", "calls", "wall(ms)", "alloc(KiB)"],
         phase_rows: Vec::new(),
@@ -126,45 +135,65 @@ pub fn run_profile(n: usize, eps: Eps, pairs_count: usize, seed: u64) -> Profile
     let mut entries = Vec::new();
 
     for f in table_families() {
-        let g = f.build(n, seed);
-        let m = MetricSpace::new(&g);
-        let naming = Naming::random(m.n(), seed ^ 0xA5);
-        let pairs = sample_pairs(m.n(), pairs_count, seed ^ 0x5A);
-
+        // Every closure fetches the metric through the cache *inside* the
+        // traced region: the first one records the metric-build span, the
+        // other three record metric-cache-hit events. Naming and pair
+        // samples are seeded, so recomputing them per closure is free
+        // determinism (and they need `m.n()`, which only the metric knows).
+        let pairs_for =
+            |m: &doubling_metric::MetricSpace| sample_pairs(m.n(), pairs_count, seed ^ 0x5A);
         profile_one(f.name(), &mut report, &mut entries, |tracer| {
             let t0 = Instant::now();
+            let m = cache.family_traced(f, n, seed, tracer);
             let s = NetLabeled::new_traced(&m, eps, tracer).expect("eps within range");
             let build_ms = t0.elapsed().as_secs_f64() * 1e3;
             let mut rm = RouteMetrics::new();
-            let res = eval_labeled_traced(&s, &m, &pairs, &Tracer::noop(), &mut rm);
+            let res = eval_labeled_traced(&s, &m, &pairs_for(&m), &Tracer::noop(), &mut rm);
             (build_ms, res, rm)
         });
         profile_one(f.name(), &mut report, &mut entries, |tracer| {
             let t0 = Instant::now();
+            let m = cache.family_traced(f, n, seed, tracer);
             let s = ScaleFreeLabeled::new_traced(&m, eps, tracer).expect("eps within range");
             let build_ms = t0.elapsed().as_secs_f64() * 1e3;
             let mut rm = RouteMetrics::new();
-            let res = eval_labeled_traced(&s, &m, &pairs, &Tracer::noop(), &mut rm);
+            let res = eval_labeled_traced(&s, &m, &pairs_for(&m), &Tracer::noop(), &mut rm);
             (build_ms, res, rm)
         });
         profile_one(f.name(), &mut report, &mut entries, |tracer| {
             let t0 = Instant::now();
+            let m = cache.family_traced(f, n, seed, tracer);
+            let naming = Naming::random(m.n(), seed ^ 0xA5);
             let s = SimpleNameIndependent::new_traced(&m, eps, naming.clone(), tracer)
                 .expect("eps within range");
             let build_ms = t0.elapsed().as_secs_f64() * 1e3;
             let mut rm = RouteMetrics::new();
-            let res =
-                eval_name_independent_traced(&s, &m, &naming, &pairs, &Tracer::noop(), &mut rm);
+            let res = eval_name_independent_traced(
+                &s,
+                &m,
+                &naming,
+                &pairs_for(&m),
+                &Tracer::noop(),
+                &mut rm,
+            );
             (build_ms, res, rm)
         });
         profile_one(f.name(), &mut report, &mut entries, |tracer| {
             let t0 = Instant::now();
+            let m = cache.family_traced(f, n, seed, tracer);
+            let naming = Naming::random(m.n(), seed ^ 0xA5);
             let s = ScaleFreeNameIndependent::new_traced(&m, eps, naming.clone(), tracer)
                 .expect("eps within range");
             let build_ms = t0.elapsed().as_secs_f64() * 1e3;
             let mut rm = RouteMetrics::new();
-            let res =
-                eval_name_independent_traced(&s, &m, &naming, &pairs, &Tracer::noop(), &mut rm);
+            let res = eval_name_independent_traced(
+                &s,
+                &m,
+                &naming,
+                &pairs_for(&m),
+                &Tracer::noop(),
+                &mut rm,
+            );
             (build_ms, res, rm)
         });
     }
@@ -177,6 +206,8 @@ pub fn run_profile(n: usize, eps: Eps, pairs_count: usize, seed: u64) -> Profile
         ("pairs".into(), pairs_count.into()),
         ("seed".into(), seed.into()),
         ("alloc_counted".into(), (obs::alloc::allocated_bytes() > 0).into()),
+        ("threads".into(), cache.threads().into()),
+        ("metric_cache".into(), cache.stats().to_json()),
         ("entries".into(), Value::Array(entries)),
     ]);
     report
@@ -186,13 +217,14 @@ pub fn run_profile(n: usize, eps: Eps, pairs_count: usize, seed: u64) -> Profile
 /// `cargo run -p bench --bin profile`: runs the grid, prints the two
 /// tables, and writes `results/profile.json`.
 ///
-/// Usage: `profile [n] [1/eps] [pairs] [--seed N] [--json]`.
+/// Usage: `profile [n] [1/eps] [pairs] [--seed N] [--json] [--threads N]`.
 pub fn profile_main() {
     let cli = crate::cli::Cli::parse_env(42);
     let n: usize = cli.pos(0, 100);
     let inv: u64 = cli.pos(1, 8);
     let pairs: usize = cli.pos(2, 200);
-    let report = run_profile(n, Eps::one_over(inv), pairs, cli.seed);
+    let cache = MetricCache::new(cli.threads);
+    let report = run_profile(&cache, n, Eps::one_over(inv), pairs, cli.seed);
     crate::table::emit(
         &format!("P1a: preprocessing phases (n≈{n}, eps=1/{inv}, seed {})", cli.seed),
         &report.phase_headers,
@@ -217,9 +249,25 @@ mod tests {
 
     #[test]
     fn profile_covers_every_family_and_scheme() {
-        let report = run_profile(36, Eps::one_over(8), 40, 3);
+        let cache = MetricCache::new(1);
+        let report = run_profile(&cache, 36, Eps::one_over(8), 40, 3);
         let n_families = table_families().len();
         assert_eq!(report.metric_rows.len(), n_families * 4);
+
+        // Each family's metric is built exactly once; the other three
+        // schemes hit the cache.
+        assert_eq!(cache.stats().builds, n_families as u64);
+        assert_eq!(cache.stats().hits, n_families as u64 * 3);
+        let mc = report.doc.get("metric_cache").expect("metric_cache stats");
+        assert_eq!(mc.get("builds").and_then(Value::as_u64), Some(n_families as u64));
+        // The first entry of each family carries the metric-build phase.
+        let entries = report.doc.get("entries").and_then(Value::as_array).expect("entries");
+        for (i, e) in entries.iter().enumerate() {
+            let phases = e.get("phases").and_then(Value::as_array).expect("phases");
+            let names: Vec<&str> =
+                phases.iter().filter_map(|p| p.get("name").and_then(Value::as_str)).collect();
+            assert_eq!(names.contains(&"metric-build"), i % 4 == 0, "entry {i}: {names:?}");
+        }
 
         let doc = &report.doc;
         assert_eq!(

@@ -50,7 +50,7 @@ use crate::rings::{build_ring, ring_lookup, RingEntry};
 /// assert!(route.stretch(&m) <= 1.5);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NetLabeled {
     nets: NetHierarchy,
     widths: FieldWidths,

@@ -42,7 +42,7 @@ use crate::rings::{build_ring, ring_lookup, RingEntry};
 
 /// One Voronoi cell of a packed ball: its shortest-path tree router and the
 /// search tree indexing local labels.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct Cell {
     router: PortTreeRouter,
     search: SearchTree<PortLabel>,
@@ -65,7 +65,7 @@ struct Cell {
 /// assert!(route.stretch(&m) <= 1.5);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScaleFreeLabeled {
     nets: NetHierarchy,
     eps: Eps,

@@ -1,0 +1,262 @@
+//! Parallel deterministic preprocessing: source partitioning and build
+//! profiles.
+//!
+//! Both expensive phases of [`crate::space::MetricSpace`] construction —
+//! the all-pairs Dijkstra and the per-node sorted-row build — are
+//! embarrassingly parallel over *sources*: source `u`'s output occupies a
+//! disjoint row slice of one flat array, so workers never share mutable
+//! state and the result is **byte-identical** to the sequential build
+//! regardless of thread count. This module provides the shared
+//! partitioning helper ([`chunk_ranges`]) plus the profile types
+//! ([`BuildProfile`], [`PhaseProfile`], [`WorkerSpan`]) that the parallel
+//! builders fill in so harnesses can report per-phase wall clock and
+//! per-worker spans without this crate depending on the observability
+//! layer.
+//!
+//! Worker spans are always emitted in worker-index order (worker `i`
+//! covers the `i`-th contiguous source range), so merging them into any
+//! downstream trace is deterministic even though the workers themselves
+//! finish in arbitrary order.
+
+use std::ops::Range;
+
+use crate::graph::NodeId;
+
+/// One worker's share of a parallel build phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerSpan {
+    /// Worker index (also its rank in the deterministic merge order).
+    pub worker: usize,
+    /// First source node this worker processed.
+    pub first_source: NodeId,
+    /// Number of consecutive sources processed.
+    pub source_count: u32,
+    /// Wall-clock the worker spent on its whole range, microseconds.
+    pub wall_us: u64,
+}
+
+/// Timing of one parallel phase (APSP or sorted-row construction).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseProfile {
+    /// Wall-clock of the whole phase (spawn to last join), microseconds.
+    pub wall_us: u64,
+    /// Per-worker spans, in worker-index order.
+    pub workers: Vec<WorkerSpan>,
+    /// Per-source wall-clock, microseconds, indexed by source node id
+    /// (concatenation of the workers' ranges — deterministic order).
+    pub per_source_us: Vec<u64>,
+}
+
+impl PhaseProfile {
+    /// Number of threads that actually ran this phase.
+    pub fn threads(&self) -> usize {
+        self.workers.len().max(1)
+    }
+}
+
+/// Full profile of one [`crate::space::MetricSpace`] build.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BuildProfile {
+    /// Requested thread count (workers may be fewer on tiny graphs).
+    pub threads: usize,
+    /// The all-pairs Dijkstra phase.
+    pub apsp: PhaseProfile,
+    /// The sorted-row construction phase.
+    pub rows: PhaseProfile,
+}
+
+impl BuildProfile {
+    /// Total build wall-clock (sum of the two phases), microseconds.
+    pub fn total_us(&self) -> u64 {
+        self.apsp.wall_us + self.rows.wall_us
+    }
+}
+
+/// Splits `0..n` into at most `threads` contiguous near-equal ranges
+/// (never empty; fewer ranges than `threads` when `n < threads`).
+///
+/// The partition depends only on `(n, threads)`, so a parallel build's
+/// worker layout — and with it the deterministic span merge order — is a
+/// pure function of its inputs.
+pub fn chunk_ranges(n: usize, threads: usize) -> Vec<Range<usize>> {
+    let threads = threads.max(1).min(n.max(1));
+    let base = n / threads;
+    let extra = n % threads;
+    let mut ranges = Vec::with_capacity(threads);
+    let mut start = 0usize;
+    for i in 0..threads {
+        let len = base + usize::from(i < extra);
+        if len == 0 {
+            continue;
+        }
+        ranges.push(start..start + len);
+        start += len;
+    }
+    if ranges.is_empty() {
+        ranges.push(0..n);
+    }
+    ranges
+}
+
+/// Runs `job(source, worker_scratch)` for every source in `0..n`,
+/// splitting the flat `n * row_len` output buffers into disjoint
+/// per-worker row chunks.
+///
+/// `job` receives `(source, local_row_index, chunk_a, chunk_b)` where the
+/// chunks are the worker's slices of `out_a` / `out_b`; it must write row
+/// `local_row_index` of each chunk. Returns per-phase timing. With
+/// `threads == 1` everything runs inline on the caller's thread (no spawn
+/// overhead — exactly the historical sequential path).
+pub(crate) fn run_rows<A: Send, B: Send>(
+    n: usize,
+    row_len: usize,
+    threads: usize,
+    out_a: &mut [A],
+    out_b: &mut [B],
+    job: impl Fn(usize, usize, &mut [A], &mut [B]) + Sync,
+) -> PhaseProfile {
+    assert_eq!(out_a.len(), n * row_len, "out_a must hold n rows");
+    assert!(out_b.len() == n * row_len || out_b.is_empty(), "out_b must hold n rows or be empty");
+    let t_phase = std::time::Instant::now();
+    let ranges = chunk_ranges(n, threads);
+
+    // Timing parts per worker: (wall_us, per_source_us).
+    let mut parts: Vec<(u64, Vec<u64>)> = Vec::with_capacity(ranges.len());
+
+    if ranges.len() == 1 {
+        parts.push(run_worker(ranges[0].clone(), out_a, out_b, &job));
+    } else {
+        // Carve the flat buffers into disjoint per-worker chunks.
+        let mut a_chunks: Vec<&mut [A]> = Vec::with_capacity(ranges.len());
+        let mut b_chunks: Vec<&mut [B]> = Vec::with_capacity(ranges.len());
+        let mut a_rest: &mut [A] = out_a;
+        let mut b_rest: &mut [B] = out_b;
+        for r in &ranges {
+            let (a, rest_a) = a_rest.split_at_mut(r.len() * row_len);
+            a_chunks.push(a);
+            a_rest = rest_a;
+            if !b_rest.is_empty() {
+                let (b, rest_b) = b_rest.split_at_mut(r.len() * row_len);
+                b_chunks.push(b);
+                b_rest = rest_b;
+            } else {
+                b_chunks.push(&mut []);
+            }
+        }
+        let job = &job;
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(ranges.len());
+            for ((r, a), b) in ranges.iter().zip(a_chunks).zip(b_chunks) {
+                let r = r.clone();
+                handles.push(s.spawn(move || run_worker(r, a, b, job)));
+            }
+            for h in handles {
+                parts.push(h.join().expect("build worker panicked"));
+            }
+        });
+    }
+
+    let mut profile = PhaseProfile {
+        wall_us: t_phase.elapsed().as_micros() as u64,
+        workers: Vec::with_capacity(parts.len()),
+        per_source_us: Vec::with_capacity(n),
+    };
+    for (i, (r, (wall_us, per_source))) in ranges.iter().zip(parts).enumerate() {
+        profile.workers.push(WorkerSpan {
+            worker: i,
+            first_source: r.start as NodeId,
+            source_count: r.len() as u32,
+            wall_us,
+        });
+        profile.per_source_us.extend(per_source);
+    }
+    profile
+}
+
+/// One worker's loop over its contiguous source range.
+fn run_worker<A, B>(
+    range: Range<usize>,
+    chunk_a: &mut [A],
+    chunk_b: &mut [B],
+    job: &impl Fn(usize, usize, &mut [A], &mut [B]),
+) -> (u64, Vec<u64>) {
+    let t_worker = std::time::Instant::now();
+    let mut per_source = Vec::with_capacity(range.len());
+    for (local, source) in range.enumerate() {
+        let t0 = std::time::Instant::now();
+        job(source, local, chunk_a, chunk_b);
+        per_source.push(t0.elapsed().as_micros() as u64);
+    }
+    (t_worker.elapsed().as_micros() as u64, per_source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for n in [0usize, 1, 2, 5, 7, 16, 100, 101] {
+            for threads in [1usize, 2, 3, 4, 8, 200] {
+                let ranges = chunk_ranges(n, threads);
+                // Contiguous cover of 0..n, no empties (except the n=0 single range).
+                let mut next = 0usize;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "n={n} threads={threads}");
+                    assert!(r.end >= r.start);
+                    next = r.end;
+                }
+                assert_eq!(next, n);
+                assert!(ranges.len() <= threads.max(1));
+                if n > 0 {
+                    assert!(ranges.iter().all(|r| !r.is_empty()));
+                    // Near-equal: sizes differ by at most one.
+                    let min = ranges.iter().map(Range::len).min().unwrap();
+                    let max = ranges.iter().map(Range::len).max().unwrap();
+                    assert!(max - min <= 1, "n={n} threads={threads}: {ranges:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_deterministic() {
+        assert_eq!(chunk_ranges(10, 4), chunk_ranges(10, 4));
+        assert_eq!(chunk_ranges(10, 4), vec![0..3, 3..6, 6..8, 8..10]);
+    }
+
+    #[test]
+    fn run_rows_fills_disjoint_rows_in_parallel() {
+        let n = 13;
+        let row_len = 7;
+        for threads in [1usize, 2, 4, 32] {
+            let mut a = vec![0u64; n * row_len];
+            let mut b = vec![0u32; n * row_len];
+            let profile = run_rows(n, row_len, threads, &mut a, &mut b, |src, local, ca, cb| {
+                for j in 0..row_len {
+                    ca[local * row_len + j] = (src * row_len + j) as u64;
+                    cb[local * row_len + j] = src as u32;
+                }
+            });
+            assert_eq!(a, (0..(n * row_len) as u64).collect::<Vec<_>>());
+            for (i, &v) in b.iter().enumerate() {
+                assert_eq!(v as usize, i / row_len);
+            }
+            assert_eq!(profile.per_source_us.len(), n);
+            assert_eq!(profile.workers.len(), threads.min(n).max(1));
+            let covered: u32 = profile.workers.iter().map(|w| w.source_count).sum();
+            assert_eq!(covered as usize, n);
+        }
+    }
+
+    #[test]
+    fn run_rows_supports_empty_second_buffer() {
+        let n = 5;
+        let mut a = vec![0u8; n * 3];
+        let mut b: Vec<u8> = Vec::new();
+        run_rows(n, 3, 2, &mut a, &mut b, |src, local, ca, _cb| {
+            ca[local * 3..local * 3 + 3].fill(src as u8);
+        });
+        assert_eq!(a, vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3, 4, 4, 4]);
+    }
+}

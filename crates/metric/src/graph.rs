@@ -64,7 +64,7 @@ impl fmt::Display for GraphError {
 impl std::error::Error for GraphError {}
 
 /// A half-edge in the adjacency list: the neighbour and the edge weight.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Neighbor {
     /// The node at the other end of the edge.
     pub node: NodeId,
@@ -91,7 +91,7 @@ pub struct Neighbor {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Graph {
     adj: Vec<Vec<Neighbor>>,
     edge_count: usize,
@@ -249,6 +249,24 @@ impl GraphBuilder {
     /// Returns [`GraphError::Empty`] for zero nodes and
     /// [`GraphError::Disconnected`] if the graph is not connected.
     pub fn build(self) -> Result<Graph, GraphError> {
+        let g = self.build_any()?;
+        if !g.is_connected() {
+            return Err(GraphError::Disconnected);
+        }
+        Ok(g)
+    }
+
+    /// Finalizes the graph **without the connectivity requirement**.
+    ///
+    /// Routing schemes still demand connected inputs; this exists for the
+    /// shortest-path oracles' disconnected-graph edge cases (unreachable
+    /// pairs report `INFINITY` / `None`) and for fault-injection tooling
+    /// that carves components out of a connected graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Empty`] for zero nodes.
+    pub fn build_any(self) -> Result<Graph, GraphError> {
         if self.n == 0 {
             return Err(GraphError::Empty);
         }
@@ -281,11 +299,7 @@ impl GraphBuilder {
             min_w = 1;
             max_w = 1;
         }
-        let g = Graph { adj, edge_count: edges.len(), min_weight: min_w, max_weight: max_w };
-        if !g.is_connected() {
-            return Err(GraphError::Disconnected);
-        }
-        Ok(g)
+        Ok(Graph { adj, edge_count: edges.len(), min_weight: min_w, max_weight: max_w })
     }
 }
 
@@ -339,6 +353,18 @@ mod tests {
         b.edge(0, 1, 1).unwrap();
         b.edge(2, 3, 1).unwrap();
         assert_eq!(b.build().unwrap_err(), GraphError::Disconnected);
+    }
+
+    #[test]
+    fn build_any_accepts_disconnected_but_not_empty() {
+        let mut b = GraphBuilder::new(4);
+        b.edge(0, 1, 1).unwrap();
+        b.edge(2, 3, 1).unwrap();
+        let g = b.build_any().unwrap();
+        assert!(!g.is_connected());
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(GraphBuilder::new(0).build_any().unwrap_err(), GraphError::Empty);
     }
 
     #[test]

@@ -44,6 +44,7 @@
 
 #![warn(missing_docs)]
 
+pub mod build;
 pub mod doubling;
 pub mod eps;
 pub mod gen;

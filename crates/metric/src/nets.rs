@@ -45,7 +45,7 @@ use crate::space::MetricSpace;
 /// ```
 /// The full net hierarchy with zooming sequences, netting tree and DFS leaf
 /// labels.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NetHierarchy {
     /// `levels[i]` = members of `Y_i`, sorted by node id. `levels.len()`
     /// equals `MetricSpace::num_scales()`.

@@ -23,7 +23,7 @@ use crate::graph::{Dist, NodeId};
 use crate::space::MetricSpace;
 
 /// One packed ball: `2^j` nodes nearest to `center`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PackedBall {
     /// Ball center `c`.
     pub center: NodeId,
@@ -51,7 +51,7 @@ pub struct PackedBall {
 /// assert!(w.radius <= m.r_small(5, 2));
 /// assert!(m.dist(5, w.center) <= 2 * m.r_small(5, 2));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BallPacking {
     j: u32,
     balls: Vec<PackedBall>,
@@ -174,7 +174,7 @@ impl BallPacking {
 }
 
 /// All packings `ℬ_0, …, ℬ_{⌈log n⌉}`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Packings {
     packings: Vec<BallPacking>,
 }

@@ -13,10 +13,53 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use crate::build::{run_rows, PhaseProfile};
 use crate::graph::{Dist, Graph, NodeId, INFINITY};
 
+/// Runs the deterministic Dijkstra from `source`, writing distances and
+/// predecessors into the caller's row buffers (each of length `n`).
+///
+/// This is the single Dijkstra implementation in the workspace: the
+/// sequential [`ShortestPathTree::new`] and the parallel
+/// [`Apsp::new_parallel`] both call it, which is what makes the parallel
+/// build byte-identical to the sequential one by construction.
+fn dijkstra_into(g: &Graph, source: NodeId, dist: &mut [Dist], parent: &mut [NodeId]) {
+    let n = g.node_count();
+    debug_assert_eq!(dist.len(), n);
+    debug_assert_eq!(parent.len(), n);
+    dist.fill(INFINITY);
+    parent.fill(source);
+    let mut settled = vec![false; n];
+    let mut heap: BinaryHeap<Reverse<(Dist, NodeId)>> = BinaryHeap::new();
+    dist[source as usize] = 0;
+    heap.push(Reverse((0, source)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if settled[u as usize] {
+            continue;
+        }
+        settled[u as usize] = true;
+        debug_assert_eq!(d, dist[u as usize]);
+        for nb in g.neighbors(u) {
+            let v = nb.node as usize;
+            if settled[v] {
+                continue;
+            }
+            let nd = d.saturating_add(nb.weight);
+            if nd < dist[v] {
+                dist[v] = nd;
+                parent[v] = u;
+                heap.push(Reverse((nd, nb.node)));
+            } else if nd == dist[v] && u < parent[v] {
+                // Equal-length path through a smaller-id predecessor:
+                // deterministic tie-break.
+                parent[v] = u;
+            }
+        }
+    }
+}
+
 /// The shortest-path tree rooted at a single source.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShortestPathTree {
     source: NodeId,
     dist: Vec<Dist>,
@@ -34,33 +77,7 @@ impl ShortestPathTree {
         assert!((source as usize) < n, "source out of range");
         let mut dist = vec![INFINITY; n];
         let mut parent = vec![source; n];
-        let mut settled = vec![false; n];
-        let mut heap: BinaryHeap<Reverse<(Dist, NodeId)>> = BinaryHeap::new();
-        dist[source as usize] = 0;
-        heap.push(Reverse((0, source)));
-        while let Some(Reverse((d, u))) = heap.pop() {
-            if settled[u as usize] {
-                continue;
-            }
-            settled[u as usize] = true;
-            debug_assert_eq!(d, dist[u as usize]);
-            for nb in g.neighbors(u) {
-                let v = nb.node as usize;
-                if settled[v] {
-                    continue;
-                }
-                let nd = d.saturating_add(nb.weight);
-                if nd < dist[v] {
-                    dist[v] = nd;
-                    parent[v] = u;
-                    heap.push(Reverse((nd, nb.node)));
-                } else if nd == dist[v] && u < parent[v] {
-                    // Equal-length path through a smaller-id predecessor:
-                    // deterministic tie-break.
-                    parent[v] = u;
-                }
-            }
-        }
+        dijkstra_into(g, source, &mut dist, &mut parent);
         ShortestPathTree { source, dist, parent }
     }
 
@@ -84,7 +101,18 @@ impl ShortestPathTree {
     }
 
     /// The full shortest path from the source to `v`, inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is unreachable from the source (possible only on
+    /// graphs built with [`crate::graph::GraphBuilder::build_any`]).
     pub fn path_to(&self, v: NodeId) -> Vec<NodeId> {
+        assert_ne!(
+            self.dist(v),
+            INFINITY,
+            "no path from {} to {v}: graph is disconnected",
+            self.source
+        );
         let mut path = vec![v];
         let mut cur = v;
         while cur != self.source {
@@ -119,7 +147,7 @@ impl ShortestPathTree {
 /// assert_eq!(apsp.dist(0, 3), 3);
 /// assert_eq!(apsp.path(0, 2), vec![0, 1, 2]);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Apsp {
     n: usize,
     dist: Vec<Dist>,
@@ -127,17 +155,40 @@ pub struct Apsp {
 }
 
 impl Apsp {
-    /// Computes all-pairs shortest paths by `n` Dijkstra runs.
+    /// Computes all-pairs shortest paths by `n` Dijkstra runs on the
+    /// calling thread. Equivalent to [`Apsp::new_parallel`] with one
+    /// thread.
     pub fn new(g: &Graph) -> Self {
+        Self::new_parallel(g, 1)
+    }
+
+    /// Computes all-pairs shortest paths with up to `threads` worker
+    /// threads (`std::thread::scope`; no thread pool, no external deps).
+    ///
+    /// Each source's Dijkstra writes into a disjoint row slice of the flat
+    /// `dist`/`parent` arrays, so the result is **byte-identical** to the
+    /// sequential build for every thread count. `threads == 1` runs inline
+    /// on the calling thread (the historical behavior).
+    pub fn new_parallel(g: &Graph, threads: usize) -> Self {
+        Self::new_profiled(g, threads).0
+    }
+
+    /// [`Apsp::new_parallel`] returning the per-worker/per-source timing
+    /// profile alongside the tables.
+    pub fn new_profiled(g: &Graph, threads: usize) -> (Self, PhaseProfile) {
         let n = g.node_count();
-        let mut dist = Vec::with_capacity(n * n);
-        let mut parent = Vec::with_capacity(n * n);
-        for s in 0..n as NodeId {
-            let t = ShortestPathTree::new(g, s);
-            dist.extend_from_slice(&t.dist);
-            parent.extend_from_slice(&t.parent);
-        }
-        Apsp { n, dist, parent }
+        let mut dist = vec![0 as Dist; n * n];
+        let mut parent = vec![0 as NodeId; n * n];
+        let profile =
+            run_rows(n, n, threads, &mut dist, &mut parent, |source, local, d_chunk, p_chunk| {
+                dijkstra_into(
+                    g,
+                    source as NodeId,
+                    &mut d_chunk[local * n..(local + 1) * n],
+                    &mut p_chunk[local * n..(local + 1) * n],
+                );
+            });
+        (Apsp { n, dist, parent }, profile)
     }
 
     /// Number of nodes.
@@ -160,11 +211,17 @@ impl Apsp {
     }
 
     /// The neighbour of `src` that lies on the (deterministic) shortest path
-    /// from `src` to `dst`; `None` if `src == dst`.
+    /// from `src` to `dst`; `None` if `src == dst` **or `dst` is
+    /// unreachable from `src`** (possible only on graphs built with
+    /// [`crate::graph::GraphBuilder::build_any`]).
+    ///
+    /// The unreachable guard matters: `parent` rows are initialized to the
+    /// source, so without it an unreachable `dst` would silently decode as
+    /// a bogus one-hop neighbour.
     ///
     /// This is exactly the "next hop" a routing-table entry stores.
     pub fn next_hop(&self, src: NodeId, dst: NodeId) -> Option<NodeId> {
-        if src == dst {
+        if src == dst || self.dist(src, dst) == INFINITY {
             return None;
         }
         let mut cur = dst;
@@ -178,7 +235,19 @@ impl Apsp {
     }
 
     /// The full shortest path from `src` to `dst`, inclusive of both.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is unreachable from `src` (possible only on graphs
+    /// built with [`crate::graph::GraphBuilder::build_any`]) — following
+    /// the source-initialized `parent` row would otherwise fabricate a
+    /// 2-node "path" across the component gap.
     pub fn path(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+        assert_ne!(
+            self.dist(src, dst),
+            INFINITY,
+            "no path from {src} to {dst}: graph is disconnected"
+        );
         let mut path = vec![dst];
         let mut cur = dst;
         while cur != src {
@@ -285,6 +354,61 @@ mod tests {
             cost += g.edge_weight(w[0], w[1]).unwrap();
         }
         assert_eq!(cost, apsp.dist(0, 11));
+    }
+
+    #[test]
+    fn parallel_apsp_is_bit_identical_for_threads_1_2_4() {
+        // The deterministic-parallelism contract: for every thread count,
+        // the flat tables are equal as values (and hence byte-identical —
+        // they are plain integer vectors).
+        for g in [
+            crate::gen::grid(7, 6),
+            crate::gen::random_geometric(50, 250, 11),
+            crate::gen::exp_weight_path(20),
+        ] {
+            let sequential = Apsp::new(&g);
+            for threads in [1usize, 2, 4] {
+                let (parallel, profile) = Apsp::new_profiled(&g, threads);
+                assert_eq!(parallel, sequential, "threads={threads}");
+                assert_eq!(profile.per_source_us.len(), g.node_count());
+                assert_eq!(profile.workers.len(), threads.min(g.node_count()));
+            }
+        }
+    }
+
+    /// Two components: 0-1-2 and 3-4.
+    fn two_components() -> Graph {
+        let mut b = GraphBuilder::new(5);
+        b.edge(0, 1, 1).unwrap();
+        b.edge(1, 2, 1).unwrap();
+        b.edge(3, 4, 2).unwrap();
+        b.build_any().unwrap()
+    }
+
+    #[test]
+    fn next_hop_is_none_across_components() {
+        let apsp = Apsp::new(&two_components());
+        // Within components next hops work as usual.
+        assert_eq!(apsp.next_hop(0, 2), Some(1));
+        assert_eq!(apsp.next_hop(3, 4), Some(4));
+        // Across components: distance is INFINITY, next hop must be None —
+        // not the bogus `Some(dst)` the source-initialized parent row would
+        // have produced before the guard.
+        assert_eq!(apsp.dist(0, 3), INFINITY);
+        assert_eq!(apsp.next_hop(0, 3), None);
+        assert_eq!(apsp.next_hop(4, 1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "no path from 0 to 4")]
+    fn path_across_components_panics() {
+        Apsp::new(&two_components()).path(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "graph is disconnected")]
+    fn tree_path_to_unreachable_panics() {
+        ShortestPathTree::new(&two_components(), 0).path_to(3);
     }
 
     #[test]

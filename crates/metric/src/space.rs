@@ -13,11 +13,20 @@
 //!
 //! Ties everywhere are broken by `(distance, least node id)`.
 
+use std::sync::Arc;
+
+use crate::build::{run_rows, BuildProfile};
 use crate::ceil_log2;
 use crate::graph::{Dist, Graph, NodeId};
 use crate::shortest_paths::Apsp;
 
 /// A finite metric space induced by a connected weighted graph.
+///
+/// The graph is held behind an [`Arc`], so cloning a `MetricSpace` (or
+/// building one from a shared graph with [`MetricSpace::from_shared`])
+/// never duplicates the adjacency lists, and an `Arc<MetricSpace>` can be
+/// handed to every routing-scheme constructor without rebuilding the
+/// `Θ(n²)` tables.
 ///
 /// # Examples
 ///
@@ -29,13 +38,14 @@ use crate::shortest_paths::Apsp;
 /// assert_eq!(m.ball(0, 1).len(), 3);        // self + two neighbours
 /// assert_eq!(m.r_small(0, 2), 2);           // smallest radius holding 4 nodes
 /// ```
-/// A finite metric space induced by a connected weighted graph.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MetricSpace {
-    graph: Graph,
+    graph: Arc<Graph>,
     apsp: Apsp,
-    /// Row `u`: all `(d(u, x), x)` sorted ascending (self first with d = 0).
-    sorted: Vec<Vec<(Dist, NodeId)>>,
+    /// All `n` sorted rows in one contiguous allocation: row `u` occupies
+    /// `sorted[u*n..(u+1)*n]` and holds every `(d(u, x), x)` sorted
+    /// ascending (self first with d = 0).
+    sorted: Vec<(Dist, NodeId)>,
     min_dist: Dist,
     diameter: Dist,
     num_scales: usize,
@@ -43,25 +53,59 @@ pub struct MetricSpace {
 }
 
 impl MetricSpace {
-    /// Builds the metric (all-pairs Dijkstra plus sorted rows).
+    /// Builds the metric (all-pairs Dijkstra plus sorted rows) on the
+    /// calling thread.
     ///
-    /// Runs in `O(n·m log n + n² log n)` time and `Θ(n²)` space.
+    /// Runs in `O(n·m log n + n² log n)` time and `Θ(n²)` space. Clones
+    /// the graph once into shared ownership; callers that can give up or
+    /// share their graph should prefer [`MetricSpace::from_graph`] /
+    /// [`MetricSpace::from_shared`], which skip the clone.
     pub fn new(g: &Graph) -> Self {
-        let apsp = Apsp::new(g);
-        let n = g.node_count();
-        let mut sorted = Vec::with_capacity(n);
+        Self::from_shared(Arc::new(g.clone()), 1)
+    }
+
+    /// Builds the metric, taking ownership of the graph (no clone).
+    pub fn from_graph(g: Graph) -> Self {
+        Self::from_shared(Arc::new(g), 1)
+    }
+
+    /// Builds the metric over an already-shared graph with up to
+    /// `threads` worker threads; see [`MetricSpace::build_profiled`].
+    pub fn from_shared(graph: Arc<Graph>, threads: usize) -> Self {
+        Self::build_profiled(graph, threads).0
+    }
+
+    /// Builds the metric over a shared graph with up to `threads` worker
+    /// threads, returning the per-phase/per-worker [`BuildProfile`].
+    ///
+    /// Both phases (all-pairs Dijkstra, sorted-row construction)
+    /// parallelize over sources into disjoint row slices of flat arrays,
+    /// so the result is **byte-identical** to the sequential build
+    /// (`threads == 1`, which runs inline with no spawned threads).
+    pub fn build_profiled(graph: Arc<Graph>, threads: usize) -> (Self, BuildProfile) {
+        let n = graph.node_count();
+        let (apsp, apsp_profile) = Apsp::new_profiled(&graph, threads);
+
+        let mut sorted = vec![(0 as Dist, 0 as NodeId); n * n];
+        let mut unused: Vec<()> = Vec::new();
+        let apsp_ref = &apsp;
+        let rows_profile =
+            run_rows(n, n, threads, &mut sorted, &mut unused, |source, local, chunk, _| {
+                let row = &mut chunk[local * n..(local + 1) * n];
+                for (v, &d) in apsp_ref.row(source as NodeId).iter().enumerate() {
+                    row[v] = (d, v as NodeId);
+                }
+                row.sort_unstable();
+            });
+        // Each row is sorted ascending, so its last entry is that source's
+        // eccentricity; the diameter is the max over sources.
         let mut diameter: Dist = 0;
-        for u in 0..n as NodeId {
-            let mut row: Vec<(Dist, NodeId)> =
-                apsp.row(u).iter().enumerate().map(|(v, &d)| (d, v as NodeId)).collect();
-            row.sort_unstable();
-            if let Some(&(d, _)) = row.last() {
-                diameter = diameter.max(d);
-            }
-            sorted.push(row);
+        for u in 0..n {
+            diameter = diameter.max(sorted[(u + 1) * n - 1].0);
         }
+
         // The minimum pairwise distance equals the minimum edge weight.
-        let min_dist = if n > 1 { g.min_weight() } else { 1 };
+        let min_dist = if n > 1 { graph.min_weight() } else { 1 };
         if diameter == 0 {
             diameter = min_dist; // single-node graph: one trivial scale
         }
@@ -73,13 +117,20 @@ impl MetricSpace {
         let top = ceil_log2(diameter.div_ceil(min_dist)) as usize;
         let num_scales = if n > 1 { (top + 1).max(2) } else { 1 };
         let log2_n = ceil_log2(n as u64);
-        MetricSpace { graph: g.clone(), apsp, sorted, min_dist, diameter, num_scales, log2_n }
+        let profile = BuildProfile { threads, apsp: apsp_profile, rows: rows_profile };
+        (MetricSpace { graph, apsp, sorted, min_dist, diameter, num_scales, log2_n }, profile)
     }
 
     /// The underlying graph.
     #[inline]
     pub fn graph(&self) -> &Graph {
         &self.graph
+    }
+
+    /// Shared handle to the underlying graph (cheap `Arc` clone).
+    #[inline]
+    pub fn graph_arc(&self) -> Arc<Graph> {
+        Arc::clone(&self.graph)
     }
 
     /// The all-pairs shortest path tables.
@@ -140,7 +191,8 @@ impl MetricSpace {
     /// Sorted row of `(d(u, x), x)` pairs, ascending by `(distance, id)`.
     #[inline]
     pub fn sorted_row(&self, u: NodeId) -> &[(Dist, NodeId)] {
-        &self.sorted[u as usize]
+        let n = self.n();
+        &self.sorted[u as usize * n..(u as usize + 1) * n]
     }
 
     /// `r_u(j)`: the radius of the smallest ball around `u` containing
@@ -149,7 +201,7 @@ impl MetricSpace {
     #[inline]
     pub fn r_small(&self, u: NodeId, j: u32) -> Dist {
         let size = (1usize << j.min(62)).min(self.n());
-        self.sorted[u as usize][size - 1].0
+        self.sorted_row(u)[size - 1].0
     }
 
     /// The `min(2^j, n)` nodes nearest to `u` (by `(distance, id)`), i.e. the
@@ -157,13 +209,13 @@ impl MetricSpace {
     #[inline]
     pub fn nearest_set(&self, u: NodeId, j: u32) -> &[(Dist, NodeId)] {
         let size = (1usize << j.min(62)).min(self.n());
-        &self.sorted[u as usize][..size]
+        &self.sorted_row(u)[..size]
     }
 
     /// All nodes within distance `r` of `u` (the ball `B_u(r)`), in
     /// `(distance, id)` order.
     pub fn ball(&self, u: NodeId, r: Dist) -> &[(Dist, NodeId)] {
-        let row = &self.sorted[u as usize];
+        let row = self.sorted_row(u);
         let end = row.partition_point(|&(d, _)| d <= r);
         &row[..end]
     }
@@ -290,6 +342,26 @@ mod tests {
         assert_eq!(m.n(), 1);
         assert_eq!(m.num_scales(), 1);
         assert_eq!(m.r_small(0, 0), 0);
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_for_threads_1_2_4() {
+        for g in [gen::grid(6, 5), gen::random_geometric(48, 210, 9), gen::exp_weight_path(16)] {
+            let shared = Arc::new(g);
+            let sequential = MetricSpace::from_shared(Arc::clone(&shared), 1);
+            for threads in [2usize, 4] {
+                let (parallel, profile) = MetricSpace::build_profiled(Arc::clone(&shared), threads);
+                assert_eq!(parallel, sequential, "threads = {threads}");
+                assert_eq!(profile.threads, threads);
+                assert_eq!(profile.rows.per_source_us.len(), shared.node_count());
+            }
+        }
+    }
+
+    #[test]
+    fn from_graph_matches_new() {
+        let g = gen::grid(4, 3);
+        assert_eq!(MetricSpace::from_graph(g.clone()), MetricSpace::new(&g));
     }
 
     #[test]

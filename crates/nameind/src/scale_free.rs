@@ -41,7 +41,7 @@ use crate::rounds::Rounds;
 
 /// Per-(round, net point) search facility: own 𝒜-type tree, or a link to a
 /// ℬ-type tree.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 enum Facility {
     /// The ball keeps its own search tree (member of 𝒜).
     Own(Box<SearchTree<Label>>),
@@ -65,7 +65,7 @@ enum Facility {
 /// assert_eq!(route.dst, naming.node_of(11));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScaleFreeNameIndependent {
     underlying: ScaleFreeLabeled,
     naming: Naming,

@@ -51,7 +51,7 @@ use crate::rounds::Rounds;
 /// assert_eq!(route.dst, naming.node_of(17));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimpleNameIndependent {
     underlying: NetLabeled,
     naming: Naming,

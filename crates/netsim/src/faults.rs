@@ -275,7 +275,7 @@ impl SurvivingNetwork {
             }
         }
         let graph = b.build().expect("largest surviving component is connected");
-        Some(SurvivingNetwork { metric: MetricSpace::new(&graph), to_new, to_old })
+        Some(SurvivingNetwork { metric: MetricSpace::from_graph(graph), to_new, to_old })
     }
 
     /// Nodes in the surviving component.

@@ -196,6 +196,23 @@ impl Log2Histogram {
         Some(self.max)
     }
 
+    /// [`Log2Histogram::quantile_bound`] at q = 0.5 — the median's bucket
+    /// upper bound. The `bench_build` per-source timing columns use these
+    /// three accessors.
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile_bound(0.5)
+    }
+
+    /// [`Log2Histogram::quantile_bound`] at q = 0.9.
+    pub fn p90(&self) -> Option<u64> {
+        self.quantile_bound(0.9)
+    }
+
+    /// [`Log2Histogram::quantile_bound`] at q = 0.99.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile_bound(0.99)
+    }
+
     /// This histogram as a JSON object: exact stats plus the non-empty
     /// buckets as `[[lo, count], …]`.
     pub fn to_json(&self) -> Value {
@@ -293,6 +310,22 @@ mod tests {
         assert_eq!(h.quantile_bound(1.0), Some(100));
         assert_eq!(h.quantile_bound(0.0), Some(1));
         assert_eq!(Log2Histogram::new().quantile_bound(0.5), None);
+
+        // The named accessors pin the bucket→quantile math: with samples
+        // 1..=100, rank(0.9) = 89 → sample 90, bucket [64, 128) clamped to
+        // the observed max 100; rank(0.99) = 98 → sample 99, same bucket.
+        assert_eq!(h.p50(), Some(63));
+        assert_eq!(h.p90(), Some(100));
+        assert_eq!(h.p99(), Some(100));
+        assert_eq!(Log2Histogram::new().p50(), None);
+        // An un-clamped upper tail: powers of two land on exact bounds.
+        let mut h2 = Log2Histogram::new();
+        for v in [1u64, 2, 4, 1000] {
+            h2.record(v);
+        }
+        assert_eq!(h2.p50(), Some(7)); // rank 1.5→2: sample 4, bucket [4,7]
+        assert_eq!(h2.p90(), Some(1000));
+        assert_eq!(h2.p99(), Some(1000));
 
         let json = h.to_json();
         assert_eq!(json.get("count").and_then(Value::as_u64), Some(100));

@@ -7,9 +7,10 @@
 //! module folds the resulting [`TraceLog`] into one row per distinct span
 //! name — the table `cargo run --release --bin profile` prints.
 
+use doubling_metric::build::{BuildProfile, PhaseProfile};
 use netsim::json::Value;
 
-use crate::trace::TraceLog;
+use crate::trace::{TraceLog, Tracer};
 
 /// One aggregated phase: every span with the same name, summed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -87,10 +88,54 @@ impl PhaseBreakdown {
     }
 }
 
+/// Merges a parallel metric build's [`BuildProfile`] into `tracer` as
+/// completed spans: one `"apsp"` / `"sort-rows"` span per phase, with one
+/// `"apsp-worker"` / `"sort-rows-worker"` child-less span per worker.
+///
+/// The metric crate cannot depend on this one, so its builders return the
+/// profile as plain data; calling this while a parent span (e.g. the
+/// cache's `"metric-build"`) is open nests everything under that span.
+/// Workers are recorded in worker-index order — the profile collects them
+/// that way regardless of thread completion order, so traces are
+/// deterministic up to timing values.
+pub fn record_build_profile(tracer: &Tracer, profile: &BuildProfile) {
+    if !tracer.enabled() {
+        return;
+    }
+    let phase = |name: &'static str, worker_name: &'static str, p: &PhaseProfile| {
+        tracer.span_completed(name, p.wall_us, 0);
+        for w in &p.workers {
+            tracer.span_completed(worker_name, w.wall_us, 0);
+        }
+    };
+    phase("apsp", "apsp-worker", &profile.apsp);
+    phase("sort-rows", "sort-rows-worker", &profile.rows);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::trace::Tracer;
+    use doubling_metric::gen;
+    use doubling_metric::MetricSpace;
+    use std::sync::Arc;
+
+    #[test]
+    fn build_profile_spans_nest_under_open_span() {
+        let g = Arc::new(gen::grid(5, 5));
+        let (_, profile) = MetricSpace::build_profiled(Arc::clone(&g), 2);
+        let t = Tracer::recording();
+        {
+            let _build = t.span("metric-build");
+            record_build_profile(&t, &profile);
+        }
+        let b = PhaseBreakdown::from_log(&t.finish());
+        let names: Vec<&str> = b.phases.iter().map(|p| p.name).collect();
+        assert_eq!(names, ["metric-build", "apsp", "apsp-worker", "sort-rows", "sort-rows-worker"]);
+        let worker = b.phases.iter().find(|p| p.name == "apsp-worker").unwrap();
+        assert_eq!(worker.calls, profile.apsp.workers.len() as u64);
+        assert_eq!(worker.depth, 1);
+    }
 
     #[test]
     fn aggregates_by_name_with_depth() {

@@ -151,6 +151,24 @@ impl Tracer {
         SpanGuard { tracer: self, idx: Some(idx) }
     }
 
+    /// Records an already-finished span of known duration as a child of
+    /// the currently-open span (or at top level).
+    ///
+    /// This is how timing measured *outside* the tracer — e.g. the
+    /// per-phase/per-worker [`doubling_metric::build::BuildProfile`]
+    /// collected by the parallel metric builder, whose crate cannot
+    /// depend on `obs` — is merged into a trace after the fact. The span
+    /// is stamped with the current offset as its start (keeping the
+    /// record order's start offsets monotone) and `dur_us`/`alloc_bytes`
+    /// exactly as given.
+    pub fn span_completed(&self, name: &'static str, dur_us: u64, alloc_bytes: u64) {
+        let Some(inner) = &self.inner else { return };
+        let mut buf = inner.borrow_mut();
+        let start_us = buf.epoch.elapsed().as_micros() as u64;
+        let parent = buf.stack.last().copied();
+        buf.spans.push(SpanRecord { name, parent, start_us, dur_us, alloc_bytes });
+    }
+
     /// Records an event with eagerly-built fields. Prefer
     /// [`Tracer::event_lazy`] on hot paths so the no-op mode does not pay
     /// for building the field vector.
@@ -265,6 +283,29 @@ mod tests {
         assert_eq!(log.events.len(), 1);
         assert_eq!(log.events[0].parent, Some(1));
         assert_eq!(log.events[0].fields, vec![("k", Value::Int(3))]);
+    }
+
+    #[test]
+    fn span_completed_nests_under_open_span() {
+        let t = Tracer::recording();
+        {
+            let _build = t.span("metric-build");
+            t.span_completed("apsp", 123, 456);
+            t.span_completed("apsp-worker", 120, 0);
+        }
+        let log = t.finish();
+        let names: Vec<&str> = log.spans.iter().map(|s| s.name).collect();
+        assert_eq!(names, ["metric-build", "apsp", "apsp-worker"]);
+        assert_eq!(log.spans[1].parent, Some(0));
+        assert_eq!(log.spans[1].dur_us, 123);
+        assert_eq!(log.spans[1].alloc_bytes, 456);
+        for w in log.spans.windows(2) {
+            assert!(w[0].start_us <= w[1].start_us);
+        }
+        // No-op mode: still free.
+        let noop = Tracer::noop();
+        noop.span_completed("x", 1, 1);
+        assert!(noop.finish().spans.is_empty());
     }
 
     #[test]

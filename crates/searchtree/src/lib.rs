@@ -81,7 +81,7 @@ pub struct SearchWalk<D> {
 /// assert_eq!(walk.result, Some(14));          // found the datum
 /// assert_eq!(*walk.nodes.last().unwrap(), 12); // and reported back to the root
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SearchTree<D> {
     center: NodeId,
     tree: Tree,

@@ -58,7 +58,7 @@ impl CompactLabel {
 /// assert_eq!(r.route(13, r.label_of(9)), r.tree().path(13, 9));
 /// assert_eq!(r.table_bits(0, 5), 7 * 5);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompactTreeRouter {
     tree: Tree,
     dfs: Vec<u32>,

@@ -11,7 +11,7 @@ use doubling_metric::graph::NodeId;
 use crate::tree::Tree;
 
 /// Interval routing tables over a [`Tree`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IntervalRouter {
     tree: Tree,
     /// DFS entry number per local index.

@@ -63,7 +63,7 @@ impl PortLabel {
 }
 
 /// Port-based heavy-path router over a tree embedded in a graph.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PortTreeRouter {
     tree: Tree,
     dfs: Vec<u32>,

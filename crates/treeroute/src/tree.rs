@@ -58,7 +58,7 @@ impl std::error::Error for TreeError {}
 /// assert_eq!(t.path(40, 30), vec![40, 20, 10, 30]);
 /// assert_eq!(t.path_weight(40, 30), 6);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tree {
     /// Local index → graph node id. Index 0 is the root.
     nodes: Vec<NodeId>,
