@@ -1,0 +1,11 @@
+//! Recovery experiment (R1): delivered fraction and stretch of survivors
+//! under node faults, per recovery policy, plus the adversarial chaos
+//! campaign; prints the grid and writes `results/recovery.json` (plus
+//! `results/recovery_trace.jsonl` under `--trace`).
+//!
+//! Usage: `cargo run --release --bin recovery [n] [1/eps] [pairs]
+//! [fraction%] [--seed N] [--trace] [--json]`
+
+fn main() {
+    bench::recovery::recovery_main();
+}

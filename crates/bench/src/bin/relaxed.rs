@@ -1,4 +1,4 @@
-//! Experiment R1 (the paper's concluding open question): the stretch
+//! Experiment Q1 (the paper's concluding open question): the stretch
 //! *distribution* of the name-independent schemes — how much headroom a
 //! relaxed per-pair guarantee would have.
 //!
@@ -14,7 +14,7 @@ fn main() {
     let n: usize = cli.pos(0, 144);
     let cache = MetricCache::new(cli.threads);
     let (headers, rows) = run_relaxed(&cache, n, cli.seed);
-    emit(&format!("R1: stretch quantiles (n≈{n})"), &headers, &rows);
+    emit(&format!("Q1: stretch quantiles (n≈{n})"), &headers, &rows);
     if !cli.json {
         println!("\nreading: the worst case sits far above p99 — a guarantee relaxed on");
         println!("1% of pairs would already look much better than 9+O(eps), the");

@@ -22,13 +22,15 @@ use doubling_metric::nets::NetHierarchy;
 use doubling_metric::{gen, Eps, MetricSpace};
 use labeled_routing::{NetLabeled, ScaleFreeLabeled};
 use name_independent::{ScaleFreeNameIndependent, SimpleNameIndependent};
-use netsim::faults::{FaultPlan, SurvivingNetwork};
+use netsim::faults::{FaultPlan, FaultTimeline, SurvivingNetwork};
 use netsim::json::Value;
+use netsim::recovery::{RecoveryPolicy, ResilientRouter};
 use netsim::route::{Route, RouteError};
 use netsim::scheme::{LabeledScheme, NameIndependentScheme};
 use netsim::stats::{
-    eval_labeled_under_faults_observed, eval_name_independent_under_faults_observed, sample_pairs,
-    FaultEvalResult,
+    eval_labeled_resilient_observed, eval_labeled_under_faults_observed,
+    eval_name_independent_resilient_observed, eval_name_independent_under_faults_observed,
+    sample_pairs, FaultEvalResult, RecoveryEvalResult,
 };
 use netsim::Naming;
 use obs::Tracer;
@@ -106,6 +108,8 @@ struct SchemeCell {
     stale: FaultEvalResult,
     /// `None` when every node failed (no component to rebuild on).
     rebuilt: Option<(f64, f64, f64)>, // (reachability, avg stretch, rebuild ms)
+    /// Resilient delivery under `--policy`, absent on the legacy path.
+    recovery: Option<RecoveryEvalResult>,
 }
 
 impl SchemeCell {
@@ -122,6 +126,9 @@ impl SchemeCell {
             }
             None => fields.push(("rebuilt_reachability".into(), Value::Null)),
         }
+        if let Some(r) = &self.recovery {
+            fields.push(("recovery".into(), r.to_json()));
+        }
         Value::Object(fields)
     }
 
@@ -130,7 +137,7 @@ impl SchemeCell {
             Some((r, s, m)) => (f2(r), f2(s), f2(m)),
             None => ("-".into(), "-".into(), "-".into()),
         };
-        vec![
+        let mut row = vec![
             strategy.to_string(),
             f2(fraction),
             self.stale.scheme.to_string(),
@@ -139,7 +146,11 @@ impl SchemeCell {
             f2(self.stale.avg_stretch),
             rs,
             ms,
-        ]
+        ];
+        if let Some(r) = &self.recovery {
+            row.push(f2(r.delivered_fraction));
+        }
+        row
     }
 }
 
@@ -183,6 +194,16 @@ fn stale_observer(ctx: CellCtx<'_>) -> impl FnMut(NodeId, NodeId, &Result<Route,
 /// loss kind) for stale-table losses and `"rebuilt-unreachable"` for
 /// pairs outside the rebuilt component. With [`Tracer::noop`] the
 /// per-pair overhead is one branch.
+///
+/// With `policy: Some(..)` (the `--policy` flag) every cell additionally
+/// delivers the same pairs through a [`ResilientRouter`] applying that
+/// policy: the table gains a `policy-reach` column, each scheme's JSON
+/// gains a `recovery` block ([`RecoveryEvalResult`]), and — when tracing —
+/// every recovery decision becomes a `recovery-detour` /
+/// `recovery-fallback` / `recovery-exhausted` event with the same cell
+/// context as the loss events. With `None`, output is byte-identical to
+/// before the flag existed.
+#[allow(clippy::too_many_arguments)] // experiment entry point: one knob per CLI flag
 pub fn run_churn(
     cache: &MetricCache,
     n: usize,
@@ -191,6 +212,7 @@ pub fn run_churn(
     fractions: &[f64],
     seed: u64,
     tracer: &Tracer,
+    policy: Option<&RecoveryPolicy>,
 ) -> (Vec<&'static str>, Vec<Vec<String>>, Value) {
     let m = cache.family_traced(gen::Family::Grid, n, seed, tracer);
     let g = m.graph();
@@ -204,7 +226,7 @@ pub fn run_churn(
     let sni = SimpleNameIndependent::new(&m, eps, naming.clone()).expect("eps within range");
     let sfni = ScaleFreeNameIndependent::new(&m, eps, naming.clone()).expect("eps within range");
 
-    let headers = vec![
+    let mut headers = vec![
         "strategy",
         "fraction",
         "scheme",
@@ -214,6 +236,9 @@ pub fn run_churn(
         "rebuilt-stretch",
         "rebuild(ms)",
     ];
+    if policy.is_some() {
+        headers.push("policy-reach");
+    }
     let mut rows = Vec::new();
     let mut cells = Vec::new();
 
@@ -226,8 +251,11 @@ pub fn run_churn(
         for (strategy, plan) in plans {
             let sn = SurvivingNetwork::build(g, &plan);
             let naming2 = sn.as_ref().map(|sn| Naming::random(sn.n(), seed ^ 0xA5));
+            let timeline = policy.map(|_| FaultTimeline::from_plan(plan.clone()));
 
             let ctx = |scheme: &'static str| CellCtx { tracer, strategy, fraction, scheme };
+            // Resilient delivery of the same pairs, when --policy asked
+            // for it; recovery decisions become trace events.
             let scheme_cells = vec![
                 SchemeCell {
                     stale: eval_labeled_under_faults_observed(
@@ -247,6 +275,18 @@ pub fn run_churn(
                             |s, m2, u, v| s.route_to_node(m2, u, v).expect("delivers"),
                         )
                     }),
+                    recovery: policy.map(|p| {
+                        let c = ctx(nl.scheme_name());
+                        eval_labeled_resilient_observed(
+                            &ResilientRouter::new(&m, &nl, p.clone()),
+                            timeline.as_ref().unwrap(),
+                            &pairs,
+                            |u, v, ev| {
+                                obs::eval::trace_recovery_event(tracer, || c.fields(u, v), ev)
+                            },
+                            |_, _, _| {},
+                        )
+                    }),
                 },
                 SchemeCell {
                     stale: eval_labeled_under_faults_observed(
@@ -264,6 +304,18 @@ pub fn run_churn(
                             ctx(sfl.scheme_name()),
                             |m2| ScaleFreeLabeled::new(m2, eps).expect("eps within range"),
                             |s, m2, u, v| s.route_to_node(m2, u, v).expect("delivers"),
+                        )
+                    }),
+                    recovery: policy.map(|p| {
+                        let c = ctx(sfl.scheme_name());
+                        eval_labeled_resilient_observed(
+                            &ResilientRouter::new(&m, &sfl, p.clone()),
+                            timeline.as_ref().unwrap(),
+                            &pairs,
+                            |u, v, ev| {
+                                obs::eval::trace_recovery_event(tracer, || c.fields(u, v), ev)
+                            },
+                            |_, _, _| {},
                         )
                     }),
                 },
@@ -290,6 +342,19 @@ pub fn run_churn(
                             |s, m2, u, v| s.route(m2, u, nm.name_of(v)).expect("delivers"),
                         )
                     }),
+                    recovery: policy.map(|p| {
+                        let c = ctx(sni.scheme_name());
+                        eval_name_independent_resilient_observed(
+                            &ResilientRouter::new(&m, &sni, p.clone()),
+                            &naming,
+                            timeline.as_ref().unwrap(),
+                            &pairs,
+                            |u, v, ev| {
+                                obs::eval::trace_recovery_event(tracer, || c.fields(u, v), ev)
+                            },
+                            |_, _, _| {},
+                        )
+                    }),
                 },
                 SchemeCell {
                     stale: eval_name_independent_under_faults_observed(
@@ -314,6 +379,19 @@ pub fn run_churn(
                             |s, m2, u, v| s.route(m2, u, nm.name_of(v)).expect("delivers"),
                         )
                     }),
+                    recovery: policy.map(|p| {
+                        let c = ctx(sfni.scheme_name());
+                        eval_name_independent_resilient_observed(
+                            &ResilientRouter::new(&m, &sfni, p.clone()),
+                            &naming,
+                            timeline.as_ref().unwrap(),
+                            &pairs,
+                            |u, v, ev| {
+                                obs::eval::trace_recovery_event(tracer, || c.fields(u, v), ev)
+                            },
+                            |_, _, _| {},
+                        )
+                    }),
                 },
             ];
 
@@ -336,16 +414,19 @@ pub fn run_churn(
         }
     }
 
-    let doc = Value::Object(vec![
-        ("family".into(), "grid".into()),
+    let mut doc_fields = vec![
+        ("family".to_string(), Value::from("grid")),
         ("n".into(), m.n().into()),
         ("eps".into(), eps.to_string().into()),
         ("pairs".into(), pairs.len().into()),
         ("seed".into(), seed.into()),
-        ("metric_cache".into(), cache.stats().to_json()),
-        ("cells".into(), Value::Array(cells)),
-    ]);
-    (headers, rows, doc)
+    ];
+    if let Some(p) = policy {
+        doc_fields.push(("policy".into(), p.to_string().into()));
+    }
+    doc_fields.push(("metric_cache".into(), cache.stats().to_json()));
+    doc_fields.push(("cells".into(), Value::Array(cells)));
+    (headers, rows, Value::Object(doc_fields))
 }
 
 /// Entry point shared by the root `churn` binary and
@@ -353,7 +434,9 @@ pub fn run_churn(
 /// writes `results/churn.json`. With `--trace`, every individual loss is
 /// recorded and the trace is written to `results/churn_trace.jsonl`.
 ///
-/// Usage: `churn [n] [1/eps] [pairs] [--seed N] [--trace] [--json] [--threads N]`.
+/// Usage: `churn [n] [1/eps] [pairs] [--seed N] [--trace] [--json] [--threads N]
+/// [--policy P]`. With `--policy`, each cell also delivers the pairs
+/// through a [`ResilientRouter`] applying `P` (see [`run_churn`]).
 pub fn churn_main() {
     let cli = crate::cli::Cli::parse_env(42);
     let n: usize = cli.pos(0, 196);
@@ -362,8 +445,16 @@ pub fn churn_main() {
     let fractions = [0.05, 0.10, 0.20, 0.30];
     let tracer = if cli.trace { Tracer::recording() } else { Tracer::noop() };
     let cache = MetricCache::new(cli.threads);
-    let (headers, rows, doc) =
-        run_churn(&cache, n, Eps::one_over(inv), pairs, &fractions, cli.seed, &tracer);
+    let (headers, rows, doc) = run_churn(
+        &cache,
+        n,
+        Eps::one_over(inv),
+        pairs,
+        &fractions,
+        cli.seed,
+        &tracer,
+        cli.policy.as_ref(),
+    );
     crate::table::emit(
         &format!("Churn: reachability under node removal (n≈{n}, eps=1/{inv}, {pairs} pairs)"),
         &headers,
@@ -393,7 +484,8 @@ mod tests {
         let fractions = [0.1, 0.2];
         let tracer = Tracer::recording();
         let cache = MetricCache::new(1);
-        let (h, rows, doc) = run_churn(&cache, 64, Eps::one_over(8), 150, &fractions, 7, &tracer);
+        let (h, rows, doc) =
+            run_churn(&cache, 64, Eps::one_over(8), 150, &fractions, 7, &tracer, None);
         // One base metric build, no rebuild through the cache.
         assert_eq!(cache.stats().builds, 1);
         assert_eq!(h.len(), 8);
@@ -483,5 +575,70 @@ mod tests {
         let unreachable_events =
             log.events.iter().filter(|e| e.name == "rebuilt-unreachable").count() as u64;
         assert_eq!(unreachable_events, expected_unreachable);
+    }
+
+    #[test]
+    fn churn_policy_adds_recovery_column_and_trace_events() {
+        let fractions = [0.2];
+        let tracer = Tracer::recording();
+        let cache = MetricCache::new(1);
+        let policy = RecoveryPolicy::parse("detour:8").unwrap();
+        let (h, rows, doc) =
+            run_churn(&cache, 64, Eps::one_over(8), 120, &fractions, 7, &tracer, Some(&policy));
+        assert_eq!(*h.last().unwrap(), "policy-reach");
+        assert!(rows.iter().all(|r| r.len() == h.len()));
+        assert_eq!(doc.get("policy").and_then(Value::as_str), Some("detour:8"));
+
+        let cells = doc.get("cells").and_then(Value::as_array).expect("cells");
+        let mut recoveries_total = 0u64;
+        for cell in cells {
+            for s in cell.get("schemes").and_then(Value::as_array).unwrap() {
+                let stale_reach = s
+                    .get("stale")
+                    .and_then(|v| v.get("reachability"))
+                    .and_then(Value::as_f64)
+                    .unwrap();
+                let rec = s.get("recovery").expect("recovery block under --policy");
+                assert_eq!(rec.get("policy").and_then(Value::as_str), Some("detour:8"));
+                let frac = rec.get("delivered_fraction").and_then(Value::as_f64).unwrap();
+                assert!(
+                    frac >= stale_reach - 1e-12,
+                    "recovery must not deliver less than Drop: {frac} < {stale_reach}"
+                );
+                recoveries_total += rec.get("recoveries").and_then(Value::as_u64).unwrap();
+            }
+        }
+        assert!(recoveries_total > 0, "20% removal must force recoveries");
+
+        // Recovery decisions are attributable trace events carrying the
+        // same cell context as the loss events.
+        let log = tracer.finish();
+        let detours: Vec<_> = log.events.iter().filter(|e| e.name == "recovery-detour").collect();
+        assert!(!detours.is_empty());
+        for e in &detours {
+            let keys: Vec<&str> = e.fields.iter().map(|(k, _)| *k).collect();
+            assert_eq!(
+                keys,
+                ["strategy", "fraction", "scheme", "src", "dst", "at", "rejoin", "detour_hops"]
+            );
+        }
+    }
+
+    #[test]
+    fn churn_without_policy_is_byte_identical_to_legacy() {
+        // The --policy flag must not disturb existing output: no header,
+        // no JSON field, same documents as before the flag existed.
+        let fractions = [0.1];
+        let cache = MetricCache::new(1);
+        let (h, _, doc) =
+            run_churn(&cache, 36, Eps::one_over(8), 60, &fractions, 7, &Tracer::noop(), None);
+        assert_eq!(h.len(), 8);
+        assert!(doc.get("policy").is_none());
+        let cells = doc.get("cells").and_then(Value::as_array).unwrap();
+        for cell in cells {
+            for s in cell.get("schemes").and_then(Value::as_array).unwrap() {
+                assert!(s.get("recovery").is_none());
+            }
+        }
     }
 }

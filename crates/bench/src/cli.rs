@@ -15,6 +15,12 @@
 //! * `--threads N` / `--threads=N` — worker threads for parallel metric
 //!   preprocessing (default: available parallelism; `1` recovers the
 //!   sequential build, which is byte-identical anyway).
+//! * `--policy P` / `--policy=P` — a recovery policy for binaries that
+//!   deliver under faults (`churn`), in
+//!   [`netsim::recovery::RecoveryPolicy::parse`] syntax: `drop`,
+//!   `detour[:TTL]`, `fallback[:CLIMBS]`, or a `+`-chain. The spelling is
+//!   validated at parse time; binaries that ignore it simply never read
+//!   [`Cli::policy`].
 //!
 //! Unknown `--flags` are rejected loudly rather than silently treated as
 //! positionals, so a typo like `--sed 7` cannot quietly run with the
@@ -33,6 +39,9 @@ pub struct Cli {
     /// The `--threads` value, defaulting to the machine's available
     /// parallelism. Always ≥ 1.
     pub threads: usize,
+    /// The `--policy` value, already parsed — `None` when the flag was
+    /// not passed (binaries fall back to their historical behavior).
+    pub policy: Option<netsim::recovery::RecoveryPolicy>,
 }
 
 /// The machine's available parallelism (≥ 1), the default for
@@ -64,6 +73,7 @@ impl Cli {
             json: false,
             trace: false,
             threads: default_threads(),
+            policy: None,
         };
         let parse_threads = |v: &str| -> usize {
             let t: usize = v.parse().unwrap_or_else(|_| panic!("invalid --threads value: {v:?}"));
@@ -71,6 +81,10 @@ impl Cli {
                 panic!("invalid --threads value: must be >= 1");
             }
             t
+        };
+        let parse_policy = |v: &str| -> netsim::recovery::RecoveryPolicy {
+            netsim::recovery::RecoveryPolicy::parse(v)
+                .unwrap_or_else(|e| panic!("invalid --policy value: {e}"))
         };
         let mut args = args;
         while let Some(a) = args.next() {
@@ -88,8 +102,15 @@ impl Cli {
                 cli.threads = parse_threads(&v);
             } else if let Some(v) = a.strip_prefix("--threads=") {
                 cli.threads = parse_threads(v);
+            } else if a == "--policy" {
+                let v = args.next().expect("--policy requires a value");
+                cli.policy = Some(parse_policy(&v));
+            } else if let Some(v) = a.strip_prefix("--policy=") {
+                cli.policy = Some(parse_policy(v));
             } else if a.starts_with("--") {
-                panic!("unknown flag {a:?} (expected --seed, --json, --trace, --threads)");
+                panic!(
+                    "unknown flag {a:?} (expected --seed, --json, --trace, --threads, --policy)"
+                );
             } else {
                 cli.positionals.push(a);
             }
@@ -156,6 +177,29 @@ mod tests {
     #[should_panic(expected = "unknown flag")]
     fn unknown_flags_are_rejected() {
         parse(&["--sed", "7"], 42);
+    }
+
+    #[test]
+    fn policy_flag_both_forms() {
+        use netsim::recovery::RecoveryPolicy;
+        assert_eq!(parse(&[], 42).policy, None);
+        assert_eq!(
+            parse(&["--policy", "detour:3"], 42).policy,
+            Some(RecoveryPolicy::LocalDetour { ttl: 3 })
+        );
+        assert_eq!(
+            parse(&["--policy=detour:8+fallback:4"], 42).policy,
+            Some(RecoveryPolicy::Chained(vec![
+                RecoveryPolicy::LocalDetour { ttl: 8 },
+                RecoveryPolicy::LevelFallback { max_climbs: 4 },
+            ]))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid --policy")]
+    fn malformed_policy_is_rejected() {
+        parse(&["--policy", "teleport"], 42);
     }
 
     #[test]

@@ -552,7 +552,7 @@ pub fn run_storage_growth(
     (headers, rows)
 }
 
-/// **R1 (open question)** — relaxed guarantees: the stretch *distribution*
+/// **Q1 (open question)** — relaxed guarantees: the stretch *distribution*
 /// of the name-independent schemes. The paper's conclusion asks whether
 /// letting a small fraction of pairs exceed the bound buys better typical
 /// stretch; the quantiles show how much headroom exists (p50 ≪ p99 ≪ max).

@@ -32,6 +32,7 @@ pub mod churn;
 pub mod cli;
 pub mod experiments;
 pub mod profile;
+pub mod recovery;
 pub mod table;
 
 pub use cache::MetricCache;

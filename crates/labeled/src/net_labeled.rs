@@ -168,6 +168,15 @@ impl LabeledScheme for NetLabeled {
     }
 }
 
+impl netsim::recovery::FallbackHierarchy for NetLabeled {
+    /// The scheme's own net hierarchy: `LevelFallback` climbs the zooming
+    /// sequence these routing tables are built on, so a fallback landmark
+    /// is always a node the scheme can re-plan from.
+    fn fallback_hierarchy(&self) -> &NetHierarchy {
+        self.nets()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

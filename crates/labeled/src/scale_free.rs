@@ -425,6 +425,14 @@ impl LabeledScheme for ScaleFreeLabeled {
     }
 }
 
+impl netsim::recovery::FallbackHierarchy for ScaleFreeLabeled {
+    /// The scheme's own net hierarchy: `LevelFallback` climbs the zooming
+    /// sequence the ring/packing tables are built on.
+    fn fallback_hierarchy(&self) -> &NetHierarchy {
+        self.nets()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

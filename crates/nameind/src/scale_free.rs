@@ -426,6 +426,15 @@ impl NameIndependentScheme for ScaleFreeNameIndependent {
     }
 }
 
+impl netsim::recovery::FallbackHierarchy for ScaleFreeNameIndependent {
+    /// The underlying labeled scheme's net hierarchy: a fallback re-issues
+    /// the name lookup from a coarser net center, whose hash-table rounds
+    /// cover a larger name range.
+    fn fallback_hierarchy(&self) -> &doubling_metric::nets::NetHierarchy {
+        self.underlying.nets()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -262,6 +262,15 @@ impl NameIndependentScheme for SimpleNameIndependent {
     }
 }
 
+impl netsim::recovery::FallbackHierarchy for SimpleNameIndependent {
+    /// The underlying labeled scheme's net hierarchy: a fallback re-issues
+    /// the name lookup from a coarser net center, whose ball tables cover
+    /// a larger name range.
+    fn fallback_hierarchy(&self) -> &doubling_metric::nets::NetHierarchy {
+        self.underlying.nets()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

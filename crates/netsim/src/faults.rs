@@ -21,6 +21,13 @@
 //!   component of the post-failure graph with a fresh [`MetricSpace`], so
 //!   callers can re-run preprocessing and measure its wall-clock cost and
 //!   the recovered reachability.
+//! * **Dynamic faults**: a [`FaultTimeline`] strings cumulative plans into
+//!   epochs that advance with the packet's hop count, so failures can land
+//!   *mid-route*; the [`crate::recovery`] runtime drives deliveries
+//!   against it. Plans and timelines serialize via
+//!   [`FaultPlan::to_json`] / [`FaultTimeline::to_json`], which is how the
+//!   chaos campaign's worst-case fault sets stay reproducible from
+//!   `results/recovery.json`.
 //!
 //! # Example
 //!
@@ -52,6 +59,7 @@ use doubling_metric::graph::{Graph, GraphBuilder, NodeId};
 use doubling_metric::nets::NetHierarchy;
 use doubling_metric::space::MetricSpace;
 
+use crate::json::Value;
 use crate::route::{Route, RouteError, RouteRecorder};
 
 /// A set of failed nodes and edges to inject into routing.
@@ -214,6 +222,237 @@ impl FaultPlan {
             rec.hop(x)?;
         }
         Ok(())
+    }
+
+    /// Whether every casualty of `self` is also a casualty of `other`.
+    /// This is the invariant [`FaultTimeline::new`] enforces between
+    /// consecutive epochs: failures accumulate, nothing resurrects.
+    pub fn is_subset_of(&self, other: &FaultPlan) -> bool {
+        self.n() == other.n()
+            && (0..self.n() as NodeId).all(|v| !self.is_node_dead(v) || other.is_node_dead(v))
+            && self.dead_edges.iter().all(|&(u, v)| other.is_edge_dead(u, v))
+    }
+
+    /// The directly-killed edges in canonical `(min, max)` form, ascending.
+    pub fn dead_edges_sorted(&self) -> Vec<(NodeId, NodeId)> {
+        let mut es: Vec<(NodeId, NodeId)> = self.dead_edges.iter().copied().collect();
+        es.sort_unstable();
+        es
+    }
+
+    /// Encodes the plan as
+    /// `{"n": …, "dead_nodes": […], "dead_edges": [[u, v], …]}` (both
+    /// lists ascending, so equal plans encode identically).
+    pub fn to_json(&self) -> Value {
+        let nodes: Vec<Value> =
+            (0..self.n() as NodeId).filter(|&v| self.is_node_dead(v)).map(Value::from).collect();
+        let edges: Vec<Value> = self
+            .dead_edges_sorted()
+            .into_iter()
+            .map(|(u, v)| Value::Array(vec![u.into(), v.into()]))
+            .collect();
+        Value::Object(vec![
+            ("n".into(), self.n().into()),
+            ("dead_nodes".into(), Value::Array(nodes)),
+            ("dead_edges".into(), Value::Array(edges)),
+        ])
+    }
+
+    /// Decodes a plan written by [`FaultPlan::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the document has the wrong shape or names a
+    /// node outside `0..n`.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        let n = v.get("n").and_then(Value::as_u64).ok_or("fault plan JSON missing integral `n`")?
+            as usize;
+        let mut plan = FaultPlan::none(n);
+        let nodes = v
+            .get("dead_nodes")
+            .and_then(Value::as_array)
+            .ok_or("fault plan JSON missing `dead_nodes` array")?;
+        for x in nodes {
+            let node = x.as_u64().ok_or("dead node is not integral")?;
+            if node as usize >= n {
+                return Err(format!("dead node {node} out of range (n = {n})"));
+            }
+            plan.kill_node(node as NodeId);
+        }
+        let edges = v
+            .get("dead_edges")
+            .and_then(Value::as_array)
+            .ok_or("fault plan JSON missing `dead_edges` array")?;
+        for e in edges {
+            let pair = e.as_array().ok_or("dead edge is not an array")?;
+            if pair.len() != 2 {
+                return Err("dead edge is not a [u, v] pair".into());
+            }
+            let u = pair[0].as_u64().ok_or("dead edge endpoint is not integral")?;
+            let w = pair[1].as_u64().ok_or("dead edge endpoint is not integral")?;
+            if u as usize >= n || w as usize >= n {
+                return Err(format!("dead edge ({u}, {w}) out of range (n = {n})"));
+            }
+            plan.kill_edge(u as NodeId, w as NodeId);
+        }
+        Ok(plan)
+    }
+}
+
+/// A dynamic fault schedule: *cumulative* [`FaultPlan`] epochs that
+/// advance with a packet's hop count, so failures land mid-route.
+///
+/// Epoch `k` is active while the packet has taken `k·hops_per_epoch ..
+/// (k+1)·hops_per_epoch` hops; the last epoch stays active forever. Every
+/// epoch must contain all casualties of the one before it (checked by
+/// [`FaultTimeline::new`] via [`FaultPlan::is_subset_of`]): failures
+/// accumulate, nothing resurrects.
+///
+/// The single-epoch form ([`FaultTimeline::from_plan`], with
+/// `hops_per_epoch == 0`) reproduces static [`FaultPlan`] semantics
+/// exactly — the equivalence the recovery test-suite pins down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultTimeline {
+    epochs: Vec<FaultPlan>,
+    hops_per_epoch: usize,
+}
+
+impl FaultTimeline {
+    /// The static timeline: one epoch, active for the whole delivery.
+    pub fn from_plan(plan: FaultPlan) -> Self {
+        FaultTimeline { epochs: vec![plan], hops_per_epoch: 0 }
+    }
+
+    /// A timeline from explicit epochs, each active for `hops_per_epoch`
+    /// hops (the last one indefinitely).
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty epoch list, a multi-epoch schedule with
+    /// `hops_per_epoch == 0`, epochs covering different node counts, and
+    /// non-cumulative epochs (a casualty that resurrects).
+    pub fn new(epochs: Vec<FaultPlan>, hops_per_epoch: usize) -> Result<Self, String> {
+        if epochs.is_empty() {
+            return Err("timeline needs at least one epoch".into());
+        }
+        if epochs.len() > 1 && hops_per_epoch == 0 {
+            return Err("multi-epoch timeline needs hops_per_epoch >= 1".into());
+        }
+        for w in epochs.windows(2) {
+            if w[0].n() != w[1].n() {
+                return Err("timeline epochs cover different node counts".into());
+            }
+            if !w[0].is_subset_of(&w[1]) {
+                return Err("timeline epochs must be cumulative (failures never resurrect)".into());
+            }
+        }
+        Ok(FaultTimeline { epochs, hops_per_epoch })
+    }
+
+    /// Number of nodes every epoch covers.
+    pub fn n(&self) -> usize {
+        self.epochs[0].n()
+    }
+
+    /// Number of epochs.
+    pub fn num_epochs(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// Hops per epoch (0 = static single epoch).
+    pub fn hops_per_epoch(&self) -> usize {
+        self.hops_per_epoch
+    }
+
+    /// The epochs, in activation order.
+    pub fn epochs(&self) -> &[FaultPlan] {
+        &self.epochs
+    }
+
+    /// The epoch index active after `hops_taken` hops.
+    pub fn epoch_at(&self, hops_taken: usize) -> usize {
+        match hops_taken.checked_div(self.hops_per_epoch) {
+            Some(epoch) => epoch.min(self.epochs.len() - 1),
+            None => 0,
+        }
+    }
+
+    /// The plan active after `hops_taken` hops.
+    pub fn active(&self, hops_taken: usize) -> &FaultPlan {
+        &self.epochs[self.epoch_at(hops_taken)]
+    }
+
+    /// The plan active when a packet departs (epoch 0).
+    pub fn initial(&self) -> &FaultPlan {
+        &self.epochs[0]
+    }
+
+    /// The last epoch's plan — the full accumulated damage.
+    pub fn final_plan(&self) -> &FaultPlan {
+        self.epochs.last().expect("timeline has at least one epoch")
+    }
+
+    /// Replays a finished route epoch-aware: hop number `i` (0-based) is
+    /// checked against [`FaultTimeline::active`]`(i)`. Zero-cost stays
+    /// (`hops[i] == hops[i+1]`) advance no epoch, matching the recovery
+    /// runtime's hop accounting. Adjacency and cost are [`Route::verify`]'s
+    /// job, not this one's.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::NodeFailed`] / [`RouteError::EdgeFailed`] at the first
+    /// hop that enters a dead node or crosses a dead edge of its epoch
+    /// (including a source dead at departure).
+    pub fn check_route(&self, route: &Route) -> Result<(), RouteError> {
+        if self.initial().is_node_dead(route.src) {
+            return Err(RouteError::NodeFailed { node: route.src });
+        }
+        let mut hops_taken = 0usize;
+        for w in route.hops.windows(2) {
+            let (cur, next) = (w[0], w[1]);
+            if cur == next {
+                continue;
+            }
+            let plan = self.active(hops_taken);
+            if plan.is_node_dead(next) {
+                return Err(RouteError::NodeFailed { node: next });
+            }
+            if plan.is_edge_dead(cur, next) {
+                return Err(RouteError::EdgeFailed { u: cur, v: next });
+            }
+            hops_taken += 1;
+        }
+        Ok(())
+    }
+
+    /// Encodes the timeline as
+    /// `{"hops_per_epoch": …, "epochs": [plan, …]}`.
+    pub fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("hops_per_epoch".into(), self.hops_per_epoch.into()),
+            ("epochs".into(), Value::Array(self.epochs.iter().map(FaultPlan::to_json).collect())),
+        ])
+    }
+
+    /// Decodes a timeline written by [`FaultTimeline::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// As [`FaultPlan::from_json`] plus the [`FaultTimeline::new`]
+    /// validity checks.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        let hops_per_epoch =
+            v.get("hops_per_epoch")
+                .and_then(Value::as_u64)
+                .ok_or("timeline JSON missing integral `hops_per_epoch`")? as usize;
+        let epochs = v
+            .get("epochs")
+            .and_then(Value::as_array)
+            .ok_or("timeline JSON missing `epochs` array")?
+            .iter()
+            .map(FaultPlan::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        FaultTimeline::new(epochs, hops_per_epoch)
     }
 }
 
@@ -389,5 +628,105 @@ mod tests {
         let m = MetricSpace::new(&gen::path(3));
         let plan = FaultPlan::targeted_by_order(&[0, 1, 2], 3, 1.0);
         assert!(SurvivingNetwork::build(m.graph(), &plan).is_none());
+    }
+
+    #[test]
+    fn plan_json_round_trips() {
+        let mut plan = FaultPlan::none(8);
+        plan.kill_node(3);
+        plan.kill_node(6);
+        plan.kill_edge(5, 1);
+        let v = plan.to_json();
+        assert_eq!(FaultPlan::from_json(&v).unwrap(), plan);
+        // Equal plans encode identically (lists are sorted).
+        let text = v.to_string_pretty();
+        assert_eq!(text, plan.clone().to_json().to_string_pretty());
+        assert_eq!(FaultPlan::from_json(&Value::parse(&text).unwrap()).unwrap(), plan);
+        // Out-of-range nodes are rejected, not silently dropped.
+        let bad = Value::parse(r#"{"n": 2, "dead_nodes": [5], "dead_edges": []}"#).unwrap();
+        assert!(FaultPlan::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn timeline_validation_catches_bad_schedules() {
+        let a = FaultPlan::none(4);
+        let mut b = FaultPlan::none(4);
+        b.kill_node(1);
+        // Cumulative ordering holds a ⊆ b, fails b ⊆ a.
+        assert!(FaultTimeline::new(vec![a.clone(), b.clone()], 2).is_ok());
+        assert!(FaultTimeline::new(vec![b.clone(), a.clone()], 2).is_err());
+        assert!(FaultTimeline::new(vec![], 2).is_err());
+        assert!(FaultTimeline::new(vec![a.clone(), b.clone()], 0).is_err());
+        assert!(FaultTimeline::new(vec![FaultPlan::none(3), a.clone()], 1).is_err());
+        // Dead edges must persist too, including when an endpoint dies
+        // later (the edge stays dead implicitly).
+        let mut e1 = FaultPlan::none(4);
+        e1.kill_edge(0, 1);
+        let mut e2 = FaultPlan::none(4);
+        e2.kill_node(0);
+        assert!(FaultTimeline::new(vec![e1.clone(), e2], 3).is_ok());
+        assert!(FaultTimeline::new(vec![e1, FaultPlan::none(4)], 3).is_err());
+    }
+
+    #[test]
+    fn timeline_epochs_advance_with_hops() {
+        let mut late = FaultPlan::none(6);
+        late.kill_node(4);
+        let tl = FaultTimeline::new(vec![FaultPlan::none(6), late], 3).unwrap();
+        assert_eq!(tl.epoch_at(0), 0);
+        assert_eq!(tl.epoch_at(2), 0);
+        assert_eq!(tl.epoch_at(3), 1);
+        assert_eq!(tl.epoch_at(1000), 1); // last epoch persists
+        assert!(!tl.active(0).is_node_dead(4));
+        assert!(tl.active(3).is_node_dead(4));
+        // Static plans never advance.
+        let st = FaultTimeline::from_plan(FaultPlan::none(6));
+        assert_eq!(st.epoch_at(1000), 0);
+        assert_eq!(st.hops_per_epoch(), 0);
+    }
+
+    #[test]
+    fn timeline_check_route_is_epoch_aware() {
+        // Path 0-1-2-3-4-5: node 4 dies after 3 hops. Walking 0 → 5 takes
+        // its 4th hop (index 3) into node 4, which by then is dead; walking
+        // only 0 → 3 stays inside epoch 0 and survives.
+        let m = MetricSpace::new(&gen::path(6));
+        let mut late = FaultPlan::none(6);
+        late.kill_node(4);
+        let tl = FaultTimeline::new(vec![FaultPlan::none(6), late.clone()], 3).unwrap();
+
+        let mut rec = RouteRecorder::new(&m, 0);
+        rec.walk_shortest(5).unwrap();
+        let long = rec.finish();
+        assert_eq!(tl.check_route(&long), Err(RouteError::NodeFailed { node: 4 }));
+        // The same plan applied statically kills the route as well, but a
+        // static *initial* plan (no faults yet) lets it through.
+        assert!(FaultTimeline::from_plan(late).check_route(&long).is_err());
+
+        let mut rec = RouteRecorder::new(&m, 0);
+        rec.walk_shortest(3).unwrap();
+        let short = rec.finish();
+        assert_eq!(tl.check_route(&short), Ok(()));
+    }
+
+    #[test]
+    fn timeline_json_round_trips() {
+        let mut a = FaultPlan::none(5);
+        a.kill_node(2);
+        let mut b = a.clone();
+        b.kill_edge(0, 1);
+        let tl = FaultTimeline::new(vec![a, b], 4).unwrap();
+        let v = tl.to_json();
+        assert_eq!(FaultTimeline::from_json(&v).unwrap(), tl);
+        let reparsed = Value::parse(&v.to_string_pretty()).unwrap();
+        assert_eq!(FaultTimeline::from_json(&reparsed).unwrap(), tl);
+        // A tampered document that breaks cumulativity is rejected.
+        let bad = Value::parse(
+            r#"{"hops_per_epoch": 2, "epochs": [
+                {"n": 3, "dead_nodes": [1], "dead_edges": []},
+                {"n": 3, "dead_nodes": [], "dead_edges": []}]}"#,
+        )
+        .unwrap();
+        assert!(FaultTimeline::from_json(&bad).is_err());
     }
 }

@@ -32,7 +32,7 @@ use doubling_metric::graph::{Graph, GraphBuilder};
 
 use crate::naming::Naming;
 use crate::route::Route;
-use crate::stats::{EvalResult, FaultEvalResult, StretchQuantiles};
+use crate::stats::{EvalResult, FaultEvalResult, RecoveryEvalResult, StretchQuantiles};
 
 /// A JSON document: the usual six shapes.
 ///
@@ -510,6 +510,30 @@ impl FaultEvalResult {
             ("max_stretch".into(), self.max_stretch.into()),
             ("lost_to_node".into(), self.lost_to_node.into()),
             ("lost_to_edge".into(), self.lost_to_edge.into()),
+            ("lost_other".into(), self.lost_other.into()),
+            ("understretch".into(), self.understretch.into()),
+        ])
+    }
+}
+
+impl RecoveryEvalResult {
+    /// This resilient-delivery result as a JSON object (field names match
+    /// the struct).
+    pub fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("scheme".into(), self.scheme.into()),
+            ("policy".into(), self.policy.as_str().into()),
+            ("attempted".into(), self.attempted.into()),
+            ("delivered".into(), self.delivered.into()),
+            ("delivered_fraction".into(), self.delivered_fraction.into()),
+            ("avg_stretch".into(), self.avg_stretch.into()),
+            ("max_stretch".into(), self.max_stretch.into()),
+            ("recoveries".into(), self.recoveries.into()),
+            ("detour_hops".into(), self.detour_hops.into()),
+            ("lost_to_node".into(), self.lost_to_node.into()),
+            ("lost_to_edge".into(), self.lost_to_edge.into()),
+            ("lost_unreachable".into(), self.lost_unreachable.into()),
+            ("lost_exhausted".into(), self.lost_exhausted.into()),
             ("lost_other".into(), self.lost_other.into()),
             ("understretch".into(), self.understretch.into()),
         ])

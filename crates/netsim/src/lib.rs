@@ -42,10 +42,14 @@ pub mod bits;
 pub mod faults;
 pub mod json;
 pub mod naming;
+pub mod recovery;
 pub mod route;
 pub mod scheme;
 pub mod stats;
 
 pub use naming::Naming;
+pub use recovery::{
+    DeliveryOutcome, FallbackHierarchy, LossReason, RecoveryEvent, RecoveryPolicy, ResilientRouter,
+};
 pub use route::{Route, RouteError, RouteRecorder, Segment};
 pub use scheme::{Label, LabeledScheme, Name, NameIndependentScheme};

@@ -12,7 +12,7 @@
 use doubling_metric::graph::NodeId;
 use doubling_metric::space::MetricSpace;
 
-use crate::faults::FaultPlan;
+use crate::faults::{FaultPlan, FaultTimeline};
 use crate::route::{Route, RouteError};
 
 /// A routing label assigned by a labeled scheme (`⌈log n⌉` bits for the
@@ -96,6 +96,36 @@ pub trait LabeledScheme {
     ) -> Result<Route, RouteError> {
         self.route_with_faults(m, src, self.label_of(dst), faults)
     }
+
+    /// Stale-table routing against a *dynamic* fault schedule: the scheme
+    /// plans against its pre-failure tables, and the route is replayed
+    /// hop-by-hop with [`FaultTimeline::check_route`] so faults that land
+    /// mid-flight (in later epochs) can still kill it. No recovery is
+    /// attempted — wrap the scheme in a
+    /// [`crate::recovery::ResilientRouter`] for that.
+    ///
+    /// With a single-epoch timeline this matches
+    /// [`LabeledScheme::route_with_faults`] on the epoch's plan exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::NodeFailed`] / [`RouteError::EdgeFailed`] when the
+    /// packet is lost to a casualty of the epoch it crossed, plus
+    /// whatever scheme errors plain routing can produce.
+    fn route_with_timeline(
+        &self,
+        m: &MetricSpace,
+        src: NodeId,
+        target: Label,
+        timeline: &FaultTimeline,
+    ) -> Result<Route, RouteError> {
+        if timeline.initial().is_node_dead(src) {
+            return Err(RouteError::NodeFailed { node: src });
+        }
+        let route = self.route(m, src, target)?;
+        timeline.check_route(&route)?;
+        Ok(route)
+    }
 }
 
 /// A name-independent routing scheme: must deliver given only the original
@@ -135,6 +165,29 @@ pub trait NameIndependentScheme {
         }
         let route = self.route(m, src, name)?;
         faults.check_route(m, &route)?;
+        Ok(route)
+    }
+
+    /// Stale-table routing against a *dynamic* fault schedule; see
+    /// [`LabeledScheme::route_with_timeline`] for the model.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::NodeFailed`] / [`RouteError::EdgeFailed`] when the
+    /// packet is lost to a casualty of the epoch it crossed, plus
+    /// whatever scheme errors plain routing can produce.
+    fn route_with_timeline(
+        &self,
+        m: &MetricSpace,
+        src: NodeId,
+        name: Name,
+        timeline: &FaultTimeline,
+    ) -> Result<Route, RouteError> {
+        if timeline.initial().is_node_dead(src) {
+            return Err(RouteError::NodeFailed { node: src });
+        }
+        let route = self.route(m, src, name)?;
+        timeline.check_route(&route)?;
         Ok(route)
     }
 }

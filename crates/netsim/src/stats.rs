@@ -7,8 +7,9 @@ use rand::{Rng, SeedableRng};
 use doubling_metric::graph::NodeId;
 use doubling_metric::space::MetricSpace;
 
-use crate::faults::FaultPlan;
+use crate::faults::{FaultPlan, FaultTimeline};
 use crate::naming::Naming;
+use crate::recovery::{DeliveryOutcome, LossReason, RecoveryEvent, ResilientRouter};
 use crate::route::{Route, RouteError};
 use crate::scheme::{LabeledScheme, NameIndependentScheme};
 
@@ -405,6 +406,243 @@ where
     )
 }
 
+/// Aggregated measurements for one scheme delivering under a
+/// [`FaultTimeline`] with a recovery policy (see
+/// [`crate::recovery::ResilientRouter`]).
+///
+/// The denominator convention matches [`FaultEvalResult`]: pairs with an
+/// endpoint dead in the timeline's *initial* epoch are out of the
+/// denominator (a dead customer, not a routing failure); with the `Drop`
+/// policy and a single-epoch timeline the delivered/lost split is
+/// identical to [`eval_labeled_under_faults`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryEvalResult {
+    /// Scheme display name.
+    pub scheme: &'static str,
+    /// The recovery policy, in its canonical `Display` spelling (parse it
+    /// back with [`crate::recovery::RecoveryPolicy::parse`]).
+    pub policy: String,
+    /// Pairs attempted (both endpoints alive initially).
+    pub attempted: usize,
+    /// Pairs delivered (possibly after recoveries).
+    pub delivered: usize,
+    /// `delivered / attempted` (1.0 when nothing was attempted).
+    pub delivered_fraction: f64,
+    /// Mean stretch over delivered routes (detours included in the cost).
+    pub avg_stretch: f64,
+    /// Worst stretch over delivered routes.
+    pub max_stretch: f64,
+    /// Total successful recovery interventions across delivered *and*
+    /// lost packets.
+    pub recoveries: usize,
+    /// Total extra hops spent inside detours, over delivered packets.
+    pub detour_hops: usize,
+    /// Losses where the final casualty was a dead node and the policy
+    /// offered no way out.
+    pub lost_to_node: usize,
+    /// Losses where the final casualty was a dead edge.
+    pub lost_to_edge: usize,
+    /// Losses where the destination was unreachable in the surviving
+    /// graph (no policy could have delivered; includes dead sources).
+    pub lost_unreachable: usize,
+    /// Losses where the destination was still reachable but the recovery
+    /// budget (TTL / climbs) ran out first.
+    pub lost_exhausted: usize,
+    /// Losses to anything else — hop-budget trips and scheme errors
+    /// (must stay 0 for correct schemes).
+    pub lost_other: usize,
+    /// Delivered routes whose measured stretch fell below 1 (see
+    /// [`EvalResult::understretch`]).
+    pub understretch: usize,
+}
+
+/// Shared resilient-eval accumulation over per-pair delivery outcomes.
+fn eval_resilient_impl<D, O>(
+    scheme_name: &'static str,
+    policy: String,
+    m: &MetricSpace,
+    timeline: &FaultTimeline,
+    pairs: &[(NodeId, NodeId)],
+    mut deliver_pair: D,
+    mut observe: O,
+) -> RecoveryEvalResult
+where
+    D: FnMut(NodeId, NodeId) -> DeliveryOutcome,
+    O: FnMut(NodeId, NodeId, &DeliveryOutcome),
+{
+    let initial = timeline.initial();
+    let mut stretches = Vec::new();
+    let mut attempted = 0usize;
+    let mut recoveries_total = 0usize;
+    let mut detour_hops_total = 0usize;
+    let (mut lost_node, mut lost_edge) = (0usize, 0usize);
+    let (mut lost_unreachable, mut lost_exhausted, mut lost_other) = (0usize, 0usize, 0usize);
+    for &(u, v) in pairs {
+        if initial.is_node_dead(u) || initial.is_node_dead(v) {
+            continue; // dead endpoint: out of the denominator entirely
+        }
+        attempted += 1;
+        let outcome = deliver_pair(u, v);
+        match &outcome {
+            DeliveryOutcome::Delivered { stretch, detour_hops, recoveries, route } => {
+                assert_eq!(route.dst, v, "resilient delivery must reach the destination");
+                route.verify(m).expect("delivered route must verify");
+                timeline
+                    .check_route(route)
+                    .expect("delivered route must replay cleanly under the timeline");
+                stretches.push(*stretch);
+                detour_hops_total += detour_hops;
+                recoveries_total += recoveries;
+            }
+            DeliveryOutcome::Lost { reason, progress } => {
+                recoveries_total += progress.recoveries;
+                match reason {
+                    LossReason::Casualty { error: RouteError::NodeFailed { .. } } => lost_node += 1,
+                    LossReason::Casualty { error: RouteError::EdgeFailed { .. } } => lost_edge += 1,
+                    LossReason::Casualty { .. } => lost_other += 1,
+                    // A dead source never happens here (endpoints are
+                    // pre-filtered on the initial epoch), but classify it
+                    // with unreachability for robustness.
+                    LossReason::SourceDead | LossReason::Unreachable => lost_unreachable += 1,
+                    LossReason::RecoveryExhausted => lost_exhausted += 1,
+                    LossReason::HopBudget | LossReason::SchemeError { .. } => lost_other += 1,
+                }
+            }
+        }
+        observe(u, v, &outcome);
+    }
+    let delivered = stretches.len();
+    let delivered_fraction = if attempted == 0 { 1.0 } else { delivered as f64 / attempted as f64 };
+    let max_stretch = if stretches.is_empty() {
+        1.0
+    } else {
+        stretches.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    };
+    let avg_stretch = if stretches.is_empty() {
+        1.0
+    } else {
+        stretches.iter().sum::<f64>() / stretches.len() as f64
+    };
+    RecoveryEvalResult {
+        scheme: scheme_name,
+        policy,
+        attempted,
+        delivered,
+        delivered_fraction,
+        avg_stretch,
+        max_stretch,
+        recoveries: recoveries_total,
+        detour_hops: detour_hops_total,
+        lost_to_node: lost_node,
+        lost_to_edge: lost_edge,
+        lost_unreachable,
+        lost_exhausted,
+        lost_other,
+        understretch: count_understretch(&stretches),
+    }
+}
+
+/// Evaluates a labeled scheme delivering under `timeline` with the
+/// router's recovery policy: delivered fraction, stretch of survivors
+/// (detours included), recovery/detour totals, and a loss taxonomy.
+///
+/// # Panics
+///
+/// Panics if a delivered route misdelivers, fails [`Route::verify`], or
+/// does not replay cleanly under [`FaultTimeline::check_route`] — those
+/// are simulator invariants, not measurements.
+pub fn eval_labeled_resilient<S: LabeledScheme>(
+    router: &ResilientRouter<'_, S>,
+    timeline: &FaultTimeline,
+    pairs: &[(NodeId, NodeId)],
+) -> RecoveryEvalResult {
+    eval_labeled_resilient_observed(router, timeline, pairs, |_, _, _| {}, |_, _, _| {})
+}
+
+/// [`eval_labeled_resilient`] with observer hooks: `on_event(u, v, ev)`
+/// fires for every recovery decision mid-delivery, and
+/// `observe(u, v, outcome)` once per attempted pair — the seams the `obs`
+/// tracing layer attaches to. Pairs skipped for dead endpoints see
+/// neither hook.
+///
+/// # Panics
+///
+/// As [`eval_labeled_resilient`].
+pub fn eval_labeled_resilient_observed<S, E, O>(
+    router: &ResilientRouter<'_, S>,
+    timeline: &FaultTimeline,
+    pairs: &[(NodeId, NodeId)],
+    mut on_event: E,
+    observe: O,
+) -> RecoveryEvalResult
+where
+    S: LabeledScheme,
+    E: FnMut(NodeId, NodeId, &RecoveryEvent),
+    O: FnMut(NodeId, NodeId, &DeliveryOutcome),
+{
+    eval_resilient_impl(
+        LabeledScheme::scheme_name(router.scheme()),
+        router.policy().to_string(),
+        router.metric(),
+        timeline,
+        pairs,
+        |u, v| router.deliver(u, v, timeline, &mut |ev| on_event(u, v, ev)),
+        observe,
+    )
+}
+
+/// Evaluates a name-independent scheme delivering under `timeline` with
+/// the router's recovery policy; see [`eval_labeled_resilient`].
+///
+/// # Panics
+///
+/// As [`eval_labeled_resilient`].
+pub fn eval_name_independent_resilient<S: NameIndependentScheme>(
+    router: &ResilientRouter<'_, S>,
+    naming: &Naming,
+    timeline: &FaultTimeline,
+    pairs: &[(NodeId, NodeId)],
+) -> RecoveryEvalResult {
+    eval_name_independent_resilient_observed(
+        router,
+        naming,
+        timeline,
+        pairs,
+        |_, _, _| {},
+        |_, _, _| {},
+    )
+}
+
+/// [`eval_name_independent_resilient`] with observer hooks; see
+/// [`eval_labeled_resilient_observed`].
+///
+/// # Panics
+///
+/// As [`eval_labeled_resilient`].
+pub fn eval_name_independent_resilient_observed<S, E, O>(
+    router: &ResilientRouter<'_, S>,
+    naming: &Naming,
+    timeline: &FaultTimeline,
+    pairs: &[(NodeId, NodeId)],
+    mut on_event: E,
+    observe: O,
+) -> RecoveryEvalResult
+where
+    S: NameIndependentScheme,
+    E: FnMut(NodeId, NodeId, &RecoveryEvent),
+    O: FnMut(NodeId, NodeId, &DeliveryOutcome),
+{
+    eval_resilient_impl(
+        NameIndependentScheme::scheme_name(router.scheme()),
+        router.policy().to_string(),
+        router.metric(),
+        timeline,
+        pairs,
+        |u, v| router.deliver_named(naming, u, v, timeline, &mut |ev| on_event(u, v, ev)),
+        observe,
+    )
+}
+
 /// Stretch quantiles over a set of routed pairs — the measurement behind
 /// the paper's concluding open question (can relaxing the guarantee for a
 /// small fraction of pairs buy better stretch?): the distribution shows
@@ -695,6 +933,84 @@ mod tests {
         let observed = eval_name_independent_observed(&s, &m, &nm, &pairs, |_, _, _| count += 1);
         assert_eq!(count, pairs.len());
         assert_eq!(observed, eval_name_independent(&s, &m, &nm, &pairs));
+    }
+
+    #[test]
+    fn resilient_drop_single_epoch_matches_legacy_fault_eval() {
+        use crate::recovery::{RecoveryPolicy, ResilientRouter};
+        let m = MetricSpace::new(&gen::grid(5, 5));
+        let s = FullTable::new(&m);
+        let pairs = sample_pairs(25, 80, 7);
+        let faults = FaultPlan::random_nodes(25, 0.2, 11);
+        let legacy = eval_labeled_under_faults(&s, &m, &faults, &pairs);
+        let timeline = FaultTimeline::from_plan(faults);
+        let router = ResilientRouter::without_hierarchy(&m, &s, RecoveryPolicy::Drop);
+        let res = eval_labeled_resilient(&router, &timeline, &pairs);
+        assert_eq!(res.attempted, legacy.attempted);
+        assert_eq!(res.delivered, legacy.delivered);
+        assert_eq!(res.lost_to_node, legacy.lost_to_node);
+        assert_eq!(res.lost_to_edge, legacy.lost_to_edge);
+        assert_eq!(res.lost_other + res.lost_unreachable + res.lost_exhausted, legacy.lost_other);
+        assert!((res.delivered_fraction - legacy.reachability).abs() < 1e-12);
+        assert!((res.avg_stretch - legacy.avg_stretch).abs() < 1e-12);
+        assert!((res.max_stretch - legacy.max_stretch).abs() < 1e-12);
+        assert_eq!(res.recoveries, 0);
+        assert_eq!(res.detour_hops, 0);
+        assert_eq!(res.policy, "drop");
+    }
+
+    #[test]
+    fn resilient_detour_delivers_at_least_as_much_as_drop() {
+        use crate::recovery::{RecoveryPolicy, ResilientRouter};
+        let m = MetricSpace::new(&gen::grid(6, 6));
+        let s = FullTable::new(&m);
+        let pairs = sample_pairs(36, 120, 3);
+        let faults = FaultPlan::random_nodes(36, 0.15, 5);
+        let timeline = FaultTimeline::from_plan(faults);
+        let drop = eval_labeled_resilient(
+            &ResilientRouter::without_hierarchy(&m, &s, RecoveryPolicy::Drop),
+            &timeline,
+            &pairs,
+        );
+        let mut events = 0usize;
+        let detour = eval_labeled_resilient_observed(
+            &ResilientRouter::without_hierarchy(&m, &s, RecoveryPolicy::LocalDetour { ttl: 8 }),
+            &timeline,
+            &pairs,
+            |_, _, _| events += 1,
+            |_, _, _| {},
+        );
+        assert_eq!(drop.attempted, detour.attempted);
+        assert!(detour.delivered >= drop.delivered);
+        assert!(detour.recoveries > 0, "a 15% kill rate must force some detours");
+        assert_eq!(events, detour.recoveries + detour.lost_exhausted + detour.lost_unreachable);
+    }
+
+    #[test]
+    fn resilient_ni_eval_delivers_under_faults() {
+        use crate::recovery::{RecoveryPolicy, ResilientRouter};
+        let m = MetricSpace::new(&gen::grid(5, 5));
+        let nm = Naming::random(25, 5);
+        let s = FullTable::with_naming(&m, nm.clone());
+        let pairs = sample_pairs(25, 60, 13);
+        let faults = FaultPlan::random_nodes(25, 0.2, 17);
+        let legacy = eval_name_independent_under_faults(&s, &m, &nm, &faults, &pairs);
+        let timeline = FaultTimeline::from_plan(faults);
+        let drop = eval_name_independent_resilient(
+            &ResilientRouter::without_hierarchy(&m, &s, RecoveryPolicy::Drop),
+            &nm,
+            &timeline,
+            &pairs,
+        );
+        assert_eq!(drop.delivered, legacy.delivered);
+        assert_eq!(drop.attempted, legacy.attempted);
+        let detour = eval_name_independent_resilient(
+            &ResilientRouter::without_hierarchy(&m, &s, RecoveryPolicy::LocalDetour { ttl: 8 }),
+            &nm,
+            &timeline,
+            &pairs,
+        );
+        assert!(detour.delivered >= drop.delivered);
     }
 
     #[test]

@@ -12,6 +12,8 @@
 use doubling_metric::graph::NodeId;
 use doubling_metric::space::MetricSpace;
 
+use netsim::json::Value;
+use netsim::recovery::RecoveryEvent;
 use netsim::scheme::{LabeledScheme, NameIndependentScheme};
 use netsim::stats::{self, EvalResult};
 use netsim::Naming;
@@ -37,6 +39,41 @@ pub fn eval_labeled_traced<S: LabeledScheme>(
             tracer.event("route-error", vec![("src", _u.into()), ("dst", _v.into())]);
         }
     })
+}
+
+/// Emits one trace event for a recovery decision made mid-delivery by a
+/// [`netsim::recovery::ResilientRouter`]. The event name is the decision's
+/// [`RecoveryEvent::kind`] (`recovery-detour` / `recovery-fallback` /
+/// `recovery-exhausted`); `base` fields (experiment context such as
+/// strategy, fraction, scheme, src, dst) come first, followed by the
+/// decision's own fields. Free with a noop tracer — this is the
+/// `on_event` hook the resilient evaluations expose, so `netsim` itself
+/// never learns about tracing.
+pub fn trace_recovery_event(
+    tracer: &Tracer,
+    base: impl FnOnce() -> Vec<(&'static str, Value)>,
+    ev: &RecoveryEvent,
+) {
+    tracer.event_lazy(ev.kind(), || {
+        let mut fields = base();
+        match ev {
+            RecoveryEvent::Detour { at, rejoin, detour_hops } => {
+                fields.push(("at", (*at).into()));
+                fields.push(("rejoin", (*rejoin).into()));
+                fields.push(("detour_hops", (*detour_hops).into()));
+            }
+            RecoveryEvent::Fallback { at, landmark, level } => {
+                fields.push(("at", (*at).into()));
+                fields.push(("landmark", (*landmark).into()));
+                fields.push(("level", (*level).into()));
+            }
+            RecoveryEvent::Exhausted { at, reason } => {
+                fields.push(("at", (*at).into()));
+                fields.push(("reason", (*reason).into()));
+            }
+        }
+        fields
+    });
 }
 
 /// [`netsim::stats::eval_name_independent`] plus observability; see

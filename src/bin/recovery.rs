@@ -1,0 +1,10 @@
+//! Workspace-root alias for the recovery experiment, so that
+//! `cargo run --release --bin recovery` works from the repository root.
+//! The implementation lives in [`bench::recovery`].
+//!
+//! Usage: `cargo run --release --bin recovery [n] [1/eps] [pairs]
+//! [fraction%] [--seed N] [--trace] [--json]`
+
+fn main() {
+    bench::recovery::recovery_main();
+}
