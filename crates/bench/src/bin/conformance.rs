@@ -1,0 +1,13 @@
+//! Conformance experiment (V1): certifies every theorem bound against
+//! measurements — exhaustive all-pairs stretch with a worst-pair witness,
+//! double-entry per-node table audits, header/label audits, and the
+//! Theorem 1.3 search game; prints the bound-vs-measured grid and writes
+//! `results/conformance.json` (plus `results/conformance_trace.jsonl`
+//! under `--trace`). Exits non-zero if any certificate fails.
+//!
+//! Usage: `cargo run --release --bin conformance [1/eps-list] [--n LIST]
+//! [--seeds K] [--seed N] [--trace] [--json] [--threads N]`
+
+fn main() {
+    bench::conformance::conformance_main();
+}

@@ -21,6 +21,10 @@
 //!   `detour[:TTL]`, `fallback[:CLIMBS]`, or a `+`-chain. The spelling is
 //!   validated at parse time; binaries that ignore it simply never read
 //!   [`Cli::policy`].
+//! * `--n LIST` / `--n=LIST` — a comma-separated list of instance sizes
+//!   for sweep binaries (`conformance`), e.g. `--n 64,196`.
+//! * `--seeds K` / `--seeds=K` — how many consecutive seeds (starting at
+//!   `--seed`) a sweep binary runs per cell.
 //!
 //! Unknown `--flags` are rejected loudly rather than silently treated as
 //! positionals, so a typo like `--sed 7` cannot quietly run with the
@@ -42,6 +46,11 @@ pub struct Cli {
     /// The `--policy` value, already parsed — `None` when the flag was
     /// not passed (binaries fall back to their historical behavior).
     pub policy: Option<netsim::recovery::RecoveryPolicy>,
+    /// The `--n` list of instance sizes — `None` when the flag was not
+    /// passed (sweep binaries fall back to their default grid).
+    pub n_list: Option<Vec<usize>>,
+    /// The `--seeds` count — `None` when the flag was not passed.
+    pub seeds: Option<usize>,
 }
 
 /// The machine's available parallelism (≥ 1), the default for
@@ -74,6 +83,8 @@ impl Cli {
             trace: false,
             threads: default_threads(),
             policy: None,
+            n_list: None,
+            seeds: None,
         };
         let parse_threads = |v: &str| -> usize {
             let t: usize = v.parse().unwrap_or_else(|_| panic!("invalid --threads value: {v:?}"));
@@ -85,6 +96,25 @@ impl Cli {
         let parse_policy = |v: &str| -> netsim::recovery::RecoveryPolicy {
             netsim::recovery::RecoveryPolicy::parse(v)
                 .unwrap_or_else(|e| panic!("invalid --policy value: {e}"))
+        };
+        let parse_n_list = |v: &str| -> Vec<usize> {
+            let ns: Vec<usize> = v
+                .split(',')
+                .map(|s| {
+                    s.trim().parse().unwrap_or_else(|_| panic!("invalid --n value: {s:?} in {v:?}"))
+                })
+                .collect();
+            if ns.is_empty() || ns.contains(&0) {
+                panic!("invalid --n value: sizes must be >= 1");
+            }
+            ns
+        };
+        let parse_seeds = |v: &str| -> usize {
+            let k: usize = v.parse().unwrap_or_else(|_| panic!("invalid --seeds value: {v:?}"));
+            if k == 0 {
+                panic!("invalid --seeds value: must be >= 1");
+            }
+            k
         };
         let mut args = args;
         while let Some(a) = args.next() {
@@ -107,9 +137,20 @@ impl Cli {
                 cli.policy = Some(parse_policy(&v));
             } else if let Some(v) = a.strip_prefix("--policy=") {
                 cli.policy = Some(parse_policy(v));
+            } else if a == "--n" {
+                let v = args.next().expect("--n requires a value");
+                cli.n_list = Some(parse_n_list(&v));
+            } else if let Some(v) = a.strip_prefix("--n=") {
+                cli.n_list = Some(parse_n_list(v));
+            } else if a == "--seeds" {
+                let v = args.next().expect("--seeds requires a value");
+                cli.seeds = Some(parse_seeds(&v));
+            } else if let Some(v) = a.strip_prefix("--seeds=") {
+                cli.seeds = Some(parse_seeds(v));
             } else if a.starts_with("--") {
                 panic!(
-                    "unknown flag {a:?} (expected --seed, --json, --trace, --threads, --policy)"
+                    "unknown flag {a:?} (expected --seed, --json, --trace, --threads, --policy, \
+                     --n, --seeds)"
                 );
             } else {
                 cli.positionals.push(a);
@@ -200,6 +241,29 @@ mod tests {
     #[should_panic(expected = "invalid --policy")]
     fn malformed_policy_is_rejected() {
         parse(&["--policy", "teleport"], 42);
+    }
+
+    #[test]
+    fn n_list_and_seeds_flags_both_forms() {
+        let c = parse(&[], 42);
+        assert_eq!(c.n_list, None);
+        assert_eq!(c.seeds, None);
+        assert_eq!(parse(&["--n", "64"], 42).n_list, Some(vec![64]));
+        assert_eq!(parse(&["--n=64,196,400"], 42).n_list, Some(vec![64, 196, 400]));
+        assert_eq!(parse(&["--seeds", "3"], 42).seeds, Some(3));
+        assert_eq!(parse(&["--seeds=1"], 42).seeds, Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid --n")]
+    fn malformed_n_list_is_rejected() {
+        parse(&["--n", "64,banana"], 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid --seeds")]
+    fn zero_seeds_is_rejected() {
+        parse(&["--seeds", "0"], 42);
     }
 
     #[test]

@@ -1,0 +1,382 @@
+//! Experiment V1: theorem-conformance certificates.
+//!
+//! For every (metric family × `n` × `ε` × seed) cell, all four schemes are
+//! built and audited against their theorems by the `conform` crate:
+//! exhaustive all-pairs routing with the differential route oracle, the
+//! double-entry per-node table audit, and header/label measurements —
+//! each clause reported as bound vs measured with its margin, plus a
+//! worst-stretch witness route per certificate (reproducing Tables 1 & 2
+//! with a bound column). Theorem 1.3 is certified once per run by playing
+//! the adversarial search game on the lower-bound tree.
+//!
+//! Output schema (`results/conformance.json`, `schema_version` 1): the
+//! sweep axes, one `cells` entry per (family, n, ε, seed) holding the four
+//! [`conform::Certificate`]s, the `lower_bound` certificate, and a
+//! `summary` with the total clause count and the global verdict. The
+//! document depends only on the sweep arguments and `--seed` — never on
+//! `--threads` — so same-seed runs are byte-identical (CI enforces this).
+
+use doubling_metric::{gen, Eps};
+use labeled_routing::{NetLabeled, ScaleFreeLabeled};
+use name_independent::{ScaleFreeNameIndependent, SimpleNameIndependent};
+use netsim::json::Value;
+use netsim::stats::all_pairs;
+use netsim::Naming;
+use obs::Tracer;
+
+use conform::{certify_labeled, certify_lower_bound, certify_name_independent};
+use conform::{Certificate, Guarantee, Params};
+
+use crate::cache::MetricCache;
+use crate::table::f2;
+
+/// Size of the Theorem 1.3 lower-bound tree and the number of
+/// order-optimization iterations used by the full `conformance` run.
+pub const LB_TREE_SIZE: usize = 1 << 14;
+/// See [`LB_TREE_SIZE`].
+pub const LB_ITERS: usize = 1500;
+/// The `ε` values (as integers, the game's convention) Theorem 1.3 is
+/// certified at: the game value must stay `≥ 9 − ε` for each.
+pub const LB_EPS_VALUES: [u64; 3] = [2, 4, 6];
+
+/// Table row for one certificate: sweep coordinates, then measured vs
+/// bound for the three headline clauses, then the verdict.
+fn cert_row(family: &str, n: usize, eps: &str, seed: u64, cert: &Certificate) -> Vec<String> {
+    let get = |name: &str| {
+        cert.clauses
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| (c.measured, c.bound))
+            .unwrap_or((f64::NAN, f64::NAN))
+    };
+    let (stretch_m, stretch_b) = get("stretch");
+    let (table_m, table_b) = get("table-bits");
+    let (header_m, header_b) = get("header-bits");
+    vec![
+        family.to_string(),
+        n.to_string(),
+        eps.to_string(),
+        seed.to_string(),
+        cert.theorem.to_string(),
+        cert.scheme.clone(),
+        f2(stretch_m),
+        f2(stretch_b),
+        format!("{}", table_m as u64),
+        format!("{}", table_b as u64),
+        format!("{}", header_m as u64),
+        format!("{}", header_b as u64),
+        if cert.pass() { "PASS" } else { "FAIL" }.to_string(),
+    ]
+}
+
+/// Emits one trace event per clause of `cert` (see
+/// [`obs::eval::trace_conformance_clause`]); free with a noop tracer.
+fn trace_cert(tracer: &Tracer, family: &str, n: usize, eps: &str, seed: u64, cert: &Certificate) {
+    for c in &cert.clauses {
+        obs::eval::trace_conformance_clause(
+            tracer,
+            || {
+                vec![
+                    ("family", family.into()),
+                    ("n", n.into()),
+                    ("eps", eps.into()),
+                    ("seed", seed.into()),
+                    ("scheme", cert.scheme.clone().into()),
+                    ("theorem", cert.theorem.into()),
+                ]
+            },
+            &c.name,
+            c.bound,
+            c.measured,
+            c.pass(),
+        );
+    }
+}
+
+/// Runs the full conformance sweep. Returns console table headers/rows
+/// plus the JSON document (`schema_version` 1).
+///
+/// Seeds run from `seed` to `seed + num_seeds - 1`. `threads` fans the
+/// per-cell route audit out over scoped workers but never affects the
+/// document (the audit merge is order-deterministic), so two runs with the
+/// same sweep arguments and seed are byte-identical at any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn run_conformance(
+    cache: &MetricCache,
+    families: &[gen::Family],
+    ns: &[usize],
+    eps_list: &[Eps],
+    seed: u64,
+    num_seeds: usize,
+    threads: usize,
+    lb_tree_size: usize,
+    lb_iters: usize,
+    tracer: &Tracer,
+) -> (Vec<&'static str>, Vec<Vec<String>>, Value) {
+    let headers = vec![
+        "family", "n", "eps", "seed", "theorem", "scheme", "stretch", "s-bound", "table-b",
+        "t-bound", "header-b", "h-bound", "verdict",
+    ];
+    let mut rows = Vec::new();
+    let mut cell_docs = Vec::new();
+    let mut total_clauses = 0usize;
+    let mut total_certs = 0usize;
+    let mut all_pass = true;
+
+    for &family in families {
+        for &n in ns {
+            for &eps in eps_list {
+                for s in seed..seed + num_seeds as u64 {
+                    let m = cache.family_traced(family, n, s, tracer);
+                    let params = Params::measure(&m, eps);
+                    let naming = Naming::random(m.n(), s ^ 0xA5);
+                    let pairs = all_pairs(m.n());
+                    let eps_str = eps.to_string();
+
+                    let nl = NetLabeled::new(&m, eps).expect("eps within range");
+                    let sfl = ScaleFreeLabeled::new(&m, eps).expect("eps within range");
+                    let sni = SimpleNameIndependent::new(&m, eps, naming.clone())
+                        .expect("eps within range");
+                    let sfni = ScaleFreeNameIndependent::new(&m, eps, naming.clone())
+                        .expect("eps within range");
+
+                    let certs = vec![
+                        certify_labeled(&m, &nl, &Guarantee::lemma_3_1(), &params, &pairs, threads),
+                        certify_labeled(
+                            &m,
+                            &sfl,
+                            &Guarantee::theorem_1_2(),
+                            &params,
+                            &pairs,
+                            threads,
+                        ),
+                        certify_name_independent(
+                            &m,
+                            &sni,
+                            &naming,
+                            &Guarantee::theorem_1_4(),
+                            &params,
+                            &pairs,
+                            threads,
+                        ),
+                        certify_name_independent(
+                            &m,
+                            &sfni,
+                            &naming,
+                            &Guarantee::theorem_1_1(),
+                            &params,
+                            &pairs,
+                            threads,
+                        ),
+                    ];
+
+                    for cert in &certs {
+                        trace_cert(tracer, family.name(), m.n(), &eps_str, s, cert);
+                        rows.push(cert_row(family.name(), m.n(), &eps_str, s, cert));
+                        total_clauses += cert.clauses.len();
+                        total_certs += 1;
+                        all_pass &= cert.pass();
+                    }
+                    cell_docs.push(Value::Object(vec![
+                        ("family".into(), family.name().into()),
+                        ("n".into(), m.n().into()),
+                        ("eps".into(), eps_str.clone().into()),
+                        ("seed".into(), s.into()),
+                        (
+                            "certificates".into(),
+                            Value::Array(certs.iter().map(Certificate::to_json).collect()),
+                        ),
+                    ]));
+                }
+            }
+        }
+    }
+
+    // Theorem 1.3, once per run: the search game on the lower-bound tree.
+    let lb = certify_lower_bound(&LB_EPS_VALUES, lb_tree_size, lb_iters, seed);
+    trace_cert(tracer, "lb-tree", lb_tree_size, "-", seed, &lb);
+    for c in &lb.clauses {
+        rows.push(vec![
+            "lb-tree".to_string(),
+            lb_tree_size.to_string(),
+            "-".to_string(),
+            seed.to_string(),
+            lb.theorem.to_string(),
+            lb.scheme.clone(),
+            f2(c.measured),
+            f2(c.bound),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            if c.pass() { "PASS" } else { "FAIL" }.to_string(),
+        ]);
+    }
+    total_clauses += lb.clauses.len();
+    total_certs += 1;
+    all_pass &= lb.pass();
+
+    let doc = Value::Object(vec![
+        ("schema_version".into(), 1u64.into()),
+        ("families".into(), Value::Array(families.iter().map(|f| f.name().into()).collect())),
+        ("ns".into(), Value::Array(ns.iter().map(|&n| n.into()).collect())),
+        ("eps".into(), Value::Array(eps_list.iter().map(|e| e.to_string().into()).collect())),
+        ("seed".into(), seed.into()),
+        ("num_seeds".into(), num_seeds.into()),
+        ("metric_cache".into(), cache.stats().to_json()),
+        ("cells".into(), Value::Array(cell_docs)),
+        ("lower_bound".into(), lb.to_json()),
+        (
+            "summary".into(),
+            Value::Object(vec![
+                ("certificates".into(), total_certs.into()),
+                ("clauses".into(), total_clauses.into()),
+                ("all_pass".into(), all_pass.into()),
+            ]),
+        ),
+    ]);
+    (headers, rows, doc)
+}
+
+/// Entry point shared by the root `conformance` binary and
+/// `cargo run -p bench --bin conformance`: runs the sweep, prints the
+/// table, and writes `results/conformance.json`. With `--trace`, every
+/// clause verdict is recorded to `results/conformance_trace.jsonl`.
+///
+/// Usage: `conformance [1/eps-list] [--n LIST] [--seeds K] [--seed N]
+/// [--json] [--trace] [--threads N]` — e.g. `conformance 4,8 --n 64,196`.
+pub fn conformance_main() {
+    let cli = crate::cli::Cli::parse_env(42);
+    let inv_list: String = cli.pos(0, "4,8".to_string());
+    let eps_list: Vec<Eps> = inv_list
+        .split(',')
+        .map(|s| {
+            let inv: u64 = s
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("invalid 1/eps value: {s:?} in {inv_list:?}"));
+            Eps::one_over(inv)
+        })
+        .collect();
+    let ns = cli.n_list.clone().unwrap_or_else(|| vec![64, 196]);
+    let num_seeds = cli.seeds.unwrap_or(1);
+    let families = crate::experiments::table_families();
+    let tracer = if cli.trace { Tracer::recording() } else { Tracer::noop() };
+    let cache = MetricCache::new(cli.threads);
+    let (headers, rows, doc) = run_conformance(
+        &cache,
+        &families,
+        &ns,
+        &eps_list,
+        cli.seed,
+        num_seeds,
+        cli.threads,
+        LB_TREE_SIZE,
+        LB_ITERS,
+        &tracer,
+    );
+    crate::table::emit(
+        &format!(
+            "Conformance: theorem certificates, bound vs measured (eps 1/{inv_list}, n {ns:?}, \
+             {num_seeds} seed(s))"
+        ),
+        &headers,
+        &rows,
+    );
+    let all_pass = doc
+        .get("summary")
+        .and_then(|s| s.get("all_pass"))
+        .and_then(Value::as_bool)
+        .unwrap_or(false);
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/conformance.json", doc.to_string_pretty() + "\n")
+        .expect("write results/conformance.json");
+    if !cli.json {
+        println!("\nwrote results/conformance.json");
+        println!("verdict: {}", if all_pass { "all certificates PASS" } else { "FAILURES found" });
+    }
+    if cli.trace {
+        std::fs::write("results/conformance_trace.jsonl", tracer.finish().to_jsonl())
+            .expect("write results/conformance_trace.jsonl");
+        if !cli.json {
+            println!("wrote results/conformance_trace.jsonl");
+        }
+    }
+    assert!(all_pass, "conformance FAILED — see results/conformance.json");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_grid_cell_certifies_all_four_theorems() {
+        let tracer = Tracer::recording();
+        let cache = MetricCache::new(1);
+        let (h, rows, doc) = run_conformance(
+            &cache,
+            &[gen::Family::Grid],
+            &[36],
+            &[Eps::one_over(8)],
+            7,
+            1,
+            2,
+            1 << 9,
+            120,
+            &tracer,
+        );
+        assert_eq!(h.len(), 13);
+        for row in &rows {
+            assert_eq!(row.len(), h.len());
+            assert_eq!(row.last().unwrap(), "PASS", "row failed: {row:?}");
+        }
+        // 4 scheme certificates + 3 lower-bound clauses.
+        assert_eq!(rows.len(), 4 + LB_EPS_VALUES.len());
+        assert_eq!(doc.get("schema_version").and_then(Value::as_u64), Some(1));
+        let summary = doc.get("summary").expect("summary");
+        assert_eq!(summary.get("all_pass").and_then(Value::as_bool), Some(true));
+        assert_eq!(summary.get("certificates").and_then(Value::as_u64), Some(5));
+
+        // Every certificate carries a worst-pair witness whose route ends
+        // at the witness destination.
+        let cells = doc.get("cells").and_then(Value::as_array).expect("cells");
+        assert_eq!(cells.len(), 1);
+        let certs = cells[0].get("certificates").and_then(Value::as_array).unwrap();
+        assert_eq!(certs.len(), 4);
+        for cert in certs {
+            let w = cert.get("witness").expect("witness");
+            let dst = w.get("dst").and_then(Value::as_u64).expect("dst");
+            let hops = w.get("route").and_then(|r| r.get("hops")).and_then(Value::as_array);
+            assert_eq!(hops.and_then(|h| h.last()).and_then(Value::as_u64), Some(dst));
+            assert!(w.get("stretch").and_then(Value::as_f64).unwrap() >= 1.0);
+        }
+
+        // Clause verdicts were traced.
+        let log = tracer.finish();
+        assert!(log.events.iter().any(|e| e.name == "conformance-pass"));
+        assert!(!log.events.iter().any(|e| e.name == "conformance-violation"));
+    }
+
+    #[test]
+    fn conformance_run_is_deterministic_across_thread_counts() {
+        let run = |threads: usize| {
+            let cache = MetricCache::new(threads);
+            let (_, _, doc) = run_conformance(
+                &cache,
+                &[gen::Family::Grid],
+                &[25],
+                &[Eps::one_over(8)],
+                7,
+                1,
+                threads,
+                1 << 8,
+                60,
+                &Tracer::noop(),
+            );
+            doc.to_string()
+        };
+        let base = run(1);
+        assert_eq!(base, run(1));
+        assert_eq!(base, run(4));
+    }
+}

@@ -17,6 +17,7 @@
 //! | `ablation_packing` | A2 — ℬ/𝒜 reuse statistics (Claims 3.6–3.9) |
 //! | `profile` | P1 — per-phase preprocessing breakdown + route-metric histograms |
 //! | `churn` | fault injection: stale-table vs rebuilt routing |
+//! | `conformance` | V1 — theorem certificates: bound vs measured per (family, n, ε, seed) |
 //!
 //! Every binary shares the flag vocabulary of [`cli::Cli`]
 //! (`--seed N`, `--json`, `--trace`).
@@ -30,6 +31,7 @@ pub mod build_bench;
 pub mod cache;
 pub mod churn;
 pub mod cli;
+pub mod conformance;
 pub mod experiments;
 pub mod profile;
 pub mod recovery;

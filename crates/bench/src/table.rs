@@ -1,9 +1,21 @@
 //! Minimal aligned text-table printing for experiment output.
 
 /// Prints an aligned text table with a header row and a separator.
+///
+/// Every row must have exactly as many cells as there are headers; a
+/// ragged row is a caller bug (it used to be silently truncated, hiding
+/// the extra cells), caught by a debug assertion.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");
     let cols = headers.len();
+    for (i, row) in rows.iter().enumerate() {
+        debug_assert_eq!(
+            row.len(),
+            cols,
+            "row {i} has {} cells for {cols} headers: {row:?}",
+            row.len()
+        );
+    }
     let mut width = vec![0usize; cols];
     for (c, h) in headers.iter().enumerate() {
         width[c] = h.len();
@@ -15,7 +27,7 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     }
     let line = |cells: Vec<&str>| {
         let mut s = String::new();
-        for (c, cell) in cells.iter().enumerate() {
+        for (c, cell) in cells.iter().enumerate().take(cols) {
             s.push_str(&format!("{:<w$}  ", cell, w = width[c]));
         }
         println!("{}", s.trim_end());
@@ -37,7 +49,22 @@ pub fn f2(x: f64) -> String {
 /// contain).
 pub fn to_json(headers: &[&str], rows: &[Vec<String>]) -> String {
     fn esc(s: &str) -> String {
-        s.replace('\\', "\\\\").replace('"', "\\\"")
+        // Full JSON string escaping: backslash, quote, and every control
+        // character (a raw newline or tab in a cell used to produce
+        // invalid JSON).
+        let mut out = String::with_capacity(s.len());
+        for ch in s.chars() {
+            match ch {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
     }
     let mut out = String::from("[");
     for (i, row) in rows.iter().enumerate() {
@@ -89,6 +116,16 @@ mod json_tests {
     #[test]
     fn json_empty_rows() {
         assert_eq!(to_json(&["a"], &[]), "[]");
+    }
+
+    #[test]
+    fn json_escapes_control_characters_and_newlines() {
+        let json = to_json(&["a"], &[vec!["line1\nline2\tend\r\u{1}".into()]]);
+        assert_eq!(json, r#"[{"a":"line1\nline2\tend\r\u0001"}]"#);
+        // The emitted text must parse back as well-formed JSON.
+        let parsed = netsim::json::Value::parse(&json).expect("valid JSON");
+        let cell = parsed.as_array().unwrap()[0].get("a").unwrap().as_str().unwrap().to_string();
+        assert_eq!(cell, "line1\nline2\tend\r\u{1}");
     }
 }
 

@@ -1,0 +1,99 @@
+//! Golden-file schema tests: the committed experiment outputs under
+//! `results/` must stay parseable by `netsim::json` and keep their
+//! `schema_version` and required top-level keys. Downstream tooling (CI
+//! artifact diffs, the README tables) reads these files by key — a silent
+//! rename or a dropped field is a breaking change this test catches.
+
+use netsim::json::Value;
+
+fn load(name: &str) -> Value {
+    let path = format!("{}/../../results/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("golden file {path} must be committed: {e}"));
+    Value::parse(&text).unwrap_or_else(|e| panic!("{name} is not valid JSON: {e}"))
+}
+
+fn assert_keys(doc: &Value, name: &str, required: &[&str]) {
+    let Value::Object(fields) = doc else {
+        panic!("{name}: top level must be an object");
+    };
+    assert_eq!(
+        fields.first().map(|(k, _)| k.as_str()),
+        Some("schema_version"),
+        "{name}: schema_version must be the first key"
+    );
+    for key in required {
+        assert!(
+            fields.iter().any(|(k, _)| k == key),
+            "{name}: missing required top-level key {key:?} (has {:?})",
+            fields.iter().map(|(k, _)| k).collect::<Vec<_>>()
+        );
+    }
+}
+
+fn schema_version(doc: &Value) -> i64 {
+    match doc {
+        Value::Object(fields) => match fields.iter().find(|(k, _)| k == "schema_version") {
+            Some((_, Value::Int(v))) => *v,
+            other => panic!("schema_version must be an integer, got {other:?}"),
+        },
+        _ => panic!("top level must be an object"),
+    }
+}
+
+#[test]
+fn recovery_json_schema_is_stable() {
+    let doc = load("recovery.json");
+    assert_eq!(schema_version(&doc), 1);
+    assert_keys(
+        &doc,
+        "recovery.json",
+        &[
+            "schema_version",
+            "family",
+            "n",
+            "eps",
+            "pairs",
+            "fraction",
+            "seed",
+            "policies",
+            "metric_cache",
+            "strategies",
+            "chaos",
+        ],
+    );
+}
+
+#[test]
+fn conformance_json_schema_is_stable() {
+    let doc = load("conformance.json");
+    assert_eq!(schema_version(&doc), 1);
+    assert_keys(
+        &doc,
+        "conformance.json",
+        &[
+            "schema_version",
+            "families",
+            "ns",
+            "eps",
+            "seed",
+            "num_seeds",
+            "metric_cache",
+            "cells",
+            "lower_bound",
+            "summary",
+        ],
+    );
+
+    // The committed file must be a *passing* certificate set: the summary
+    // records the verdict the conformance binary enforced when it wrote it.
+    let Value::Object(fields) = &doc else { unreachable!() };
+    let (_, summary) = fields.iter().find(|(k, _)| k == "summary").expect("summary present");
+    let Value::Object(summary) = summary else {
+        panic!("summary must be an object");
+    };
+    match summary.iter().find(|(k, _)| k == "all_pass") {
+        Some((_, Value::Bool(true))) => {}
+        other => panic!("committed conformance.json must have all_pass=true, got {other:?}"),
+    }
+}

@@ -1,0 +1,209 @@
+//! Certificates: per-clause audit verdicts with margins and witnesses.
+
+use doubling_metric::graph::NodeId;
+use netsim::json::Value;
+use netsim::route::Route;
+
+/// Which way a clause's inequality points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// `measured ≤ bound` (upper bounds: stretch, bits).
+    AtMost,
+    /// `measured ≥ bound` (lower bounds: the Theorem 1.3 game value).
+    AtLeast,
+}
+
+impl Direction {
+    fn as_str(self) -> &'static str {
+        match self {
+            Direction::AtMost => "at-most",
+            Direction::AtLeast => "at-least",
+        }
+    }
+}
+
+/// Float slack for clause comparisons, absorbing accumulated rounding in
+/// stretch ratios. Bit clauses compare exact integers widened to `f64`,
+/// which are exact far beyond any table size here.
+const CLAUSE_TOL: f64 = 1e-9;
+
+/// One audited inequality of a theorem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClauseResult {
+    /// Clause name (`"stretch"`, `"table-bits"`, …).
+    pub name: String,
+    /// Human-readable form of the bound expression.
+    pub bound_desc: String,
+    /// The bound evaluated at the measured parameters.
+    pub bound: f64,
+    /// The audited worst-case measurement.
+    pub measured: f64,
+    /// Inequality direction.
+    pub direction: Direction,
+}
+
+impl ClauseResult {
+    /// Whether the measurement satisfies the bound.
+    pub fn pass(&self) -> bool {
+        match self.direction {
+            Direction::AtMost => self.measured <= self.bound + CLAUSE_TOL,
+            Direction::AtLeast => self.measured >= self.bound - CLAUSE_TOL,
+        }
+    }
+
+    /// Signed slack: positive iff the clause passes (with how much room).
+    pub fn margin(&self) -> f64 {
+        match self.direction {
+            Direction::AtMost => self.bound - self.measured,
+            Direction::AtLeast => self.measured - self.bound,
+        }
+    }
+
+    /// The clause as a JSON object.
+    pub fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("name".into(), self.name.clone().into()),
+            ("bound_desc".into(), self.bound_desc.clone().into()),
+            ("bound".into(), Value::Num(self.bound)),
+            ("measured".into(), Value::Num(self.measured)),
+            ("margin".into(), Value::Num(self.margin())),
+            ("direction".into(), self.direction.as_str().into()),
+            ("pass".into(), self.pass().into()),
+        ])
+    }
+}
+
+/// The worst-stretch pair of an exhaustive audit, with its full route and
+/// the APSP baseline — enough to replay the claim offline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Witness {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Shortest-path distance (the APSP baseline).
+    pub opt_dist: u64,
+    /// The route's stretch.
+    pub stretch: f64,
+    /// The delivered route.
+    pub route: Route,
+}
+
+impl Witness {
+    /// The witness as a JSON object (route serialized in full).
+    pub fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("src".into(), self.src.into()),
+            ("dst".into(), self.dst.into()),
+            ("opt_dist".into(), self.opt_dist.into()),
+            ("stretch".into(), Value::Num(self.stretch)),
+            ("route".into(), self.route.to_json()),
+        ])
+    }
+}
+
+/// A full conformance verdict for one scheme instance: every clause of its
+/// theorem, the worst-pair witness, and any hard violations found by the
+/// differential oracle (misdelivery, cost mismatch, table inconsistency,
+/// …). Hard violations fail the certificate regardless of margins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Certificate {
+    /// The theorem being certified.
+    pub theorem: &'static str,
+    /// The audited scheme's name.
+    pub scheme: String,
+    /// Measured parameters (JSON so game-style certificates can carry
+    /// their own parameter sets).
+    pub params: Value,
+    /// Clause verdicts.
+    pub clauses: Vec<ClauseResult>,
+    /// Worst-stretch witness (absent for the lower-bound game).
+    pub witness: Option<Witness>,
+    /// First few hard-violation descriptions.
+    pub violations: Vec<String>,
+    /// Total hard violations (may exceed `violations.len()`).
+    pub violation_count: usize,
+}
+
+impl Certificate {
+    /// Whether every clause holds and no hard violation was found.
+    pub fn pass(&self) -> bool {
+        self.violation_count == 0 && self.clauses.iter().all(ClauseResult::pass)
+    }
+
+    /// The certificate as a JSON object.
+    pub fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("theorem".into(), self.theorem.into()),
+            ("scheme".into(), self.scheme.clone().into()),
+            ("params".into(), self.params.clone()),
+            (
+                "clauses".into(),
+                Value::Array(self.clauses.iter().map(ClauseResult::to_json).collect()),
+            ),
+            ("witness".into(), self.witness.as_ref().map_or(Value::Null, Witness::to_json)),
+            (
+                "violations".into(),
+                Value::Array(self.violations.iter().map(|v| v.as_str().into()).collect()),
+            ),
+            ("violation_count".into(), self.violation_count.into()),
+            ("pass".into(), self.pass().into()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clause(measured: f64, bound: f64, dir: Direction) -> ClauseResult {
+        ClauseResult { name: "t".into(), bound_desc: "b".into(), bound, measured, direction: dir }
+    }
+
+    #[test]
+    fn directions_and_margins() {
+        let c = clause(3.0, 4.0, Direction::AtMost);
+        assert!(c.pass());
+        assert_eq!(c.margin(), 1.0);
+        let c = clause(5.0, 4.0, Direction::AtMost);
+        assert!(!c.pass());
+        let c = clause(8.9, 9.0 - 2.0, Direction::AtLeast);
+        assert!(c.pass());
+        let c = clause(3.0, 7.0, Direction::AtLeast);
+        assert!(!c.pass());
+    }
+
+    #[test]
+    fn violations_fail_certificate_even_with_passing_clauses() {
+        let mut cert = Certificate {
+            theorem: "1.4",
+            scheme: "x".into(),
+            params: Value::Null,
+            clauses: vec![clause(1.0, 2.0, Direction::AtMost)],
+            witness: None,
+            violations: vec!["misdelivery".into()],
+            violation_count: 1,
+        };
+        assert!(!cert.pass());
+        cert.violations.clear();
+        cert.violation_count = 0;
+        assert!(cert.pass());
+    }
+
+    #[test]
+    fn json_has_required_keys() {
+        let cert = Certificate {
+            theorem: "1.2",
+            scheme: "s".into(),
+            params: Value::Null,
+            clauses: vec![],
+            witness: None,
+            violations: vec![],
+            violation_count: 0,
+        };
+        let v = cert.to_json();
+        for key in ["theorem", "scheme", "params", "clauses", "witness", "violations", "pass"] {
+            assert!(v.get(key).is_some(), "missing {key}");
+        }
+    }
+}

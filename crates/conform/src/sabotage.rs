@@ -1,0 +1,128 @@
+//! Sabotage wrappers: deliberately corrupted schemes for negative tests.
+//!
+//! A conformance checker that never fails is worthless. These wrappers
+//! wrap an honest scheme and break exactly one invariant each, so the test
+//! suite can assert that the corresponding certificate clause *fails* —
+//! proving the audit is not vacuous:
+//!
+//! * [`BitWiden`] inflates one node's *claimed* `table_bits` while leaving
+//!   the [`Certifiable`] enumeration honest — the double-entry
+//!   `table-consistency` clause must catch the disagreement.
+//! * [`NextHopSwap`] truncates the delivered route for one chosen pair
+//!   while still claiming the original destination and cost — the
+//!   differential oracle must flag the replay mismatch.
+
+use doubling_metric::graph::NodeId;
+use doubling_metric::space::MetricSpace;
+use netsim::bits::{FieldWidths, TableComponent};
+use netsim::route::{Route, RouteError};
+use netsim::scheme::{Certifiable, Label, LabeledScheme, Name, NameIndependentScheme};
+
+/// Claims `extra_bits` more table bits at `node` than the scheme stores.
+#[derive(Debug, Clone, Copy)]
+pub struct BitWiden<'a, S> {
+    /// The honest scheme.
+    pub inner: &'a S,
+    /// The node whose claim is inflated.
+    pub node: NodeId,
+    /// Bits added to the claim.
+    pub extra_bits: u64,
+}
+
+impl<S: LabeledScheme> LabeledScheme for BitWiden<'_, S> {
+    fn scheme_name(&self) -> &'static str {
+        self.inner.scheme_name()
+    }
+    fn label_of(&self, v: NodeId) -> Label {
+        self.inner.label_of(v)
+    }
+    fn label_bits(&self) -> u64 {
+        self.inner.label_bits()
+    }
+    fn table_bits(&self, u: NodeId) -> u64 {
+        self.inner.table_bits(u) + if u == self.node { self.extra_bits } else { 0 }
+    }
+    fn route(&self, m: &MetricSpace, src: NodeId, target: Label) -> Result<Route, RouteError> {
+        self.inner.route(m, src, target)
+    }
+}
+
+impl<S: NameIndependentScheme> NameIndependentScheme for BitWiden<'_, S> {
+    fn scheme_name(&self) -> &'static str {
+        self.inner.scheme_name()
+    }
+    fn table_bits(&self, u: NodeId) -> u64 {
+        self.inner.table_bits(u) + if u == self.node { self.extra_bits } else { 0 }
+    }
+    fn route(&self, m: &MetricSpace, src: NodeId, name: Name) -> Result<Route, RouteError> {
+        self.inner.route(m, src, name)
+    }
+}
+
+impl<S: Certifiable> Certifiable for BitWiden<'_, S> {
+    fn field_widths(&self) -> FieldWidths {
+        self.inner.field_widths()
+    }
+    fn table_components(&self, u: NodeId) -> Vec<TableComponent> {
+        self.inner.table_components(u)
+    }
+}
+
+/// For the one chosen `(src, dst)` pair, drops the final hop of the
+/// delivered route while keeping the claimed destination and cost — the
+/// packet silently never arrives.
+#[derive(Debug, Clone, Copy)]
+pub struct NextHopSwap<'a, S> {
+    /// The honest scheme.
+    pub inner: &'a S,
+    /// The pair whose route is corrupted.
+    pub pair: (NodeId, NodeId),
+}
+
+impl<S> NextHopSwap<'_, S> {
+    fn corrupt(&self, mut route: Route) -> Route {
+        if (route.src, route.dst) == self.pair && route.hops.len() >= 2 {
+            route.hops.pop();
+        }
+        route
+    }
+}
+
+impl<S: LabeledScheme> LabeledScheme for NextHopSwap<'_, S> {
+    fn scheme_name(&self) -> &'static str {
+        self.inner.scheme_name()
+    }
+    fn label_of(&self, v: NodeId) -> Label {
+        self.inner.label_of(v)
+    }
+    fn label_bits(&self) -> u64 {
+        self.inner.label_bits()
+    }
+    fn table_bits(&self, u: NodeId) -> u64 {
+        self.inner.table_bits(u)
+    }
+    fn route(&self, m: &MetricSpace, src: NodeId, target: Label) -> Result<Route, RouteError> {
+        self.inner.route(m, src, target).map(|r| self.corrupt(r))
+    }
+}
+
+impl<S: NameIndependentScheme> NameIndependentScheme for NextHopSwap<'_, S> {
+    fn scheme_name(&self) -> &'static str {
+        self.inner.scheme_name()
+    }
+    fn table_bits(&self, u: NodeId) -> u64 {
+        self.inner.table_bits(u)
+    }
+    fn route(&self, m: &MetricSpace, src: NodeId, name: Name) -> Result<Route, RouteError> {
+        self.inner.route(m, src, name).map(|r| self.corrupt(r))
+    }
+}
+
+impl<S: Certifiable> Certifiable for NextHopSwap<'_, S> {
+    fn field_widths(&self) -> FieldWidths {
+        self.inner.field_widths()
+    }
+    fn table_components(&self, u: NodeId) -> Vec<TableComponent> {
+        self.inner.table_components(u)
+    }
+}

@@ -26,9 +26,9 @@ use doubling_metric::nets::NetHierarchy;
 use doubling_metric::space::MetricSpace;
 use doubling_metric::Eps;
 
-use netsim::bits::{BitTally, FieldWidths};
+use netsim::bits::{BitTally, FieldWidths, TableComponent};
 use netsim::route::{Route, RouteError, RouteRecorder};
-use netsim::scheme::{Label, LabeledScheme};
+use netsim::scheme::{Certifiable, Label, LabeledScheme};
 use obs::Tracer;
 
 use crate::error::SchemeError;
@@ -165,6 +165,28 @@ impl LabeledScheme for NetLabeled {
             }
             rec.hop(e.next)?;
         }
+    }
+}
+
+impl Certifiable for NetLabeled {
+    fn field_widths(&self) -> FieldWidths {
+        self.widths
+    }
+
+    /// One `"ring"` component per level `i`: `X_i(u)` stores, per entry,
+    /// a net point id, the label range `[lo, hi]`, and a next hop — four
+    /// node-sized fields. Enumerated independently of
+    /// [`LabeledScheme::table_bits`] so a conformance audit can
+    /// cross-check the two totals.
+    fn table_components(&self, u: NodeId) -> Vec<TableComponent> {
+        self.rings[u as usize]
+            .iter()
+            .enumerate()
+            .map(|(i, ring)| TableComponent {
+                nodes: 4 * ring.len() as u64,
+                ..TableComponent::new("ring", i as u32)
+            })
+            .collect()
     }
 }
 

@@ -30,9 +30,9 @@ use doubling_metric::packing::Packings;
 use doubling_metric::space::MetricSpace;
 use doubling_metric::Eps;
 
-use netsim::bits::{BitTally, FieldWidths};
+use netsim::bits::{BitTally, FieldWidths, TableComponent};
 use netsim::route::{Route, RouteError, RouteRecorder};
-use netsim::scheme::{Label, LabeledScheme};
+use netsim::scheme::{Certifiable, Label, LabeledScheme};
 use obs::Tracer;
 use searchtree::{SearchTree, SearchTreeConfig};
 use treeroute::{PortLabel, PortTreeRouter, Tree};
@@ -422,6 +422,47 @@ impl LabeledScheme for ScaleFreeLabeled {
             }
             return Ok(rec.finish());
         }
+    }
+}
+
+impl Certifiable for ScaleFreeLabeled {
+    fn field_widths(&self) -> FieldWidths {
+        self.widths
+    }
+
+    /// Enumerates, per node: one `"ring"` component per stored level (a
+    /// level tag plus, per entry, net point / range lo / range hi / next
+    /// hop and a distance), one `"voronoi-cell"` component per size
+    /// exponent `j` (the local tree-router label of `u`'s cell center plus
+    /// `u`'s share of the cell's tree-router table, both already priced in
+    /// raw bits), and the node's `"search-share"`. Independent of
+    /// [`LabeledScheme::table_bits`] by construction.
+    fn table_components(&self, u: NodeId) -> Vec<TableComponent> {
+        let mut out = Vec::new();
+        for (i, ring) in &self.rings[u as usize] {
+            out.push(TableComponent {
+                levels: 1,
+                nodes: 4 * ring.len() as u64,
+                dists: ring.len() as u64,
+                ..TableComponent::new("ring", *i)
+            });
+        }
+        for j in 0..=self.log2_n {
+            let packing = self.packings.at(j);
+            let k = packing.voronoi_index(u);
+            let cell = &self.cells[j as usize][k as usize];
+            let c = packing.balls()[k as usize].center;
+            out.push(TableComponent {
+                raw: cell.router.label_of(c).bits(self.widths.node, cell.router.port_bits())
+                    + cell.router.table_bits(u, self.widths.node),
+                ..TableComponent::new("voronoi-cell", j)
+            });
+        }
+        out.push(TableComponent {
+            raw: self.search_bits[u as usize],
+            ..TableComponent::new("search-share", 0)
+        });
+        out
     }
 }
 

@@ -30,10 +30,10 @@ use doubling_metric::space::MetricSpace;
 use doubling_metric::Eps;
 
 use labeled_routing::{ScaleFreeLabeled, SchemeError};
-use netsim::bits::{BitTally, FieldWidths};
+use netsim::bits::{BitTally, FieldWidths, TableComponent};
 use netsim::naming::Naming;
 use netsim::route::{Route, RouteError, RouteRecorder};
-use netsim::scheme::{Label, LabeledScheme, Name, NameIndependentScheme};
+use netsim::scheme::{Certifiable, Label, LabeledScheme, Name, NameIndependentScheme};
 use obs::Tracer;
 use searchtree::{SearchTree, SearchTreeConfig};
 
@@ -423,6 +423,40 @@ impl NameIndependentScheme for ScaleFreeNameIndependent {
             at: rec.current(),
             detail: format!("name {name} not found at any round (top ball must cover V)"),
         })
+    }
+}
+
+impl Certifiable for ScaleFreeNameIndependent {
+    fn field_widths(&self) -> FieldWidths {
+        self.widths
+    }
+
+    /// Splices in the underlying [`ScaleFreeLabeled`] enumeration, then
+    /// adds the netting-tree parent label (`"net-parent"`), one
+    /// `"round-link"` (round tag + center label) per linked round `u`
+    /// hosts, and the node's ℬ/𝒜 search-tree shares (`"search-share"`).
+    /// Independent of [`NameIndependentScheme::table_bits`] by
+    /// construction.
+    fn table_components(&self, u: NodeId) -> Vec<TableComponent> {
+        let mut out = self.underlying.table_components(u);
+        out.push(TableComponent { nodes: 1, ..TableComponent::new("net-parent", 0) });
+        let nets = self.underlying.nets();
+        for k in 0..self.facility.len() {
+            if let Ok(j) = nets.level(self.rounds.host_level(k)).binary_search(&u) {
+                if matches!(self.facility[k][j], Facility::Link { .. }) {
+                    out.push(TableComponent {
+                        levels: 1,
+                        nodes: 1,
+                        ..TableComponent::new("round-link", k as u32)
+                    });
+                }
+            }
+        }
+        out.push(TableComponent {
+            raw: self.search_bits[u as usize],
+            ..TableComponent::new("search-share", 0)
+        });
+        out
     }
 }
 

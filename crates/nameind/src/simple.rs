@@ -25,10 +25,10 @@ use doubling_metric::space::MetricSpace;
 use doubling_metric::Eps;
 
 use labeled_routing::{NetLabeled, SchemeError};
-use netsim::bits::{BitTally, FieldWidths};
+use netsim::bits::{BitTally, FieldWidths, TableComponent};
 use netsim::naming::Naming;
 use netsim::route::{Route, RouteError, RouteRecorder};
-use netsim::scheme::{Label, LabeledScheme, Name, NameIndependentScheme};
+use netsim::scheme::{Certifiable, Label, LabeledScheme, Name, NameIndependentScheme};
 use obs::Tracer;
 use searchtree::{SearchTree, SearchTreeConfig};
 
@@ -259,6 +259,26 @@ impl NameIndependentScheme for SimpleNameIndependent {
             at: rec.current(),
             detail: format!("name {name} not found at any round (top ball must cover V)"),
         })
+    }
+}
+
+impl Certifiable for SimpleNameIndependent {
+    fn field_widths(&self) -> FieldWidths {
+        self.widths
+    }
+
+    /// Splices in the underlying [`NetLabeled`] enumeration, then adds the
+    /// one netting-tree parent label (`"net-parent"`) and the node's
+    /// search-tree shares (`"search-share"`). Independent of
+    /// [`NameIndependentScheme::table_bits`] by construction.
+    fn table_components(&self, u: NodeId) -> Vec<TableComponent> {
+        let mut out = self.underlying.table_components(u);
+        out.push(TableComponent { nodes: 1, ..TableComponent::new("net-parent", 0) });
+        out.push(TableComponent {
+            raw: self.search_bits[u as usize],
+            ..TableComponent::new("search-share", 0)
+        });
+        out
     }
 }
 

@@ -104,6 +104,48 @@ impl BitTally {
     }
 }
 
+/// One typed component of a node's routing table, as enumerated by a
+/// [`crate::scheme::Certifiable`] scheme: field *counts* in the vocabulary
+/// above, so an auditor can re-price the table through [`FieldWidths`] and
+/// cross-check the scheme's own `table_bits` claim. The enumeration and
+/// the claim are produced by independent code paths — double-entry
+/// bookkeeping, which is what makes a table audit non-vacuous.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableComponent {
+    /// What the component stores (e.g. `"ring"`, `"search-share"`).
+    pub part: &'static str,
+    /// Hierarchy level / round / packing index, when meaningful (0
+    /// otherwise).
+    pub index: u32,
+    /// Node-id-sized fields (ids, labels, names, next hops).
+    pub nodes: u64,
+    /// Distance fields.
+    pub dists: u64,
+    /// Level-index fields.
+    pub levels: u64,
+    /// Size-exponent fields.
+    pub size_exps: u64,
+    /// Raw, already-priced bits (sub-scheme shares such as tree-router
+    /// tables or search-tree allocations).
+    pub raw: u64,
+}
+
+impl TableComponent {
+    /// An empty component tagged `part` at `index`.
+    pub fn new(part: &'static str, index: u32) -> Self {
+        TableComponent { part, index, ..Default::default() }
+    }
+
+    /// The component priced under `w`, in bits.
+    pub fn bits(&self, w: &FieldWidths) -> u64 {
+        self.nodes * w.node
+            + self.dists * w.dist
+            + self.levels * w.level
+            + self.size_exps * w.size_exp
+            + self.raw
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

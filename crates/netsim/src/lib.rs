@@ -47,9 +47,10 @@ pub mod route;
 pub mod scheme;
 pub mod stats;
 
+pub use bits::{FieldWidths, TableComponent};
 pub use naming::Naming;
 pub use recovery::{
     DeliveryOutcome, FallbackHierarchy, LossReason, RecoveryEvent, RecoveryPolicy, ResilientRouter,
 };
 pub use route::{Route, RouteError, RouteRecorder, Segment};
-pub use scheme::{Label, LabeledScheme, Name, NameIndependentScheme};
+pub use scheme::{Certifiable, Label, LabeledScheme, Name, NameIndependentScheme};

@@ -12,6 +12,7 @@
 use doubling_metric::graph::NodeId;
 use doubling_metric::space::MetricSpace;
 
+use crate::bits::{FieldWidths, TableComponent};
 use crate::faults::{FaultPlan, FaultTimeline};
 use crate::route::{Route, RouteError};
 
@@ -21,6 +22,31 @@ pub type Label = u32;
 
 /// An arbitrary original node name (assigned adversarially, `⌈log n⌉` bits).
 pub type Name = u32;
+
+/// A scheme whose per-node tables can be *enumerated* component by
+/// component for an external audit.
+///
+/// `table_components(u)` must list everything node `u` stores, as typed
+/// field counts ([`TableComponent`]), and is required to be written as an
+/// independent code path from the scheme's own `table_bits(u)` claim —
+/// double-entry bookkeeping. A conformance checker re-prices the
+/// enumeration through [`FieldWidths`] and rejects the scheme if the two
+/// totals ever disagree, so a bug in either path (or a deliberately
+/// corrupted table) fails the certificate instead of passing vacuously.
+pub trait Certifiable {
+    /// The field widths the scheme fixed at preprocessing time.
+    fn field_widths(&self) -> FieldWidths;
+
+    /// Every component node `u` stores, as typed field counts.
+    fn table_components(&self, u: NodeId) -> Vec<TableComponent>;
+
+    /// The enumerated table size at `u`: the sum of
+    /// [`TableComponent::bits`] over `table_components(u)`.
+    fn enumerated_table_bits(&self, u: NodeId) -> u64 {
+        let w = self.field_widths();
+        self.table_components(u).iter().map(|c| c.bits(&w)).sum()
+    }
+}
 
 /// A labeled (name-dependent) routing scheme.
 pub trait LabeledScheme {

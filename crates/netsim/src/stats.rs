@@ -40,8 +40,10 @@ pub struct EvalResult {
 }
 
 /// Float tolerance below which a stretch value counts as an under-stretch
-/// accounting violation rather than rounding noise.
-pub(crate) const UNDERSTRETCH_TOL: f64 = 1e-9;
+/// accounting violation rather than rounding noise. Public so external
+/// auditors (the `conform` crate) apply the same tolerance when they
+/// cross-check route costs against [`doubling_metric::shortest_paths::Apsp`].
+pub const UNDERSTRETCH_TOL: f64 = 1e-9;
 
 /// Counts stretch values strictly below `1 - UNDERSTRETCH_TOL`.
 fn count_understretch(stretches: &[f64]) -> usize {

@@ -76,6 +76,31 @@ pub fn trace_recovery_event(
     });
 }
 
+/// Emits one trace event per audited conformance clause:
+/// `"conformance-pass"` or `"conformance-violation"` depending on the
+/// verdict, with the clause name, its evaluated bound, and the measured
+/// value. `base` fields (family, n, ε, seed, scheme, theorem) come first,
+/// as in [`trace_recovery_event`]. Free with a noop tracer — the `conform`
+/// crate stays tracing-agnostic and the conformance experiment calls this
+/// from the bench layer.
+pub fn trace_conformance_clause(
+    tracer: &Tracer,
+    base: impl FnOnce() -> Vec<(&'static str, Value)>,
+    clause: &str,
+    bound: f64,
+    measured: f64,
+    pass: bool,
+) {
+    let name = if pass { "conformance-pass" } else { "conformance-violation" };
+    tracer.event_lazy(name, || {
+        let mut fields = base();
+        fields.push(("clause", clause.into()));
+        fields.push(("bound", bound.into()));
+        fields.push(("measured", measured.into()));
+        fields
+    });
+}
+
 /// [`netsim::stats::eval_name_independent`] plus observability; see
 /// [`eval_labeled_traced`].
 pub fn eval_name_independent_traced<S: NameIndependentScheme>(

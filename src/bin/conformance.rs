@@ -1,0 +1,10 @@
+//! Workspace-root alias for the conformance experiment, so that
+//! `cargo run --release --bin conformance` works from the repository
+//! root. The implementation lives in [`bench::conformance`].
+//!
+//! Usage: `cargo run --release --bin conformance [1/eps-list] [--n LIST]
+//! [--seeds K] [--seed N] [--trace] [--json] [--threads N]`
+
+fn main() {
+    bench::conformance::conformance_main();
+}

@@ -23,6 +23,11 @@
 //! * the matching lower bound ([`lowerbound`], **Theorem 1.3**): the
 //!   Figure-3 tree, the congruent-naming counting lemmas, and the
 //!   adversarial search game;
+//! * a guarantee-certification engine ([`conform`]): each theorem as an
+//!   executable bound, audited per scheme instance by exhaustive
+//!   differential route replay, double-entry table enumeration, and
+//!   header/label measurement — the `conformance` binary sweeps it across
+//!   families × `n` × `ε` × seeds;
 //! * a dependency-free observability layer ([`obs`]): structured
 //!   span/event tracing over every scheme's preprocessing (`new_traced`
 //!   constructors), log₂-bucketed route-metric histograms, Figure-1/2
@@ -53,6 +58,7 @@
 
 #![warn(missing_docs)]
 
+pub use conform;
 pub use doubling_metric as metric;
 pub use labeled_routing as labeled;
 pub use lowerbound;
