@@ -1,0 +1,16 @@
+//! Experiment S1: end-to-end scaling of all four schemes to n = 10,000 —
+//! per-phase preprocessing wall time, peak allocation, per-node storage,
+//! and sampled stretch (mean ± 95% CI, p99, max) against the on-demand
+//! Dijkstra oracle with a dense-matrix determinism cross-check; writes
+//! `results/scale.json`.
+//!
+//! Usage: `cargo run --release -p bench --bin scale [max_n] [--n LIST]
+//! [--pairs K] [--seed N] [--threads N] [--stable] [--json]`
+
+// The counting allocator makes the peak(MiB) column nonzero.
+#[global_allocator]
+static GLOBAL: obs::alloc::CountingAlloc = obs::alloc::CountingAlloc::new();
+
+fn main() {
+    bench::scale::scale_main();
+}

@@ -1,4 +1,4 @@
-//! Experiment S3: per-node storage growth on grids — compact polylog vs
+//! Experiment E3: per-node storage growth on grids — compact polylog vs
 //! full-table n·log n bits, and the projected crossover.
 //!
 //! Usage: `cargo run --release -p bench --bin storage_growth [--seed N] [--json]`
@@ -12,7 +12,7 @@ fn main() {
     let cli = Cli::parse_env(42);
     let cache = MetricCache::new(cli.threads);
     let (headers, rows) = run_storage_growth(&cache, &[144, 256, 484, 1024, 2025], cli.seed);
-    emit("S3: storage growth vs n (grid, eps=1/8)", &headers, &rows);
+    emit("E3: storage growth vs n (grid, eps=1/8)", &headers, &rows);
     if !cli.json {
         println!("\nreading: full-table bits quadruple per 4x n (n·log n); the compact");
         println!("schemes' bits grow far slower (polylog) — the sfNI/full ratio falls");

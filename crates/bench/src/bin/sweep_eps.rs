@@ -1,4 +1,4 @@
-//! Experiment S1: stretch vs eps for all four schemes — the 1+O(eps) vs
+//! Experiment E1: stretch vs eps for all four schemes — the 1+O(eps) vs
 //! 9+O(eps) separation.
 //!
 //! Usage: `cargo run -p bench --bin sweep_eps [n] [--seed N] [--json]`
@@ -13,5 +13,5 @@ fn main() {
     let n: usize = cli.pos(0, 144);
     let cache = MetricCache::new(cli.threads);
     let (headers, rows) = run_sweep_eps(&cache, n, cli.seed);
-    emit(&format!("S1: stretch vs eps (grid n≈{n})"), &headers, &rows);
+    emit(&format!("E1: stretch vs eps (grid n≈{n})"), &headers, &rows);
 }

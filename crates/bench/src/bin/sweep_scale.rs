@@ -1,4 +1,4 @@
-//! Experiment S2: max table bits vs log Δ — the scale-free crossover
+//! Experiment E2: max table bits vs log Δ — the scale-free crossover
 //! between Theorem 1.4 (log Δ factor) and Theorem 1.1 (log³ n, flat in Δ).
 //!
 //! Usage: `cargo run -p bench --bin sweep_scale [1/eps] [--seed N] [--json]`
@@ -14,7 +14,7 @@ fn main() {
     let inv: u64 = cli.pos(0, 4);
     let cache = MetricCache::new(cli.threads);
     let (headers, rows) = run_sweep_scale(&cache, Eps::one_over(inv), cli.seed);
-    emit(&format!("S2: storage vs log Δ (eps=1/{inv})"), &headers, &rows);
+    emit(&format!("E2: storage vs log Δ (eps=1/{inv})"), &headers, &rows);
     if !cli.json {
         println!("\nexpected shape: on unit paths the schemes are comparable; on exp-paths");
         println!("the simple scheme's tables grow with log Δ = Θ(n) while the scale-free");

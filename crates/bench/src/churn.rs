@@ -185,6 +185,9 @@ fn stale_observer(ctx: CellCtx<'_>) -> impl FnMut(NodeId, NodeId, &Result<Route,
     }
 }
 
+/// Version of the `results/churn.json` document layout.
+pub const SCHEMA_VERSION: u64 = 1;
+
 /// Runs the churn grid on a unit grid graph: every scheme × every removal
 /// strategy × every removal fraction. Returns table headers/rows for the
 /// console plus the full JSON document.
@@ -415,7 +418,8 @@ pub fn run_churn(
     }
 
     let mut doc_fields = vec![
-        ("family".to_string(), Value::from("grid")),
+        ("schema_version".to_string(), Value::from(SCHEMA_VERSION)),
+        ("family".into(), Value::from("grid")),
         ("n".into(), m.n().into()),
         ("eps".into(), eps.to_string().into()),
         ("pairs".into(), pairs.len().into()),

@@ -25,6 +25,13 @@
 //!   for sweep binaries (`conformance`), e.g. `--n 64,196`.
 //! * `--seeds K` / `--seeds=K` — how many consecutive seeds (starting at
 //!   `--seed`) a sweep binary runs per cell.
+//! * `--pairs K` / `--pairs=K` — how many sampled source/destination
+//!   pairs an evaluation binary routes per cell (`scale`); binaries that
+//!   evaluate exhaustively never read [`Cli::pairs`].
+//! * `--stable` — pin volatile fields (wall times, allocator bytes) in
+//!   JSON artifacts to `0` so two same-seed runs produce byte-identical
+//!   files; used by CI's determinism checks. Semantic fields (stretch,
+//!   sizes, determinism flags) are never affected.
 //!
 //! Unknown `--flags` are rejected loudly rather than silently treated as
 //! positionals, so a typo like `--sed 7` cannot quietly run with the
@@ -51,6 +58,12 @@ pub struct Cli {
     pub n_list: Option<Vec<usize>>,
     /// The `--seeds` count — `None` when the flag was not passed.
     pub seeds: Option<usize>,
+    /// The `--pairs` count — `None` when the flag was not passed
+    /// (evaluation binaries fall back to their default sample size).
+    pub pairs: Option<usize>,
+    /// Whether `--stable` was passed (pin volatile timing/allocation
+    /// fields in JSON artifacts to `0` for byte-identity checks).
+    pub stable: bool,
 }
 
 /// The machine's available parallelism (≥ 1), the default for
@@ -85,6 +98,8 @@ impl Cli {
             policy: None,
             n_list: None,
             seeds: None,
+            pairs: None,
+            stable: false,
         };
         let parse_threads = |v: &str| -> usize {
             let t: usize = v.parse().unwrap_or_else(|_| panic!("invalid --threads value: {v:?}"));
@@ -113,6 +128,13 @@ impl Cli {
             let k: usize = v.parse().unwrap_or_else(|_| panic!("invalid --seeds value: {v:?}"));
             if k == 0 {
                 panic!("invalid --seeds value: must be >= 1");
+            }
+            k
+        };
+        let parse_pairs = |v: &str| -> usize {
+            let k: usize = v.parse().unwrap_or_else(|_| panic!("invalid --pairs value: {v:?}"));
+            if k == 0 {
+                panic!("invalid --pairs value: must be >= 1");
             }
             k
         };
@@ -147,10 +169,17 @@ impl Cli {
                 cli.seeds = Some(parse_seeds(&v));
             } else if let Some(v) = a.strip_prefix("--seeds=") {
                 cli.seeds = Some(parse_seeds(v));
+            } else if a == "--pairs" {
+                let v = args.next().expect("--pairs requires a value");
+                cli.pairs = Some(parse_pairs(&v));
+            } else if let Some(v) = a.strip_prefix("--pairs=") {
+                cli.pairs = Some(parse_pairs(v));
+            } else if a == "--stable" {
+                cli.stable = true;
             } else if a.starts_with("--") {
                 panic!(
                     "unknown flag {a:?} (expected --seed, --json, --trace, --threads, --policy, \
-                     --n, --seeds)"
+                     --n, --seeds, --pairs, --stable)"
                 );
             } else {
                 cli.positionals.push(a);
@@ -252,6 +281,22 @@ mod tests {
         assert_eq!(parse(&["--n=64,196,400"], 42).n_list, Some(vec![64, 196, 400]));
         assert_eq!(parse(&["--seeds", "3"], 42).seeds, Some(3));
         assert_eq!(parse(&["--seeds=1"], 42).seeds, Some(1));
+    }
+
+    #[test]
+    fn pairs_and_stable_flags() {
+        let c = parse(&[], 42);
+        assert_eq!(c.pairs, None);
+        assert!(!c.stable);
+        assert_eq!(parse(&["--pairs", "500"], 42).pairs, Some(500));
+        assert_eq!(parse(&["--pairs=2000"], 42).pairs, Some(2000));
+        assert!(parse(&["--stable"], 42).stable);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid --pairs")]
+    fn zero_pairs_is_rejected() {
+        parse(&["--pairs", "0"], 42);
     }
 
     #[test]

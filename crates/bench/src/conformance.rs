@@ -16,15 +16,17 @@
 //! document depends only on the sweep arguments and `--seed` — never on
 //! `--threads` — so same-seed runs are byte-identical (CI enforces this).
 
-use doubling_metric::{gen, Eps};
+use std::sync::Arc;
+
+use doubling_metric::{gen, DistanceProvider, Eps, OnDemandDijkstra};
 use labeled_routing::{NetLabeled, ScaleFreeLabeled};
 use name_independent::{ScaleFreeNameIndependent, SimpleNameIndependent};
 use netsim::json::Value;
-use netsim::stats::all_pairs;
+use netsim::stats::{all_pairs, sample_pairs};
 use netsim::Naming;
 use obs::Tracer;
 
-use conform::{certify_labeled, certify_lower_bound, certify_name_independent};
+use conform::{certify_labeled_with, certify_lower_bound, certify_name_independent_with};
 use conform::{Certificate, Guarantee, Params};
 
 use crate::cache::MetricCache;
@@ -38,6 +40,18 @@ pub const LB_ITERS: usize = 1500;
 /// The `ε` values (as integers, the game's convention) Theorem 1.3 is
 /// certified at: the game value must stay `≥ 9 − ε` for each.
 pub const LB_EPS_VALUES: [u64; 3] = [2, 4, 6];
+
+/// Above this node count the per-cell route audit switches from the
+/// exhaustive all-pairs oracle to a seeded spot audit: `SPOT_PAIRS`
+/// sampled pairs cross-checked against the exact on-demand Dijkstra
+/// backend (see DESIGN.md, "Distance backends"). Below it, nothing
+/// changes — the audit replays every ordered pair against the dense
+/// matrix, byte-identical to the pre-backend engine.
+pub const AUDIT_WALL: usize = 800;
+/// Pairs per spot-audit cell above [`AUDIT_WALL`].
+pub const SPOT_PAIRS: usize = 2000;
+/// LRU row capacity of the spot-audit oracle.
+pub const SPOT_ORACLE_ROWS: usize = 64;
 
 /// Table row for one certificate: sweep coordinates, then measured vs
 /// bound for the three headline clauses, then the verdict.
@@ -111,6 +125,7 @@ pub fn run_conformance(
     threads: usize,
     lb_tree_size: usize,
     lb_iters: usize,
+    audit_wall: usize,
     tracer: &Tracer,
 ) -> (Vec<&'static str>, Vec<Vec<String>>, Value) {
     let headers = vec![
@@ -130,7 +145,17 @@ pub fn run_conformance(
                     let m = cache.family_traced(family, n, s, tracer);
                     let params = Params::measure(&m, eps);
                     let naming = Naming::random(m.n(), s ^ 0xA5);
-                    let pairs = all_pairs(m.n());
+                    let exhaustive = m.n() <= audit_wall;
+                    let pairs = if exhaustive {
+                        all_pairs(m.n())
+                    } else {
+                        sample_pairs(m.n(), SPOT_PAIRS, s ^ 0x51)
+                    };
+                    let oracle: Arc<dyn DistanceProvider> = if exhaustive {
+                        Arc::clone(&m) as Arc<dyn DistanceProvider>
+                    } else {
+                        Arc::new(OnDemandDijkstra::new(m.graph_arc(), SPOT_ORACLE_ROWS))
+                    };
                     let eps_str = eps.to_string();
 
                     let nl = NetLabeled::new(&m, eps).expect("eps within range");
@@ -140,18 +165,29 @@ pub fn run_conformance(
                     let sfni = ScaleFreeNameIndependent::new(&m, eps, naming.clone())
                         .expect("eps within range");
 
+                    let o = oracle.as_ref();
                     let certs = vec![
-                        certify_labeled(&m, &nl, &Guarantee::lemma_3_1(), &params, &pairs, threads),
-                        certify_labeled(
+                        certify_labeled_with(
                             &m,
+                            o,
+                            &nl,
+                            &Guarantee::lemma_3_1(),
+                            &params,
+                            &pairs,
+                            threads,
+                        ),
+                        certify_labeled_with(
+                            &m,
+                            o,
                             &sfl,
                             &Guarantee::theorem_1_2(),
                             &params,
                             &pairs,
                             threads,
                         ),
-                        certify_name_independent(
+                        certify_name_independent_with(
                             &m,
+                            o,
                             &sni,
                             &naming,
                             &Guarantee::theorem_1_4(),
@@ -159,8 +195,9 @@ pub fn run_conformance(
                             &pairs,
                             threads,
                         ),
-                        certify_name_independent(
+                        certify_name_independent_with(
                             &m,
+                            o,
                             &sfni,
                             &naming,
                             &Guarantee::theorem_1_1(),
@@ -182,6 +219,17 @@ pub fn run_conformance(
                         ("n".into(), m.n().into()),
                         ("eps".into(), eps_str.clone().into()),
                         ("seed".into(), s.into()),
+                        (
+                            "audit".into(),
+                            Value::Object(vec![
+                                (
+                                    "mode".into(),
+                                    if exhaustive { "exhaustive" } else { "spot" }.into(),
+                                ),
+                                ("pairs".into(), pairs.len().into()),
+                                ("oracle".into(), oracle.backend().into()),
+                            ]),
+                        ),
                         (
                             "certificates".into(),
                             Value::Array(certs.iter().map(Certificate::to_json).collect()),
@@ -273,6 +321,7 @@ pub fn conformance_main() {
         cli.threads,
         LB_TREE_SIZE,
         LB_ITERS,
+        AUDIT_WALL,
         &tracer,
     );
     crate::table::emit(
@@ -323,6 +372,7 @@ mod tests {
             2,
             1 << 9,
             120,
+            AUDIT_WALL,
             &tracer,
         );
         assert_eq!(h.len(), 13);
@@ -358,6 +408,40 @@ mod tests {
     }
 
     #[test]
+    fn spot_audit_above_the_wall_still_certifies_and_stays_deterministic() {
+        // Force the spot path by dropping the wall below n = 36: the cell
+        // is audited on sampled pairs against the on-demand oracle.
+        let run = |threads: usize| {
+            let cache = MetricCache::new(threads);
+            let (_, rows, doc) = run_conformance(
+                &cache,
+                &[gen::Family::Grid],
+                &[36],
+                &[Eps::one_over(8)],
+                7,
+                1,
+                threads,
+                1 << 8,
+                60,
+                16,
+                &Tracer::noop(),
+            );
+            for row in &rows {
+                assert_eq!(row.last().unwrap(), "PASS", "row failed: {row:?}");
+            }
+            doc
+        };
+        let doc = run(1);
+        let cells = doc.get("cells").and_then(Value::as_array).expect("cells");
+        let audit = cells[0].get("audit").expect("audit block");
+        assert_eq!(audit.get("mode").and_then(Value::as_str), Some("spot"));
+        assert_eq!(audit.get("oracle").and_then(Value::as_str), Some("dijkstra-lru"));
+        let pairs = audit.get("pairs").and_then(Value::as_u64).unwrap() as usize;
+        assert!(pairs > 0 && pairs <= SPOT_PAIRS);
+        assert_eq!(doc.to_string(), run(4).to_string());
+    }
+
+    #[test]
     fn conformance_run_is_deterministic_across_thread_counts() {
         let run = |threads: usize| {
             let cache = MetricCache::new(threads);
@@ -371,6 +455,7 @@ mod tests {
                 threads,
                 1 << 8,
                 60,
+                AUDIT_WALL,
                 &Tracer::noop(),
             );
             doc.to_string()

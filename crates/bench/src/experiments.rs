@@ -12,7 +12,10 @@ use lowerbound::{game, LbParams, LowerBoundTree};
 use name_independent::{ScaleFreeNameIndependent, SimpleNameIndependent};
 use netsim::baseline::FullTable;
 use netsim::scheme::{LabeledScheme, NameIndependentScheme};
-use netsim::stats::{eval_labeled, eval_name_independent, sample_pairs, EvalResult};
+use netsim::stats::{
+    eval_labeled, eval_name_independent, sample_pairs, sampled_stretch_labeled,
+    sampled_stretch_name_independent, EvalResult,
+};
 use netsim::Naming;
 
 use crate::cache::MetricCache;
@@ -55,8 +58,17 @@ pub fn table_families() -> Vec<gen::Family> {
     ]
 }
 
+/// Above this n, Table 1 / Table 2 append a 95% CI half-width column on
+/// the sampled mean stretch. Below it, the sample covers a large enough
+/// fraction of the n² ordered pairs that the historical columns stand on
+/// their own, and the output stays byte-identical to earlier releases.
+pub const CI_WALL: usize = 1000;
+
 /// **Table 1** — name-independent schemes: stretch, table bits, header
-/// bits, across graph families (plus the full-table baseline row).
+/// bits, across graph families (plus the full-table baseline row). Above
+/// [`CI_WALL`] nodes every row gains an `avg-ci95` column: the 95%
+/// confidence half-width of the sampled mean stretch from
+/// [`netsim::stats::SampledStretch`].
 pub fn run_table1(
     cache: &MetricCache,
     n: usize,
@@ -64,7 +76,18 @@ pub fn run_table1(
     pairs_per_graph: usize,
     seed: u64,
 ) -> (Vec<&'static str>, Vec<Vec<String>>) {
-    let headers = vec![
+    run_table1_with_wall(cache, n, eps, pairs_per_graph, seed, CI_WALL)
+}
+
+fn run_table1_with_wall(
+    cache: &MetricCache,
+    n: usize,
+    eps: Eps,
+    pairs_per_graph: usize,
+    seed: u64,
+    ci_wall: usize,
+) -> (Vec<&'static str>, Vec<Vec<String>>) {
+    let mut headers = vec![
         "family",
         "n",
         "scheme",
@@ -74,41 +97,47 @@ pub fn run_table1(
         "avg-table(b)",
         "header(b)",
     ];
+    let with_ci = n > ci_wall;
+    if with_ci {
+        headers.push("avg-ci95");
+    }
     let mut rows = Vec::new();
     for f in table_families() {
         let m = cache.family(f, n, seed);
         let naming = Naming::random(m.n(), seed ^ 0xA5);
         let pairs = sample_pairs(m.n(), pairs_per_graph, seed ^ 0x5A);
+        let mut push = |row: Vec<String>, ss: Option<netsim::stats::SampledStretch>| {
+            let mut row = row;
+            if let Some(ss) = ss {
+                row.push(f2(ss.ci_half_width));
+            }
+            rows.push(row);
+        };
 
         let simple = SimpleNameIndependent::new(&m, eps, naming.clone()).expect("eps within range");
-        rows.push(eval_row(
-            f.name(),
-            m.n(),
-            &eval_name_independent(&simple, &m, &naming, &pairs),
-            None,
-        ));
+        push(
+            eval_row(f.name(), m.n(), &eval_name_independent(&simple, &m, &naming, &pairs), None),
+            with_ci.then(|| sampled_stretch_name_independent(&simple, &m, &naming, &*m, &pairs)),
+        );
 
         let sf = ScaleFreeNameIndependent::new(&m, eps, naming.clone()).expect("eps within range");
-        rows.push(eval_row(
-            f.name(),
-            m.n(),
-            &eval_name_independent(&sf, &m, &naming, &pairs),
-            None,
-        ));
+        push(
+            eval_row(f.name(), m.n(), &eval_name_independent(&sf, &m, &naming, &pairs), None),
+            with_ci.then(|| sampled_stretch_name_independent(&sf, &m, &naming, &*m, &pairs)),
+        );
 
         let full = FullTable::with_naming(&m, naming.clone());
-        rows.push(eval_row(
-            f.name(),
-            m.n(),
-            &eval_name_independent(&full, &m, &naming, &pairs),
-            None,
-        ));
+        push(
+            eval_row(f.name(), m.n(), &eval_name_independent(&full, &m, &naming, &pairs), None),
+            with_ci.then(|| sampled_stretch_name_independent(&full, &m, &naming, &*m, &pairs)),
+        );
     }
     (headers, rows)
 }
 
 /// **Table 2** — labeled schemes: stretch, table bits, label bits, header
-/// bits, across graph families.
+/// bits, across graph families. Above [`CI_WALL`] nodes every row gains an
+/// `avg-ci95` column; see [`run_table1`].
 pub fn run_table2(
     cache: &MetricCache,
     n: usize,
@@ -116,7 +145,18 @@ pub fn run_table2(
     pairs_per_graph: usize,
     seed: u64,
 ) -> (Vec<&'static str>, Vec<Vec<String>>) {
-    let headers = vec![
+    run_table2_with_wall(cache, n, eps, pairs_per_graph, seed, CI_WALL)
+}
+
+fn run_table2_with_wall(
+    cache: &MetricCache,
+    n: usize,
+    eps: Eps,
+    pairs_per_graph: usize,
+    seed: u64,
+    ci_wall: usize,
+) -> (Vec<&'static str>, Vec<Vec<String>>) {
+    let mut headers = vec![
         "family",
         "n",
         "scheme",
@@ -127,24 +167,44 @@ pub fn run_table2(
         "header(b)",
         "label(b)",
     ];
+    let with_ci = n > ci_wall;
+    if with_ci {
+        headers.push("avg-ci95");
+    }
     let mut rows = Vec::new();
     for f in table_families() {
         let m = cache.family(f, n, seed);
         let pairs = sample_pairs(m.n(), pairs_per_graph, seed ^ 0x5A);
+        let mut push = |row: Vec<String>, ss: Option<netsim::stats::SampledStretch>| {
+            let mut row = row;
+            if let Some(ss) = ss {
+                row.push(f2(ss.ci_half_width));
+            }
+            rows.push(row);
+        };
 
         let nl = NetLabeled::new(&m, eps).expect("eps within range");
-        rows.push(eval_row(f.name(), m.n(), &eval_labeled(&nl, &m, &pairs), Some(nl.label_bits())));
+        push(
+            eval_row(f.name(), m.n(), &eval_labeled(&nl, &m, &pairs), Some(nl.label_bits())),
+            with_ci.then(|| sampled_stretch_labeled(&nl, &m, &*m, &pairs)),
+        );
 
         let sf = ScaleFreeLabeled::new(&m, eps).expect("eps within range");
-        rows.push(eval_row(f.name(), m.n(), &eval_labeled(&sf, &m, &pairs), Some(sf.label_bits())));
+        push(
+            eval_row(f.name(), m.n(), &eval_labeled(&sf, &m, &pairs), Some(sf.label_bits())),
+            with_ci.then(|| sampled_stretch_labeled(&sf, &m, &*m, &pairs)),
+        );
 
         let full = FullTable::new(&m);
-        rows.push(eval_row(
-            f.name(),
-            m.n(),
-            &eval_labeled(&full, &m, &pairs),
-            Some(LabeledScheme::label_bits(&full)),
-        ));
+        push(
+            eval_row(
+                f.name(),
+                m.n(),
+                &eval_labeled(&full, &m, &pairs),
+                Some(LabeledScheme::label_bits(&full)),
+            ),
+            with_ci.then(|| sampled_stretch_labeled(&full, &m, &*m, &pairs)),
+        );
     }
     (headers, rows)
 }
@@ -348,7 +408,7 @@ pub fn run_fig3_advice(eps: u64) -> (Vec<&'static str>, Vec<Vec<String>>) {
     (headers, rows)
 }
 
-/// **S1** — max/avg stretch vs ε for all four schemes on one graph.
+/// **E1** — max/avg stretch vs ε for all four schemes on one graph.
 pub fn run_sweep_eps(
     cache: &MetricCache,
     n: usize,
@@ -403,7 +463,7 @@ pub fn run_sweep_eps(
     (headers, rows)
 }
 
-/// **S2** — max table bits vs log Δ at (almost) fixed n: the scale-free
+/// **E2** — max table bits vs log Δ at (almost) fixed n: the scale-free
 /// crossover. Compares the simple vs scale-free name-independent schemes
 /// on unit paths (Δ = n) vs exponential paths (Δ = 2^n).
 pub fn run_sweep_scale(
@@ -516,7 +576,7 @@ pub fn run_ablation_packing(
     (headers, rows)
 }
 
-/// **S3** — storage growth vs n on grids: compact (polylog) vs full-table
+/// **E3** — storage growth vs n on grids: compact (polylog) vs full-table
 /// (`n·log n`) bits per node. Compactness is asymptotic; this measures the
 /// growth-rate separation directly and lets the crossover be projected.
 pub fn run_storage_growth(
@@ -623,6 +683,22 @@ mod tests {
         for r in &rows {
             assert!(!r.iter().any(|c| c.starts_with("FAILURES")), "row {r:?}");
         }
+    }
+
+    #[test]
+    fn tables_gain_a_ci_column_above_the_wall() {
+        // Force the CI path by dropping the wall below n = 36.
+        let (h1, rows1) = run_table1_with_wall(&cache(), 36, Eps::one_over(8), 30, 3, 10);
+        assert_eq!(*h1.last().unwrap(), "avg-ci95");
+        let (h2, rows2) = run_table2_with_wall(&cache(), 36, Eps::one_over(8), 30, 3, 10);
+        assert_eq!(*h2.last().unwrap(), "avg-ci95");
+        for r in rows1.iter().chain(&rows2) {
+            let ci: f64 = r.last().unwrap().parse().expect("ci cell is numeric");
+            assert!((0.0..10.0).contains(&ci), "implausible ci in {r:?}");
+        }
+        // The full-table baseline routes optimally: its CI collapses to 0.
+        let full1 = rows1.iter().find(|r| r[2] == "full-table").unwrap();
+        assert_eq!(full1.last().unwrap(), "0.00");
     }
 
     #[test]

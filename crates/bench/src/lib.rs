@@ -11,13 +11,14 @@
 //! | `fig1` | Figure 1 — name-independent route anatomy by search round |
 //! | `fig2` | Figure 2 — labeled route anatomy (ring walk / packing phases) |
 //! | `fig3` | Figure 3 + Theorem 1.3 — lower-bound tree properties and the search-game curve |
-//! | `sweep_eps` | S1 — stretch vs ε for all four schemes |
-//! | `sweep_scale` | S2 — storage vs log Δ: the scale-free crossover |
+//! | `sweep_eps` | E1 — stretch vs ε for all four schemes |
+//! | `sweep_scale` | E2 — storage vs log Δ: the scale-free crossover |
 //! | `ablation_rings` | A1 — R(u) pruning vs full ring tables |
 //! | `ablation_packing` | A2 — ℬ/𝒜 reuse statistics (Claims 3.6–3.9) |
 //! | `profile` | P1 — per-phase preprocessing breakdown + route-metric histograms |
 //! | `churn` | fault injection: stale-table vs rebuilt routing |
 //! | `conformance` | V1 — theorem certificates: bound vs measured per (family, n, ε, seed) |
+//! | `scale` | S1 — end-to-end scaling of all four schemes to n = 10,000 |
 //!
 //! Every binary shares the flag vocabulary of [`cli::Cli`]
 //! (`--seed N`, `--json`, `--trace`).
@@ -35,6 +36,7 @@ pub mod conformance;
 pub mod experiments;
 pub mod profile;
 pub mod recovery;
+pub mod scale;
 pub mod table;
 
 pub use cache::MetricCache;

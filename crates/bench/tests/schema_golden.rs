@@ -65,6 +65,48 @@ fn recovery_json_schema_is_stable() {
 }
 
 #[test]
+fn churn_json_schema_is_stable() {
+    let doc = load("churn.json");
+    assert_eq!(schema_version(&doc), 1);
+    assert_keys(
+        &doc,
+        "churn.json",
+        &["schema_version", "family", "n", "eps", "pairs", "seed", "metric_cache", "cells"],
+    );
+}
+
+#[test]
+fn scale_json_schema_is_stable() {
+    let doc = load("scale.json");
+    assert_eq!(schema_version(&doc), 1);
+    assert_keys(
+        &doc,
+        "scale.json",
+        &[
+            "schema_version",
+            "experiment",
+            "family",
+            "seed",
+            "eps",
+            "pairs_per_cell",
+            "threads",
+            "stable",
+            "all_deterministic",
+            "instances",
+            "cells",
+        ],
+    );
+
+    // The committed sweep must have certified backend agreement on every
+    // cell — the flag the scale binary enforces when it writes the file.
+    let Value::Object(fields) = &doc else { unreachable!() };
+    match fields.iter().find(|(k, _)| k == "all_deterministic") {
+        Some((_, Value::Bool(true))) => {}
+        other => panic!("committed scale.json must have all_deterministic=true, got {other:?}"),
+    }
+}
+
+#[test]
 fn conformance_json_schema_is_stable() {
     let doc = load("conformance.json");
     assert_eq!(schema_version(&doc), 1);

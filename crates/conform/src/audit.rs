@@ -14,6 +14,7 @@
 //! lying.
 
 use doubling_metric::graph::NodeId;
+use doubling_metric::provider::DistanceProvider;
 use doubling_metric::space::MetricSpace;
 use lowerbound::{game, LbParams, LowerBoundTree};
 use netsim::json::Value;
@@ -62,7 +63,12 @@ struct ChunkAudit {
     witness: Option<Witness>,
 }
 
-fn audit_chunk<F>(m: &MetricSpace, chunk: &[(NodeId, NodeId)], route_fn: &F) -> ChunkAudit
+fn audit_chunk<F>(
+    m: &MetricSpace,
+    oracle: &dyn DistanceProvider,
+    chunk: &[(NodeId, NodeId)],
+    route_fn: &F,
+) -> ChunkAudit
 where
     F: Fn(NodeId, NodeId) -> Result<Route, RouteError> + Sync,
 {
@@ -111,7 +117,7 @@ where
                 format!("route {u} -> {v} fails replay: {e}"),
             );
         }
-        let opt = m.dist(u, v);
+        let opt = oracle.dist(u, v);
         if route.cost < opt {
             violate(
                 &mut out.violations,
@@ -130,7 +136,7 @@ where
             );
         }
         out.max_header_bits = out.max_header_bits.max(route.max_header_bits);
-        let stretch = route.stretch(m);
+        let stretch = if route.src == route.dst { 1.0 } else { route.cost as f64 / opt as f64 };
         // Strict `>` keeps the *first* pair attaining the maximum, which
         // makes the chosen witness independent of chunk boundaries (and
         // hence of `--threads`).
@@ -146,6 +152,10 @@ where
 /// scoped workers. The merge is performed in chunk order with strict-first
 /// maxima, so the result — including the worst-pair witness and the order
 /// of kept violations — is identical at any thread count.
+///
+/// The baseline distance comes from `m`'s dense matrix; see
+/// [`audit_routes_with`] for the backend-parameterized variant used by
+/// seeded spot audits above the exhaustive wall.
 pub fn audit_routes<F>(
     m: &MetricSpace,
     pairs: &[(NodeId, NodeId)],
@@ -155,12 +165,41 @@ pub fn audit_routes<F>(
 where
     F: Fn(NodeId, NodeId) -> Result<Route, RouteError> + Sync,
 {
+    audit_routes_with(m, m, pairs, threads, route_fn)
+}
+
+/// [`audit_routes`] with an explicit baseline [`DistanceProvider`]: the
+/// differential oracle cross-checks every route cost against
+/// `oracle.dist` instead of the dense matrix.
+///
+/// The oracle **must be exact** — with an estimated backend a legal route
+/// could "beat" a too-high baseline and be flagged as an accounting bug.
+/// The exact on-demand backend ([`doubling_metric::OnDemandDijkstra`])
+/// is the intended choice for seeded spot audits at `n` beyond the
+/// `Θ(n²)` wall.
+///
+/// # Panics
+///
+/// Panics if `oracle` is not exact or covers a different node count than
+/// `m`.
+pub fn audit_routes_with<F>(
+    m: &MetricSpace,
+    oracle: &dyn DistanceProvider,
+    pairs: &[(NodeId, NodeId)],
+    threads: usize,
+    route_fn: F,
+) -> RouteAudit
+where
+    F: Fn(NodeId, NodeId) -> Result<Route, RouteError> + Sync,
+{
+    assert!(oracle.is_exact(), "route audits require an exact distance backend");
+    assert_eq!(oracle.n(), m.n(), "oracle covers a different node count");
     let threads = threads.max(1);
     let chunk_size = pairs.len().div_ceil(threads).max(1);
     let partials: Vec<ChunkAudit> = std::thread::scope(|scope| {
         let handles: Vec<_> = pairs
             .chunks(chunk_size)
-            .map(|chunk| scope.spawn(|| audit_chunk(m, chunk, &route_fn)))
+            .map(|chunk| scope.spawn(|| audit_chunk(m, oracle, chunk, &route_fn)))
             .collect();
         handles.into_iter().map(|h| h.join().expect("audit worker panicked")).collect()
     });
@@ -326,7 +365,31 @@ pub fn certify_labeled<S>(
 where
     S: LabeledScheme + Certifiable + Sync,
 {
-    let routes = audit_routes(m, pairs, threads, |u, v| scheme.route_to_node(m, u, v));
+    certify_labeled_with(m, m, scheme, g, params, pairs, threads)
+}
+
+/// [`certify_labeled`] with an explicit (exact) baseline backend for the
+/// route audit — the spot-audit path above the exhaustive wall, where the
+/// caller samples `pairs` and supplies an on-demand oracle instead of the
+/// dense matrix. Table, label and header audits are unchanged (they never
+/// touch distances).
+///
+/// # Panics
+///
+/// As [`audit_routes_with`].
+pub fn certify_labeled_with<S>(
+    m: &MetricSpace,
+    oracle: &dyn DistanceProvider,
+    scheme: &S,
+    g: &Guarantee,
+    params: &Params,
+    pairs: &[(NodeId, NodeId)],
+    threads: usize,
+) -> Certificate
+where
+    S: LabeledScheme + Certifiable + Sync,
+{
+    let routes = audit_routes_with(m, oracle, pairs, threads, |u, v| scheme.route_to_node(m, u, v));
     let tables = audit_tables(m.n(), |u| scheme.table_bits(u), scheme);
     let label_expr = g.label_bits.as_ref().expect("labeled guarantee must bound label bits");
     let label_clause =
@@ -359,7 +422,31 @@ pub fn certify_name_independent<S>(
 where
     S: NameIndependentScheme + Certifiable + Sync,
 {
-    let routes = audit_routes(m, pairs, threads, |u, v| scheme.route(m, u, naming.name_of(v)));
+    certify_name_independent_with(m, m, scheme, naming, g, params, pairs, threads)
+}
+
+/// [`certify_name_independent`] with an explicit (exact) baseline backend
+/// for the route audit; see [`certify_labeled_with`].
+///
+/// # Panics
+///
+/// As [`audit_routes_with`].
+#[allow(clippy::too_many_arguments)]
+pub fn certify_name_independent_with<S>(
+    m: &MetricSpace,
+    oracle: &dyn DistanceProvider,
+    scheme: &S,
+    naming: &Naming,
+    g: &Guarantee,
+    params: &Params,
+    pairs: &[(NodeId, NodeId)],
+    threads: usize,
+) -> Certificate
+where
+    S: NameIndependentScheme + Certifiable + Sync,
+{
+    let routes =
+        audit_routes_with(m, oracle, pairs, threads, |u, v| scheme.route(m, u, naming.name_of(v)));
     let tables = audit_tables(m.n(), |u| scheme.table_bits(u), scheme);
     assemble(g, scheme.scheme_name(), params, routes, tables, None, Vec::new())
 }
@@ -424,6 +511,32 @@ mod tests {
         assert_eq!(base.failures, 0);
         assert_eq!(base.violation_count, 0);
         assert!(base.witness.is_some());
+    }
+
+    #[test]
+    fn spot_audit_with_on_demand_oracle_matches_exhaustive_baseline() {
+        use doubling_metric::OnDemandDijkstra;
+        use netsim::stats::sample_pairs;
+        let g = std::sync::Arc::new(gen::grid(6, 6));
+        let m = MetricSpace::from_shared(std::sync::Arc::clone(&g), 1);
+        let s = NetLabeled::new(&m, Eps::one_over(8)).unwrap();
+        let pairs = sample_pairs(m.n(), 120, 11);
+        let dense = audit_routes(&m, &pairs, 2, |u, v| s.route_to_node(&m, u, v));
+        let lazy = OnDemandDijkstra::new(g, 4);
+        let spot = audit_routes_with(&m, &lazy, &pairs, 2, |u, v| s.route_to_node(&m, u, v));
+        assert_eq!(dense, spot);
+        assert_eq!(spot.violation_count, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exact distance backend")]
+    fn estimated_backends_are_rejected_by_the_audit() {
+        use doubling_metric::LandmarkEstimator;
+        let m = MetricSpace::new(&gen::grid(4, 4));
+        let lm = LandmarkEstimator::new(m.graph(), 2);
+        audit_routes_with(&m, &lm, &[(0, 1)], 1, |_, _| {
+            Err(netsim::route::RouteError::Internal("unused".into()))
+        });
     }
 
     #[test]

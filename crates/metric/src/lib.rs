@@ -18,6 +18,9 @@
 //!   (Section 2 of the paper);
 //! * [`packing::BallPacking`] — the ball packings `ℬ_j` of Lemma 2.3 and
 //!   their Voronoi assignment;
+//! * [`provider::DistanceProvider`] — pluggable distance backends (dense
+//!   APSP, on-demand Dijkstra with an LRU of source rows, landmark
+//!   lower/upper bracket) so evaluation can scale past the `Θ(n²)` wall;
 //! * [`doubling`] — an empirical doubling-dimension estimator;
 //! * [`gen`] — reproducible generators for the graph families used by the
 //!   benchmark harness.
@@ -51,12 +54,14 @@ pub mod gen;
 pub mod graph;
 pub mod nets;
 pub mod packing;
+pub mod provider;
 pub mod shortest_paths;
 pub mod space;
 pub mod viz;
 
 pub use eps::Eps;
 pub use graph::{Dist, Graph, NodeId};
+pub use provider::{DistBounds, DistanceProvider, LandmarkEstimator, OnDemandDijkstra};
 pub use space::MetricSpace;
 
 /// Ceiling of `log2(x)` for `x ≥ 1`; `ceil_log2(1) == 0`.

@@ -1,0 +1,533 @@
+//! Distance backends: the [`DistanceProvider`] trait and its three
+//! implementations.
+//!
+//! Everything above the metric layer — evaluation, conformance audits, the
+//! recovery runtime — historically read distances straight out of the dense
+//! all-pairs matrix inside [`MetricSpace`], which caps every consumer at the
+//! `Θ(n²)` wall. This module abstracts *where a distance comes from* so each
+//! consumer can pick the cheapest backend that still honours its exactness
+//! requirement:
+//!
+//! | Backend | Exact? | Memory | Per-query cost |
+//! |---|---|---|---|
+//! | [`MetricSpace`] / [`Apsp`] | yes | `Θ(n²)` | `O(1)` |
+//! | [`OnDemandDijkstra`] | yes | `O(capacity · n)` | amortised one Dijkstra per distinct source, then `O(1)` |
+//! | [`LandmarkEstimator`] | **no** (bracket only) | `O(k · n)` | `O(k)` |
+//!
+//! Exactness is part of the contract, not a quality-of-implementation
+//! detail: conformance certificates and differential oracles must use an
+//! exact backend ([`DistanceProvider::is_exact`] returns `true`), while
+//! sampled-pair evaluation at large `n` may use the landmark bracket,
+//! whose lower/upper bounds provably contain the true distance (triangle
+//! inequality both ways). All backends are deterministic pure functions of
+//! the input graph — caching and eviction order can change *cost*, never
+//! *values* — so every result document built on them stays byte-identical
+//! at any `--threads`.
+//!
+//! # Example: exact vs. estimated usage
+//!
+//! ```rust
+//! use doubling_metric::gen;
+//! use doubling_metric::provider::{DistanceProvider, LandmarkEstimator, OnDemandDijkstra};
+//! use doubling_metric::MetricSpace;
+//! use std::sync::Arc;
+//!
+//! let g = Arc::new(gen::grid(6, 6));
+//! let m = MetricSpace::from_shared(Arc::clone(&g), 1);
+//!
+//! // Exact backends agree bit-for-bit with the dense matrix…
+//! let lazy = OnDemandDijkstra::new(Arc::clone(&g), 8);
+//! assert!(lazy.is_exact());
+//! assert_eq!(lazy.dist(0, 35), m.dist(0, 35));
+//!
+//! // …while the landmark estimator only brackets the true distance.
+//! let lm = LandmarkEstimator::new(&g, 4);
+//! assert!(!lm.is_exact());
+//! let b = lm.dist_bounds(0, 35);
+//! assert!(b.lower <= m.dist(0, 35) && m.dist(0, 35) <= b.upper);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::graph::{Dist, Graph, NodeId, INFINITY};
+use crate::shortest_paths::{dijkstra_into, Apsp};
+use crate::space::MetricSpace;
+
+/// A `[lower, upper]` bracket on a shortest-path distance.
+///
+/// Exact backends return `lower == upper`; the [`LandmarkEstimator`]
+/// returns the best triangle-inequality bracket its landmark set yields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistBounds {
+    /// Largest proven lower bound on `d(u, v)`.
+    pub lower: Dist,
+    /// Smallest proven upper bound on `d(u, v)` (`INFINITY` when no
+    /// finite bound is known).
+    pub upper: Dist,
+}
+
+impl DistBounds {
+    /// The exact bracket `[d, d]`.
+    pub fn exact(d: Dist) -> Self {
+        DistBounds { lower: d, upper: d }
+    }
+
+    /// Whether the bracket pins the distance to a single value.
+    pub fn is_exact(&self) -> bool {
+        self.lower == self.upper
+    }
+
+    /// Whether `d` lies inside the bracket.
+    pub fn contains(&self, d: Dist) -> bool {
+        self.lower <= d && d <= self.upper
+    }
+}
+
+/// A source of shortest-path distances for a fixed graph.
+///
+/// The contract every implementation must honour:
+///
+/// * **Determinism** — `dist_bounds(u, v)` is a pure function of the
+///   underlying graph (and, for estimators, of their construction
+///   parameters). Internal caching must never leak into results.
+/// * **Soundness** — the true distance always satisfies
+///   `lower ≤ d(u, v) ≤ upper`; `dist_bounds(u, u)` is `[0, 0]`.
+/// * **Exactness flag** — [`DistanceProvider::is_exact`] returns `true`
+///   iff `lower == upper` for *every* pair. Consumers that certify
+///   theorem bounds must refuse estimated backends.
+///
+/// [`DistanceProvider::dist`] returns the upper bound, which for exact
+/// backends *is* the distance; callers of an estimated backend should use
+/// [`DistanceProvider::dist_bounds`] and carry the bracket through their
+/// arithmetic instead.
+pub trait DistanceProvider: Send + Sync {
+    /// Number of nodes in the underlying graph.
+    fn n(&self) -> usize;
+
+    /// Whether every bracket this backend returns is a point (and thus
+    /// [`DistanceProvider::dist`] is the true distance).
+    fn is_exact(&self) -> bool;
+
+    /// The `[lower, upper]` bracket on `d(u, v)`.
+    fn dist_bounds(&self, u: NodeId, v: NodeId) -> DistBounds;
+
+    /// The distance `d(u, v)` for exact backends; the *upper bound* for
+    /// estimated ones (see the trait docs).
+    fn dist(&self, u: NodeId, v: NodeId) -> Dist {
+        self.dist_bounds(u, v).upper
+    }
+
+    /// Short machine-readable backend name for result documents.
+    fn backend(&self) -> &'static str;
+}
+
+impl DistanceProvider for MetricSpace {
+    fn n(&self) -> usize {
+        MetricSpace::n(self)
+    }
+
+    fn is_exact(&self) -> bool {
+        true
+    }
+
+    fn dist_bounds(&self, u: NodeId, v: NodeId) -> DistBounds {
+        DistBounds::exact(MetricSpace::dist(self, u, v))
+    }
+
+    fn dist(&self, u: NodeId, v: NodeId) -> Dist {
+        MetricSpace::dist(self, u, v)
+    }
+
+    fn backend(&self) -> &'static str {
+        "apsp"
+    }
+}
+
+impl DistanceProvider for Apsp {
+    fn n(&self) -> usize {
+        self.node_count()
+    }
+
+    fn is_exact(&self) -> bool {
+        true
+    }
+
+    fn dist_bounds(&self, u: NodeId, v: NodeId) -> DistBounds {
+        DistBounds::exact(Apsp::dist(self, u, v))
+    }
+
+    fn dist(&self, u: NodeId, v: NodeId) -> Dist {
+        Apsp::dist(self, u, v)
+    }
+
+    fn backend(&self) -> &'static str {
+        "apsp"
+    }
+}
+
+/// Hit/miss/eviction counters of an [`OnDemandDijkstra`] row cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RowCacheStats {
+    /// Source rows computed (cache misses).
+    pub builds: u64,
+    /// Queries served from a cached row.
+    pub hits: u64,
+    /// Rows evicted to stay within capacity.
+    pub evictions: u64,
+}
+
+/// LRU store of Dijkstra source rows, guarded by the provider's mutex.
+struct LruRows {
+    /// `source → (distance row, last-touch tick)`.
+    rows: HashMap<NodeId, (Arc<Vec<Dist>>, u64)>,
+    tick: u64,
+    stats: RowCacheStats,
+}
+
+/// Exact distances computed on demand: one deterministic Dijkstra per
+/// distinct source, with the most recently used `capacity` rows kept.
+///
+/// This is the scalable *exact* backend: memory is `O(capacity · n)`
+/// instead of `Θ(n²)`, and it reuses the same [`dijkstra_into`] kernel as
+/// the parallel APSP build, so its rows are bit-identical to the dense
+/// matrix rows at any thread count. Because rows are pure functions of
+/// the graph, the eviction order affects only *when* a row is recomputed,
+/// never its contents — results built on this backend are deterministic
+/// regardless of access pattern or capacity.
+pub struct OnDemandDijkstra {
+    graph: Arc<Graph>,
+    capacity: usize,
+    inner: Mutex<LruRows>,
+}
+
+impl OnDemandDijkstra {
+    /// A provider over `graph` keeping at most `capacity` source rows
+    /// (`capacity` is clamped to ≥ 1).
+    pub fn new(graph: Arc<Graph>, capacity: usize) -> Self {
+        OnDemandDijkstra {
+            graph,
+            capacity: capacity.max(1),
+            inner: Mutex::new(LruRows {
+                rows: HashMap::new(),
+                tick: 0,
+                stats: RowCacheStats::default(),
+            }),
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
+    /// Maximum number of cached source rows.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The full distance row from `u` (computing it on a miss).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range for the graph.
+    pub fn row(&self, u: NodeId) -> Arc<Vec<Dist>> {
+        let n = self.graph.node_count();
+        assert!((u as usize) < n, "source {u} out of range for n = {n}");
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some((row, touched)) = inner.rows.get_mut(&u) {
+            *touched = tick;
+            let row = Arc::clone(row);
+            inner.stats.hits += 1;
+            return row;
+        }
+        inner.stats.builds += 1;
+        let mut dist = vec![INFINITY; n];
+        let mut parent = vec![0 as NodeId; n];
+        dijkstra_into(&self.graph, u, &mut dist, &mut parent);
+        let row = Arc::new(dist);
+        if inner.rows.len() >= self.capacity {
+            // Evict the least recently touched row (tie-break by least
+            // source id, though ticks are unique so it never fires).
+            let victim = inner
+                .rows
+                .iter()
+                .map(|(&src, &(_, touched))| (touched, src))
+                .min()
+                .map(|(_, src)| src)
+                .expect("capacity >= 1 and the map is non-empty");
+            inner.rows.remove(&victim);
+            inner.stats.evictions += 1;
+        }
+        inner.rows.insert(u, (Arc::clone(&row), tick));
+        row
+    }
+
+    /// Current hit/miss/eviction counters.
+    pub fn stats(&self) -> RowCacheStats {
+        self.inner.lock().unwrap().stats
+    }
+}
+
+impl DistanceProvider for OnDemandDijkstra {
+    fn n(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    fn is_exact(&self) -> bool {
+        true
+    }
+
+    fn dist_bounds(&self, u: NodeId, v: NodeId) -> DistBounds {
+        DistBounds::exact(self.dist(u, v))
+    }
+
+    fn dist(&self, u: NodeId, v: NodeId) -> Dist {
+        if u == v {
+            return 0;
+        }
+        self.row(u)[v as usize]
+    }
+
+    fn backend(&self) -> &'static str {
+        "dijkstra-lru"
+    }
+}
+
+/// ALT-style landmark bracket: `k` deterministic farthest-point landmarks
+/// whose distance rows bound every pair by the triangle inequality.
+///
+/// For landmarks `L`, the bracket on `d(u, v)` is
+///
+/// * `lower = max_{l ∈ L} |d(l, u) − d(l, v)|`,
+/// * `upper = min_{l ∈ L} d(l, u) + d(l, v)`,
+///
+/// both sound for any metric. Landmark selection is deterministic
+/// farthest-point: start from node 0, then repeatedly add the node
+/// maximising its distance to the chosen set (ties broken by least node
+/// id), so the estimator is a pure function of `(graph, k)`. Memory and
+/// preprocessing are `O(k · n)` — this is the backend for sampled-pair
+/// evaluation at `n` far beyond the dense-matrix wall, and it is **not
+/// exact**: consumers must carry [`DistBounds`] through their arithmetic.
+pub struct LandmarkEstimator {
+    n: usize,
+    landmarks: Vec<NodeId>,
+    /// `k` rows of length `n`, flat, in landmark order.
+    rows: Vec<Dist>,
+}
+
+impl LandmarkEstimator {
+    /// Builds the estimator with `min(k, n)` landmarks (`k` clamped ≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is empty.
+    pub fn new(graph: &Graph, k: usize) -> Self {
+        let n = graph.node_count();
+        assert!(n > 0, "landmark estimator needs a non-empty graph");
+        let k = k.clamp(1, n);
+        let mut landmarks = Vec::with_capacity(k);
+        let mut rows = Vec::with_capacity(k * n);
+        let mut dist = vec![INFINITY; n];
+        let mut parent = vec![0 as NodeId; n];
+        // min over chosen landmarks of d(l, v); INFINITY = uncovered, so
+        // farthest-point selection reaches every component first.
+        let mut coverage = vec![INFINITY; n];
+        let mut next = 0 as NodeId;
+        for _ in 0..k {
+            dijkstra_into(graph, next, &mut dist, &mut parent);
+            landmarks.push(next);
+            for v in 0..n {
+                coverage[v] = coverage[v].min(dist[v]);
+            }
+            rows.extend_from_slice(&dist);
+            // Farthest uncovered-or-far node, tie-break least id; skip
+            // nodes already chosen (their coverage is 0).
+            let far = (0..n)
+                .map(|v| (coverage[v], std::cmp::Reverse(v)))
+                .max()
+                .map(|(_, std::cmp::Reverse(v))| v as NodeId)
+                .expect("n > 0");
+            next = far;
+        }
+        LandmarkEstimator { n, landmarks, rows }
+    }
+
+    /// The chosen landmarks, in selection order.
+    pub fn landmarks(&self) -> &[NodeId] {
+        &self.landmarks
+    }
+}
+
+impl DistanceProvider for LandmarkEstimator {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn is_exact(&self) -> bool {
+        false
+    }
+
+    fn dist_bounds(&self, u: NodeId, v: NodeId) -> DistBounds {
+        if u == v {
+            return DistBounds::exact(0);
+        }
+        let (u, v) = (u as usize, v as usize);
+        let mut lower = 0;
+        let mut upper = INFINITY;
+        for row in self.rows.chunks_exact(self.n) {
+            let (du, dv) = (row[u], row[v]);
+            if du == INFINITY || dv == INFINITY {
+                // u or v unreachable from this landmark: if exactly one
+                // is, the pair spans components and the distance is
+                // infinite; both-unreachable landmarks say nothing.
+                if (du == INFINITY) != (dv == INFINITY) {
+                    return DistBounds::exact(INFINITY);
+                }
+                continue;
+            }
+            lower = lower.max(du.abs_diff(dv));
+            upper = upper.min(du.saturating_add(dv));
+        }
+        DistBounds { lower, upper }
+    }
+
+    fn backend(&self) -> &'static str {
+        "landmarks"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn random_connected(n: usize, seed: u64) -> Graph {
+        // The geometric generator stitches components, so this is always
+        // connected with irregular weights — a good differential target.
+        gen::Family::Geometric.build(n, seed)
+    }
+
+    #[test]
+    fn on_demand_rows_match_apsp_row_for_row() {
+        for seed in 0..6 {
+            for &n in &[17, 40, 73] {
+                let g = Arc::new(random_connected(n, seed));
+                let apsp = Apsp::new(&g);
+                let lazy = OnDemandDijkstra::new(Arc::clone(&g), 4);
+                for u in 0..g.node_count() as NodeId {
+                    assert_eq!(
+                        lazy.row(u).as_slice(),
+                        apsp.row(u),
+                        "row {u} differs (n={n}, seed={seed})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn on_demand_matches_metric_space_pairwise() {
+        let g = Arc::new(gen::grid(7, 5));
+        let m = MetricSpace::from_shared(Arc::clone(&g), 2);
+        let lazy = OnDemandDijkstra::new(Arc::clone(&g), 3);
+        for u in 0..m.n() as NodeId {
+            for v in 0..m.n() as NodeId {
+                assert_eq!(DistanceProvider::dist(&lazy, u, v), m.dist(u, v));
+                assert!(lazy.dist_bounds(u, v).is_exact());
+            }
+        }
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_and_stays_correct() {
+        let g = Arc::new(gen::grid(4, 4));
+        let apsp = Apsp::new(&g);
+        let lazy = OnDemandDijkstra::new(Arc::clone(&g), 2);
+        lazy.row(0); // miss          cache: {0}
+        lazy.row(1); // miss          cache: {0, 1}
+        lazy.row(0); // hit           0 now fresher than 1
+        lazy.row(2); // miss, evicts 1
+        assert_eq!(lazy.stats(), RowCacheStats { builds: 3, hits: 1, evictions: 1 });
+        lazy.row(1); // miss again (was evicted), evicts 0
+        assert_eq!(lazy.stats(), RowCacheStats { builds: 4, hits: 1, evictions: 2 });
+        // Values survive any amount of eviction churn.
+        for u in 0..g.node_count() as NodeId {
+            assert_eq!(lazy.row(u).as_slice(), apsp.row(u));
+        }
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let g = Arc::new(gen::grid(3, 3));
+        let lazy = OnDemandDijkstra::new(Arc::clone(&g), 0);
+        assert_eq!(lazy.capacity(), 1);
+        lazy.row(0);
+        lazy.row(1);
+        assert_eq!(lazy.stats().evictions, 1);
+    }
+
+    #[test]
+    fn landmark_bounds_bracket_the_true_distance() {
+        for seed in 0..8 {
+            for &k in &[1, 4, 9] {
+                let g = random_connected(45, seed);
+                let apsp = Apsp::new(&g);
+                let lm = LandmarkEstimator::new(&g, k);
+                assert_eq!(lm.landmarks().len(), k);
+                for u in 0..g.node_count() as NodeId {
+                    for v in 0..g.node_count() as NodeId {
+                        let b = lm.dist_bounds(u, v);
+                        let d = apsp.dist(u, v);
+                        assert!(
+                            b.contains(d),
+                            "bounds [{}, {}] miss d({u},{v}) = {d} (seed={seed}, k={k})",
+                            b.lower,
+                            b.upper
+                        );
+                        assert!(b.lower <= b.upper);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn landmark_bracket_is_tight_at_landmarks() {
+        let g = gen::grid(6, 6);
+        let lm = LandmarkEstimator::new(&g, 3);
+        let apsp = Apsp::new(&g);
+        // Any pair involving a landmark is pinned exactly by that
+        // landmark's own row.
+        for &l in lm.landmarks() {
+            for v in 0..g.node_count() as NodeId {
+                let b = lm.dist_bounds(l, v);
+                assert!(b.is_exact());
+                assert_eq!(b.upper, apsp.dist(l, v));
+            }
+        }
+    }
+
+    #[test]
+    fn landmark_selection_is_deterministic() {
+        let g = random_connected(60, 3);
+        let a = LandmarkEstimator::new(&g, 5);
+        let b = LandmarkEstimator::new(&g, 5);
+        assert_eq!(a.landmarks(), b.landmarks());
+        assert_eq!(a.rows, b.rows);
+    }
+
+    #[test]
+    fn exact_backends_report_exact() {
+        let g = Arc::new(gen::grid(4, 4));
+        let m = MetricSpace::from_shared(Arc::clone(&g), 1);
+        assert!(DistanceProvider::is_exact(&m));
+        assert_eq!(DistanceProvider::n(&m), 16);
+        assert_eq!(m.backend(), "apsp");
+        let lazy = OnDemandDijkstra::new(g, 2);
+        assert!(lazy.is_exact());
+        assert_eq!(lazy.backend(), "dijkstra-lru");
+    }
+}

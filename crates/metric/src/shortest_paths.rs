@@ -20,10 +20,15 @@ use crate::graph::{Dist, Graph, NodeId, INFINITY};
 /// predecessors into the caller's row buffers (each of length `n`).
 ///
 /// This is the single Dijkstra implementation in the workspace: the
-/// sequential [`ShortestPathTree::new`] and the parallel
-/// [`Apsp::new_parallel`] both call it, which is what makes the parallel
-/// build byte-identical to the sequential one by construction.
-fn dijkstra_into(g: &Graph, source: NodeId, dist: &mut [Dist], parent: &mut [NodeId]) {
+/// sequential [`ShortestPathTree::new`], the parallel
+/// [`Apsp::new_parallel`], and the on-demand
+/// [`crate::provider::OnDemandDijkstra`] backend all call it, which is
+/// what makes every distance source byte-identical by construction.
+///
+/// # Panics
+///
+/// Debug-asserts that `dist` and `parent` are both length `n`.
+pub fn dijkstra_into(g: &Graph, source: NodeId, dist: &mut [Dist], parent: &mut [NodeId]) {
     let n = g.node_count();
     debug_assert_eq!(dist.len(), n);
     debug_assert_eq!(parent.len(), n);

@@ -1,0 +1,80 @@
+//! Property-based tests of the distance backends: on random connected
+//! graphs, the on-demand Dijkstra backend must agree with the exact APSP
+//! matrix row for row (at any LRU capacity), and the landmark estimator's
+//! `[lower, upper]` bracket must always contain the true distance.
+
+#![recursion_limit = "1024"]
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use doubling_metric::graph::{Graph, GraphBuilder};
+use doubling_metric::provider::{DistanceProvider, LandmarkEstimator, OnDemandDijkstra};
+use doubling_metric::shortest_paths::Apsp;
+
+fn arb_connected_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (4usize..=max_n).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec((0usize..usize::MAX, 1u64..50), n - 1),
+            proptest::collection::vec((0u32..n as u32, 0u32..n as u32, 1u64..50), 0..2 * n),
+        )
+            .prop_map(|(n, tree, extra)| {
+                let mut b = GraphBuilder::new(n);
+                for (c, (praw, w)) in tree.into_iter().enumerate() {
+                    let child = c + 1;
+                    b.edge(child as u32, (praw % child) as u32, w).unwrap();
+                }
+                for (u, v, w) in extra {
+                    if u != v {
+                        b.edge(u, v, w).unwrap();
+                    }
+                }
+                b.build().expect("connected by construction")
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn on_demand_dijkstra_matches_apsp_row_for_row(
+        g in arb_connected_graph(40),
+        capacity in 1usize..6,
+    ) {
+        let apsp = Apsp::new(&g);
+        let g = Arc::new(g);
+        let lazy = OnDemandDijkstra::new(Arc::clone(&g), capacity);
+        for u in 0..g.node_count() as u32 {
+            prop_assert_eq!(lazy.row(u).as_slice(), apsp.row(u));
+        }
+        // A second sweep after eviction churn must still agree.
+        for u in (0..g.node_count() as u32).rev() {
+            prop_assert_eq!(lazy.row(u).as_slice(), apsp.row(u));
+            prop_assert!(lazy.dist_bounds(u, 0).is_exact());
+        }
+    }
+
+    #[test]
+    fn landmark_estimates_bracket_the_true_distance(
+        g in arb_connected_graph(40),
+        k in 1usize..8,
+    ) {
+        let apsp = Apsp::new(&g);
+        let lm = LandmarkEstimator::new(&g, k);
+        prop_assert!(!lm.is_exact());
+        for u in 0..g.node_count() as u32 {
+            for v in 0..g.node_count() as u32 {
+                let b = lm.dist_bounds(u, v);
+                prop_assert!(b.lower <= b.upper);
+                prop_assert!(
+                    b.contains(apsp.dist(u, v)),
+                    "bracket [{}, {}] misses d({}, {}) = {}",
+                    b.lower, b.upper, u, v, apsp.dist(u, v)
+                );
+            }
+        }
+    }
+}

@@ -5,6 +5,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use doubling_metric::graph::NodeId;
+use doubling_metric::provider::DistanceProvider;
 use doubling_metric::space::MetricSpace;
 
 use crate::faults::{FaultPlan, FaultTimeline};
@@ -221,6 +222,149 @@ where
     }
     let tables: Vec<u64> = (0..m.n() as NodeId).map(|u| scheme.table_bits(u)).collect();
     EvalResult::from_parts(scheme.scheme_name(), &stretches, failures, &tables, max_header)
+}
+
+/// Sampled-pair stretch statistics with a 95% confidence interval on the
+/// mean, produced by [`sampled_stretch_labeled`] /
+/// [`sampled_stretch_name_independent`].
+///
+/// The point statistics (`mean`, `p99`, `max`) use the backend's
+/// [`DistanceProvider::dist`] as denominator. With an exact backend they
+/// equal the exhaustive statistics restricted to the sampled pairs and
+/// `mean_upper == mean`; with an estimated backend the true per-pair
+/// stretch lies in `[point, upper]` (the provider's `dist` is an upper
+/// bound on the true distance), so the true sampled mean lies in
+/// `[mean, mean_upper]`. `ci_half_width` is the *sampling* error only:
+/// `1.96 · s / √k` over the point values (normal approximation), so with
+/// an exact backend and seeded pairs the exhaustive mean is expected
+/// inside `mean ± ci_half_width` on ≈95% of sample seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampledStretch {
+    /// Pairs routed.
+    pub pairs: usize,
+    /// Routes that returned an error (excluded from the statistics).
+    pub failures: usize,
+    /// Mean point stretch over delivered routes (1.0 when none).
+    pub mean: f64,
+    /// 95% CI half-width on `mean` (sampling error; 0.0 for < 2 routes).
+    pub ci_half_width: f64,
+    /// 99th-percentile point stretch ([`StretchQuantiles`] convention).
+    pub p99: f64,
+    /// Worst point stretch.
+    pub max: f64,
+    /// Mean stretch using the provider's *lower* distance bounds as
+    /// denominators — equals `mean` for exact backends, an upper bound on
+    /// the true sampled mean otherwise.
+    pub mean_upper: f64,
+    /// Whether the backend was exact ([`DistanceProvider::is_exact`]).
+    pub exact: bool,
+}
+
+impl SampledStretch {
+    /// Aggregates `(cost, bounds)` observations in pair order (the order
+    /// fixes the floating-point summation, keeping documents
+    /// byte-identical for a given pair sample).
+    fn from_observations(
+        obs: &[(u64, doubling_metric::DistBounds)],
+        failures: usize,
+        exact: bool,
+    ) -> Self {
+        let points: Vec<f64> = obs.iter().map(|&(c, b)| c as f64 / b.upper.max(1) as f64).collect();
+        let uppers: Vec<f64> = obs.iter().map(|&(c, b)| c as f64 / b.lower.max(1) as f64).collect();
+        if points.is_empty() {
+            return SampledStretch {
+                pairs: failures,
+                failures,
+                mean: 1.0,
+                ci_half_width: 0.0,
+                p99: 1.0,
+                max: 1.0,
+                mean_upper: 1.0,
+                exact,
+            };
+        }
+        let k = points.len() as f64;
+        let mean = points.iter().sum::<f64>() / k;
+        let mean_upper = uppers.iter().sum::<f64>() / k;
+        let ci_half_width = if points.len() >= 2 {
+            let var = points.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (k - 1.0);
+            1.96 * (var / k).sqrt()
+        } else {
+            0.0
+        };
+        let q = StretchQuantiles::from_stretches(&points);
+        SampledStretch {
+            pairs: obs.len() + failures,
+            failures,
+            mean,
+            ci_half_width,
+            p99: q.p99,
+            max: q.max,
+            mean_upper,
+            exact,
+        }
+    }
+}
+
+/// Evaluates a labeled scheme over sampled pairs, taking stretch
+/// denominators from `provider` instead of the dense matrix — the
+/// scalable evaluation path. Routing still simulates over `m` (schemes
+/// walk real shortest-path trees); only the *measurement* denominator
+/// goes through the backend, which is what lets certification-grade
+/// exactness be traded for `O(k·n)` memory at large `n`.
+///
+/// # Panics
+///
+/// Panics if a delivered route fails verification or ends at the wrong
+/// node, or if `provider` covers a different node count than `m`.
+pub fn sampled_stretch_labeled<S: LabeledScheme>(
+    scheme: &S,
+    m: &MetricSpace,
+    provider: &dyn DistanceProvider,
+    pairs: &[(NodeId, NodeId)],
+) -> SampledStretch {
+    assert_eq!(provider.n(), m.n(), "provider covers a different node count");
+    let mut obs = Vec::with_capacity(pairs.len());
+    let mut failures = 0usize;
+    for &(u, v) in pairs {
+        match scheme.route(m, u, scheme.label_of(v)) {
+            Ok(r) => {
+                assert_eq!(r.dst, v, "labeled route delivered to the wrong node");
+                r.verify(m).expect("route must verify");
+                obs.push((r.cost, provider.dist_bounds(u, v)));
+            }
+            Err(_) => failures += 1,
+        }
+    }
+    SampledStretch::from_observations(&obs, failures, provider.is_exact())
+}
+
+/// Name-independent variant of [`sampled_stretch_labeled`].
+///
+/// # Panics
+///
+/// As [`sampled_stretch_labeled`].
+pub fn sampled_stretch_name_independent<S: NameIndependentScheme>(
+    scheme: &S,
+    m: &MetricSpace,
+    naming: &Naming,
+    provider: &dyn DistanceProvider,
+    pairs: &[(NodeId, NodeId)],
+) -> SampledStretch {
+    assert_eq!(provider.n(), m.n(), "provider covers a different node count");
+    let mut obs = Vec::with_capacity(pairs.len());
+    let mut failures = 0usize;
+    for &(u, v) in pairs {
+        match scheme.route(m, u, naming.name_of(v)) {
+            Ok(r) => {
+                assert_eq!(r.dst, v, "name-independent route delivered to the wrong node");
+                r.verify(m).expect("route must verify");
+                obs.push((r.cost, provider.dist_bounds(u, v)));
+            }
+            Err(_) => failures += 1,
+        }
+    }
+    SampledStretch::from_observations(&obs, failures, provider.is_exact())
 }
 
 /// Aggregated measurements for one scheme routing under a [`FaultPlan`].
@@ -797,6 +941,107 @@ mod tests {
     use super::*;
     use crate::baseline::FullTable;
     use doubling_metric::gen;
+
+    use crate::route::RouteRecorder;
+    use doubling_metric::{LandmarkEstimator, OnDemandDijkstra};
+    use std::sync::Arc;
+
+    /// Test-only labeled scheme that routes every packet through node 0 —
+    /// cheap to build and its stretch actually *varies* across pairs,
+    /// unlike [`FullTable`], so sampling statistics are non-degenerate.
+    struct HubScheme;
+
+    impl LabeledScheme for HubScheme {
+        fn scheme_name(&self) -> &'static str {
+            "hub"
+        }
+        fn label_of(&self, v: NodeId) -> crate::scheme::Label {
+            v
+        }
+        fn label_bits(&self) -> u64 {
+            32
+        }
+        fn table_bits(&self, _u: NodeId) -> u64 {
+            64
+        }
+        fn route(
+            &self,
+            m: &MetricSpace,
+            src: NodeId,
+            target: crate::scheme::Label,
+        ) -> Result<Route, RouteError> {
+            let mut rec = RouteRecorder::new(m, src);
+            rec.walk_shortest(0)?;
+            rec.walk_shortest(target)?;
+            Ok(rec.finish())
+        }
+    }
+
+    #[test]
+    fn sampled_stretch_with_exact_backends_is_identical() {
+        let g = Arc::new(gen::grid(6, 6));
+        let m = MetricSpace::from_shared(Arc::clone(&g), 1);
+        let pairs = sample_pairs(m.n(), 150, 9);
+        let via_matrix = sampled_stretch_labeled(&HubScheme, &m, &m, &pairs);
+        let lazy = OnDemandDijkstra::new(Arc::clone(&g), 4);
+        let via_lazy = sampled_stretch_labeled(&HubScheme, &m, &lazy, &pairs);
+        assert_eq!(via_matrix, via_lazy);
+        assert!(via_matrix.exact);
+        assert_eq!(via_matrix.mean, via_matrix.mean_upper);
+        assert!(via_matrix.mean > 1.0, "hub routing must have stretch variance");
+        assert!(via_matrix.ci_half_width > 0.0);
+        assert!(via_matrix.p99 <= via_matrix.max);
+    }
+
+    #[test]
+    fn sampled_stretch_landmark_bracket_contains_exact_mean() {
+        let g = Arc::new(gen::grid(7, 6));
+        let m = MetricSpace::from_shared(Arc::clone(&g), 1);
+        let pairs = sample_pairs(m.n(), 200, 4);
+        let exact = sampled_stretch_labeled(&HubScheme, &m, &m, &pairs);
+        let lm = LandmarkEstimator::new(&g, 6);
+        let est = sampled_stretch_labeled(&HubScheme, &m, &lm, &pairs);
+        assert!(!est.exact);
+        assert!(
+            est.mean <= exact.mean + 1e-12 && exact.mean <= est.mean_upper + 1e-12,
+            "true mean {} outside landmark bracket [{}, {}]",
+            exact.mean,
+            est.mean,
+            est.mean_upper
+        );
+    }
+
+    #[test]
+    fn sampled_ci_covers_exhaustive_mean_on_at_least_90_percent_of_seeds() {
+        let m = MetricSpace::new(&gen::grid(10, 10));
+        // Exhaustive oracle value: mean stretch over every ordered pair.
+        let truth = sampled_stretch_labeled(&HubScheme, &m, &m, &all_pairs(m.n())).mean;
+        let trials = 40usize;
+        let covered = (0..trials)
+            .filter(|&seed| {
+                let pairs = sample_pairs(m.n(), 400, seed as u64);
+                let s = sampled_stretch_labeled(&HubScheme, &m, &m, &pairs);
+                (s.mean - truth).abs() <= s.ci_half_width
+            })
+            .count();
+        assert!(
+            covered * 10 >= trials * 9,
+            "CI covered the true mean on only {covered}/{trials} seeds"
+        );
+    }
+
+    #[test]
+    fn sampled_stretch_name_independent_matches_labeled_on_identity_naming() {
+        let m = MetricSpace::new(&gen::grid(4, 4));
+        let nm = Naming::random(16, 5);
+        let s = FullTable::with_naming(&m, nm.clone());
+        let pairs = sample_pairs(16, 60, 2);
+        let res = sampled_stretch_name_independent(&s, &m, &nm, &m, &pairs);
+        assert_eq!(res.failures, 0);
+        assert!((res.mean - 1.0).abs() < 1e-12);
+        assert_eq!(res.ci_half_width, 0.0);
+        assert!(res.exact);
+    }
 
     #[test]
     fn sample_pairs_distinct_and_reproducible() {

@@ -13,12 +13,19 @@
 //! When no binary installs it, [`allocated_bytes`] stays at 0 and every
 //! reported allocation delta is 0 — library code can read it
 //! unconditionally.
+//!
+//! Besides the monotone total, the allocator tracks the *live* footprint
+//! ([`live_bytes`], net of frees) and its high-water mark
+//! ([`peak_bytes`], resettable per phase via [`reset_peak_bytes`]) — the
+//! "peak alloc" column of the scaling experiments.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static ALLOCATED: AtomicU64 = AtomicU64::new(0);
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static LIVE: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
 
 /// Total bytes ever allocated through [`CountingAlloc`] (0 if it is not
 /// the installed global allocator).
@@ -31,6 +38,34 @@ pub fn allocated_bytes() -> u64 {
 #[inline]
 pub fn allocation_count() -> u64 {
     ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Bytes currently live (allocated minus freed); 0 when [`CountingAlloc`]
+/// is not installed.
+#[inline]
+pub fn live_bytes() -> u64 {
+    LIVE.load(Ordering::Relaxed)
+}
+
+/// High-water mark of [`live_bytes`] since process start or the last
+/// [`reset_peak_bytes`] — the "peak alloc" number scaling experiments
+/// report per phase.
+#[inline]
+pub fn peak_bytes() -> u64 {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Resets the peak to the current live footprint, so the next
+/// [`peak_bytes`] reading measures only the phase that follows.
+#[inline]
+pub fn reset_peak_bytes() {
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+#[inline]
+fn record_growth(bytes: u64) {
+    let live = LIVE.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    PEAK.fetch_max(live, Ordering::Relaxed);
 }
 
 /// A counting wrapper around the system allocator; see the
@@ -56,19 +91,24 @@ unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        record_growth(layout.size() as u64);
         System.alloc(layout)
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size() as u64, Ordering::Relaxed);
         System.dealloc(ptr, layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        // Count only the growth; shrinks are free.
+        // Count only the growth; shrinks are free (but net out of LIVE).
         let grow = new_size.saturating_sub(layout.size()) as u64;
         if grow > 0 {
             ALLOCATED.fetch_add(grow, Ordering::Relaxed);
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            record_growth(grow);
+        } else {
+            LIVE.fetch_sub(layout.size() as u64 - new_size as u64, Ordering::Relaxed);
         }
         System.realloc(ptr, layout, new_size)
     }

@@ -1,0 +1,14 @@
+//! Workspace-root alias for the scaling experiment, so that
+//! `cargo run --release --bin scale` works from the repository root. The
+//! implementation lives in [`bench::scale`].
+//!
+//! Usage: `cargo run --release --bin scale [max_n] [--n LIST] [--pairs K]
+//! [--seed N] [--threads N] [--stable] [--json]`
+
+// The counting allocator makes the peak(MiB) column nonzero.
+#[global_allocator]
+static GLOBAL: obs::alloc::CountingAlloc = obs::alloc::CountingAlloc::new();
+
+fn main() {
+    bench::scale::scale_main();
+}
