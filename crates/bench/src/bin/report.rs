@@ -1,0 +1,10 @@
+//! The CI perf-regression gate: diffs `results/*.json` against the
+//! committed `baselines/` copies and exits non-zero on regression; writes
+//! `results/report.json`.
+//!
+//! Usage: `cargo run --release -p bench --bin report [results_dir]
+//! [baselines_dir]`
+
+fn main() {
+    bench::report::report_main();
+}

@@ -33,7 +33,7 @@ use netsim::stats::{
     sample_pairs, FaultEvalResult, RecoveryEvalResult,
 };
 use netsim::Naming;
-use obs::Tracer;
+use obs::{MetricsRegistry, Tracer};
 
 use crate::cache::MetricCache;
 use crate::table::f2;
@@ -206,6 +206,10 @@ pub const SCHEMA_VERSION: u64 = 1;
 /// `recovery-fallback` / `recovery-exhausted` event with the same cell
 /// context as the loss events. With `None`, output is byte-identical to
 /// before the flag existed.
+///
+/// `registry` counts recovery interventions by kind
+/// ([`obs::eval::meter_recovery_event`]) — pass
+/// [`MetricsRegistry::disabled`] to opt out at one branch per event.
 #[allow(clippy::too_many_arguments)] // experiment entry point: one knob per CLI flag
 pub fn run_churn(
     cache: &MetricCache,
@@ -215,6 +219,7 @@ pub fn run_churn(
     fractions: &[f64],
     seed: u64,
     tracer: &Tracer,
+    registry: &MetricsRegistry,
     policy: Option<&RecoveryPolicy>,
 ) -> (Vec<&'static str>, Vec<Vec<String>>, Value) {
     let m = cache.family_traced(gen::Family::Grid, n, seed, tracer);
@@ -285,7 +290,8 @@ pub fn run_churn(
                             timeline.as_ref().unwrap(),
                             &pairs,
                             |u, v, ev| {
-                                obs::eval::trace_recovery_event(tracer, || c.fields(u, v), ev)
+                                obs::eval::trace_recovery_event(tracer, || c.fields(u, v), ev);
+                                obs::eval::meter_recovery_event(registry, ev);
                             },
                             |_, _, _| {},
                         )
@@ -316,7 +322,8 @@ pub fn run_churn(
                             timeline.as_ref().unwrap(),
                             &pairs,
                             |u, v, ev| {
-                                obs::eval::trace_recovery_event(tracer, || c.fields(u, v), ev)
+                                obs::eval::trace_recovery_event(tracer, || c.fields(u, v), ev);
+                                obs::eval::meter_recovery_event(registry, ev);
                             },
                             |_, _, _| {},
                         )
@@ -353,7 +360,8 @@ pub fn run_churn(
                             timeline.as_ref().unwrap(),
                             &pairs,
                             |u, v, ev| {
-                                obs::eval::trace_recovery_event(tracer, || c.fields(u, v), ev)
+                                obs::eval::trace_recovery_event(tracer, || c.fields(u, v), ev);
+                                obs::eval::meter_recovery_event(registry, ev);
                             },
                             |_, _, _| {},
                         )
@@ -390,7 +398,8 @@ pub fn run_churn(
                             timeline.as_ref().unwrap(),
                             &pairs,
                             |u, v, ev| {
-                                obs::eval::trace_recovery_event(tracer, || c.fields(u, v), ev)
+                                obs::eval::trace_recovery_event(tracer, || c.fields(u, v), ev);
+                                obs::eval::meter_recovery_event(registry, ev);
                             },
                             |_, _, _| {},
                         )
@@ -438,17 +447,19 @@ pub fn run_churn(
 /// writes `results/churn.json`. With `--trace`, every individual loss is
 /// recorded and the trace is written to `results/churn_trace.jsonl`.
 ///
-/// Usage: `churn [n] [1/eps] [pairs] [--seed N] [--trace] [--json] [--threads N]
-/// [--policy P]`. With `--policy`, each cell also delivers the pairs
-/// through a [`ResilientRouter`] applying `P` (see [`run_churn`]).
+/// Usage: `churn [n] [1/eps] [pairs] [--seed N] [--trace]
+/// [--chrome-trace PATH] [--json] [--threads N] [--policy P]`. With
+/// `--policy`, each cell also delivers the pairs through a
+/// [`ResilientRouter`] applying `P` (see [`run_churn`]).
 pub fn churn_main() {
     let cli = crate::cli::Cli::parse_env(42);
     let n: usize = cli.pos(0, 196);
     let inv: u64 = cli.pos(1, 8);
     let pairs: usize = cli.pos(2, 300);
     let fractions = [0.05, 0.10, 0.20, 0.30];
-    let tracer = if cli.trace { Tracer::recording() } else { Tracer::noop() };
+    let tracer = cli.tracer();
     let cache = MetricCache::new(cli.threads);
+    let registry = MetricsRegistry::new();
     let (headers, rows, doc) = run_churn(
         &cache,
         n,
@@ -457,6 +468,7 @@ pub fn churn_main() {
         &fractions,
         cli.seed,
         &tracer,
+        &registry,
         cli.policy.as_ref(),
     );
     crate::table::emit(
@@ -470,11 +482,18 @@ pub fn churn_main() {
     if !cli.json {
         println!("\nwrote results/churn.json");
     }
+    let snapshot = registry.snapshot();
+    let log = tracer.finish();
     if cli.trace {
-        std::fs::write("results/churn_trace.jsonl", tracer.finish().to_jsonl())
+        std::fs::write("results/churn_trace.jsonl", log.to_jsonl())
             .expect("write results/churn_trace.jsonl");
         if !cli.json {
             println!("wrote results/churn_trace.jsonl");
+        }
+    }
+    if let Some(path) = cli.write_chrome_trace(&log, Some(&snapshot)) {
+        if !cli.json {
+            println!("wrote {path}");
         }
     }
 }
@@ -488,8 +507,17 @@ mod tests {
         let fractions = [0.1, 0.2];
         let tracer = Tracer::recording();
         let cache = MetricCache::new(1);
-        let (h, rows, doc) =
-            run_churn(&cache, 64, Eps::one_over(8), 150, &fractions, 7, &tracer, None);
+        let (h, rows, doc) = run_churn(
+            &cache,
+            64,
+            Eps::one_over(8),
+            150,
+            &fractions,
+            7,
+            &tracer,
+            &MetricsRegistry::disabled(),
+            None,
+        );
         // One base metric build, no rebuild through the cache.
         assert_eq!(cache.stats().builds, 1);
         assert_eq!(h.len(), 8);
@@ -587,8 +615,18 @@ mod tests {
         let tracer = Tracer::recording();
         let cache = MetricCache::new(1);
         let policy = RecoveryPolicy::parse("detour:8").unwrap();
-        let (h, rows, doc) =
-            run_churn(&cache, 64, Eps::one_over(8), 120, &fractions, 7, &tracer, Some(&policy));
+        let registry = MetricsRegistry::new();
+        let (h, rows, doc) = run_churn(
+            &cache,
+            64,
+            Eps::one_over(8),
+            120,
+            &fractions,
+            7,
+            &tracer,
+            &registry,
+            Some(&policy),
+        );
         assert_eq!(*h.last().unwrap(), "policy-reach");
         assert!(rows.iter().all(|r| r.len() == h.len()));
         assert_eq!(doc.get("policy").and_then(Value::as_str), Some("detour:8"));
@@ -626,6 +664,10 @@ mod tests {
                 ["strategy", "fraction", "scheme", "src", "dst", "at", "rejoin", "detour_hops"]
             );
         }
+
+        // The registry counted exactly the interventions that were traced.
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("recovery-detour"), Some(detours.len() as u64));
     }
 
     #[test]
@@ -634,8 +676,17 @@ mod tests {
         // no JSON field, same documents as before the flag existed.
         let fractions = [0.1];
         let cache = MetricCache::new(1);
-        let (h, _, doc) =
-            run_churn(&cache, 36, Eps::one_over(8), 60, &fractions, 7, &Tracer::noop(), None);
+        let (h, _, doc) = run_churn(
+            &cache,
+            36,
+            Eps::one_over(8),
+            60,
+            &fractions,
+            7,
+            &Tracer::noop(),
+            &MetricsRegistry::disabled(),
+            None,
+        );
         assert_eq!(h.len(), 8);
         assert!(doc.get("policy").is_none());
         let cells = doc.get("cells").and_then(Value::as_array).unwrap();

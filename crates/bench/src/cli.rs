@@ -12,6 +12,10 @@
 //!   binaries use [`Cli::json`] to suppress their prose footers.
 //! * `--trace` — opt into recording-tracer output where the binary
 //!   supports it (e.g. `churn` writes `results/churn_trace.jsonl`).
+//! * `--chrome-trace PATH` / `--chrome-trace=PATH` — additionally render
+//!   the recorded trace as Chrome trace-event / Perfetto JSON (see
+//!   [`obs::export::chrome_trace`]) at `PATH`. Implies recording even
+//!   without `--trace`.
 //! * `--threads N` / `--threads=N` — worker threads for parallel metric
 //!   preprocessing (default: available parallelism; `1` recovers the
 //!   sequential build, which is byte-identical anyway).
@@ -47,6 +51,9 @@ pub struct Cli {
     pub json: bool,
     /// Whether `--trace` was passed (record and dump a trace).
     pub trace: bool,
+    /// The `--chrome-trace` output path — `None` when the flag was not
+    /// passed. A `Some` implies recording, like `--trace`.
+    pub chrome_trace: Option<String>,
     /// The `--threads` value, defaulting to the machine's available
     /// parallelism. Always ≥ 1.
     pub threads: usize,
@@ -94,6 +101,7 @@ impl Cli {
             seed: default_seed,
             json: false,
             trace: false,
+            chrome_trace: None,
             threads: default_threads(),
             policy: None,
             n_list: None,
@@ -144,6 +152,11 @@ impl Cli {
                 cli.json = true;
             } else if a == "--trace" {
                 cli.trace = true;
+            } else if a == "--chrome-trace" {
+                let v = args.next().expect("--chrome-trace requires a path");
+                cli.chrome_trace = Some(v);
+            } else if let Some(v) = a.strip_prefix("--chrome-trace=") {
+                cli.chrome_trace = Some(v.to_string());
             } else if a == "--seed" {
                 let v = args.next().expect("--seed requires a value");
                 cli.seed = v.parse().unwrap_or_else(|_| panic!("invalid --seed value: {v:?}"));
@@ -178,8 +191,8 @@ impl Cli {
                 cli.stable = true;
             } else if a.starts_with("--") {
                 panic!(
-                    "unknown flag {a:?} (expected --seed, --json, --trace, --threads, --policy, \
-                     --n, --seeds, --pairs, --stable)"
+                    "unknown flag {a:?} (expected --seed, --json, --trace, --chrome-trace, \
+                     --threads, --policy, --n, --seeds, --pairs, --stable)"
                 );
             } else {
                 cli.positionals.push(a);
@@ -193,6 +206,37 @@ impl Cli {
     /// for positionals).
     pub fn pos<T: std::str::FromStr>(&self, idx: usize, default: T) -> T {
         self.positionals.get(idx).and_then(|s| s.parse().ok()).unwrap_or(default)
+    }
+
+    /// Whether any flag requests a recording tracer (`--trace` or
+    /// `--chrome-trace`).
+    pub fn wants_recording(&self) -> bool {
+        self.trace || self.chrome_trace.is_some()
+    }
+
+    /// A tracer matching the flags: recording iff
+    /// [`Cli::wants_recording`], noop otherwise.
+    pub fn tracer(&self) -> obs::Tracer {
+        if self.wants_recording() {
+            obs::Tracer::recording()
+        } else {
+            obs::Tracer::noop()
+        }
+    }
+
+    /// Writes `log` (plus `snapshot`'s counters, when given) as Chrome
+    /// trace-event JSON to the `--chrome-trace` path, if one was passed.
+    /// Returns the path written.
+    pub fn write_chrome_trace(
+        &self,
+        log: &obs::TraceLog,
+        snapshot: Option<&obs::registry::Snapshot>,
+    ) -> Option<&str> {
+        let path = self.chrome_trace.as_deref()?;
+        let doc = obs::export::chrome_trace_with_metrics(log, snapshot);
+        std::fs::write(path, doc.to_string_pretty() + "\n")
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        Some(path)
     }
 }
 
@@ -291,6 +335,23 @@ mod tests {
         assert_eq!(parse(&["--pairs", "500"], 42).pairs, Some(500));
         assert_eq!(parse(&["--pairs=2000"], 42).pairs, Some(2000));
         assert!(parse(&["--stable"], 42).stable);
+    }
+
+    #[test]
+    fn chrome_trace_flag_both_forms_and_implies_recording() {
+        let c = parse(&[], 42);
+        assert_eq!(c.chrome_trace, None);
+        assert!(!c.wants_recording());
+        assert!(!c.tracer().enabled());
+        let c = parse(&["--chrome-trace", "out.json"], 42);
+        assert_eq!(c.chrome_trace.as_deref(), Some("out.json"));
+        assert!(c.wants_recording());
+        assert!(c.tracer().enabled());
+        let c = parse(&["--chrome-trace=/tmp/t.json"], 42);
+        assert_eq!(c.chrome_trace.as_deref(), Some("/tmp/t.json"));
+        let c = parse(&["--trace"], 42);
+        assert!(c.wants_recording());
+        assert!(c.write_chrome_trace(&obs::TraceLog::default(), None).is_none());
     }
 
     #[test]

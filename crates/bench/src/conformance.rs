@@ -24,7 +24,7 @@ use name_independent::{ScaleFreeNameIndependent, SimpleNameIndependent};
 use netsim::json::Value;
 use netsim::stats::{all_pairs, sample_pairs};
 use netsim::Naming;
-use obs::Tracer;
+use obs::{FlightRecorder, Tracer};
 
 use conform::{certify_labeled_with, certify_lower_bound, certify_name_independent_with};
 use conform::{Certificate, Guarantee, Params};
@@ -114,6 +114,10 @@ fn trace_cert(tracer: &Tracer, family: &str, n: usize, eps: &str, seed: u64, cer
 /// per-cell route audit out over scoped workers but never affects the
 /// document (the audit merge is order-deterministic), so two runs with the
 /// same sweep arguments and seed are byte-identical at any thread count.
+///
+/// Every certificate's worst-stretch witness route enters `flight` (hop
+/// attribution included); a failing certificate flags it with a
+/// `"conformance-failure"` anomaly, so the owning binary dumps the ring.
 #[allow(clippy::too_many_arguments)]
 pub fn run_conformance(
     cache: &MetricCache,
@@ -127,6 +131,7 @@ pub fn run_conformance(
     lb_iters: usize,
     audit_wall: usize,
     tracer: &Tracer,
+    flight: &mut FlightRecorder,
 ) -> (Vec<&'static str>, Vec<Vec<String>>, Value) {
     let headers = vec![
         "family", "n", "eps", "seed", "theorem", "scheme", "stretch", "s-bound", "table-b",
@@ -210,6 +215,12 @@ pub fn run_conformance(
                     for cert in &certs {
                         trace_cert(tracer, family.name(), m.n(), &eps_str, s, cert);
                         rows.push(cert_row(family.name(), m.n(), &eps_str, s, cert));
+                        if let Some(w) = &cert.witness {
+                            flight.record_route(w.src, w.dst, &w.route, w.stretch);
+                        }
+                        if !cert.pass() {
+                            flight.note_anomaly("conformance-failure");
+                        }
                         total_clauses += cert.clauses.len();
                         total_certs += 1;
                         all_pass &= cert.pass();
@@ -263,6 +274,9 @@ pub fn run_conformance(
     total_clauses += lb.clauses.len();
     total_certs += 1;
     all_pass &= lb.pass();
+    if !lb.pass() {
+        flight.note_anomaly("conformance-failure");
+    }
 
     let doc = Value::Object(vec![
         ("schema_version".into(), 1u64.into()),
@@ -292,7 +306,10 @@ pub fn run_conformance(
 /// clause verdict is recorded to `results/conformance_trace.jsonl`.
 ///
 /// Usage: `conformance [1/eps-list] [--n LIST] [--seeds K] [--seed N]
-/// [--json] [--trace] [--threads N]` — e.g. `conformance 4,8 --n 64,196`.
+/// [--json] [--trace] [--chrome-trace PATH] [--threads N]` — e.g.
+/// `conformance 4,8 --n 64,196`. A failing certificate dumps the witness
+/// flight ring to `results/conformance_flight.jsonl` before the verdict
+/// assertion fires.
 pub fn conformance_main() {
     let cli = crate::cli::Cli::parse_env(42);
     let inv_list: String = cli.pos(0, "4,8".to_string());
@@ -309,8 +326,9 @@ pub fn conformance_main() {
     let ns = cli.n_list.clone().unwrap_or_else(|| vec![64, 196]);
     let num_seeds = cli.seeds.unwrap_or(1);
     let families = crate::experiments::table_families();
-    let tracer = if cli.trace { Tracer::recording() } else { Tracer::noop() };
+    let tracer = cli.tracer();
     let cache = MetricCache::new(cli.threads);
+    let mut flight = FlightRecorder::new(obs::flight::DEFAULT_CAPACITY);
     let (headers, rows, doc) = run_conformance(
         &cache,
         &families,
@@ -323,6 +341,7 @@ pub fn conformance_main() {
         LB_ITERS,
         AUDIT_WALL,
         &tracer,
+        &mut flight,
     );
     crate::table::emit(
         &format!(
@@ -344,12 +363,27 @@ pub fn conformance_main() {
         println!("\nwrote results/conformance.json");
         println!("verdict: {}", if all_pass { "all certificates PASS" } else { "FAILURES found" });
     }
+    let log = tracer.finish();
     if cli.trace {
-        std::fs::write("results/conformance_trace.jsonl", tracer.finish().to_jsonl())
+        std::fs::write("results/conformance_trace.jsonl", log.to_jsonl())
             .expect("write results/conformance_trace.jsonl");
         if !cli.json {
             println!("wrote results/conformance_trace.jsonl");
         }
+    }
+    if let Some(path) = cli.write_chrome_trace(&log, None) {
+        if !cli.json {
+            println!("wrote {path}");
+        }
+    }
+    let dumped = flight
+        .dump_if_anomalous("results/conformance_flight.jsonl")
+        .expect("write results/conformance_flight.jsonl");
+    if dumped {
+        eprintln!(
+            "conformance failures: witness flight ring dumped to \
+             results/conformance_flight.jsonl"
+        );
     }
     assert!(all_pass, "conformance FAILED — see results/conformance.json");
 }
@@ -362,6 +396,7 @@ mod tests {
     fn small_grid_cell_certifies_all_four_theorems() {
         let tracer = Tracer::recording();
         let cache = MetricCache::new(1);
+        let mut flight = FlightRecorder::new(8);
         let (h, rows, doc) = run_conformance(
             &cache,
             &[gen::Family::Grid],
@@ -374,6 +409,7 @@ mod tests {
             120,
             AUDIT_WALL,
             &tracer,
+            &mut flight,
         );
         assert_eq!(h.len(), 13);
         for row in &rows {
@@ -405,6 +441,12 @@ mod tests {
         let log = tracer.finish();
         assert!(log.events.iter().any(|e| e.name == "conformance-pass"));
         assert!(!log.events.iter().any(|e| e.name == "conformance-violation"));
+
+        // Every scheme certificate's witness route entered the flight
+        // ring; with all certificates passing, nothing is anomalous.
+        assert_eq!(flight.len(), 4);
+        assert_eq!(flight.anomalies(), 0);
+        assert!(flight.records().all(|r| !r.hops.is_empty() || r.src == r.dst));
     }
 
     #[test]
@@ -425,6 +467,7 @@ mod tests {
                 60,
                 16,
                 &Tracer::noop(),
+                &mut FlightRecorder::disabled(),
             );
             for row in &rows {
                 assert_eq!(row.last().unwrap(), "PASS", "row failed: {row:?}");
@@ -457,6 +500,7 @@ mod tests {
                 60,
                 AUDIT_WALL,
                 &Tracer::noop(),
+                &mut FlightRecorder::disabled(),
             );
             doc.to_string()
         };

@@ -36,6 +36,7 @@ pub mod conformance;
 pub mod experiments;
 pub mod profile;
 pub mod recovery;
+pub mod report;
 pub mod scale;
 pub mod table;
 

@@ -10,13 +10,21 @@
 //! 2. folds the trace into a [`PhaseBreakdown`] (per-phase wall time and
 //!    allocation delta; allocation is nonzero only under the binaries'
 //!    [`obs::alloc::CountingAlloc`] global allocator);
-//! 3. routes a pair sample through [`obs::eval::eval_labeled_traced`] /
-//!    [`obs::eval::eval_name_independent_traced`] with the *no-op* tracer,
-//!    collecting [`RouteMetrics`] (cost / hop / header-bit histograms,
-//!    per-level search-tree lookups, under-stretch counter).
+//! 3. routes a pair sample through
+//!    [`obs::eval::eval_labeled_telemetered`] /
+//!    [`obs::eval::eval_name_independent_telemetered`] with the *no-op*
+//!    tracer, collecting [`RouteMetrics`] (cost / hop / header-bit
+//!    histograms, per-level search-tree lookups, under-stretch counter)
+//!    per entry, plus run-wide [`obs::MetricsRegistry`] counters and a
+//!    [`obs::FlightRecorder`] ring that dumps
+//!    `results/profile_flight.jsonl` if any route is lost or
+//!    under-stretched.
 //!
 //! The binary prints the two tables and writes the full document —
-//! `schema_version` 1 — to `results/profile.json`.
+//! `schema_version` 1, including the registry snapshot under
+//! `"telemetry"` — to `results/profile.json`. With `--chrome-trace PATH`
+//! the per-entry traces are merged into one timeline and exported as
+//! Chrome trace-event JSON.
 
 use std::time::Instant;
 
@@ -26,8 +34,8 @@ use name_independent::{ScaleFreeNameIndependent, SimpleNameIndependent};
 use netsim::json::Value;
 use netsim::stats::{sample_pairs, EvalResult};
 use netsim::Naming;
-use obs::eval::{eval_labeled_traced, eval_name_independent_traced};
-use obs::{PhaseBreakdown, RouteMetrics, Tracer};
+use obs::eval::{eval_labeled_telemetered, eval_name_independent_telemetered};
+use obs::{FlightRecorder, MetricsRegistry, PhaseBreakdown, RouteMetrics, TraceLog, Tracer};
 
 use crate::cache::MetricCache;
 use crate::experiments::table_families;
@@ -48,8 +56,16 @@ pub struct ProfileReport {
     /// One row per (family, scheme).
     pub metric_rows: Vec<Vec<String>>,
     /// The full document (`schema_version`, parameters, per-entry phases,
-    /// histograms, eval results).
+    /// histograms, eval results, registry snapshot).
     pub doc: Value,
+    /// Every entry's recorded trace, merged into one timeline
+    /// ([`TraceLog::append_shifted`]) for Chrome-trace export.
+    pub trace: TraceLog,
+    /// Run-wide registry snapshot (route counters/histograms plus metric
+    /// cache stats) — the same object embedded in `doc` as `"telemetry"`.
+    pub telemetry: obs::registry::Snapshot,
+    /// Flight ring fed by every evaluation; anomalous runs dump it.
+    pub flight: FlightRecorder,
 }
 
 /// One scheme profiled on one family: build time, trace, route metrics.
@@ -61,7 +77,9 @@ fn profile_one(
 ) {
     let tracer = Tracer::recording();
     let (build_ms, res, rm) = run(&tracer);
-    let breakdown = PhaseBreakdown::from_log(&tracer.finish());
+    let log = tracer.finish();
+    let breakdown = PhaseBreakdown::from_log(&log);
+    report.trace.append_shifted(&log);
 
     for p in &breakdown.phases {
         report.phase_rows.push(vec![
@@ -131,8 +149,13 @@ pub fn run_profile(
         ],
         metric_rows: Vec::new(),
         doc: Value::Null,
+        trace: TraceLog::default(),
+        telemetry: obs::registry::Snapshot::default(),
+        flight: FlightRecorder::disabled(),
     };
     let mut entries = Vec::new();
+    let registry = MetricsRegistry::new();
+    let mut flight = FlightRecorder::new(obs::flight::DEFAULT_CAPACITY);
 
     for f in table_families() {
         // Every closure fetches the metric through the cache *inside* the
@@ -148,7 +171,15 @@ pub fn run_profile(
             let s = NetLabeled::new_traced(&m, eps, tracer).expect("eps within range");
             let build_ms = t0.elapsed().as_secs_f64() * 1e3;
             let mut rm = RouteMetrics::new();
-            let res = eval_labeled_traced(&s, &m, &pairs_for(&m), &Tracer::noop(), &mut rm);
+            let res = eval_labeled_telemetered(
+                &s,
+                &m,
+                &pairs_for(&m),
+                &Tracer::noop(),
+                &mut rm,
+                &registry,
+                &mut flight,
+            );
             (build_ms, res, rm)
         });
         profile_one(f.name(), &mut report, &mut entries, |tracer| {
@@ -157,7 +188,15 @@ pub fn run_profile(
             let s = ScaleFreeLabeled::new_traced(&m, eps, tracer).expect("eps within range");
             let build_ms = t0.elapsed().as_secs_f64() * 1e3;
             let mut rm = RouteMetrics::new();
-            let res = eval_labeled_traced(&s, &m, &pairs_for(&m), &Tracer::noop(), &mut rm);
+            let res = eval_labeled_telemetered(
+                &s,
+                &m,
+                &pairs_for(&m),
+                &Tracer::noop(),
+                &mut rm,
+                &registry,
+                &mut flight,
+            );
             (build_ms, res, rm)
         });
         profile_one(f.name(), &mut report, &mut entries, |tracer| {
@@ -168,13 +207,15 @@ pub fn run_profile(
                 .expect("eps within range");
             let build_ms = t0.elapsed().as_secs_f64() * 1e3;
             let mut rm = RouteMetrics::new();
-            let res = eval_name_independent_traced(
+            let res = eval_name_independent_telemetered(
                 &s,
                 &m,
                 &naming,
                 &pairs_for(&m),
                 &Tracer::noop(),
                 &mut rm,
+                &registry,
+                &mut flight,
             );
             (build_ms, res, rm)
         });
@@ -186,17 +227,25 @@ pub fn run_profile(
                 .expect("eps within range");
             let build_ms = t0.elapsed().as_secs_f64() * 1e3;
             let mut rm = RouteMetrics::new();
-            let res = eval_name_independent_traced(
+            let res = eval_name_independent_telemetered(
                 &s,
                 &m,
                 &naming,
                 &pairs_for(&m),
                 &Tracer::noop(),
                 &mut rm,
+                &registry,
+                &mut flight,
             );
             (build_ms, res, rm)
         });
     }
+
+    let stats = cache.stats();
+    registry.counter("metric_cache.builds").add(stats.builds);
+    registry.counter("metric_cache.hits").add(stats.hits);
+    report.telemetry = registry.snapshot();
+    report.flight = flight;
 
     report.doc = Value::Object(vec![
         ("schema_version".into(), SCHEMA_VERSION.into()),
@@ -207,7 +256,8 @@ pub fn run_profile(
         ("seed".into(), seed.into()),
         ("alloc_counted".into(), (obs::alloc::allocated_bytes() > 0).into()),
         ("threads".into(), cache.threads().into()),
-        ("metric_cache".into(), cache.stats().to_json()),
+        ("metric_cache".into(), stats.to_json()),
+        ("telemetry".into(), report.telemetry.to_json()),
         ("entries".into(), Value::Array(entries)),
     ]);
     report
@@ -217,7 +267,8 @@ pub fn run_profile(
 /// `cargo run -p bench --bin profile`: runs the grid, prints the two
 /// tables, and writes `results/profile.json`.
 ///
-/// Usage: `profile [n] [1/eps] [pairs] [--seed N] [--json] [--threads N]`.
+/// Usage: `profile [n] [1/eps] [pairs] [--seed N] [--json] [--threads N]
+/// [--chrome-trace PATH]`.
 pub fn profile_main() {
     let cli = crate::cli::Cli::parse_env(42);
     let n: usize = cli.pos(0, 100);
@@ -238,6 +289,21 @@ pub fn profile_main() {
     std::fs::create_dir_all("results").expect("create results/");
     std::fs::write("results/profile.json", report.doc.to_string_pretty() + "\n")
         .expect("write results/profile.json");
+    if let Some(path) = cli.write_chrome_trace(&report.trace, Some(&report.telemetry)) {
+        if !cli.json {
+            println!("wrote {path}");
+        }
+    }
+    let dumped = report
+        .flight
+        .dump_if_anomalous("results/profile_flight.jsonl")
+        .expect("write results/profile_flight.jsonl");
+    if dumped {
+        eprintln!(
+            "anomalies observed ({}); flight ring dumped to results/profile_flight.jsonl",
+            report.flight.anomalies()
+        );
+    }
     if !cli.json {
         println!("\nwrote results/profile.json");
     }
@@ -260,6 +326,24 @@ mod tests {
         assert_eq!(cache.stats().hits, n_families as u64 * 3);
         let mc = report.doc.get("metric_cache").expect("metric_cache stats");
         assert_eq!(mc.get("builds").and_then(Value::as_u64), Some(n_families as u64));
+
+        // The run-wide registry saw every route of every entry, the cache
+        // stats were published as counters, and nothing tripped the flight
+        // recorder's anomaly detection.
+        let routes = n_families as u64 * 4 * 40;
+        assert_eq!(report.telemetry.counter("eval.routes"), Some(routes));
+        assert_eq!(report.telemetry.counter("eval.route_failures"), Some(0));
+        assert_eq!(
+            report.telemetry.histogram("eval.route_cost").map(obs::Log2Histogram::count),
+            Some(routes)
+        );
+        assert_eq!(report.telemetry.counter("metric_cache.builds"), Some(n_families as u64));
+        assert_eq!(report.telemetry.counter("metric_cache.hits"), Some(n_families as u64 * 3));
+        assert_eq!(report.flight.anomalies(), 0);
+        assert_eq!(report.flight.len(), obs::flight::DEFAULT_CAPACITY.min(routes as usize));
+        assert!(report.doc.get("telemetry").is_some(), "doc embeds the registry snapshot");
+        // Per-entry traces were merged into one non-empty timeline.
+        assert!(!report.trace.spans.is_empty());
         // The first entry of each family carries the metric-build phase.
         let entries = report.doc.get("entries").and_then(Value::as_array).expect("entries");
         for (i, e) in entries.iter().enumerate() {

@@ -41,7 +41,7 @@ use netsim::stats::{
     RecoveryEvalResult,
 };
 use netsim::Naming;
-use obs::{Log2Histogram, Tracer};
+use obs::{FlightRecorder, Log2Histogram, MetricsRegistry, Tracer};
 
 use crate::cache::MetricCache;
 use crate::table::f2;
@@ -149,6 +149,15 @@ fn event_fields(
     ]
 }
 
+/// Counts a resilient delivery in the registry: `recovery.delivered` or
+/// `recovery.lost`.
+fn meter_outcome(registry: &MetricsRegistry, outcome: &DeliveryOutcome) {
+    if registry.enabled() {
+        let name = if outcome.is_delivered() { "recovery.delivered" } else { "recovery.lost" };
+        registry.counter(name).inc();
+    }
+}
+
 /// The node ids with the `k` highest degrees (ties to the smaller id) —
 /// the chaos campaign's candidate pool: hubs are where a targeted
 /// adversary gets the most loss per kill.
@@ -166,6 +175,12 @@ fn top_degree_candidates(m: &MetricSpace, k: usize) -> Vec<NodeId> {
 /// All randomness derives from `seed` (graph, naming, pairs, fault
 /// plans), so two runs with the same arguments produce byte-identical
 /// documents — the CI determinism check relies on this.
+///
+/// `registry` counts every recovery intervention by kind
+/// (`recovery-detour` / `recovery-fallback` / `recovery-exhausted`) plus
+/// delivered/lost totals; `flight` keeps per-hop forensics for the last
+/// K deliveries, each loss flagged as an anomaly.
+#[allow(clippy::too_many_arguments)]
 pub fn run_recovery(
     cache: &MetricCache,
     n: usize,
@@ -174,7 +189,12 @@ pub fn run_recovery(
     fraction: f64,
     seed: u64,
     tracer: &Tracer,
+    registry: &MetricsRegistry,
+    flight: &mut FlightRecorder,
 ) -> (Vec<&'static str>, Vec<Vec<String>>, Value) {
+    // The event and outcome observers are separate closures but both feed
+    // the ring, so it rides in a RefCell for the duration of the grid.
+    let ring = std::cell::RefCell::new(std::mem::replace(flight, FlightRecorder::disabled()));
     let m = cache.family_traced(gen::Family::Grid, n, seed, tracer);
     let g = m.graph();
     let naming = Naming::random(m.n(), seed ^ 0xA5);
@@ -240,9 +260,15 @@ pub fn run_recovery(
                             tracer,
                             || event_fields(strategy, policy, nl.scheme_name(), u, v),
                             ev,
-                        )
+                        );
+                        obs::eval::meter_recovery_event(registry, ev);
+                        ring.borrow_mut().note_recovery(ev);
                     },
-                    |_, _, o| h.observe(o),
+                    |u, v, o| {
+                        h.observe(o);
+                        meter_outcome(registry, o);
+                        ring.borrow_mut().record_outcome(u, v, o);
+                    },
                 );
                 cells.push(Cell { eval, hists: h });
             }
@@ -257,9 +283,15 @@ pub fn run_recovery(
                             tracer,
                             || event_fields(strategy, policy, sfl.scheme_name(), u, v),
                             ev,
-                        )
+                        );
+                        obs::eval::meter_recovery_event(registry, ev);
+                        ring.borrow_mut().note_recovery(ev);
                     },
-                    |_, _, o| h.observe(o),
+                    |u, v, o| {
+                        h.observe(o);
+                        meter_outcome(registry, o);
+                        ring.borrow_mut().record_outcome(u, v, o);
+                    },
                 );
                 cells.push(Cell { eval, hists: h });
             }
@@ -275,9 +307,15 @@ pub fn run_recovery(
                             tracer,
                             || event_fields(strategy, policy, sni.scheme_name(), u, v),
                             ev,
-                        )
+                        );
+                        obs::eval::meter_recovery_event(registry, ev);
+                        ring.borrow_mut().note_recovery(ev);
                     },
-                    |_, _, o| h.observe(o),
+                    |u, v, o| {
+                        h.observe(o);
+                        meter_outcome(registry, o);
+                        ring.borrow_mut().record_outcome(u, v, o);
+                    },
                 );
                 cells.push(Cell { eval, hists: h });
             }
@@ -293,9 +331,15 @@ pub fn run_recovery(
                             tracer,
                             || event_fields(strategy, policy, sfni.scheme_name(), u, v),
                             ev,
-                        )
+                        );
+                        obs::eval::meter_recovery_event(registry, ev);
+                        ring.borrow_mut().note_recovery(ev);
                     },
-                    |_, _, o| h.observe(o),
+                    |u, v, o| {
+                        h.observe(o);
+                        meter_outcome(registry, o);
+                        ring.borrow_mut().record_outcome(u, v, o);
+                    },
                 );
                 cells.push(Cell { eval, hists: h });
             }
@@ -390,16 +434,21 @@ pub fn run_recovery(
             ]),
         ),
     ]);
+    *flight = ring.into_inner();
     (headers, rows, doc)
 }
 
 /// Entry point shared by the root `recovery` binary and
 /// `cargo run -p bench --bin recovery`: runs the grid, prints the table,
 /// and writes `results/recovery.json`. With `--trace`, every recovery
-/// decision is recorded to `results/recovery_trace.jsonl`.
+/// decision is recorded to `results/recovery_trace.jsonl` and the
+/// registry snapshot to `results/recovery_metrics.prom`; with
+/// `--chrome-trace PATH`, the trace (with registry counters) is exported
+/// as Chrome trace-event JSON. Losses dump the flight ring to
+/// `results/recovery_flight.jsonl`.
 ///
 /// Usage: `recovery [n] [1/eps] [pairs] [fraction%] [--seed N] [--trace]
-/// [--json] [--threads N]`.
+/// [--chrome-trace PATH] [--json] [--threads N]`.
 pub fn recovery_main() {
     let cli = crate::cli::Cli::parse_env(42);
     let n: usize = cli.pos(0, 196);
@@ -407,10 +456,21 @@ pub fn recovery_main() {
     let pairs: usize = cli.pos(2, 300);
     let pct: u64 = cli.pos(3, 20);
     let fraction = pct as f64 / 100.0;
-    let tracer = if cli.trace { Tracer::recording() } else { Tracer::noop() };
+    let tracer = cli.tracer();
     let cache = MetricCache::new(cli.threads);
-    let (headers, rows, doc) =
-        run_recovery(&cache, n, Eps::one_over(inv), pairs, fraction, cli.seed, &tracer);
+    let registry = MetricsRegistry::new();
+    let mut flight = FlightRecorder::new(obs::flight::DEFAULT_CAPACITY);
+    let (headers, rows, doc) = run_recovery(
+        &cache,
+        n,
+        Eps::one_over(inv),
+        pairs,
+        fraction,
+        cli.seed,
+        &tracer,
+        &registry,
+        &mut flight,
+    );
     crate::table::emit(
         &format!(
             "Recovery: delivery under {pct}% node faults by policy (n≈{n}, eps=1/{inv}, {pairs} pairs)"
@@ -424,12 +484,31 @@ pub fn recovery_main() {
     if !cli.json {
         println!("\nwrote results/recovery.json");
     }
+    let snapshot = registry.snapshot();
+    let log = tracer.finish();
     if cli.trace {
-        std::fs::write("results/recovery_trace.jsonl", tracer.finish().to_jsonl())
+        std::fs::write("results/recovery_trace.jsonl", log.to_jsonl())
             .expect("write results/recovery_trace.jsonl");
+        std::fs::write("results/recovery_metrics.prom", obs::export::prometheus_text(&snapshot))
+            .expect("write results/recovery_metrics.prom");
         if !cli.json {
             println!("wrote results/recovery_trace.jsonl");
+            println!("wrote results/recovery_metrics.prom");
         }
+    }
+    if let Some(path) = cli.write_chrome_trace(&log, Some(&snapshot)) {
+        if !cli.json {
+            println!("wrote {path}");
+        }
+    }
+    let dumped = flight
+        .dump_if_anomalous("results/recovery_flight.jsonl")
+        .expect("write results/recovery_flight.jsonl");
+    if dumped && !cli.json {
+        println!(
+            "flight ring dumped to results/recovery_flight.jsonl ({} anomalies)",
+            flight.anomalies()
+        );
     }
 }
 
@@ -441,7 +520,19 @@ mod tests {
     fn recovery_grid_policies_beat_drop_and_document_round_trips() {
         let tracer = Tracer::recording();
         let cache = MetricCache::new(1);
-        let (h, rows, doc) = run_recovery(&cache, 64, Eps::one_over(8), 150, 0.2, 7, &tracer);
+        let registry = MetricsRegistry::new();
+        let mut flight = FlightRecorder::new(16);
+        let (h, rows, doc) = run_recovery(
+            &cache,
+            64,
+            Eps::one_over(8),
+            150,
+            0.2,
+            7,
+            &tracer,
+            &registry,
+            &mut flight,
+        );
         assert_eq!(h.len(), 8);
         // 3 strategies × 4 policies × 4 schemes.
         assert_eq!(rows.len(), 3 * 4 * 4);
@@ -521,14 +612,40 @@ mod tests {
         let log = tracer.finish();
         assert!(log.events.iter().any(|e| e.name == "recovery-detour"));
         assert!(log.events.iter().any(|e| e.name == "chaos-campaign"));
+
+        // ... and metered: every intervention kind traced also has a
+        // registry counter, and delivered + lost covers every *attempted*
+        // pair of the grid (dead-endpoint pairs are skipped by the eval,
+        // so the total is bounded by 3 strategies × 4 policies × 4
+        // schemes × 150 pairs).
+        let snap = registry.snapshot();
+        assert!(snap.counter("recovery-detour").unwrap_or(0) > 0);
+        let delivered = snap.counter("recovery.delivered").unwrap_or(0);
+        let lost = snap.counter("recovery.lost").unwrap_or(0);
+        assert!(delivered > 0 && lost > 0, "delivered={delivered} lost={lost}");
+        assert!(delivered + lost <= 3 * 4 * 4 * 150);
+
+        // The flight ring kept the last deliveries and flagged losses.
+        assert_eq!(flight.len(), 16);
+        assert!(flight.anomalies() > 0, "20% faults must lose something");
+        assert!(flight.records().any(|r| !r.recoveries.is_empty()));
     }
 
     #[test]
     fn recovery_run_is_deterministic() {
         let run = || {
             let cache = MetricCache::new(1);
-            let (_, _, doc) =
-                run_recovery(&cache, 36, Eps::one_over(8), 60, 0.2, 7, &Tracer::noop());
+            let (_, _, doc) = run_recovery(
+                &cache,
+                36,
+                Eps::one_over(8),
+                60,
+                0.2,
+                7,
+                &Tracer::noop(),
+                &MetricsRegistry::disabled(),
+                &mut FlightRecorder::disabled(),
+            );
             doc.to_string()
         };
         assert_eq!(run(), run());

@@ -44,9 +44,11 @@ use name_independent::{ScaleFreeNameIndependent, SimpleNameIndependent};
 use netsim::json::Value;
 use netsim::scheme::{LabeledScheme, NameIndependentScheme};
 use netsim::stats::{
-    sample_pairs, sampled_stretch_labeled, sampled_stretch_name_independent, SampledStretch,
+    sample_pairs, sampled_stretch_labeled, sampled_stretch_labeled_observed,
+    sampled_stretch_name_independent, sampled_stretch_name_independent_observed, SampledStretch,
 };
 use netsim::Naming;
+use obs::{FlightRecorder, MetricsRegistry, Tracer};
 
 use crate::table::f2;
 
@@ -168,7 +170,45 @@ fn measured<T>(f: impl FnOnce() -> T) -> (T, u64, u64) {
     (out, t.elapsed().as_micros() as u64, obs::alloc::peak_bytes())
 }
 
+/// Telemetry sinks shared by every cell of one sweep (see
+/// [`run_scale_telemetered`]); [`run_scale`] wires in disabled sinks.
+pub struct ScaleTelemetry<'a> {
+    /// Span/event tracer (per-phase spans when recording).
+    pub tracer: &'a Tracer,
+    /// Shared registry: route counters/histograms plus oracle row-cache
+    /// stats.
+    pub registry: MetricsRegistry,
+    /// Flight recorder fed from the oracle evaluation pass.
+    pub flight: FlightRecorder,
+}
+
+/// Observes one oracle-pass routing outcome into the registry + flight
+/// recorder (the cross-check pass stays unobserved: it replays the same
+/// pairs and would double-count).
+fn observe_scale_route(
+    m: &MetricSpace,
+    registry: &MetricsRegistry,
+    flight: &mut FlightRecorder,
+    u: doubling_metric::NodeId,
+    v: doubling_metric::NodeId,
+    res: &Result<netsim::Route, netsim::RouteError>,
+) {
+    match res {
+        Ok(r) => {
+            registry.counter("scale.routes").inc();
+            registry.histogram("scale.route_cost").record(r.cost);
+            registry.histogram("scale.route_hops").record(r.hop_count() as u64);
+            flight.record_route(u, v, r, r.stretch(m));
+        }
+        Err(e) => {
+            registry.counter("scale.route_failures").inc();
+            flight.record_error(u, v, e);
+        }
+    }
+}
+
 /// Builds one labeled scheme and measures its cell.
+#[allow(clippy::too_many_arguments)]
 fn labeled_cell<S: LabeledScheme>(
     scheme: &'static str,
     build: impl FnOnce() -> S,
@@ -176,12 +216,25 @@ fn labeled_cell<S: LabeledScheme>(
     oracle: &OnDemandDijkstra,
     pairs: &[(doubling_metric::NodeId, doubling_metric::NodeId)],
     stable: bool,
+    tel: &mut ScaleTelemetry,
 ) -> SchemeCell {
     let n = m.n();
     let pin = |v: u64| if stable { 0 } else { v };
-    let (s, build_us, peak) = measured(build);
-    let stats = sampled_stretch_labeled(&s, m, oracle, pairs);
-    let check = sampled_stretch_labeled(&s, m, m, pairs);
+    let (s, build_us, peak) = {
+        let _sp = tel.tracer.span("scheme-build");
+        measured(build)
+    };
+    let stats = {
+        let _sp = tel.tracer.span("evaluate");
+        let (registry, flight) = (&tel.registry, &mut tel.flight);
+        sampled_stretch_labeled_observed(&s, m, oracle, pairs, |u, v, res| {
+            observe_scale_route(m, registry, flight, u, v, res)
+        })
+    };
+    let check = {
+        let _sp = tel.tracer.span("cross-check");
+        sampled_stretch_labeled(&s, m, m, pairs)
+    };
     let table_bits: Vec<u64> = (0..n as u32).map(|u| s.table_bits(u)).collect();
     SchemeCell {
         n,
@@ -206,12 +259,25 @@ fn name_independent_cell<S: NameIndependentScheme>(
     oracle: &OnDemandDijkstra,
     pairs: &[(doubling_metric::NodeId, doubling_metric::NodeId)],
     stable: bool,
+    tel: &mut ScaleTelemetry,
 ) -> SchemeCell {
     let n = m.n();
     let pin = |v: u64| if stable { 0 } else { v };
-    let (s, build_us, peak) = measured(build);
-    let stats = sampled_stretch_name_independent(&s, m, naming, oracle, pairs);
-    let check = sampled_stretch_name_independent(&s, m, naming, m, pairs);
+    let (s, build_us, peak) = {
+        let _sp = tel.tracer.span("scheme-build");
+        measured(build)
+    };
+    let stats = {
+        let _sp = tel.tracer.span("evaluate");
+        let (registry, flight) = (&tel.registry, &mut tel.flight);
+        sampled_stretch_name_independent_observed(&s, m, naming, oracle, pairs, |u, v, res| {
+            observe_scale_route(m, registry, flight, u, v, res)
+        })
+    };
+    let check = {
+        let _sp = tel.tracer.span("cross-check");
+        sampled_stretch_name_independent(&s, m, naming, m, pairs)
+    };
     let table_bits: Vec<u64> = (0..n as u32).map(|u| s.table_bits(u)).collect();
     SchemeCell {
         n,
@@ -237,6 +303,30 @@ pub fn run_scale(
     threads: usize,
     stable: bool,
 ) -> ScaleReport {
+    let tracer = Tracer::noop();
+    let mut tel = ScaleTelemetry {
+        tracer: &tracer,
+        registry: MetricsRegistry::disabled(),
+        flight: FlightRecorder::disabled(),
+    };
+    run_scale_telemetered(ns, pairs_per_cell, seed, threads, stable, &mut tel)
+}
+
+/// [`run_scale`] with telemetry: per-phase spans (`metric-build` with its
+/// apsp/sort-rows worker children, `scheme-build`, `evaluate`,
+/// `cross-check`, `landmark-gap`) when `tel.tracer` is recording, route
+/// counters/histograms and oracle row-cache stats into `tel.registry`,
+/// and per-hop forensics for the oracle evaluation pass into
+/// `tel.flight`. The produced document is identical to [`run_scale`]'s —
+/// telemetry never feeds back into the sweep.
+pub fn run_scale_telemetered(
+    ns: &[usize],
+    pairs_per_cell: usize,
+    seed: u64,
+    threads: usize,
+    stable: bool,
+    tel: &mut ScaleTelemetry,
+) -> ScaleReport {
     let headers = vec![
         "n",
         "scheme",
@@ -259,21 +349,28 @@ pub fn run_scale(
     let mut failures = 0usize;
 
     for &requested_n in ns {
+        tel.tracer.event_lazy("scale-instance", || vec![("requested_n", requested_n.into())]);
         let graph = Arc::new(gen::Family::Grid.build(requested_n, seed));
-        let ((m, profile), _, metric_peak) =
-            measured(|| MetricSpace::build_profiled(Arc::clone(&graph), threads));
+        let ((m, profile), _, metric_peak) = {
+            let _sp = tel.tracer.span("metric-build");
+            let out = measured(|| MetricSpace::build_profiled(Arc::clone(&graph), threads));
+            obs::phase::record_build_profile(tel.tracer, &out.0 .1);
+            out
+        };
         let n = m.n();
 
         let pairs = sample_pairs(n, pairs_per_cell, seed ^ 0x5A);
         let naming = Naming::random(n, seed ^ 0xA5);
         let oracle = OnDemandDijkstra::new(Arc::clone(&graph), ORACLE_ROWS);
 
+        let _landmark_span = tel.tracer.span("landmark-gap");
         let landmarks = LandmarkEstimator::new(&graph, LANDMARK_COUNT);
         let mut gap = 0.0;
         for &(u, v) in &pairs {
             let b = landmarks.dist_bounds(u, v);
             gap += (b.upper - b.lower) as f64 / b.upper.max(1) as f64;
         }
+        drop(_landmark_span);
         let inst = InstanceCell {
             n,
             requested_n,
@@ -293,6 +390,7 @@ pub fn run_scale(
                 &oracle,
                 &pairs,
                 stable,
+                tel,
             ),
             labeled_cell(
                 "scale-free-labeled",
@@ -301,6 +399,7 @@ pub fn run_scale(
                 &oracle,
                 &pairs,
                 stable,
+                tel,
             ),
             name_independent_cell(
                 "simple-NI",
@@ -310,6 +409,7 @@ pub fn run_scale(
                 &oracle,
                 &pairs,
                 stable,
+                tel,
             ),
             name_independent_cell(
                 "scale-free-NI",
@@ -319,6 +419,7 @@ pub fn run_scale(
                 &oracle,
                 &pairs,
                 stable,
+                tel,
             ),
         ];
         for cell in cells {
@@ -327,6 +428,10 @@ pub fn run_scale(
             rows.push(cell.row(&inst));
             cells_json.push(cell.to_json());
         }
+        let oracle_stats = oracle.stats();
+        tel.registry.counter("oracle.row_builds").add(oracle_stats.builds);
+        tel.registry.counter("oracle.row_hits").add(oracle_stats.hits);
+        tel.registry.counter("oracle.row_evictions").add(oracle_stats.evictions);
         instances_json.push(inst.to_json());
     }
 
@@ -354,11 +459,16 @@ pub fn run_scale(
 /// prints the table, and writes `results/scale.json`.
 ///
 /// Usage: `scale [max_n] [--n LIST] [--pairs K] [--seed N] [--threads N]
-/// [--stable] [--json]`. `max_n` truncates the default n sweep
-/// {1000, 2000, 5000, 10000}; `--n` replaces it outright; `--stable`
-/// pins wall times, peak bytes, and the recorded thread count to `0`
-/// so same-seed runs are byte-identical at any `--threads` (CI's
-/// determinism check `cmp`s the raw files).
+/// [--stable] [--json] [--trace] [--chrome-trace PATH]`. `max_n`
+/// truncates the default n sweep {1000, 2000, 5000, 10000}; `--n`
+/// replaces it outright; `--stable` pins wall times, peak bytes, and the
+/// recorded thread count to `0` so same-seed runs are byte-identical at
+/// any `--threads` (CI's determinism check `cmp`s the raw files —
+/// telemetry output lives in separate files and never perturbs the
+/// document). `--trace` writes `results/scale_trace.jsonl` and the
+/// registry snapshot as `results/scale_metrics.prom`; the flight
+/// recorder dumps `results/scale_flight.jsonl` whenever a loss or
+/// under-stretch route was observed.
 pub fn scale_main() {
     let cli = crate::cli::Cli::parse_env(42);
     let max_n: usize = cli.pos(0, *DEFAULT_NS.last().unwrap());
@@ -367,7 +477,13 @@ pub fn scale_main() {
         None => DEFAULT_NS.into_iter().filter(|&n| n <= max_n).collect(),
     };
     let pairs = cli.pairs.unwrap_or(DEFAULT_PAIRS);
-    let report = run_scale(&ns, pairs, cli.seed, cli.threads, cli.stable);
+    let tracer = cli.tracer();
+    let mut tel = ScaleTelemetry {
+        tracer: &tracer,
+        registry: MetricsRegistry::new(),
+        flight: FlightRecorder::new(obs::flight::DEFAULT_CAPACITY),
+    };
+    let report = run_scale_telemetered(&ns, pairs, cli.seed, cli.threads, cli.stable, &mut tel);
     crate::table::emit(
         &format!(
             "S1: scheme scaling (grid, eps=1/{EPS_INV}, {pairs} pairs/cell, seed {}{})",
@@ -380,6 +496,29 @@ pub fn scale_main() {
     std::fs::create_dir_all("results").expect("create results/");
     std::fs::write("results/scale.json", report.doc.to_string_pretty() + "\n")
         .expect("write results/scale.json");
+    let ScaleTelemetry { registry, flight, .. } = tel;
+    let snapshot = registry.snapshot();
+    let log = tracer.finish();
+    if cli.trace {
+        std::fs::write("results/scale_trace.jsonl", log.to_jsonl())
+            .expect("write results/scale_trace.jsonl");
+        std::fs::write("results/scale_metrics.prom", obs::export::prometheus_text(&snapshot))
+            .expect("write results/scale_metrics.prom");
+        if !cli.json {
+            println!("wrote results/scale_trace.jsonl and results/scale_metrics.prom");
+        }
+    }
+    if let Some(path) = cli.write_chrome_trace(&log, Some(&snapshot)) {
+        if !cli.json {
+            println!("wrote {path}");
+        }
+    }
+    if flight.dump_if_anomalous("results/scale_flight.jsonl").expect("write scale_flight.jsonl") {
+        eprintln!(
+            "anomalies observed ({}): flight ring dumped to results/scale_flight.jsonl",
+            flight.anomalies()
+        );
+    }
     if !cli.json {
         println!("\nwrote results/scale.json");
         println!("reading: stretch is sampled ({pairs} seeded pairs/cell) against the");
@@ -417,6 +556,47 @@ mod tests {
         assert!((0.0..=1.0).contains(&gap));
         // Round-trips through the parser.
         assert_eq!(Value::parse(&report.doc.to_string_pretty()).unwrap(), report.doc);
+    }
+
+    #[test]
+    fn telemetered_sweep_records_spans_registry_and_flight() {
+        let tracer = Tracer::recording();
+        let mut tel = ScaleTelemetry {
+            tracer: &tracer,
+            registry: MetricsRegistry::new(),
+            flight: FlightRecorder::new(16),
+        };
+        let report = run_scale_telemetered(&[36], 40, 3, 1, false, &mut tel);
+        assert!(report.all_deterministic);
+        assert_eq!(report.failures, 0);
+
+        let ScaleTelemetry { registry, flight, .. } = tel;
+        let log = tracer.finish();
+        let names: std::collections::BTreeSet<&str> = log.spans.iter().map(|s| s.name).collect();
+        for want in [
+            "metric-build",
+            "apsp",
+            "sort-rows",
+            "scheme-build",
+            "evaluate",
+            "cross-check",
+            "landmark-gap",
+        ] {
+            assert!(names.contains(want), "missing span {want:?} in {names:?}");
+        }
+
+        // 4 schemes × 40 pairs, all delivered, observed only on the
+        // oracle pass (the cross-check replays the same pairs).
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("scale.routes"), Some(160));
+        assert_eq!(snap.counter("scale.route_failures"), None);
+        assert_eq!(snap.histogram("scale.route_cost").map(obs::Log2Histogram::count), Some(160));
+        assert!(snap.counter("oracle.row_builds").unwrap_or(0) > 0);
+
+        // The flight ring retains the last 16 of those queries, none
+        // anomalous.
+        assert_eq!(flight.len(), 16);
+        assert_eq!(flight.anomalies(), 0);
     }
 
     #[test]

@@ -107,6 +107,55 @@ fn scale_json_schema_is_stable() {
 }
 
 #[test]
+fn profile_json_schema_is_stable() {
+    let doc = load("profile.json");
+    assert_eq!(schema_version(&doc), 1);
+    assert_keys(
+        &doc,
+        "profile.json",
+        &[
+            "schema_version",
+            "experiment",
+            "n",
+            "eps",
+            "pairs",
+            "seed",
+            "threads",
+            "metric_cache",
+            "telemetry",
+            "entries",
+        ],
+    );
+}
+
+#[test]
+fn report_json_schema_is_stable() {
+    let doc = load("report.json");
+    assert_eq!(schema_version(&doc), 1);
+    assert_keys(
+        &doc,
+        "report.json",
+        &["schema_version", "experiment", "tolerances", "sections", "summary"],
+    );
+
+    // The committed report must certify the committed results against the
+    // committed baselines: pass=true with nothing skipped.
+    let Value::Object(fields) = &doc else { unreachable!() };
+    let (_, summary) = fields.iter().find(|(k, _)| k == "summary").expect("summary present");
+    let Value::Object(summary) = summary else {
+        panic!("summary must be an object");
+    };
+    match summary.iter().find(|(k, _)| k == "pass") {
+        Some((_, Value::Bool(true))) => {}
+        other => panic!("committed report.json must have pass=true, got {other:?}"),
+    }
+    match summary.iter().find(|(k, _)| k == "regressions") {
+        Some((_, Value::Int(0))) => {}
+        other => panic!("committed report.json must have 0 regressions, got {other:?}"),
+    }
+}
+
+#[test]
 fn conformance_json_schema_is_stable() {
     let doc = load("conformance.json");
     assert_eq!(schema_version(&doc), 1);

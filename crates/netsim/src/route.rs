@@ -155,6 +155,25 @@ impl Route {
         self.hops.len().saturating_sub(1)
     }
 
+    /// The `(segment label, level)` governing each edge traversal, in
+    /// travel order — length [`Route::hop_count`]. Segment hop counts
+    /// partition the route's hops exactly (the recorder invariant), but
+    /// routes built without a recorder may carry no segments; any
+    /// uncovered tail is labeled `"route"` with no level. Flight
+    /// recorders use this to attribute each hop to its Figure-1/2 phase.
+    pub fn hop_labels(&self) -> Vec<(&'static str, Option<u32>)> {
+        let mut out = Vec::with_capacity(self.hop_count());
+        for s in &self.segments {
+            for _ in 0..s.hops {
+                out.push((s.label, s.level));
+            }
+        }
+        while out.len() < self.hop_count() {
+            out.push(("route", None));
+        }
+        out
+    }
+
     /// A human-readable one-route summary: endpoints, cost vs optimum,
     /// and the segment decomposition — used by examples and debugging
     /// sessions.

@@ -323,11 +323,36 @@ pub fn sampled_stretch_labeled<S: LabeledScheme>(
     provider: &dyn DistanceProvider,
     pairs: &[(NodeId, NodeId)],
 ) -> SampledStretch {
+    sampled_stretch_labeled_observed(scheme, m, provider, pairs, |_, _, _| {})
+}
+
+/// [`sampled_stretch_labeled`] with a per-pair observer hook, called with
+/// the endpoints and the routing outcome before the pair is folded into
+/// the statistics — the seam telemetry layers (flight recorders, metrics
+/// registries) attach to without this crate depending on them. The
+/// returned document is identical to the unobserved variant's.
+///
+/// # Panics
+///
+/// As [`sampled_stretch_labeled`].
+pub fn sampled_stretch_labeled_observed<S, F>(
+    scheme: &S,
+    m: &MetricSpace,
+    provider: &dyn DistanceProvider,
+    pairs: &[(NodeId, NodeId)],
+    mut observe: F,
+) -> SampledStretch
+where
+    S: LabeledScheme,
+    F: FnMut(NodeId, NodeId, &Result<Route, RouteError>),
+{
     assert_eq!(provider.n(), m.n(), "provider covers a different node count");
     let mut obs = Vec::with_capacity(pairs.len());
     let mut failures = 0usize;
     for &(u, v) in pairs {
-        match scheme.route(m, u, scheme.label_of(v)) {
+        let res = scheme.route(m, u, scheme.label_of(v));
+        observe(u, v, &res);
+        match res {
             Ok(r) => {
                 assert_eq!(r.dst, v, "labeled route delivered to the wrong node");
                 r.verify(m).expect("route must verify");
@@ -351,11 +376,33 @@ pub fn sampled_stretch_name_independent<S: NameIndependentScheme>(
     provider: &dyn DistanceProvider,
     pairs: &[(NodeId, NodeId)],
 ) -> SampledStretch {
+    sampled_stretch_name_independent_observed(scheme, m, naming, provider, pairs, |_, _, _| {})
+}
+
+/// Name-independent variant of [`sampled_stretch_labeled_observed`].
+///
+/// # Panics
+///
+/// As [`sampled_stretch_labeled`].
+pub fn sampled_stretch_name_independent_observed<S, F>(
+    scheme: &S,
+    m: &MetricSpace,
+    naming: &Naming,
+    provider: &dyn DistanceProvider,
+    pairs: &[(NodeId, NodeId)],
+    mut observe: F,
+) -> SampledStretch
+where
+    S: NameIndependentScheme,
+    F: FnMut(NodeId, NodeId, &Result<Route, RouteError>),
+{
     assert_eq!(provider.n(), m.n(), "provider covers a different node count");
     let mut obs = Vec::with_capacity(pairs.len());
     let mut failures = 0usize;
     for &(u, v) in pairs {
-        match scheme.route(m, u, naming.name_of(v)) {
+        let res = scheme.route(m, u, naming.name_of(v));
+        observe(u, v, &res);
+        match res {
             Ok(r) => {
                 assert_eq!(r.dst, v, "name-independent route delivered to the wrong node");
                 r.verify(m).expect("route must verify");

@@ -18,6 +18,8 @@ use netsim::scheme::{LabeledScheme, NameIndependentScheme};
 use netsim::stats::{self, EvalResult};
 use netsim::Naming;
 
+use crate::flight::FlightRecorder;
+use crate::registry::MetricsRegistry;
 use crate::spans::{route_span_tree, RouteMetrics};
 use crate::trace::Tracer;
 
@@ -30,15 +32,126 @@ pub fn eval_labeled_traced<S: LabeledScheme>(
     tracer: &Tracer,
     metrics: &mut RouteMetrics,
 ) -> EvalResult {
-    stats::eval_labeled_observed(scheme, m, pairs, |_u, _v, res| {
-        if let Ok(r) = res {
-            metrics.record(r);
-            metrics.record_stretch(r.stretch(m));
-            tracer.event_lazy("route", || vec![("route", route_span_tree(r))]);
-        } else if tracer.enabled() {
-            tracer.event("route-error", vec![("src", _u.into()), ("dst", _v.into())]);
-        }
+    eval_labeled_telemetered(
+        scheme,
+        m,
+        pairs,
+        tracer,
+        metrics,
+        &MetricsRegistry::disabled(),
+        &mut FlightRecorder::disabled(),
+    )
+}
+
+/// [`eval_labeled_traced`] plus the shared-telemetry sinks: every route
+/// is folded into `registry` (counters `eval.routes` /
+/// `eval.route_failures` / `eval.understretch`, histograms
+/// `eval.route_cost` / `eval.route_hops` / `eval.header_bits` — shared
+/// across all concurrent evaluations holding a clone of the registry) and
+/// into `flight` for per-hop forensics. With a disabled registry and
+/// recorder this is exactly [`eval_labeled_traced`]'s fast path.
+#[allow(clippy::too_many_arguments)]
+pub fn eval_labeled_telemetered<S: LabeledScheme>(
+    scheme: &S,
+    m: &MetricSpace,
+    pairs: &[(NodeId, NodeId)],
+    tracer: &Tracer,
+    metrics: &mut RouteMetrics,
+    registry: &MetricsRegistry,
+    flight: &mut FlightRecorder,
+) -> EvalResult {
+    let sinks = RegistrySinks::new(registry);
+    stats::eval_labeled_observed(scheme, m, pairs, |u, v, res| {
+        observe_route(m, u, v, res, tracer, metrics, &sinks, flight);
     })
+}
+
+/// Name-independent variant of [`eval_labeled_telemetered`].
+#[allow(clippy::too_many_arguments)]
+pub fn eval_name_independent_telemetered<S: NameIndependentScheme>(
+    scheme: &S,
+    m: &MetricSpace,
+    naming: &Naming,
+    pairs: &[(NodeId, NodeId)],
+    tracer: &Tracer,
+    metrics: &mut RouteMetrics,
+    registry: &MetricsRegistry,
+    flight: &mut FlightRecorder,
+) -> EvalResult {
+    let sinks = RegistrySinks::new(registry);
+    stats::eval_name_independent_observed(scheme, m, naming, pairs, |u, v, res| {
+        observe_route(m, u, v, res, tracer, metrics, &sinks, flight);
+    })
+}
+
+/// The registry handles one evaluation records through, resolved once per
+/// evaluation (not per route).
+struct RegistrySinks {
+    routes: crate::registry::CounterHandle,
+    failures: crate::registry::CounterHandle,
+    understretch: crate::registry::CounterHandle,
+    cost: crate::registry::HistogramHandle,
+    hops: crate::registry::HistogramHandle,
+    header_bits: crate::registry::HistogramHandle,
+}
+
+impl RegistrySinks {
+    fn new(registry: &MetricsRegistry) -> Self {
+        RegistrySinks {
+            routes: registry.counter("eval.routes"),
+            failures: registry.counter("eval.route_failures"),
+            understretch: registry.counter("eval.understretch"),
+            cost: registry.histogram("eval.route_cost"),
+            hops: registry.histogram("eval.route_hops"),
+            header_bits: registry.histogram("eval.header_bits"),
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn observe_route(
+    m: &MetricSpace,
+    u: NodeId,
+    v: NodeId,
+    res: &Result<netsim::Route, netsim::RouteError>,
+    tracer: &Tracer,
+    metrics: &mut RouteMetrics,
+    sinks: &RegistrySinks,
+    flight: &mut FlightRecorder,
+) {
+    match res {
+        Ok(r) => {
+            let stretch = r.stretch(m);
+            metrics.record(r);
+            metrics.record_stretch(stretch);
+            sinks.routes.inc();
+            sinks.cost.record(r.cost);
+            sinks.hops.record(r.hop_count() as u64);
+            sinks.header_bits.record(r.max_header_bits);
+            if stretch < 1.0 - 1e-9 {
+                sinks.understretch.inc();
+            }
+            flight.record_route(u, v, r, stretch);
+            tracer.event_lazy("route", || vec![("route", route_span_tree(r))]);
+        }
+        Err(e) => {
+            sinks.failures.inc();
+            flight.record_error(u, v, e);
+            if tracer.enabled() {
+                tracer.event("route-error", vec![("src", u.into()), ("dst", v.into())]);
+            }
+        }
+    }
+}
+
+/// Counts one recovery decision in `registry` under its
+/// [`RecoveryEvent::kind`] name (`recovery-detour` / `recovery-fallback` /
+/// `recovery-exhausted`). The registry-side companion of
+/// [`trace_recovery_event`]; free with a disabled registry.
+pub fn meter_recovery_event(registry: &MetricsRegistry, ev: &RecoveryEvent) {
+    if registry.enabled() {
+        registry.counter(ev.kind()).inc();
+    }
 }
 
 /// Emits one trace event for a recovery decision made mid-delivery by a
@@ -111,13 +224,14 @@ pub fn eval_name_independent_traced<S: NameIndependentScheme>(
     tracer: &Tracer,
     metrics: &mut RouteMetrics,
 ) -> EvalResult {
-    stats::eval_name_independent_observed(scheme, m, naming, pairs, |_u, _v, res| {
-        if let Ok(r) = res {
-            metrics.record(r);
-            metrics.record_stretch(r.stretch(m));
-            tracer.event_lazy("route", || vec![("route", route_span_tree(r))]);
-        } else if tracer.enabled() {
-            tracer.event("route-error", vec![("src", _u.into()), ("dst", _v.into())]);
-        }
-    })
+    eval_name_independent_telemetered(
+        scheme,
+        m,
+        naming,
+        pairs,
+        tracer,
+        metrics,
+        &MetricsRegistry::disabled(),
+        &mut FlightRecorder::disabled(),
+    )
 }

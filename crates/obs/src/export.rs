@@ -1,0 +1,307 @@
+//! Standard-format exporters: Chrome trace-event (Perfetto) JSON for
+//! recorded [`TraceLog`]s and Prometheus text exposition for registry
+//! [`Snapshot`]s.
+//!
+//! The bespoke JSONL dump from [`crate::trace`] is stable and diffable but
+//! opens in nothing; this module renders the same data in formats real
+//! viewers ingest:
+//!
+//! * [`chrome_trace`] — the Trace Event Format
+//!   (`{"traceEvents": [...]}`) loadable in Perfetto or `chrome://tracing`.
+//!   Spans become `"X"` (complete) events; worker spans (names ending in
+//!   `-worker`) are fanned out onto per-`tid` tracks so parallel phases
+//!   render as parallel lanes; trace events become `"i"` (instant) events;
+//!   registry counters become `"C"` (counter) events.
+//! * [`prometheus_text`] — the text exposition format scrapers parse:
+//!   counters, gauges, and log₂ histograms with cumulative `_bucket{le=…}`
+//!   lines plus `_sum` / `_count`.
+//! * [`parse_prometheus_text`] — a minimal parser for the exposition
+//!   produced here, used by the round-trip tests and any harness that
+//!   wants to assert on scraped values.
+
+use netsim::json::Value;
+
+use crate::metrics::Log2Histogram;
+use crate::registry::Snapshot;
+use crate::trace::TraceLog;
+
+/// Renders `log` as a Chrome trace-event JSON document. See the module
+/// docs for the event mapping; use [`chrome_trace_with_metrics`] to append
+/// registry counters as `"C"` events.
+pub fn chrome_trace(log: &TraceLog) -> Value {
+    chrome_trace_with_metrics(log, None)
+}
+
+/// [`chrome_trace`] plus one `"C"` (counter) event per registry counter
+/// and gauge from `snapshot`, stamped at the trace's end time so the
+/// counter track shows the run's final tallies.
+pub fn chrome_trace_with_metrics(log: &TraceLog, snapshot: Option<&Snapshot>) -> Value {
+    let mut events = Vec::new();
+    // Worker spans with the same parent and name are laid out on tracks
+    // tid = 1, 2, … (in recording order); everything else rides tid 0.
+    let mut worker_lane: Vec<(Option<usize>, &'static str, u64)> = Vec::new();
+    let mut end_ts = 0u64;
+    for (i, s) in log.spans.iter().enumerate() {
+        end_ts = end_ts.max(s.start_us + s.dur_us);
+        let tid = if s.name.ends_with("-worker") {
+            match worker_lane.iter_mut().find(|(p, n, _)| *p == s.parent && *n == s.name) {
+                Some((_, _, lane)) => {
+                    *lane += 1;
+                    *lane
+                }
+                None => {
+                    worker_lane.push((s.parent, s.name, 1));
+                    1
+                }
+            }
+        } else {
+            0
+        };
+        events.push(Value::Object(vec![
+            ("name".into(), s.name.into()),
+            ("ph".into(), "X".into()),
+            ("ts".into(), s.start_us.into()),
+            ("dur".into(), s.dur_us.into()),
+            ("pid".into(), 1u64.into()),
+            ("tid".into(), tid.into()),
+            (
+                "args".into(),
+                Value::Object(vec![
+                    ("span".into(), i.into()),
+                    ("parent".into(), s.parent.map_or(Value::Null, Value::from)),
+                    ("alloc_bytes".into(), s.alloc_bytes.into()),
+                ]),
+            ),
+        ]));
+    }
+    for e in &log.events {
+        end_ts = end_ts.max(e.at_us);
+        let args: Vec<(String, Value)> =
+            e.fields.iter().map(|(k, v)| ((*k).to_string(), v.clone())).collect();
+        events.push(Value::Object(vec![
+            ("name".into(), e.name.into()),
+            ("ph".into(), "i".into()),
+            ("ts".into(), e.at_us.into()),
+            ("pid".into(), 1u64.into()),
+            ("tid".into(), 0u64.into()),
+            ("s".into(), "t".into()),
+            ("args".into(), Value::Object(args)),
+        ]));
+    }
+    if let Some(snap) = snapshot {
+        for (name, v) in &snap.counters {
+            events.push(counter_event(name, Value::from(*v), end_ts));
+        }
+        for (name, v) in &snap.gauges {
+            events.push(counter_event(name, Value::from(*v), end_ts));
+        }
+    }
+    Value::Object(vec![
+        ("traceEvents".into(), Value::Array(events)),
+        ("displayTimeUnit".into(), "ms".into()),
+    ])
+}
+
+fn counter_event(name: &str, value: Value, ts: u64) -> Value {
+    Value::Object(vec![
+        ("name".into(), name.into()),
+        ("ph".into(), "C".into()),
+        ("ts".into(), ts.into()),
+        ("pid".into(), 1u64.into()),
+        ("tid".into(), 0u64.into()),
+        ("args".into(), Value::Object(vec![("value".into(), value)])),
+    ])
+}
+
+/// Maps a metric name to the Prometheus name charset: `[a-zA-Z0-9_:]`,
+/// with `.` / `-` / anything else becoming `_`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Renders `snapshot` in the Prometheus text exposition format. Histogram
+/// buckets follow the convention: cumulative counts at each non-empty
+/// log₂ bucket's inclusive upper bound, a final `+Inf` bucket equal to
+/// `_count`, plus `_sum`. Metrics appear in snapshot (name) order, so the
+/// exposition is deterministic.
+pub fn prometheus_text(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snapshot.counters {
+        let name = sanitize_metric_name(name);
+        out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+    }
+    for (name, v) in &snapshot.gauges {
+        let name = sanitize_metric_name(name);
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+    }
+    for (name, h) in &snapshot.histograms {
+        let name = sanitize_metric_name(name);
+        out.push_str(&format!("# TYPE {name} histogram\n"));
+        let mut cumulative = 0u64;
+        for b in 0..=64 {
+            let c = h.bucket_count(b);
+            if c == 0 {
+                continue;
+            }
+            cumulative += c;
+            let le = Log2Histogram::bucket_bounds(b).1;
+            out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+        }
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+        out.push_str(&format!("{name}_sum {}\n", h.sum()));
+        out.push_str(&format!("{name}_count {}\n", h.count()));
+    }
+    out
+}
+
+/// One histogram parsed back from exposition text: cumulative
+/// `(le, count)` buckets (excluding `+Inf`), plus `_sum` / `_count`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PromHistogram {
+    /// Cumulative bucket counts at each listed `le` bound.
+    pub buckets: Vec<(u64, u64)>,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Number of samples.
+    pub count: u64,
+}
+
+/// Metrics parsed back from Prometheus exposition text.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PromMetrics {
+    /// Counters, in exposition order.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges, in exposition order.
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms, in exposition order.
+    pub histograms: Vec<(String, PromHistogram)>,
+}
+
+impl PromMetrics {
+    /// Looks up a counter by (sanitized) name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge by (sanitized) name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram by (sanitized) name.
+    pub fn histogram(&self, name: &str) -> Option<&PromHistogram> {
+        self.histograms.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+}
+
+/// Parses text in the subset of the Prometheus exposition format emitted
+/// by [`prometheus_text`]. Returns an error on malformed lines or samples
+/// for metrics with no preceding `# TYPE` declaration.
+pub fn parse_prometheus_text(text: &str) -> Result<PromMetrics, String> {
+    let mut out = PromMetrics::default();
+    let mut kind: Option<(String, &'static str)> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| format!("line {}: {} ({line:?})", lineno + 1, msg);
+        if let Some(decl) = line.strip_prefix("# TYPE ") {
+            let mut parts = decl.split_whitespace();
+            let name = parts.next().ok_or_else(|| err("missing metric name"))?;
+            let ty = match parts.next() {
+                Some("counter") => "counter",
+                Some("gauge") => "gauge",
+                Some("histogram") => "histogram",
+                other => return Err(err(&format!("unsupported type {other:?}"))),
+            };
+            kind = Some((name.to_string(), ty));
+            if ty == "histogram" {
+                out.histograms.push((name.to_string(), PromHistogram::default()));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (metric, value) =
+            line.rsplit_once(' ').ok_or_else(|| err("expected `name value` sample"))?;
+        let (name, ty) = kind.as_ref().ok_or_else(|| err("sample before # TYPE"))?;
+        match *ty {
+            "counter" if metric == name => {
+                let v = value.parse::<u64>().map_err(|e| err(&e.to_string()))?;
+                out.counters.push((name.clone(), v));
+            }
+            "gauge" if metric == name => {
+                let v = value.parse::<f64>().map_err(|e| err(&e.to_string()))?;
+                out.gauges.push((name.clone(), v));
+            }
+            "histogram" => {
+                let h = &mut out.histograms.last_mut().expect("pushed at # TYPE").1;
+                let v = value.parse::<u64>().map_err(|e| err(&e.to_string()))?;
+                if metric == format!("{name}_sum") {
+                    h.sum = v;
+                } else if metric == format!("{name}_count") {
+                    h.count = v;
+                } else if let Some(rest) = metric.strip_prefix(name.as_str()) {
+                    let le = rest
+                        .strip_prefix("_bucket{le=\"")
+                        .and_then(|r| r.strip_suffix("\"}"))
+                        .ok_or_else(|| err("unrecognized histogram sample"))?;
+                    if le != "+Inf" {
+                        let le = le.parse::<u64>().map_err(|e| err(&e.to_string()))?;
+                        h.buckets.push((le, v));
+                    }
+                } else {
+                    return Err(err("sample does not match declared metric"));
+                }
+            }
+            _ => return Err(err("sample does not match declared metric")),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn sanitizer_maps_to_prometheus_charset() {
+        assert_eq!(sanitize_metric_name("route.cost-us"), "route_cost_us");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name("ok_name:v1"), "ok_name:v1");
+    }
+
+    #[test]
+    fn chrome_trace_of_empty_log_is_valid() {
+        let doc = chrome_trace(&TraceLog::default());
+        assert_eq!(doc.get("traceEvents").and_then(Value::as_array).map(<[Value]>::len), Some(0));
+        assert_eq!(doc.get("displayTimeUnit").and_then(Value::as_str), Some("ms"));
+    }
+
+    #[test]
+    fn counter_events_are_stamped_at_trace_end() {
+        let registry = MetricsRegistry::new();
+        registry.counter("routes").add(3);
+        registry.gauge("load").set(0.5);
+        let doc = chrome_trace_with_metrics(&TraceLog::default(), Some(&registry.snapshot()));
+        let events = doc.get("traceEvents").and_then(Value::as_array).unwrap();
+        assert_eq!(events.len(), 2);
+        for e in events {
+            assert_eq!(e.get("ph").and_then(Value::as_str), Some("C"));
+        }
+        assert_eq!(
+            events[0].get("args").and_then(|a| a.get("value")).and_then(Value::as_u64),
+            Some(3)
+        );
+    }
+}

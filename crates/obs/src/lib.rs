@@ -23,6 +23,20 @@
 //!   time/allocation breakdown ([`phase::PhaseBreakdown`]), the table the
 //!   `profile` binary prints for every scheme's preprocessing.
 //!
+//! Three serving-grade layers sit on top:
+//!
+//! * [`registry`] — a `Send + Sync` [`registry::MetricsRegistry`]: atomic
+//!   counters/gauges and per-thread-**sharded** histograms, merged
+//!   exactly on read, with deterministic (name-ordered) snapshots and a
+//!   single-branch disabled mode.
+//! * [`export`] — standard formats: any [`TraceLog`] as Chrome
+//!   trace-event / Perfetto JSON (the `--chrome-trace` flag in every
+//!   experiment binary) and any registry snapshot as Prometheus text
+//!   exposition.
+//! * [`flight`] — a [`flight::FlightRecorder`] ring buffer keeping
+//!   per-hop forensics for the last K route queries, dumped when a loss,
+//!   under-stretch route, or conformance failure is observed.
+//!
 //! # Spans ↔ Figure 1/2 route anatomy
 //!
 //! A delivered [`netsim::Route`] already carries the paper's
@@ -67,12 +81,17 @@
 
 pub mod alloc;
 pub mod eval;
+pub mod export;
+pub mod flight;
 pub mod metrics;
 pub mod phase;
+pub mod registry;
 pub mod spans;
 pub mod trace;
 
+pub use flight::FlightRecorder;
 pub use metrics::{Counter, Gauge, Log2Histogram};
 pub use phase::PhaseBreakdown;
+pub use registry::MetricsRegistry;
 pub use spans::{route_span_tree, RouteMetrics};
 pub use trace::{TraceLog, Tracer};

@@ -213,6 +213,12 @@ impl Log2Histogram {
         self.quantile_bound(0.99)
     }
 
+    /// [`Log2Histogram::quantile_bound`] at q = 0.999 — the tail quantile
+    /// the serving-telemetry roadmap reports alongside p50/p99.
+    pub fn p999(&self) -> Option<u64> {
+        self.quantile_bound(0.999)
+    }
+
     /// This histogram as a JSON object: exact stats plus the non-empty
     /// buckets as `[[lo, count], …]`.
     pub fn to_json(&self) -> Value {

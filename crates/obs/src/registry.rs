@@ -1,0 +1,407 @@
+//! Thread-safe, sharded metrics registry.
+//!
+//! The primitives in [`crate::metrics`] are `&mut self` and stay that way
+//! for single-threaded callers; this module is the concurrent counterpart
+//! the serving path needs. A [`MetricsRegistry`] is a cheap `Clone`-able,
+//! `Send + Sync` handle behind an `Arc`:
+//!
+//! * **Counters / gauges** are single atomics ([`CounterHandle`] /
+//!   [`GaugeHandle`]), updated with relaxed fetch-adds — no locks on the
+//!   hot path.
+//! * **Histograms** are sharded: each [`HistogramHandle::record`] locks
+//!   only the shard assigned to the calling thread (threads are spread
+//!   round-robin over [`HIST_SHARDS`] shards), so concurrent recorders
+//!   almost never contend. Shards are folded with the exact
+//!   [`Log2Histogram::merge`] on read — merge-on-read, never on write.
+//! * **Disabled registries** ([`MetricsRegistry::disabled`]) hand out
+//!   detached handles whose operations are a single branch on a `bool` —
+//!   no atomics, no locks, no registration — the near-zero-overhead path
+//!   evaluation loops take when telemetry is off.
+//!
+//! [`MetricsRegistry::snapshot`] returns every metric in **name order**
+//! (the registry is `BTreeMap`-backed), so snapshot serialization is
+//! deterministic regardless of registration or recording order.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use netsim::json::Value;
+
+use crate::metrics::Log2Histogram;
+
+/// Number of per-thread histogram shards. Threads are assigned shards
+/// round-robin, so contention only appears beyond this many concurrent
+/// recorders.
+pub const HIST_SHARDS: usize = 16;
+
+/// Round-robin assignment of threads to histogram shards. `ThreadId` has
+/// no stable integer accessor, so each thread draws an index from a global
+/// counter the first time it records.
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+thread_local! {
+    static THREAD_SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+fn thread_shard() -> usize {
+    THREAD_SHARD.with(|s| {
+        let v = s.get();
+        if v != usize::MAX {
+            v
+        } else {
+            let v = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % HIST_SHARDS;
+            s.set(v);
+            v
+        }
+    })
+}
+
+struct HistShards {
+    shards: Vec<Mutex<Log2Histogram>>,
+}
+
+impl HistShards {
+    fn new() -> Self {
+        HistShards { shards: (0..HIST_SHARDS).map(|_| Mutex::new(Log2Histogram::new())).collect() }
+    }
+
+    /// Exact merge of all shards, folded in shard order. Merging is
+    /// commutative, so the result equals the histogram of the concatenated
+    /// per-thread sample streams no matter how threads were assigned.
+    fn merged(&self) -> Log2Histogram {
+        let mut out = Log2Histogram::new();
+        for shard in &self.shards {
+            out.merge(&shard.lock().expect("histogram shard poisoned"));
+        }
+        out
+    }
+}
+
+struct Inner {
+    enabled: bool,
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    /// Gauges store `f64::to_bits`.
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistShards>>>,
+}
+
+/// A `Send + Sync` handle to a shared metrics registry; `Clone` is an
+/// `Arc` bump. See the module docs for the sharding and merge discipline.
+#[derive(Clone)]
+pub struct MetricsRegistry {
+    inner: Arc<Inner>,
+}
+
+impl MetricsRegistry {
+    /// A new, enabled registry.
+    pub fn new() -> Self {
+        Self::with_enabled(true)
+    }
+
+    /// A registry whose handles are no-ops: recording is a single branch,
+    /// nothing registers, and [`MetricsRegistry::snapshot`] stays empty.
+    pub fn disabled() -> Self {
+        Self::with_enabled(false)
+    }
+
+    fn with_enabled(enabled: bool) -> Self {
+        MetricsRegistry {
+            inner: Arc::new(Inner {
+                enabled,
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// Whether handles from this registry record anything.
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled
+    }
+
+    /// The counter named `name`, registering it on first use. Two handles
+    /// to the same name share one atomic. On a disabled registry this
+    /// returns a detached no-op handle and registers nothing.
+    pub fn counter(&self, name: &str) -> CounterHandle {
+        if !self.inner.enabled {
+            return CounterHandle { enabled: false, cell: Arc::new(AtomicU64::new(0)) };
+        }
+        let mut map = self.inner.counters.lock().expect("counter map poisoned");
+        let cell = Arc::clone(map.entry(name.to_string()).or_default());
+        CounterHandle { enabled: true, cell }
+    }
+
+    /// The gauge named `name`; see [`MetricsRegistry::counter`].
+    pub fn gauge(&self, name: &str) -> GaugeHandle {
+        if !self.inner.enabled {
+            return GaugeHandle { enabled: false, cell: Arc::new(AtomicU64::new(0)) };
+        }
+        let mut map = self.inner.gauges.lock().expect("gauge map poisoned");
+        let cell = Arc::clone(map.entry(name.to_string()).or_default());
+        GaugeHandle { enabled: true, cell }
+    }
+
+    /// The sharded histogram named `name`; see [`MetricsRegistry::counter`].
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        if !self.inner.enabled {
+            return HistogramHandle { enabled: false, shards: Arc::new(HistShards::new()) };
+        }
+        let mut map = self.inner.histograms.lock().expect("histogram map poisoned");
+        let shards =
+            Arc::clone(map.entry(name.to_string()).or_insert_with(|| Arc::new(HistShards::new())));
+        HistogramHandle { enabled: true, shards }
+    }
+
+    /// A point-in-time copy of every registered metric, in name order.
+    /// Histogram shards are folded here (merge-on-read); recording may
+    /// continue concurrently, in which case the snapshot is some valid
+    /// interleaving point per metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .inner
+            .counters
+            .lock()
+            .expect("counter map poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .lock()
+            .expect("gauge map poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+            .collect();
+        let histograms = self
+            .inner
+            .histograms
+            .lock()
+            .expect("histogram map poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.merged()))
+            .collect();
+        Snapshot { counters, gauges, histograms }
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Handle to one registered atomic counter.
+#[derive(Clone)]
+pub struct CounterHandle {
+    enabled: bool,
+    cell: Arc<AtomicU64>,
+}
+
+impl CounterHandle {
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (relaxed; a disabled handle is a single branch).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if self.enabled {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Handle to one registered atomic gauge (an `f64`, last-write-wins).
+#[derive(Clone)]
+pub struct GaugeHandle {
+    enabled: bool,
+    cell: Arc<AtomicU64>,
+}
+
+impl GaugeHandle {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if self.enabled {
+            self.cell.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.cell.load(Ordering::Relaxed))
+    }
+}
+
+/// Handle to one registered sharded histogram.
+#[derive(Clone)]
+pub struct HistogramHandle {
+    enabled: bool,
+    shards: Arc<HistShards>,
+}
+
+impl HistogramHandle {
+    /// Records one sample into the calling thread's shard.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if self.enabled {
+            self.shards.shards[thread_shard()].lock().expect("histogram shard poisoned").record(v);
+        }
+    }
+
+    /// The exact merge of all shards at this instant.
+    pub fn merged(&self) -> Log2Histogram {
+        self.shards.merged()
+    }
+}
+
+/// A deterministic (name-ordered) point-in-time view of a registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, name-sorted.
+    pub gauges: Vec<(String, f64)>,
+    /// Shard-merged histograms, name-sorted.
+    pub histograms: Vec<(String, Log2Histogram)>,
+}
+
+impl Snapshot {
+    /// Whether nothing was registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Log2Histogram> {
+        self.histograms.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// The snapshot as a JSON object (`counters` / `gauges` /
+    /// `histograms` sub-objects, each in name order — byte-deterministic
+    /// for deterministic workloads).
+    pub fn to_json(&self) -> Value {
+        let counters: Vec<(String, Value)> =
+            self.counters.iter().map(|(k, v)| (k.clone(), Value::from(*v))).collect();
+        let gauges: Vec<(String, Value)> =
+            self.gauges.iter().map(|(k, v)| (k.clone(), Value::from(*v))).collect();
+        let histograms: Vec<(String, Value)> =
+            self.histograms.iter().map(|(k, v)| (k.clone(), v.to_json())).collect();
+        Value::Object(vec![
+            ("counters".into(), Value::Object(counters)),
+            ("gauges".into(), Value::Object(gauges)),
+            ("histograms".into(), Value::Object(histograms)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn concurrent_recording_equals_single_threaded_sum() {
+        const THREADS: u64 = 4;
+        const PER_THREAD: u64 = 1000;
+        let registry = MetricsRegistry::new();
+        thread::scope(|scope| {
+            for t in 0..THREADS {
+                let registry = registry.clone();
+                scope.spawn(move || {
+                    let routes = registry.counter("routes.delivered");
+                    let hist = registry.histogram("route.cost");
+                    let gauge = registry.gauge("load");
+                    for i in 0..PER_THREAD {
+                        routes.inc();
+                        hist.record(t * PER_THREAD + i);
+                        gauge.set(0.5);
+                    }
+                });
+            }
+        });
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("routes.delivered"), Some(THREADS * PER_THREAD));
+        assert_eq!(snap.gauge("load"), Some(0.5));
+        // The shard-merged histogram equals the histogram of the same
+        // samples recorded on one thread.
+        let mut expected = Log2Histogram::new();
+        for v in 0..THREADS * PER_THREAD {
+            expected.record(v);
+        }
+        assert_eq!(snap.histogram("route.cost"), Some(&expected));
+    }
+
+    #[test]
+    fn snapshot_is_name_ordered_regardless_of_registration_order() {
+        let registry = MetricsRegistry::new();
+        registry.counter("zulu").inc();
+        registry.counter("alpha").add(2);
+        registry.histogram("m.late").record(1);
+        registry.histogram("m.early").record(1);
+        let snap = registry.snapshot();
+        let counter_names: Vec<&str> = snap.counters.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(counter_names, ["alpha", "zulu"]);
+        let hist_names: Vec<&str> = snap.histograms.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(hist_names, ["m.early", "m.late"]);
+    }
+
+    #[test]
+    fn handles_to_the_same_name_share_state() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("x");
+        let b = registry.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(registry.snapshot().counter("x"), Some(3));
+    }
+
+    #[test]
+    fn disabled_registry_registers_and_records_nothing() {
+        let registry = MetricsRegistry::disabled();
+        assert!(!registry.enabled());
+        let c = registry.counter("x");
+        c.inc();
+        assert_eq!(c.get(), 0);
+        let h = registry.histogram("h");
+        h.record(5);
+        assert_eq!(h.merged().count(), 0);
+        registry.gauge("g").set(1.0);
+        assert!(registry.snapshot().is_empty());
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let registry = MetricsRegistry::new();
+        registry.counter("routes").add(7);
+        registry.gauge("occupancy").set(0.25);
+        registry.histogram("cost").record(12);
+        let json = registry.snapshot().to_json();
+        assert_eq!(Value::parse(&json.to_string()).unwrap(), json);
+        assert_eq!(
+            json.get("counters").and_then(|c| c.get("routes")).and_then(Value::as_u64),
+            Some(7)
+        );
+    }
+}

@@ -90,6 +90,40 @@ impl TraceLog {
         }
         out
     }
+
+    /// Latest end timestamp over all spans and events (0 when empty).
+    pub fn end_us(&self) -> u64 {
+        let spans = self.spans.iter().map(|s| s.start_us + s.dur_us).max().unwrap_or(0);
+        let events = self.events.iter().map(|e| e.at_us).max().unwrap_or(0);
+        spans.max(events)
+    }
+
+    /// Appends `other` after this log's timeline: parent indices are
+    /// rebased and every timestamp shifted by [`TraceLog::end_us`], so
+    /// logs recorded by sequential tracers (each with its own epoch)
+    /// merge into one non-overlapping timeline — what the Chrome-trace
+    /// exporter expects from the profile grid's per-entry tracers.
+    pub fn append_shifted(&mut self, other: &TraceLog) {
+        let shift = self.end_us();
+        let base = self.spans.len();
+        for s in &other.spans {
+            self.spans.push(SpanRecord {
+                name: s.name,
+                parent: s.parent.map(|p| p + base),
+                start_us: s.start_us + shift,
+                dur_us: s.dur_us,
+                alloc_bytes: s.alloc_bytes,
+            });
+        }
+        for e in &other.events {
+            self.events.push(EventRecord {
+                name: e.name,
+                parent: e.parent.map(|p| p + base),
+                at_us: e.at_us + shift,
+                fields: e.fields.clone(),
+            });
+        }
+    }
 }
 
 struct TraceBuf {

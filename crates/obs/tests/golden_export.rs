@@ -1,0 +1,136 @@
+//! Golden-file test for the Chrome trace-event export and a round-trip
+//! test for the Prometheus text exposition.
+//!
+//! * The golden test pins the exact Chrome trace JSON produced for a
+//!   hand-constructed span tree (nested spans, a worker lane, an instant
+//!   event, and registry counters) — the acceptance criterion that
+//!   `--chrome-trace` output loads in Perfetto is checked structurally
+//!   here (`traceEvents` array, `X`/`i`/`C` phases, monotone `ts`) and
+//!   byte-for-byte against the committed file.
+//! * The Prometheus test feeds a populated [`MetricsRegistry`] snapshot
+//!   through [`obs::export::prometheus_text`] and back through
+//!   [`obs::export::parse_prometheus_text`], asserting counts, sums, and
+//!   cumulative buckets survive.
+//!
+//! Regenerate the golden file with
+//! `UPDATE_GOLDEN=1 cargo test -p obs --test golden_export`.
+
+use netsim::json::Value;
+use obs::export::{chrome_trace_with_metrics, parse_prometheus_text, prometheus_text};
+use obs::trace::{EventRecord, SpanRecord, TraceLog};
+use obs::MetricsRegistry;
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/chrome_trace.json");
+
+/// A fixed trace: build → (apsp with one worker lane, sort-rows), plus an
+/// instant event and one metric of each kind.
+fn fixture() -> (TraceLog, MetricsRegistry) {
+    let log = TraceLog {
+        spans: vec![
+            SpanRecord { name: "build", parent: None, start_us: 0, dur_us: 900, alloc_bytes: 4096 },
+            SpanRecord {
+                name: "apsp",
+                parent: Some(0),
+                start_us: 10,
+                dur_us: 500,
+                alloc_bytes: 2048,
+            },
+            SpanRecord {
+                name: "apsp-worker",
+                parent: Some(1),
+                start_us: 20,
+                dur_us: 480,
+                alloc_bytes: 0,
+            },
+            SpanRecord {
+                name: "sort-rows",
+                parent: Some(0),
+                start_us: 520,
+                dur_us: 300,
+                alloc_bytes: 1024,
+            },
+        ],
+        events: vec![EventRecord {
+            name: "scale-instance",
+            parent: Some(0),
+            at_us: 15,
+            fields: vec![("n", Value::from(1024u64))],
+        }],
+    };
+    let registry = MetricsRegistry::new();
+    registry.counter("eval.routes").add(160);
+    registry.gauge("oracle.fill").set(0.5);
+    let h = registry.histogram("eval.route_cost");
+    h.record(5);
+    h.record(1000);
+    (log, registry)
+}
+
+#[test]
+fn golden_chrome_trace_matches_and_is_structurally_valid() {
+    let (log, registry) = fixture();
+    let snapshot = registry.snapshot();
+    let trace = chrome_trace_with_metrics(&log, Some(&snapshot));
+
+    // Structural validity: the shape Perfetto's JSON importer requires.
+    let events = trace.get("traceEvents").and_then(Value::as_array).expect("traceEvents");
+    assert!(!events.is_empty());
+    let mut phases = Vec::new();
+    for e in events {
+        let ph = e.get("ph").and_then(Value::as_str).expect("ph");
+        phases.push(ph);
+        assert!(e.get("name").and_then(Value::as_str).is_some());
+        assert!(e.get("ts").is_some(), "every event needs a timestamp");
+        assert!(e.get("pid").is_some());
+        match ph {
+            "X" => assert!(e.get("dur").is_some(), "complete events need dur"),
+            "i" => assert_eq!(e.get("s").and_then(Value::as_str), Some("t")),
+            "C" => assert!(e.get("args").and_then(|a| a.get("value")).is_some()),
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    // 4 spans, 1 instant, 3 metrics (counter + gauge + histogram count).
+    assert_eq!(phases.iter().filter(|p| **p == "X").count(), 4);
+    assert_eq!(phases.iter().filter(|p| **p == "i").count(), 1);
+    assert!(phases.iter().filter(|p| **p == "C").count() >= 2);
+    // The worker span sits on its own lane, off the main track.
+    let worker = events
+        .iter()
+        .find(|e| e.get("name").and_then(Value::as_str) == Some("apsp-worker"))
+        .expect("worker span exported");
+    assert!(worker.get("tid").and_then(Value::as_u64) > Some(0), "worker lane must not be tid 0");
+
+    // Byte-exact pin.
+    let rendered = trace.to_string_pretty() + "\n";
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN, &rendered).expect("write golden file");
+    }
+    let expected = std::fs::read_to_string(GOLDEN)
+        .expect("golden file missing — run with UPDATE_GOLDEN=1 once");
+    assert_eq!(rendered, expected, "chrome trace drifted from tests/golden/chrome_trace.json");
+    // And the golden file parses back to the same document.
+    assert_eq!(Value::parse(&expected).unwrap(), trace);
+}
+
+#[test]
+fn prometheus_text_round_trips_through_the_parser() {
+    let (_, registry) = fixture();
+    // A name that needs sanitizing, to pin the charset mapping too.
+    registry.counter("scale.route-failures").add(3);
+    let snapshot = registry.snapshot();
+    let text = prometheus_text(&snapshot);
+    let parsed = parse_prometheus_text(&text).expect("own exposition must parse");
+
+    assert_eq!(parsed.counter("eval_routes"), Some(160));
+    assert_eq!(parsed.counter("scale_route_failures"), Some(3));
+    assert_eq!(parsed.gauge("oracle_fill"), Some(0.5));
+    let h = parsed.histogram("eval_route_cost").expect("histogram");
+    assert_eq!(h.count, 2);
+    assert_eq!(h.sum, 1005);
+    // Buckets are cumulative and monotone, ending at the total count.
+    let counts: Vec<u64> = h.buckets.iter().map(|&(_, c)| c).collect();
+    assert!(counts.windows(2).all(|w| w[0] <= w[1]), "buckets not cumulative: {counts:?}");
+    assert_eq!(counts.last(), Some(&2));
+    // The original histogram is recoverable at bucket resolution.
+    assert!(h.buckets.iter().any(|&(le, c)| le >= 5 && c >= 1));
+}

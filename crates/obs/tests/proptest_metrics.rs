@@ -1,0 +1,86 @@
+//! Property-based tests of [`obs::Log2Histogram`]: quantile-bound
+//! monotonicity across the reported quantile ladder (p50 ≤ p90 ≤ p99 ≤
+//! p999 ≤ max) and exactness/associativity of [`obs::Log2Histogram::merge`]
+//! — the property the sharded registry's merge-on-read snapshot depends
+//! on.
+
+use proptest::prelude::*;
+
+use obs::Log2Histogram;
+
+fn hist_of(values: &[u64]) -> Log2Histogram {
+    let mut h = Log2Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn quantile_ladder_is_monotone(
+        values in proptest::collection::vec(0u64..u64::MAX, 1..200)
+    ) {
+        let h = hist_of(&values);
+        let p50 = h.p50().expect("nonempty");
+        let p90 = h.p90().expect("nonempty");
+        let p99 = h.p99().expect("nonempty");
+        let p999 = h.p999().expect("nonempty");
+        let max = h.max().expect("nonempty");
+        prop_assert!(p50 <= p90, "p50 {p50} > p90 {p90}");
+        prop_assert!(p90 <= p99, "p90 {p90} > p99 {p99}");
+        prop_assert!(p99 <= p999, "p99 {p99} > p999 {p999}");
+        // Quantile bounds are bucket upper bounds, so each is >= the true
+        // value at its rank; the max itself caps the whole ladder only
+        // through its own bucket bound — but quantile_bound clamps to the
+        // recorded max, so p999 never exceeds it.
+        prop_assert!(p999 <= max, "p999 {p999} > max {max}");
+    }
+
+    #[test]
+    fn every_quantile_bound_is_within_its_bucket_of_a_real_rank(
+        values in proptest::collection::vec(0u64..1 << 48, 1..100),
+        q_millis in 0u64..=1000
+    ) {
+        let q = q_millis as f64 / 1000.0;
+        let h = hist_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = (((sorted.len() - 1) as f64) * q).round() as usize;
+        let true_value = sorted[rank];
+        let bound = h.quantile_bound(q).expect("nonempty");
+        // The bound is an upper bound for the value at that rank, and it
+        // never exceeds the recorded maximum.
+        prop_assert!(bound >= true_value, "bound {bound} < true {true_value} at q={q}");
+        prop_assert!(bound <= h.max().unwrap(), "bound {bound} > max");
+    }
+
+    #[test]
+    fn merge_is_exact_and_associative(
+        a in proptest::collection::vec(0u64..u64::MAX, 0..100),
+        b in proptest::collection::vec(0u64..u64::MAX, 0..100),
+        c in proptest::collection::vec(0u64..u64::MAX, 0..100),
+    ) {
+        // Merge equals recording the concatenation…
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        let direct = hist_of(&all);
+
+        // …grouped one way…
+        let mut left = hist_of(&a);
+        left.merge(&hist_of(&b));
+        left.merge(&hist_of(&c));
+
+        // …or the other.
+        let mut bc = hist_of(&b);
+        bc.merge(&hist_of(&c));
+        let mut right = hist_of(&a);
+        right.merge(&bc);
+
+        prop_assert_eq!(left.to_json().to_string(), direct.to_json().to_string());
+        prop_assert_eq!(right.to_json().to_string(), direct.to_json().to_string());
+    }
+}

@@ -1,0 +1,9 @@
+//! Workspace-root alias for the perf-regression gate, so that
+//! `cargo run --release --bin report` works from the repository root. The
+//! implementation lives in [`bench::report`].
+//!
+//! Usage: `cargo run --release --bin report [results_dir] [baselines_dir]`
+
+fn main() {
+    bench::report::report_main();
+}
