@@ -1,0 +1,10 @@
+//! M1 — incremental maintenance: seeded join/leave churn repaired in
+//! place (with per-batch certification) vs the full-rebuild baseline;
+//! prints the grid and writes `results/maintain.json` (plus
+//! `results/maintain_trace.jsonl` under `--trace`).
+//!
+//! Usage: `cargo run --release --bin maintain [1/eps] [audit_pairs] [--n LIST] [--seed N] [--stable] [--trace] [--json]`
+
+fn main() {
+    bench::maintain::maintain_main();
+}

@@ -442,15 +442,45 @@ pub fn run_churn(
     (headers, rows, Value::Object(doc_fields))
 }
 
+/// The worst delivered fraction in a churn document: the minimum over
+/// every (strategy, fraction, scheme) cell of the recovery
+/// `delivered_fraction` when a `--policy` ran, falling back to the stale
+/// reachability otherwise. `1.0` on a document without cells.
+///
+/// This is what the `--min-delivery` gate compares against its
+/// threshold, so CI can fail a run whose delivery degrades.
+pub fn worst_delivery(doc: &Value) -> f64 {
+    let mut worst = 1.0f64;
+    let cells = doc.get("cells").and_then(Value::as_array).unwrap_or(&[]);
+    for cell in cells {
+        for s in cell.get("schemes").and_then(Value::as_array).unwrap_or(&[]) {
+            let frac = s
+                .get("recovery")
+                .and_then(|r| r.get("delivered_fraction"))
+                .and_then(Value::as_f64)
+                .or_else(|| {
+                    s.get("stale").and_then(|v| v.get("reachability")).and_then(Value::as_f64)
+                });
+            if let Some(f) = frac {
+                worst = worst.min(f);
+            }
+        }
+    }
+    worst
+}
+
 /// Entry point shared by the root `churn` binary and
 /// `cargo run -p bench --bin churn`: runs the grid, prints the table, and
 /// writes `results/churn.json`. With `--trace`, every individual loss is
 /// recorded and the trace is written to `results/churn_trace.jsonl`.
 ///
 /// Usage: `churn [n] [1/eps] [pairs] [--seed N] [--trace]
-/// [--chrome-trace PATH] [--json] [--threads N] [--policy P]`. With
-/// `--policy`, each cell also delivers the pairs through a
-/// [`ResilientRouter`] applying `P` (see [`run_churn`]).
+/// [--chrome-trace PATH] [--json] [--threads N] [--policy P]
+/// [--min-delivery F]`. With `--policy`, each cell also delivers the
+/// pairs through a [`ResilientRouter`] applying `P` (see [`run_churn`]).
+/// With `--min-delivery F`, the process exits non-zero when
+/// [`worst_delivery`] of the run falls below `F` — the artifacts are
+/// still written first, so the failing run stays inspectable.
 pub fn churn_main() {
     let cli = crate::cli::Cli::parse_env(42);
     let n: usize = cli.pos(0, 196);
@@ -494,6 +524,18 @@ pub fn churn_main() {
     if let Some(path) = cli.write_chrome_trace(&log, Some(&snapshot)) {
         if !cli.json {
             println!("wrote {path}");
+        }
+    }
+    if let Some(threshold) = cli.min_delivery {
+        let worst = worst_delivery(&doc);
+        if worst < threshold {
+            eprintln!(
+                "churn: worst delivered fraction {worst:.4} below --min-delivery {threshold}"
+            );
+            std::process::exit(2);
+        }
+        if !cli.json {
+            println!("min-delivery gate passed: worst {worst:.4} >= {threshold}");
         }
     }
 }
@@ -668,6 +710,30 @@ mod tests {
         // The registry counted exactly the interventions that were traced.
         let snap = registry.snapshot();
         assert_eq!(snap.counter("recovery-detour"), Some(detours.len() as u64));
+    }
+
+    #[test]
+    fn worst_delivery_prefers_recovery_and_takes_the_minimum() {
+        let doc = Value::parse(
+            r#"{"cells": [
+                {"schemes": [
+                    {"stale": {"reachability": 0.8},
+                     "recovery": {"delivered_fraction": 0.95}},
+                    {"stale": {"reachability": 0.9}}
+                ]},
+                {"schemes": [
+                    {"stale": {"reachability": 0.4},
+                     "recovery": {"delivered_fraction": 0.85}}
+                ]}
+            ]}"#,
+        )
+        .unwrap();
+        // Recovery fractions (0.95, 0.85) replace their stale columns
+        // (0.8, 0.4); the no-policy scheme contributes its stale 0.9.
+        assert!((worst_delivery(&doc) - 0.85).abs() < 1e-12);
+        // A document with no cells never trips the gate.
+        assert_eq!(worst_delivery(&Value::parse(r#"{"cells": []}"#).unwrap()), 1.0);
+        assert_eq!(worst_delivery(&Value::parse("{}").unwrap()), 1.0);
     }
 
     #[test]

@@ -36,13 +36,17 @@
 //!   JSON artifacts to `0` so two same-seed runs produce byte-identical
 //!   files; used by CI's determinism checks. Semantic fields (stretch,
 //!   sizes, determinism flags) are never affected.
+//! * `--min-delivery F` / `--min-delivery=F` — a delivered-fraction
+//!   floor in `[0, 1]` for gating binaries (`churn`): when any cell's
+//!   delivered fraction falls below `F`, the binary exits non-zero so CI
+//!   catches the regression.
 //!
 //! Unknown `--flags` are rejected loudly rather than silently treated as
 //! positionals, so a typo like `--sed 7` cannot quietly run with the
 //! default seed.
 
 /// Parsed command line: positionals plus the shared flags.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cli {
     positionals: Vec<String>,
     /// The `--seed` value, or the binary's default.
@@ -71,6 +75,10 @@ pub struct Cli {
     /// Whether `--stable` was passed (pin volatile timing/allocation
     /// fields in JSON artifacts to `0` for byte-identity checks).
     pub stable: bool,
+    /// The `--min-delivery` threshold in `[0, 1]` — `None` when the flag
+    /// was not passed. Binaries that gate on delivered fraction (`churn`)
+    /// exit non-zero when any cell falls below it.
+    pub min_delivery: Option<f64>,
 }
 
 /// The machine's available parallelism (≥ 1), the default for
@@ -108,6 +116,7 @@ impl Cli {
             seeds: None,
             pairs: None,
             stable: false,
+            min_delivery: None,
         };
         let parse_threads = |v: &str| -> usize {
             let t: usize = v.parse().unwrap_or_else(|_| panic!("invalid --threads value: {v:?}"));
@@ -138,6 +147,14 @@ impl Cli {
                 panic!("invalid --seeds value: must be >= 1");
             }
             k
+        };
+        let parse_min_delivery = |v: &str| -> f64 {
+            let f: f64 =
+                v.parse().unwrap_or_else(|_| panic!("invalid --min-delivery value: {v:?}"));
+            if !(0.0..=1.0).contains(&f) {
+                panic!("invalid --min-delivery value: must be in [0, 1]");
+            }
+            f
         };
         let parse_pairs = |v: &str| -> usize {
             let k: usize = v.parse().unwrap_or_else(|_| panic!("invalid --pairs value: {v:?}"));
@@ -189,10 +206,15 @@ impl Cli {
                 cli.pairs = Some(parse_pairs(v));
             } else if a == "--stable" {
                 cli.stable = true;
+            } else if a == "--min-delivery" {
+                let v = args.next().expect("--min-delivery requires a value");
+                cli.min_delivery = Some(parse_min_delivery(&v));
+            } else if let Some(v) = a.strip_prefix("--min-delivery=") {
+                cli.min_delivery = Some(parse_min_delivery(v));
             } else if a.starts_with("--") {
                 panic!(
                     "unknown flag {a:?} (expected --seed, --json, --trace, --chrome-trace, \
-                     --threads, --policy, --n, --seeds, --pairs, --stable)"
+                     --threads, --policy, --n, --seeds, --pairs, --stable, --min-delivery)"
                 );
             } else {
                 cli.positionals.push(a);
@@ -352,6 +374,26 @@ mod tests {
         let c = parse(&["--trace"], 42);
         assert!(c.wants_recording());
         assert!(c.write_chrome_trace(&obs::TraceLog::default(), None).is_none());
+    }
+
+    #[test]
+    fn min_delivery_flag_both_forms() {
+        assert_eq!(parse(&[], 42).min_delivery, None);
+        assert_eq!(parse(&["--min-delivery", "0.9"], 42).min_delivery, Some(0.9));
+        assert_eq!(parse(&["--min-delivery=0.5"], 42).min_delivery, Some(0.5));
+        assert_eq!(parse(&["--min-delivery=1"], 42).min_delivery, Some(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid --min-delivery")]
+    fn out_of_range_min_delivery_is_rejected() {
+        parse(&["--min-delivery", "1.5"], 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid --min-delivery")]
+    fn malformed_min_delivery_is_rejected() {
+        parse(&["--min-delivery=lots"], 42);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | `ablation_packing` | A2 — ℬ/𝒜 reuse statistics (Claims 3.6–3.9) |
 //! | `profile` | P1 — per-phase preprocessing breakdown + route-metric histograms |
 //! | `churn` | fault injection: stale-table vs rebuilt routing |
+//! | `maintain` | M1 — incremental repair vs full rebuild under seeded churn |
 //! | `conformance` | V1 — theorem certificates: bound vs measured per (family, n, ε, seed) |
 //! | `scale` | S1 — end-to-end scaling of all four schemes to n = 10,000 |
 //!
@@ -34,6 +35,7 @@ pub mod churn;
 pub mod cli;
 pub mod conformance;
 pub mod experiments;
+pub mod maintain;
 pub mod profile;
 pub mod recovery;
 pub mod report;

@@ -291,7 +291,56 @@ fn diff_profile(base: Option<&Value>, cur: Option<&Value>) -> Section {
     s
 }
 
-/// Runs the full gate: diffs the three documents under `results_dir`
+/// Diffs `maintain.json`: per-(n, scheme, per-batch) amortized repair
+/// wall time and p99 repair latency, plus the certification,
+/// repair-equals-rebuild, and sublinearity invariants — and the
+/// adversarial cell's fired-and-recovered contract.
+fn diff_maintain(base: Option<&Value>, cur: Option<&Value>) -> Section {
+    let mut s = Section::new("maintain");
+    let (Some(base), Some(cur)) = (base, cur) else {
+        s.note = Some("maintain.json missing on one side; section skipped".into());
+        return s;
+    };
+    let key = |v: &Value| {
+        Some(format!(
+            "n={} scheme={} per_batch={}",
+            num(v, "n")? as u64,
+            v.get("scheme")?.as_str()?,
+            num(v, "per_batch")? as u64
+        ))
+    };
+    let b = index(base.get("cells").and_then(Value::as_array), key);
+    let c = index(cur.get("cells").and_then(Value::as_array), key);
+    diff_cells(&mut s, &b, &c, |s, k, b, c| {
+        if let (Some(bv), Some(cv)) = (num(b, "amortized_repair_us"), num(c, "amortized_repair_us"))
+        {
+            s.compare(k, "amortized_repair_us", Kind::WallUs, bv, cv);
+        }
+        if let (Some(bv), Some(cv)) = (num(b, "p99_repair_us"), num(c, "p99_repair_us")) {
+            s.compare(k, "p99_repair_us", Kind::WallUs, bv, cv);
+        }
+        if let Some(f) = num(c, "audit_failures") {
+            s.compare(k, "audit_failures", Kind::Invariant, 0.0, f);
+        }
+        if c.get("repair_equals_rebuild").and_then(Value::as_bool) == Some(false) {
+            s.compare(k, "repair_equals_rebuild", Kind::Invariant, 0.0, 1.0);
+        }
+        if c.get("sublinear_ok").and_then(Value::as_bool) == Some(false) {
+            s.compare(k, "sublinear_ok", Kind::Invariant, 0.0, 1.0);
+        }
+    });
+    if let Some(adv) = cur.get("adversarial") {
+        if num(adv, "fallbacks") == Some(0.0) {
+            s.compare("adversarial", "fallback_fired", Kind::Invariant, 0.0, 1.0);
+        }
+        if adv.get("recovered").and_then(Value::as_bool) == Some(false) {
+            s.compare("adversarial", "recovered", Kind::Invariant, 0.0, 1.0);
+        }
+    }
+    s
+}
+
+/// Runs the full gate: diffs the four documents under `results_dir`
 /// against `baselines_dir` and assembles the verdict document.
 pub fn run_report(results_dir: &Path, baselines_dir: &Path) -> Report {
     let sections = [
@@ -306,6 +355,10 @@ pub fn run_report(results_dir: &Path, baselines_dir: &Path) -> Report {
         diff_profile(
             load(&baselines_dir.join("profile.json")).as_ref(),
             load(&results_dir.join("profile.json")).as_ref(),
+        ),
+        diff_maintain(
+            load(&baselines_dir.join("maintain.json")).as_ref(),
+            load(&results_dir.join("maintain.json")).as_ref(),
         ),
     ];
 
@@ -437,10 +490,32 @@ mod tests {
         )
     }
 
+    fn maintain_doc(
+        repair_us: f64,
+        audit_failures: u64,
+        fallbacks: u64,
+        recovered: bool,
+    ) -> String {
+        format!(
+            r#"{{
+  "schema_version": 1,
+  "cells": [
+    {{"n": 256, "scheme": "net-labeled", "per_batch": 8,
+      "amortized_repair_us": {repair_us}, "p99_repair_us": 900,
+      "audit_failures": {audit_failures}, "repair_equals_rebuild": true,
+      "sublinear_ok": true}}
+  ],
+  "adversarial": {{"fallbacks": {fallbacks}, "recovered": {recovered}}}
+}}
+"#
+        )
+    }
+
     fn write_all(dir: &Path, scale: &str, bb: &str, profile: &str) {
         std::fs::write(dir.join("scale.json"), scale).unwrap();
         std::fs::write(dir.join("bench_build.json"), bb).unwrap();
         std::fs::write(dir.join("profile.json"), profile).unwrap();
+        std::fs::write(dir.join("maintain.json"), maintain_doc(700.0, 0, 1, true)).unwrap();
     }
 
     #[test]
@@ -455,8 +530,9 @@ mod tests {
         assert_eq!(rep.regressions, 0);
         assert_eq!(rep.skipped, 0);
         // build_us + peak_bytes + stretch_mean + failures + apsp_us +
-        // total_us + alloc_bytes + build_ms.
-        assert_eq!(rep.compared, 8);
+        // total_us + alloc_bytes + build_ms +
+        // amortized_repair_us + p99_repair_us + audit_failures.
+        assert_eq!(rep.compared, 11);
         assert_eq!(
             rep.doc.get("summary").and_then(|s| s.get("pass")).and_then(Value::as_bool),
             Some(true)
@@ -543,8 +619,37 @@ mod tests {
         let rep = run_report(&cur, &base);
         assert_eq!(rep.regressions, 0);
         // One baseline-only + one current-only scale cell, plus the
-        // missing bench_build section note.
-        assert_eq!(rep.skipped, 3);
+        // missing bench_build and maintain section notes.
+        assert_eq!(rep.skipped, 4);
+    }
+
+    #[test]
+    fn maintain_invariants_and_regressions_fail_the_gate() {
+        let base = temp_dir("maintain-base");
+        let cur = temp_dir("maintain-cur");
+        write_all(
+            &base,
+            &scale_doc(500_000, 1.02, 0),
+            &bench_build_doc(200_000),
+            &profile_doc(80.0),
+        );
+        write_all(
+            &cur,
+            &scale_doc(500_000, 1.02, 0),
+            &bench_build_doc(200_000),
+            &profile_doc(80.0),
+        );
+        // 100× amortized repair above the floor, an audit failure, a
+        // broken equivalence claim, and an adversarial cell that neither
+        // fired nor recovered.
+        let bad = maintain_doc(90_000_000.0, 2, 0, false)
+            .replace(r#""repair_equals_rebuild": true"#, r#""repair_equals_rebuild": false"#)
+            .replace(r#""sublinear_ok": true"#, r#""sublinear_ok": false"#);
+        std::fs::write(cur.join("maintain.json"), bad).unwrap();
+        let rep = run_report(&cur, &base);
+        // amortized_repair_us blowup + audit_failures + equivalence +
+        // sublinearity + fallback_fired + recovered.
+        assert_eq!(rep.regressions, 6);
     }
 
     #[test]

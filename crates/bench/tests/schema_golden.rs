@@ -188,3 +188,58 @@ fn conformance_json_schema_is_stable() {
         other => panic!("committed conformance.json must have all_pass=true, got {other:?}"),
     }
 }
+
+#[test]
+fn maintain_json_schema_is_stable() {
+    let doc = load("maintain.json");
+    assert_eq!(schema_version(&doc), 1);
+    assert_keys(
+        &doc,
+        "maintain.json",
+        &[
+            "schema_version",
+            "experiment",
+            "family",
+            "eps",
+            "seed",
+            "leave_batches",
+            "rates",
+            "audit_pairs",
+            "stable",
+            "metric_cache",
+            "cells",
+            "adversarial",
+        ],
+    );
+
+    // The committed file must certify every batch, prove repair ≡ rebuild,
+    // and show amortized repair strictly below full rebuild at n ≥ 2000 —
+    // the M1 acceptance criteria baked into the golden artifact.
+    let cells = doc.get("cells").and_then(Value::as_array).expect("cells array");
+    assert!(!cells.is_empty());
+    let mut large_n_seen = false;
+    for c in cells {
+        let key = format!(
+            "n={:?} scheme={:?} per_batch={:?}",
+            c.get("n"),
+            c.get("scheme"),
+            c.get("per_batch")
+        );
+        assert_eq!(c.get("audit_failures").and_then(Value::as_u64), Some(0), "{key}");
+        assert_eq!(c.get("repair_equals_rebuild").and_then(Value::as_bool), Some(true), "{key}");
+        let n = c.get("n").and_then(Value::as_u64).expect("n");
+        if n >= 2000 {
+            large_n_seen = true;
+            let repair = c.get("amortized_repair_us").and_then(Value::as_f64).unwrap();
+            let rebuild = c.get("amortized_rebuild_us").and_then(Value::as_f64).unwrap();
+            assert!(repair < rebuild, "{key}: repair {repair} not below rebuild {rebuild}");
+        }
+    }
+    assert!(large_n_seen, "grid must include an n >= 2000 cell");
+
+    // The adversarial net-center cell fired the fallback ladder and the
+    // maintainer recovered.
+    let adv = doc.get("adversarial").expect("adversarial cell");
+    assert!(adv.get("fallbacks").and_then(Value::as_u64).unwrap() > 0);
+    assert_eq!(adv.get("recovered").and_then(Value::as_bool), Some(true));
+}

@@ -451,6 +451,54 @@ where
     assemble(g, scheme.scheme_name(), params, routes, tables, None, Vec::new())
 }
 
+/// Outcome of a post-repair spot audit: the sampled route audit plus the
+/// full table re-price, with a single pass/fail verdict for the
+/// maintenance ladder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpotAudit {
+    /// Sampled differential route audit over active pairs.
+    pub routes: RouteAudit,
+    /// Per-node enumerated-vs-claimed table re-price (all physical nodes).
+    pub tables: TableAudit,
+}
+
+impl SpotAudit {
+    /// Whether the audited tables are certifiably consistent: every sampled
+    /// route delivered and replayed cleanly, and every node's claimed table
+    /// bits match the re-priced enumeration.
+    pub fn ok(&self) -> bool {
+        self.routes.failures == 0
+            && self.routes.violation_count == 0
+            && self.tables.mismatch_count == 0
+    }
+}
+
+/// Spot-audits a scheme after an incremental repair: [`audit_routes`] over
+/// the caller-sampled (active) `pairs` and [`audit_tables`] over all
+/// physical nodes.
+///
+/// Unlike [`certify_labeled`] this does **not** require the labels to
+/// biject over all of `V` — under an active overlay, inactive nodes carry
+/// no label, so the bijection check would reject perfectly healthy
+/// repaired tables. Route delivery and table re-pricing are exactly the
+/// checks a maintenance batch needs to certify.
+pub fn spot_audit<C, F>(
+    m: &MetricSpace,
+    scheme: &C,
+    claimed: impl Fn(NodeId) -> u64,
+    pairs: &[(NodeId, NodeId)],
+    threads: usize,
+    route_fn: F,
+) -> SpotAudit
+where
+    C: Certifiable,
+    F: Fn(NodeId, NodeId) -> Result<Route, RouteError> + Sync,
+{
+    let routes = audit_routes(m, pairs, threads, route_fn);
+    let tables = audit_tables(m.n(), claimed, scheme);
+    SpotAudit { routes, tables }
+}
+
 /// Certifies Theorem 1.3 (no name-independent scheme beats stretch 9):
 /// plays the adversarial search game on the lower-bound tree for each
 /// `ε ∈ eps_values` and checks the optimized searcher's worst case stays
@@ -537,6 +585,24 @@ mod tests {
         audit_routes_with(&m, &lm, &[(0, 1)], 1, |_, _| {
             Err(netsim::route::RouteError::Internal("unused".into()))
         });
+    }
+
+    #[test]
+    fn spot_audit_passes_on_healthy_overlay_tables() {
+        use doubling_metric::nets::{ChurnBatch, NetRepairBudget};
+        use netsim::stats::sample_pairs;
+        let m = MetricSpace::new(&gen::grid(6, 6));
+        let mut s = NetLabeled::new(&m, Eps::one_over(8)).unwrap();
+        s.repair(&m, &ChurnBatch::new(vec![], vec![4, 17]), &NetRepairBudget::unbounded());
+        // Sampled pairs restricted to the active overlay.
+        let pairs: Vec<_> = sample_pairs(m.n(), 80, 3)
+            .into_iter()
+            .filter(|&(u, v)| s.nets().is_active(u) && s.nets().is_active(v))
+            .collect();
+        let audit =
+            spot_audit(&m, &s, |u| s.table_bits(u), &pairs, 2, |u, v| s.route_to_node(&m, u, v));
+        assert!(audit.ok(), "violations: {:?}", audit.routes.violations);
+        assert!(audit.tables.total_bits > 0);
     }
 
     #[test]

@@ -58,8 +58,8 @@ pub mod sabotage;
 
 pub use audit::{
     audit_routes, audit_routes_with, audit_tables, certify_labeled, certify_labeled_with,
-    certify_lower_bound, certify_name_independent, certify_name_independent_with, RouteAudit,
-    TableAudit,
+    certify_lower_bound, certify_name_independent, certify_name_independent_with, spot_audit,
+    RouteAudit, SpotAudit, TableAudit,
 };
 pub use certificate::{Certificate, ClauseResult, Direction, Witness};
 pub use guarantee::{Expr, Guarantee, Params};

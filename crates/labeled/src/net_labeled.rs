@@ -22,7 +22,7 @@
 //! `⌈log n⌉` bits and headers carry just the destination label.
 
 use doubling_metric::graph::NodeId;
-use doubling_metric::nets::NetHierarchy;
+use doubling_metric::nets::{ChurnBatch, NetHierarchy, NetRepair, NetRepairBudget};
 use doubling_metric::space::MetricSpace;
 use doubling_metric::Eps;
 
@@ -32,7 +32,9 @@ use netsim::scheme::{Certifiable, Label, LabeledScheme};
 use obs::Tracer;
 
 use crate::error::SchemeError;
-use crate::rings::{build_ring, ring_lookup, RingEntry};
+use crate::rings::{
+    affected_nodes, build_ring, refresh_ring_ranges, ring_lookup, RingEntry, RingRepair,
+};
 
 /// The non-scale-free `(1+O(ε))`-stretch labeled scheme.
 ///
@@ -53,8 +55,10 @@ use crate::rings::{build_ring, ring_lookup, RingEntry};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NetLabeled {
     nets: NetHierarchy,
+    eps: Eps,
     widths: FieldWidths,
-    /// `rings[u][i]` = `X_i(u)`, all levels.
+    /// `rings[u][i]` = `X_i(u)`, all levels. Every physical node keeps
+    /// forwarding state; only active nodes are destinations.
     rings: Vec<Vec<Vec<RingEntry>>>,
     num_levels: usize,
 }
@@ -68,6 +72,26 @@ impl NetLabeled {
     /// progress argument needs `2^i ≤ 2^{i−1}/ε`).
     pub fn new(m: &MetricSpace, eps: Eps) -> Result<Self, SchemeError> {
         Self::new_traced(m, eps, &Tracer::noop())
+    }
+
+    /// [`Self::new`] restricted to an active overlay subset: the hierarchy,
+    /// labels and rings cover only `active` (every physical node still
+    /// stores rings — inactive nodes simply never appear in them). With all
+    /// nodes active this equals `new` exactly.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active` is empty, has duplicates, or is out of range.
+    pub fn new_over(m: &MetricSpace, eps: Eps, active: &[NodeId]) -> Result<Self, SchemeError> {
+        if !eps.mul_le(2, 1) {
+            return Err(SchemeError::EpsTooLarge { got: eps, bound: "1/2" });
+        }
+        let nets = NetHierarchy::new_over(m, active);
+        Ok(Self::from_nets(m, eps, nets))
     }
 
     /// [`Self::new`] with preprocessing phases recorded into `tracer`:
@@ -86,14 +110,56 @@ impl NetLabeled {
             let _s = tracer.span("net-hierarchy");
             NetHierarchy::new(m)
         };
+        let _s = tracer.span("ring-build");
+        Ok(Self::from_nets(m, eps, nets))
+    }
+
+    /// Shared tail of every constructor: rings for all physical nodes over
+    /// whatever (full or overlay) hierarchy was built.
+    fn from_nets(m: &MetricSpace, eps: Eps, nets: NetHierarchy) -> Self {
         let num_levels = m.num_scales();
-        let rings: Vec<Vec<Vec<RingEntry>>> = {
-            let _s = tracer.span("ring-build");
-            (0..m.n() as NodeId)
-                .map(|u| (0..num_levels).map(|i| build_ring(m, &nets, eps, u, i)).collect())
-                .collect()
-        };
-        Ok(NetLabeled { nets, widths: FieldWidths::new(m), rings, num_levels })
+        let rings: Vec<Vec<Vec<RingEntry>>> = (0..m.n() as NodeId)
+            .map(|u| (0..num_levels).map(|i| build_ring(m, &nets, eps, u, i)).collect())
+            .collect();
+        NetLabeled { nets, eps, widths: FieldWidths::new(m), rings, num_levels }
+    }
+
+    /// Applies an overlay churn batch incrementally: repairs the net
+    /// hierarchy via [`NetHierarchy::apply_churn`], then rebuilds only the
+    /// rings within the ring radius of a changed net member and
+    /// range-refreshes the rest. The repaired scheme is **identical** to
+    /// [`Self::new_over`] on the post-churn active set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is invalid against the current active set.
+    pub fn repair(
+        &mut self,
+        m: &MetricSpace,
+        batch: &ChurnBatch,
+        budget: &NetRepairBudget,
+    ) -> (NetRepair, RingRepair) {
+        let rep = self.nets.apply_churn(m, batch, budget);
+        let mut rr = RingRepair::default();
+        for i in 0..self.num_levels {
+            let changed = rep.deltas[i].changed();
+            let affected = (!changed.is_empty()).then(|| affected_nodes(m, self.eps, i, &changed));
+            for u in 0..m.n() {
+                if affected.as_ref().is_some_and(|a| a[u]) {
+                    self.rings[u][i] = build_ring(m, &self.nets, self.eps, u as NodeId, i);
+                    rr.rebuilt += 1;
+                } else {
+                    refresh_ring_ranges(&mut self.rings[u][i], &self.nets, i);
+                    rr.refreshed += 1;
+                }
+            }
+        }
+        (rep, rr)
+    }
+
+    /// The `ε` the scheme was built with.
+    pub fn eps(&self) -> Eps {
+        self.eps
     }
 
     /// The net hierarchy the labels come from (shared with upper layers).
@@ -187,6 +253,40 @@ impl Certifiable for NetLabeled {
                 ..TableComponent::new("ring", i as u32)
             })
             .collect()
+    }
+}
+
+impl netsim::maintain::Maintainable for NetLabeled {
+    fn maintain_name(&self) -> &'static str {
+        "net-labeled"
+    }
+
+    fn active_nodes(&self) -> Vec<NodeId> {
+        self.nets.active_nodes().to_vec()
+    }
+
+    fn repair(
+        &mut self,
+        m: &MetricSpace,
+        batch: &ChurnBatch,
+        budget: &NetRepairBudget,
+    ) -> netsim::maintain::RepairStats {
+        // Inherent `repair` takes precedence over the trait method here.
+        let (net, rr) = self.repair(m, batch, budget);
+        netsim::maintain::RepairStats {
+            net,
+            rings_rebuilt: rr.rebuilt,
+            rings_refreshed: rr.refreshed,
+            ..Default::default()
+        }
+    }
+
+    fn rebuild(&mut self, m: &MetricSpace, active: &[NodeId]) {
+        *self = NetLabeled::new_over(m, self.eps, active).expect("eps validated at construction");
+    }
+
+    fn total_table_bits(&self) -> u64 {
+        (0..self.rings.len() as NodeId).map(|u| self.table_bits(u)).sum()
     }
 }
 
@@ -289,6 +389,39 @@ mod tests {
         let s = NetLabeled::new(&m, Eps::one_over(4)).unwrap();
         let r = s.route(&m, 0, s.label_of(24)).unwrap();
         assert_eq!(r.max_header_bits, 5);
+    }
+
+    #[test]
+    fn new_over_all_equals_new_and_repair_matches_rebuild() {
+        let m = MetricSpace::new(&gen::grid(6, 6));
+        let eps = Eps::one_over(8);
+        let all: Vec<NodeId> = (0..36).collect();
+        let mut s = NetLabeled::new_over(&m, eps, &all).unwrap();
+        assert_eq!(s, NetLabeled::new(&m, eps).unwrap());
+
+        let mut active: Vec<NodeId> = all.clone();
+        for batch in [
+            doubling_metric::nets::ChurnBatch::new(vec![], vec![7, 20]),
+            doubling_metric::nets::ChurnBatch::new(vec![7], vec![0, 35]),
+            doubling_metric::nets::ChurnBatch::new(vec![0, 20], vec![1]),
+        ] {
+            let (rep, rr) =
+                s.repair(&m, &batch, &doubling_metric::nets::NetRepairBudget::unbounded());
+            assert_eq!(rep.deltas.len(), s.num_levels());
+            assert!(rr.rebuilt + rr.refreshed > 0);
+            active.retain(|v| batch.leaves.binary_search(v).is_err());
+            active.extend(&batch.joins);
+            active.sort_unstable();
+            let fresh = NetLabeled::new_over(&m, eps, &active).unwrap();
+            assert_eq!(s, fresh, "repair diverged from rebuild");
+            // Routes between active nodes still deliver.
+            for (u, v) in sample_pairs(36, 40, 9) {
+                if active.binary_search(&u).is_ok() && active.binary_search(&v).is_ok() && u != v {
+                    let r = s.route(&m, u, s.label_of(v)).unwrap();
+                    assert_eq!(r.dst, v);
+                }
+            }
+        }
     }
 
     #[test]

@@ -11,6 +11,24 @@ use doubling_metric::nets::NetHierarchy;
 use doubling_metric::space::MetricSpace;
 use doubling_metric::Eps;
 
+/// Counters from a ring-table repair pass: how many `(node, level)` rings
+/// were rebuilt from scratch vs merely range-refreshed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RingRepair {
+    /// Rings rebuilt because a nearby net member churned.
+    pub rebuilt: u64,
+    /// Rings whose membership was provably unchanged (ranges refreshed).
+    pub refreshed: u64,
+}
+
+impl RingRepair {
+    /// Merges another pass's counters into this one.
+    pub fn merge(&mut self, other: RingRepair) {
+        self.rebuilt += other.rebuilt;
+        self.refreshed += other.refreshed;
+    }
+}
+
 /// One ring entry: a net point visible from `u` at level `i`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RingEntry {
@@ -51,6 +69,41 @@ pub fn build_ring(
         .collect();
     out.sort_unstable_by_key(|e| e.range.0);
     out
+}
+
+/// The exact ring radius at level `i`: the largest `d` with
+/// `ε·d ≤ s_i`, i.e. `⌊s_i·den/num⌋` — membership of `X_i(u)` is
+/// `d(u, x) ≤ ring_radius(i)` by definition of [`build_ring`]'s filter.
+pub fn ring_radius(m: &MetricSpace, eps: Eps, i: usize) -> Dist {
+    let r = m.scale(i) as u128 * eps.den() as u128 / eps.num() as u128;
+    r.min(Dist::MAX as u128) as Dist
+}
+
+/// Marks the nodes whose ring `X_i(u)` could change membership after the
+/// level-`i` net members in `changed` were added or removed: exactly the
+/// nodes within the ring radius of some changed member. Rings of unmarked
+/// nodes keep the same member set (only their stored ranges can shift).
+pub fn affected_nodes(m: &MetricSpace, eps: Eps, i: usize, changed: &[NodeId]) -> Vec<bool> {
+    let r = ring_radius(m, eps, i);
+    let mut out = vec![false; m.n()];
+    for &y in changed {
+        for &(_, u) in m.ball(y, r) {
+            out[u as usize] = true;
+        }
+    }
+    out
+}
+
+/// Refreshes the stored `Range(x, i)` fields of a ring whose *member set*
+/// is known to be unchanged (labels are renumbered by every hierarchy
+/// repair, so ranges shift even when membership does not) and restores the
+/// range-start sort order. The result is byte-identical to rebuilding the
+/// ring from scratch against the repaired hierarchy.
+pub fn refresh_ring_ranges(ring: &mut [RingEntry], nets: &NetHierarchy, i: usize) {
+    for e in ring.iter_mut() {
+        e.range = nets.range(i, e.x).expect("ring member is in Y_i");
+    }
+    ring.sort_unstable_by_key(|e| e.range.0);
 }
 
 /// Binary-searches a ring for the entry whose range contains `label`.

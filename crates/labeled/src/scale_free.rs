@@ -25,7 +25,7 @@
 //! trees' `(key, data)` pairs — `(1/ε)^{O(α)}·log³ n` bits (Lemma 4.4).
 
 use doubling_metric::graph::{Dist, NodeId};
-use doubling_metric::nets::NetHierarchy;
+use doubling_metric::nets::{ChurnBatch, NetHierarchy, NetRepair, NetRepairBudget};
 use doubling_metric::packing::Packings;
 use doubling_metric::space::MetricSpace;
 use doubling_metric::Eps;
@@ -38,7 +38,28 @@ use searchtree::{SearchTree, SearchTreeConfig};
 use treeroute::{PortLabel, PortTreeRouter, Tree};
 
 use crate::error::SchemeError;
-use crate::rings::{build_ring, ring_lookup, RingEntry};
+use crate::rings::{
+    affected_nodes, build_ring, refresh_ring_ranges, ring_lookup, RingEntry, RingRepair,
+};
+
+/// The `(l(v), l(v;c,j))` pair set of one Voronoi cell: active region
+/// members within `r_c(j+1)`, keyed by hierarchy label. Cell *skeletons*
+/// (trees, routers) are physical and survive overlay churn; only this pair
+/// set tracks the active set and its labels.
+fn cell_pairs(
+    m: &MetricSpace,
+    nets: &NetHierarchy,
+    region: &[NodeId],
+    router: &PortTreeRouter,
+    c: NodeId,
+    r_j1: Dist,
+) -> Vec<(u64, PortLabel)> {
+    region
+        .iter()
+        .filter(|&&v| m.dist(c, v) <= r_j1 && nets.is_active(v))
+        .map(|&v| (nets.label(v) as u64, router.label_of(v).clone()))
+        .collect()
+}
 
 /// One Voronoi cell of a packed ball: its shortest-path tree router and the
 /// search tree indexing local labels.
@@ -46,6 +67,28 @@ use crate::rings::{build_ring, ring_lookup, RingEntry};
 struct Cell {
     router: PortTreeRouter,
     search: SearchTree<PortLabel>,
+}
+
+/// Per-node search-tree storage shares across all cells.
+fn compute_search_bits(n: usize, widths: &FieldWidths, cells: &[Vec<Cell>]) -> Vec<u64> {
+    let mut search_bits = vec![0u64; n];
+    for level_cells in cells {
+        for cell in level_cells {
+            let (router, search) = (&cell.router, &cell.search);
+            for &v in search.tree().nodes() {
+                search_bits[v as usize] +=
+                    search.storage_bits(v, widths.node, widths.node, |lbl| {
+                        lbl.bits(widths.node, router.port_bits())
+                    });
+            }
+            for (v, _) in search.relay_nodes() {
+                if !search.contains(v) {
+                    search_bits[v as usize] += search.relay_bits(v, widths.node);
+                }
+            }
+        }
+    }
+    search_bits
 }
 
 /// The scale-free labeled scheme of Theorem 1.2.
@@ -92,6 +135,27 @@ impl ScaleFreeLabeled {
         Self::new_traced(m, eps, &Tracer::noop())
     }
 
+    /// [`Self::new`] restricted to an active overlay subset. The packing,
+    /// Voronoi routers and search-tree skeletons are physical (they serve
+    /// any forwarding node); only the hierarchy, rings and search-tree pair
+    /// sets are restricted to `active`. With all nodes active this equals
+    /// `new` exactly.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active` is empty, has duplicates, or is out of range.
+    pub fn new_over(m: &MetricSpace, eps: Eps, active: &[NodeId]) -> Result<Self, SchemeError> {
+        if !eps.mul_le(4, 1) {
+            return Err(SchemeError::EpsTooLarge { got: eps, bound: "1/4" });
+        }
+        let nets = NetHierarchy::new_over(m, active);
+        Ok(Self::from_nets(m, eps, nets, &Tracer::noop()))
+    }
+
     /// [`Self::new`] with preprocessing phases recorded into `tracer`:
     /// `"net-hierarchy"`, `"ring-build"` (rings on `R(u)`),
     /// `"ball-packing"` (the `ℬ_j` packings), `"voronoi-trees"` (the
@@ -111,6 +175,12 @@ impl ScaleFreeLabeled {
             let _s = tracer.span("net-hierarchy");
             NetHierarchy::new(m)
         };
+        Ok(Self::from_nets(m, eps, nets, tracer))
+    }
+
+    /// Shared tail of every constructor: everything downstream of the
+    /// hierarchy, honoring its active overlay set.
+    fn from_nets(m: &MetricSpace, eps: Eps, nets: NetHierarchy, tracer: &Tracer) -> Self {
         let widths = FieldWidths::new(m);
         let log2_n = m.log2_n();
         let n = m.n();
@@ -188,16 +258,13 @@ impl ScaleFreeLabeled {
                             let c = packing.balls()[k].center;
                             let region = packing.voronoi_region(k as u32);
                             // Search tree II over B_c(r_c(j)), holding
-                            // (l(v), l(v;c,j)) for v ∈ V(c,j) ∩ B_c(r_c(j+1)).
+                            // (l(v), l(v;c,j)) for active v ∈ V(c,j) ∩
+                            // B_c(r_c(j+1)).
                             let r_j = m.r_small(c, j);
                             let r_j1 = m.r_small(c, (j + 1).min(log2_n));
                             let tree_ball: Vec<NodeId> =
                                 m.ball(c, r_j).iter().map(|&(_, x)| x).collect();
-                            let pairs: Vec<(u64, PortLabel)> = region
-                                .iter()
-                                .filter(|&&v| m.dist(c, v) <= r_j1)
-                                .map(|&v| (nets.label(v) as u64, router.label_of(v).clone()))
-                                .collect();
+                            let pairs = cell_pairs(m, &nets, &region, &router, c, r_j1);
                             let search = SearchTree::new(
                                 m,
                                 c,
@@ -216,28 +283,78 @@ impl ScaleFreeLabeled {
         };
 
         // --- Per-node search-tree storage shares. ---
-        let mut search_bits = vec![0u64; n];
-        {
+        let search_bits = {
             let _s = tracer.span("table-assembly");
-            for level_cells in &cells {
-                for cell in level_cells {
-                    let (router, search) = (&cell.router, &cell.search);
-                    for &v in search.tree().nodes() {
-                        search_bits[v as usize] +=
-                            search.storage_bits(v, widths.node, widths.node, |lbl| {
-                                lbl.bits(widths.node, router.port_bits())
-                            });
+            compute_search_bits(n, &widths, &cells)
+        };
+
+        ScaleFreeLabeled { nets, eps, widths, rings, packings, cells, search_bits, log2_n }
+    }
+
+    /// Applies an overlay churn batch incrementally: repairs the hierarchy,
+    /// rebuilds only the rings near changed net members (range-refreshing
+    /// the rest), redistributes every cell's `(label, local-label)` pair set
+    /// over its **unchanged** physical skeleton, and re-prices the per-node
+    /// search shares. The repaired scheme is **identical** to
+    /// [`Self::new_over`] on the post-churn active set. Returns the net
+    /// repair report, ring counters, and the number of cell pair sets
+    /// refreshed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is invalid against the current active set.
+    pub fn repair(
+        &mut self,
+        m: &MetricSpace,
+        batch: &ChurnBatch,
+        budget: &NetRepairBudget,
+    ) -> (NetRepair, RingRepair, u64) {
+        let rep = self.nets.apply_churn(m, batch, budget);
+
+        // Rings: stored levels only. Lazily compute per-level blast zones.
+        let mut affected: Vec<Option<Vec<bool>>> = vec![None; m.num_scales()];
+        let mut rr = RingRepair::default();
+        for u in 0..m.n() {
+            // Split borrow: rings mutably, the rest of self immutably.
+            let (nets, eps) = (&self.nets, self.eps);
+            for (i, ring) in self.rings[u].iter_mut() {
+                let i = *i as usize;
+                let zone = affected[i].get_or_insert_with(|| {
+                    let changed = rep.deltas[i].changed();
+                    if changed.is_empty() {
+                        vec![false; m.n()]
+                    } else {
+                        affected_nodes(m, eps, i, &changed)
                     }
-                    for (v, _) in search.relay_nodes() {
-                        if !search.contains(v) {
-                            search_bits[v as usize] += search.relay_bits(v, widths.node);
-                        }
-                    }
+                });
+                if zone[u] {
+                    *ring = build_ring(m, nets, eps, u as NodeId, i);
+                    rr.rebuilt += 1;
+                } else {
+                    refresh_ring_ranges(ring, nets, i);
+                    rr.refreshed += 1;
                 }
             }
         }
 
-        Ok(ScaleFreeLabeled { nets, eps, widths, rings, packings, cells, search_bits, log2_n })
+        // Cells: skeletons and routers are physical — only the pair sets
+        // (active membership and labels) change. Redistribute wholesale.
+        let mut cells_refreshed = 0u64;
+        for (j, level_cells) in self.cells.iter_mut().enumerate() {
+            let j = j as u32;
+            let packing = self.packings.at(j);
+            for (k, cell) in level_cells.iter_mut().enumerate() {
+                let c = packing.balls()[k].center;
+                let region = packing.voronoi_region(k as u32);
+                let r_j1 = m.r_small(c, (j + 1).min(self.log2_n));
+                let pairs = cell_pairs(m, &self.nets, &region, &cell.router, c, r_j1);
+                cell.search.refresh_pairs(pairs);
+                cells_refreshed += 1;
+            }
+        }
+
+        self.search_bits = compute_search_bits(m.n(), &self.widths, &self.cells);
+        (rep, rr, cells_refreshed)
     }
 
     /// The net hierarchy the labels come from.
@@ -466,6 +583,42 @@ impl Certifiable for ScaleFreeLabeled {
     }
 }
 
+impl netsim::maintain::Maintainable for ScaleFreeLabeled {
+    fn maintain_name(&self) -> &'static str {
+        "scale-free-labeled"
+    }
+
+    fn active_nodes(&self) -> Vec<NodeId> {
+        self.nets.active_nodes().to_vec()
+    }
+
+    fn repair(
+        &mut self,
+        m: &MetricSpace,
+        batch: &ChurnBatch,
+        budget: &NetRepairBudget,
+    ) -> netsim::maintain::RepairStats {
+        // Inherent `repair` takes precedence over the trait method here.
+        let (net, rr, cells_refreshed) = self.repair(m, batch, budget);
+        netsim::maintain::RepairStats {
+            net,
+            rings_rebuilt: rr.rebuilt,
+            rings_refreshed: rr.refreshed,
+            trees_rebuilt: 0,
+            trees_refreshed: cells_refreshed,
+        }
+    }
+
+    fn rebuild(&mut self, m: &MetricSpace, active: &[NodeId]) {
+        *self =
+            ScaleFreeLabeled::new_over(m, self.eps, active).expect("eps validated at construction");
+    }
+
+    fn total_table_bits(&self) -> u64 {
+        (0..self.rings.len() as NodeId).map(|u| self.table_bits(u)).sum()
+    }
+}
+
 impl netsim::recovery::FallbackHierarchy for ScaleFreeLabeled {
     /// The scheme's own net hierarchy: `LevelFallback` climbs the zooming
     /// sequence the ring/packing tables are built on.
@@ -579,6 +732,38 @@ mod tests {
             }
         }
         assert!(saw_packing, "expected at least one route to use the packing phase");
+    }
+
+    #[test]
+    fn new_over_all_equals_new_and_repair_matches_rebuild() {
+        use doubling_metric::nets::{ChurnBatch, NetRepairBudget};
+        let m = MetricSpace::new(&gen::grid(5, 5));
+        let eps = Eps::one_over(8);
+        let all: Vec<NodeId> = (0..25).collect();
+        let mut s = ScaleFreeLabeled::new_over(&m, eps, &all).unwrap();
+        assert_eq!(s, ScaleFreeLabeled::new(&m, eps).unwrap());
+
+        let mut active: Vec<NodeId> = all.clone();
+        for batch in [
+            ChurnBatch::new(vec![], vec![12, 6]),
+            ChurnBatch::new(vec![12], vec![0]),
+            ChurnBatch::new(vec![0, 6], vec![24]),
+        ] {
+            let (rep, _rr, refreshed) = s.repair(&m, &batch, &NetRepairBudget::unbounded());
+            assert!(refreshed > 0);
+            assert_eq!(rep.deltas.len(), m.num_scales());
+            active.retain(|v| batch.leaves.binary_search(v).is_err());
+            active.extend(&batch.joins);
+            active.sort_unstable();
+            let fresh = ScaleFreeLabeled::new_over(&m, eps, &active).unwrap();
+            assert_eq!(s, fresh, "repair diverged from rebuild");
+            for (u, v) in all_pairs(25) {
+                if active.binary_search(&u).is_ok() && active.binary_search(&v).is_ok() && u != v {
+                    let r = s.route(&m, u, s.label_of(v)).unwrap();
+                    assert_eq!(r.dst, v);
+                }
+            }
+        }
     }
 
     #[test]

@@ -19,8 +19,203 @@
 //! (Section 4.1), and `Range(x, i)` is the contiguous interval of leaf
 //! labels below the level-`i` tree node `x`.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use crate::graph::{Dist, NodeId};
 use crate::space::MetricSpace;
+
+/// Label sentinel for nodes outside the active overlay set: inactive nodes
+/// carry no DFS leaf label, so [`NetHierarchy::label`] returns this value
+/// for them.
+pub const INACTIVE_LABEL: u32 = u32::MAX;
+
+/// A batch of overlay churn: node ids joining and leaving the active set.
+///
+/// The metric space itself is immutable — churn mutates the *active
+/// overlay* `A ⊆ V` the hierarchy is built over. Joins must currently be
+/// inactive, leaves must currently be active, and the two lists must be
+/// disjoint ([`ChurnBatch::validate`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChurnBatch {
+    /// Nodes entering the active set, sorted and deduplicated.
+    pub joins: Vec<NodeId>,
+    /// Nodes leaving the active set, sorted and deduplicated.
+    pub leaves: Vec<NodeId>,
+}
+
+/// A structured rejection reason from [`ChurnBatch::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChurnBatchError {
+    /// A join or leave id is `≥ n`.
+    OutOfRange(NodeId),
+    /// A join target is already active.
+    AlreadyActive(NodeId),
+    /// A leave target is already inactive.
+    NotActive(NodeId),
+    /// A node appears in both the join and the leave list.
+    Overlap(NodeId),
+    /// Applying the batch would leave the active set empty.
+    EmptiesActiveSet,
+}
+
+impl std::fmt::Display for ChurnBatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChurnBatchError::OutOfRange(v) => write!(f, "churn node {v} out of range"),
+            ChurnBatchError::AlreadyActive(v) => write!(f, "join target {v} is already active"),
+            ChurnBatchError::NotActive(v) => write!(f, "leave target {v} is not active"),
+            ChurnBatchError::Overlap(v) => write!(f, "node {v} both joins and leaves"),
+            ChurnBatchError::EmptiesActiveSet => write!(f, "batch would empty the active set"),
+        }
+    }
+}
+
+impl std::error::Error for ChurnBatchError {}
+
+impl ChurnBatch {
+    /// Builds a batch, sorting and deduplicating both lists.
+    pub fn new(mut joins: Vec<NodeId>, mut leaves: Vec<NodeId>) -> Self {
+        joins.sort_unstable();
+        joins.dedup();
+        leaves.sort_unstable();
+        leaves.dedup();
+        ChurnBatch { joins, leaves }
+    }
+
+    /// Whether the batch changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.joins.is_empty() && self.leaves.is_empty()
+    }
+
+    /// Number of join + leave events.
+    pub fn len(&self) -> usize {
+        self.joins.len() + self.leaves.len()
+    }
+
+    /// All churned node ids (joins ∪ leaves), sorted.
+    pub fn changed(&self) -> Vec<NodeId> {
+        let mut all: Vec<NodeId> = self.joins.iter().chain(self.leaves.iter()).copied().collect();
+        all.sort_unstable();
+        all
+    }
+
+    /// Checks the batch against the current active flags.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ChurnBatchError`] violated, if any.
+    pub fn validate(&self, active: &[bool]) -> Result<(), ChurnBatchError> {
+        for &v in self.joins.iter().chain(self.leaves.iter()) {
+            if (v as usize) >= active.len() {
+                return Err(ChurnBatchError::OutOfRange(v));
+            }
+        }
+        for &v in &self.joins {
+            if self.leaves.binary_search(&v).is_ok() {
+                return Err(ChurnBatchError::Overlap(v));
+            }
+            if active[v as usize] {
+                return Err(ChurnBatchError::AlreadyActive(v));
+            }
+        }
+        for &v in &self.leaves {
+            if !active[v as usize] {
+                return Err(ChurnBatchError::NotActive(v));
+            }
+        }
+        let count = active.iter().filter(|&&a| a).count();
+        if count + self.joins.len() <= self.leaves.len() {
+            return Err(ChurnBatchError::EmptiesActiveSet);
+        }
+        Ok(())
+    }
+}
+
+/// Work budget for a single [`NetHierarchy::apply_churn`] call.
+///
+/// `level_evals` caps the number of distance-row entries the dirty-set sweep
+/// may inspect *per level*; when exceeded the level degrades to a scoped
+/// from-scratch greedy rebuild (recorded in [`NetRepair::scoped_rebuilds`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetRepairBudget {
+    /// Max distance evaluations per level before the scoped-rebuild fallback.
+    pub level_evals: u64,
+}
+
+impl NetRepairBudget {
+    /// No cap: the dirty-set sweep always runs to completion.
+    pub fn unbounded() -> Self {
+        NetRepairBudget { level_evals: u64::MAX }
+    }
+
+    /// Cap of `evals` distance evaluations per level.
+    pub fn per_level(evals: u64) -> Self {
+        NetRepairBudget { level_evals: evals }
+    }
+}
+
+impl Default for NetRepairBudget {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+/// Membership changes of one net level, sorted by id.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LevelDelta {
+    /// Nodes that entered `Y_i`.
+    pub added: Vec<NodeId>,
+    /// Nodes that left `Y_i`.
+    pub removed: Vec<NodeId>,
+}
+
+impl LevelDelta {
+    /// Whether the level membership is unchanged.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// All changed members (added ∪ removed), sorted.
+    pub fn changed(&self) -> Vec<NodeId> {
+        let mut all: Vec<NodeId> = self.added.iter().chain(self.removed.iter()).copied().collect();
+        all.sort_unstable();
+        all
+    }
+}
+
+/// Outcome report of one [`NetHierarchy::apply_churn`] call.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetRepair {
+    /// Per-level membership deltas (index = level).
+    pub deltas: Vec<LevelDelta>,
+    /// Levels whose dirty-set sweep blew the eval budget and were rebuilt
+    /// from scratch (greedy, scoped to that level).
+    pub scoped_rebuilds: Vec<u32>,
+    /// Distance-row entries inspected across all levels and parent repairs.
+    pub evals: u64,
+}
+
+impl NetRepair {
+    /// Total membership changes across all levels.
+    pub fn total_changes(&self) -> u64 {
+        self.deltas.iter().map(|d| (d.added.len() + d.removed.len()) as u64).sum()
+    }
+
+    /// Levels with a nonempty delta.
+    pub fn changed_levels(&self) -> Vec<usize> {
+        (0..self.deltas.len()).filter(|&i| !self.deltas[i].is_empty()).collect()
+    }
+}
+
+/// Everything derivable from `(levels, parent)` by pure pointer chasing.
+struct Finished {
+    zoom: Vec<Vec<NodeId>>,
+    label: Vec<u32>,
+    node_of_label: Vec<NodeId>,
+    range: Vec<Vec<(u32, u32)>>,
+    level_of: Vec<u32>,
+}
 
 /// The full net hierarchy with zooming sequences, netting tree and DFS leaf
 /// labels.
@@ -64,51 +259,351 @@ pub struct NetHierarchy {
     range: Vec<Vec<(u32, u32)>>,
     /// Highest level at which each node appears (`level_of[u] = max {i : u ∈ Y_i}`).
     level_of: Vec<u32>,
+    /// `active[u]` — whether `u` is in the overlay set the hierarchy covers.
+    /// `levels[0]` is exactly the sorted list of active nodes.
+    active: Vec<bool>,
+}
+
+/// One greedy net level: seeds plus, in id order, every active node at
+/// distance `>= s_i` from all current members. Returns `(members, evals)`.
+fn greedy_level(
+    m: &MetricSpace,
+    seeds: &[NodeId],
+    active: &[bool],
+    s_i: Dist,
+) -> (Vec<NodeId>, u64) {
+    let n = m.n();
+    let mut members = seeds.to_vec();
+    // Track the minimum distance from each node to the current set,
+    // so the pass below is O(n·|added|) rather than O(n·|Y_i|²).
+    let mut min_d: Vec<Dist> = vec![Dist::MAX; n];
+    let mut evals: u64 = 0;
+    for &y in seeds {
+        evals += n as u64;
+        for v in 0..n as NodeId {
+            let d = m.dist(v, y);
+            if d < min_d[v as usize] {
+                min_d[v as usize] = d;
+            }
+        }
+    }
+    for v in 0..n as NodeId {
+        if active[v as usize] && min_d[v as usize] >= s_i {
+            members.push(v);
+            evals += n as u64;
+            for x in 0..n as NodeId {
+                let d = m.dist(x, v);
+                if d < min_d[x as usize] {
+                    min_d[x as usize] = d;
+                }
+            }
+        }
+    }
+    members.sort_unstable();
+    (members, evals)
+}
+
+/// Sorted two-pointer diff `old → new`.
+fn diff_sorted(old: &[NodeId], new: &[NodeId]) -> LevelDelta {
+    let mut added = Vec::new();
+    let mut removed = Vec::new();
+    let (mut a, mut b) = (0usize, 0usize);
+    while a < old.len() || b < new.len() {
+        match (old.get(a), new.get(b)) {
+            (Some(&o), Some(&x)) if o == x => {
+                a += 1;
+                b += 1;
+            }
+            (Some(&o), Some(&x)) if o < x => {
+                removed.push(o);
+                a += 1;
+            }
+            (Some(_), Some(&x)) => {
+                added.push(x);
+                b += 1;
+            }
+            (Some(&o), None) => {
+                removed.push(o);
+                a += 1;
+            }
+            (None, Some(&x)) => {
+                added.push(x);
+                b += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    LevelDelta { added, removed }
+}
+
+/// Recomputes everything downstream of `(levels, parent)`: zooming
+/// sequences, the netting-tree DFS leaf labels and ranges, and `level_of`.
+/// Pure pointer chasing — no metric evaluations — so full and incremental
+/// builds that agree on `(levels, parent)` agree byte-for-byte here too.
+fn finish(n: usize, levels: &[Vec<NodeId>], parent: &[Vec<NodeId>]) -> Finished {
+    let num = levels.len();
+    let top = num - 1;
+    let index_of = |level: &[NodeId], y: NodeId| -> usize {
+        level.binary_search(&y).expect("member of net level")
+    };
+
+    // Zooming sequences follow parent pointers from the leaf level; inactive
+    // nodes (not in Y_0) have empty sequences.
+    let mut zoom: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for &u in &levels[0] {
+        let mut seq = Vec::with_capacity(num);
+        seq.push(u);
+        let mut cur = u;
+        for i in 0..top {
+            let k = index_of(&levels[i], cur);
+            cur = parent[i][k];
+            seq.push(cur);
+        }
+        zoom[u as usize] = seq;
+    }
+
+    // DFS leaf enumeration. Children of tree node (i+1, y): members
+    // x ∈ Y_i with parent x→y, visited in increasing id order. The node
+    // y itself is among its own children (distance 0), and is visited
+    // first only if it has the least id — order is by id, per the
+    // deterministic rule.
+    let mut children: Vec<Vec<Vec<u32>>> = Vec::with_capacity(num);
+    // children[i][k] = indices (into levels[i]) of level-i nodes whose
+    // parent is levels[i+1][k].
+    for i in 0..top {
+        let mut c: Vec<Vec<u32>> = vec![Vec::new(); levels[i + 1].len()];
+        for (k, &p) in parent[i].iter().enumerate() {
+            let pk = index_of(&levels[i + 1], p);
+            c[pk].push(k as u32);
+        }
+        children.push(c);
+    }
+
+    let active_count = levels[0].len();
+    let mut label = vec![INACTIVE_LABEL; n];
+    let mut node_of_label = vec![0 as NodeId; active_count];
+    let mut range: Vec<Vec<(u32, u32)>> =
+        levels.iter().map(|l| vec![(u32::MAX, 0); l.len()]).collect();
+
+    // Iterative DFS from the root (top, index 0). Post-order range
+    // computation: leaf gets [l, l]; internal nodes get min/max of
+    // children.
+    let mut next_label = 0u32;
+    enum Frame {
+        Enter(usize, u32),
+        Exit(usize, u32),
+    }
+    let mut stack = vec![Frame::Enter(top, 0)];
+    while let Some(f) = stack.pop() {
+        match f {
+            Frame::Enter(i, k) => {
+                if i == 0 {
+                    let u = levels[0][k as usize];
+                    label[u as usize] = next_label;
+                    node_of_label[next_label as usize] = u;
+                    range[0][k as usize] = (next_label, next_label);
+                    next_label += 1;
+                } else {
+                    stack.push(Frame::Exit(i, k));
+                    // Push children in reverse so they pop in id order.
+                    for &ck in children[i - 1][k as usize].iter().rev() {
+                        stack.push(Frame::Enter(i - 1, ck));
+                    }
+                }
+            }
+            Frame::Exit(i, k) => {
+                let mut lo = u32::MAX;
+                let mut hi = 0u32;
+                for &ck in &children[i - 1][k as usize] {
+                    let (clo, chi) = range[i - 1][ck as usize];
+                    lo = lo.min(clo);
+                    hi = hi.max(chi);
+                }
+                range[i][k as usize] = (lo, hi);
+            }
+        }
+    }
+    debug_assert_eq!(next_label as usize, active_count, "every active node must be a leaf");
+
+    let mut level_of = vec![0u32; n];
+    for (i, l) in levels.iter().enumerate() {
+        for &y in l {
+            level_of[y as usize] = level_of[y as usize].max(i as u32);
+        }
+    }
+
+    Finished { zoom, label, node_of_label, range, level_of }
+}
+
+/// Dirty-set repair of one level: re-decides membership only for candidates
+/// reachable from the change set, in increasing id order (the greedy order),
+/// so the fixpoint equals the from-scratch greedy net over the new seeds and
+/// active set. Returns `(members, delta, evals, scoped_rebuild)`.
+#[allow(clippy::too_many_arguments)]
+fn repair_level(
+    m: &MetricSpace,
+    s_i: Dist,
+    old: &[NodeId],
+    seeds: &[NodeId],
+    seed_delta: &LevelDelta,
+    batch: &ChurnBatch,
+    active: &[bool],
+    budget: &NetRepairBudget,
+) -> (Vec<NodeId>, LevelDelta, u64, bool) {
+    let n = m.n();
+    // Blocking radius: v is blocked by members strictly closer than s_i.
+    let rad = s_i - 1;
+
+    let mut mem = vec![false; n];
+    for &y in old {
+        mem[y as usize] = true;
+    }
+    let mut seed_flag = vec![false; n];
+    for &y in seeds {
+        seed_flag[y as usize] = true;
+    }
+
+    // Dirty candidates: every node whose membership decision could have
+    // changed. Changed seeds affect their whole blocking ball (seeds block
+    // candidates on both sides of them in id order). A leave affects its
+    // ball only at levels where it was a member; a join only needs its own
+    // decision here — if it becomes a member, the flip propagation below
+    // re-decides the larger-id neighbours it can block.
+    let mut in_heap = vec![false; n];
+    let mut heap: BinaryHeap<Reverse<NodeId>> = BinaryHeap::new();
+    {
+        let push = |v: NodeId, in_heap: &mut Vec<bool>, heap: &mut BinaryHeap<Reverse<NodeId>>| {
+            let vi = v as usize;
+            if active[vi] && !seed_flag[vi] && !in_heap[vi] {
+                in_heap[vi] = true;
+                heap.push(Reverse(v));
+            }
+        };
+        for &y in seed_delta.added.iter().chain(seed_delta.removed.iter()) {
+            push(y, &mut in_heap, &mut heap);
+            for &(_, w) in m.ball(y, rad) {
+                push(w, &mut in_heap, &mut heap);
+            }
+        }
+        for &v in &batch.joins {
+            push(v, &mut in_heap, &mut heap);
+        }
+        for &v in &batch.leaves {
+            if mem[v as usize] {
+                for &(_, w) in m.ball(v, rad) {
+                    push(w, &mut in_heap, &mut heap);
+                }
+            }
+        }
+    }
+
+    // Seed and activity overrides, applied before the sweep: new seeds are
+    // members by fiat, departed nodes are not members.
+    for &y in &seed_delta.added {
+        mem[y as usize] = true;
+    }
+    for &v in &batch.leaves {
+        mem[v as usize] = false;
+    }
+
+    // Sweep in increasing id order. A non-seed candidate v is a member iff
+    // no other member y with (seed(y) or y < v) lies strictly within s_i —
+    // exactly the greedy rule. Membership flips propagate only to larger
+    // ids, so one pass reaches the greedy fixpoint.
+    let mut evals: u64 = 0;
+    let mut scoped = false;
+    while let Some(Reverse(v)) = heap.pop() {
+        let vi = v as usize;
+        in_heap[vi] = false;
+        let ball = m.ball(v, rad);
+        evals += ball.len() as u64;
+        if evals > budget.level_evals {
+            scoped = true;
+            break;
+        }
+        let mut blocked = false;
+        for &(_, y) in ball {
+            let yi = y as usize;
+            if y != v && mem[yi] && (seed_flag[yi] || y < v) {
+                blocked = true;
+                break;
+            }
+        }
+        let want = !blocked;
+        if want != mem[vi] {
+            mem[vi] = want;
+            for &(_, w) in ball {
+                let wi = w as usize;
+                if w > v && active[wi] && !seed_flag[wi] && !in_heap[wi] {
+                    in_heap[wi] = true;
+                    heap.push(Reverse(w));
+                }
+            }
+        }
+    }
+
+    if scoped {
+        let (members, g_evals) = greedy_level(m, seeds, active, s_i);
+        let delta = diff_sorted(old, &members);
+        return (members, delta, evals + g_evals, true);
+    }
+
+    let members: Vec<NodeId> = (0..n as NodeId).filter(|&v| mem[v as usize]).collect();
+    let delta = diff_sorted(old, &members);
+    (members, delta, evals, false)
 }
 
 impl NetHierarchy {
     /// Builds the nested hierarchy for all scales of `m` by top-down greedy
-    /// expansion with `(distance, id)` tie-breaking.
+    /// expansion with `(distance, id)` tie-breaking. All nodes are active.
     pub fn new(m: &MetricSpace) -> Self {
+        Self::build(m, vec![true; m.n()])
+    }
+
+    /// Builds the hierarchy over the *active overlay* `A ⊆ V`: `Y_0 = A`,
+    /// only active nodes appear at any level or carry labels, and the top
+    /// singleton is the least active id. With all nodes active this equals
+    /// [`Self::new`] exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active_nodes` is empty, contains duplicates, or contains
+    /// an id `≥ n`.
+    pub fn new_over(m: &MetricSpace, active_nodes: &[NodeId]) -> Self {
+        let n = m.n();
+        let mut active = vec![false; n];
+        for &v in active_nodes {
+            assert!((v as usize) < n, "active node {v} out of range");
+            assert!(!active[v as usize], "duplicate active node {v}");
+            active[v as usize] = true;
+        }
+        assert!(!active_nodes.is_empty(), "active set must be nonempty");
+        Self::build(m, active)
+    }
+
+    fn build(m: &MetricSpace, active: Vec<bool>) -> Self {
         let n = m.n();
         let num = m.num_scales();
         let top = num - 1;
+        let count = active.iter().filter(|&&a| a).count();
+        assert!(count >= 1, "active set must be nonempty");
 
-        // Top net: a singleton — the least node id (the paper allows any).
+        // Top net: a singleton — the least active node id (the paper allows
+        // any).
+        let root = active.iter().position(|&a| a).unwrap() as NodeId;
         let mut levels: Vec<Vec<NodeId>> = vec![Vec::new(); num];
-        levels[top] = vec![0];
+        levels[top] = vec![root];
 
         // Greedy expansion downwards: Y_i starts from Y_{i+1} and adds, in id
-        // order, every node at distance >= s_i from all current members.
+        // order, every active node at distance >= s_i from all current
+        // members.
         for i in (0..top).rev() {
-            let s_i = m.scale(i);
-            let mut members = levels[i + 1].clone();
-            // Track the minimum distance from each node to the current set,
-            // so the pass below is O(n·|added|) rather than O(n·|Y_i|²).
-            let mut min_d: Vec<Dist> = vec![Dist::MAX; n];
-            for &y in &members {
-                for v in 0..n as NodeId {
-                    let d = m.dist(v, y);
-                    if d < min_d[v as usize] {
-                        min_d[v as usize] = d;
-                    }
-                }
-            }
-            for v in 0..n as NodeId {
-                if min_d[v as usize] >= s_i {
-                    members.push(v);
-                    for x in 0..n as NodeId {
-                        let d = m.dist(x, v);
-                        if d < min_d[x as usize] {
-                            min_d[x as usize] = d;
-                        }
-                    }
-                }
-            }
-            members.sort_unstable();
+            let (members, _) = greedy_level(m, &levels[i + 1], &active, m.scale(i));
             levels[i] = members;
         }
-        debug_assert_eq!(levels[0].len(), n, "Y_0 must equal V");
+        if top > 0 {
+            debug_assert_eq!(levels[0].len(), count, "Y_0 must equal the active set");
+        }
 
         // Netting-tree parents: parent of y ∈ Y_i is the nearest member of
         // Y_{i+1} (ties by least id). If y ∈ Y_{i+1}, that is y itself
@@ -126,101 +621,176 @@ impl NetHierarchy {
             parent.push(ps);
         }
 
-        // Zooming sequences follow parent pointers from the leaf level.
-        let mut zoom: Vec<Vec<NodeId>> = Vec::with_capacity(n);
-        // Index maps per level for parent lookup.
-        let index_of = |level: &Vec<NodeId>, y: NodeId| -> usize {
-            level.binary_search(&y).expect("member of net level")
-        };
-        for u in 0..n as NodeId {
-            let mut seq = Vec::with_capacity(num);
-            seq.push(u);
-            let mut cur = u;
-            for i in 0..top {
-                let k = index_of(&levels[i], cur);
-                cur = parent[i][k];
-                seq.push(cur);
+        let fin = finish(n, &levels, &parent);
+        NetHierarchy {
+            levels,
+            parent,
+            zoom: fin.zoom,
+            label: fin.label,
+            node_of_label: fin.node_of_label,
+            range: fin.range,
+            level_of: fin.level_of,
+            active,
+        }
+    }
+
+    /// Applies an overlay churn batch incrementally: re-seats only net
+    /// points whose greedy decision is affected by the change set, repairs
+    /// netting-tree parents by delta, and recomputes the derived structures
+    /// (zoom, labels, ranges) wholesale. The result is **identical** to
+    /// `NetHierarchy::new_over(m, new_active)` — the dirty-set sweep
+    /// re-decides candidates in increasing id order, which is exactly the
+    /// greedy insertion order, so it converges to the same fixpoint.
+    ///
+    /// Levels whose sweep exceeds `budget.level_evals` distance inspections
+    /// degrade to a scoped from-scratch greedy rebuild of that level alone
+    /// (still exact; recorded in [`NetRepair::scoped_rebuilds`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch fails [`ChurnBatch::validate`] against the
+    /// current active set.
+    pub fn apply_churn(
+        &mut self,
+        m: &MetricSpace,
+        batch: &ChurnBatch,
+        budget: &NetRepairBudget,
+    ) -> NetRepair {
+        batch.validate(&self.active).expect("invalid churn batch");
+        let n = m.n();
+        let num = self.levels.len();
+        let top = num - 1;
+        if batch.is_empty() {
+            return NetRepair { deltas: vec![LevelDelta::default(); num], ..NetRepair::default() };
+        }
+
+        let mut active = self.active.clone();
+        for &v in &batch.leaves {
+            active[v as usize] = false;
+        }
+        for &v in &batch.joins {
+            active[v as usize] = true;
+        }
+
+        let old_levels = std::mem::take(&mut self.levels);
+        let old_parent = std::mem::take(&mut self.parent);
+
+        let mut levels: Vec<Vec<NodeId>> = vec![Vec::new(); num];
+        let mut deltas: Vec<LevelDelta> = vec![LevelDelta::default(); num];
+        let mut scoped_rebuilds: Vec<u32> = Vec::new();
+        let mut evals: u64 = 0;
+
+        // Top singleton: the least active id.
+        let root = active.iter().position(|&a| a).expect("validated nonempty") as NodeId;
+        levels[top] = vec![root];
+        let old_root = old_levels[top][0];
+        if old_root != root {
+            deltas[top] = LevelDelta { added: vec![root], removed: vec![old_root] };
+        }
+
+        // Top-down level repair: level i's seeds are the already-repaired
+        // Y_{i+1}, its seed delta the one just computed.
+        for i in (0..top).rev() {
+            let (members, delta, lv_evals, scoped) = repair_level(
+                m,
+                m.scale(i),
+                &old_levels[i],
+                &levels[i + 1],
+                &deltas[i + 1],
+                batch,
+                &active,
+                budget,
+            );
+            evals += lv_evals;
+            if scoped {
+                scoped_rebuilds.push(i as u32);
             }
-            zoom.push(seq);
+            levels[i] = members;
+            deltas[i] = delta;
+        }
+        if top > 0 {
+            debug_assert_eq!(
+                levels[0].len(),
+                active.iter().filter(|&&a| a).count(),
+                "Y_0 must equal the active set"
+            );
         }
 
-        // DFS leaf enumeration. Children of tree node (i+1, y): members
-        // x ∈ Y_i with parent x→y, visited in increasing id order. The node
-        // y itself is among its own children (distance 0), and is visited
-        // first only if it has the least id — order is by id, per the
-        // deterministic rule.
-        let mut children: Vec<Vec<Vec<u32>>> = Vec::with_capacity(num);
-        // children[i][k] = indices (into levels[i]) of level-i nodes whose
-        // parent is levels[i+1][k].
-        for i in 0..top {
-            let mut c: Vec<Vec<u32>> = vec![Vec::new(); levels[i + 1].len()];
-            for (k, &p) in parent[i].iter().enumerate() {
-                let pk = index_of(&levels[i + 1], p);
-                c[pk].push(k as u32);
+        // Parent repair by delta: a surviving member keeps its old parent
+        // unless that parent left Y_{i+1} (then recompute in full) or a new
+        // upper member beats it under (distance, id) order — the old parent
+        // is the minimum over surviving old members, so comparing it against
+        // the additions alone is exact.
+        let mut parent: Vec<Vec<NodeId>> = Vec::with_capacity(num);
+        for i in 0..num {
+            if i == top {
+                parent.push(levels[i].clone());
+                break;
             }
-            children.push(c);
-        }
-
-        let mut label = vec![0u32; n];
-        let mut node_of_label = vec![0 as NodeId; n];
-        let mut range: Vec<Vec<(u32, u32)>> =
-            levels.iter().map(|l| vec![(u32::MAX, 0); l.len()]).collect();
-
-        // Iterative DFS from the root (top, index 0).
-        let mut next_label = 0u32;
-        // Stack entries: (level, index, child cursor). Post-order range
-        // computation: leaf gets [l, l]; internal nodes get min/max of
-        // children.
-        enum Frame {
-            Enter(usize, u32),
-            Exit(usize, u32),
-        }
-        let mut stack = vec![Frame::Enter(top, 0)];
-        while let Some(f) = stack.pop() {
-            match f {
-                Frame::Enter(i, k) => {
-                    if i == 0 {
-                        let u = levels[0][k as usize];
-                        label[u as usize] = next_label;
-                        node_of_label[next_label as usize] = u;
-                        range[0][k as usize] = (next_label, next_label);
-                        next_label += 1;
-                    } else {
-                        stack.push(Frame::Exit(i, k));
-                        // Push children in reverse so they pop in id order.
-                        for &ck in children[i - 1][k as usize].iter().rev() {
-                            stack.push(Frame::Enter(i - 1, ck));
+            let up = &levels[i + 1];
+            let up_added = &deltas[i + 1].added;
+            let up_removed = &deltas[i + 1].removed;
+            let ps: Vec<NodeId> = levels[i]
+                .iter()
+                .map(|&y| {
+                    let fresh = deltas[i].added.binary_search(&y).is_ok();
+                    if !fresh {
+                        let k_old = old_levels[i].binary_search(&y).expect("survivor was a member");
+                        let p_old = old_parent[i][k_old];
+                        if up_removed.binary_search(&p_old).is_err() {
+                            let mut best = (m.dist(y, p_old), p_old);
+                            evals += 1 + up_added.len() as u64;
+                            for &a in up_added {
+                                let cand = (m.dist(y, a), a);
+                                if cand < best {
+                                    best = cand;
+                                }
+                            }
+                            return best.1;
                         }
                     }
-                }
-                Frame::Exit(i, k) => {
-                    let mut lo = u32::MAX;
-                    let mut hi = 0u32;
-                    for &ck in &children[i - 1][k as usize] {
-                        let (clo, chi) = range[i - 1][ck as usize];
-                        lo = lo.min(clo);
-                        hi = hi.max(chi);
-                    }
-                    range[i][k as usize] = (lo, hi);
-                }
-            }
-        }
-        debug_assert_eq!(next_label as usize, n, "every node must be a leaf");
-
-        let mut level_of = vec![0u32; n];
-        for (i, l) in levels.iter().enumerate() {
-            for &y in l {
-                level_of[y as usize] = level_of[y as usize].max(i as u32);
-            }
+                    evals += up.len() as u64;
+                    m.nearest_in(y, up).expect("upper net nonempty")
+                })
+                .collect();
+            parent.push(ps);
         }
 
-        NetHierarchy { levels, parent, zoom, label, node_of_label, range, level_of }
+        let fin = finish(n, &levels, &parent);
+        self.levels = levels;
+        self.parent = parent;
+        self.zoom = fin.zoom;
+        self.label = fin.label;
+        self.node_of_label = fin.node_of_label;
+        self.range = fin.range;
+        self.level_of = fin.level_of;
+        self.active = active;
+
+        NetRepair { deltas, scoped_rebuilds, evals }
     }
 
     /// Number of levels (`= MetricSpace::num_scales()`).
     #[inline]
     pub fn num_levels(&self) -> usize {
         self.levels.len()
+    }
+
+    /// Whether `u` is in the active overlay set.
+    #[inline]
+    pub fn is_active(&self, u: NodeId) -> bool {
+        self.active[u as usize]
+    }
+
+    /// Number of active nodes (`= |Y_0|`).
+    #[inline]
+    pub fn num_active(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// The sorted active node list (`= Y_0`).
+    #[inline]
+    pub fn active_nodes(&self) -> &[NodeId] {
+        &self.levels[0]
     }
 
     /// Members of `Y_i`, sorted by id.
@@ -254,7 +824,8 @@ impl NetHierarchy {
         self.zoom[u as usize][i]
     }
 
-    /// The full zooming sequence `u(0), …, u(L)`.
+    /// The full zooming sequence `u(0), …, u(L)`; empty if `u` is not in
+    /// the active overlay set.
     #[inline]
     pub fn zoom_seq(&self, u: NodeId) -> &[NodeId] {
         &self.zoom[u as usize]
@@ -271,7 +842,8 @@ impl NetHierarchy {
         self.parent[i][k]
     }
 
-    /// The DFS leaf label `l(u) ∈ [n]`.
+    /// The DFS leaf label `l(u) ∈ [|Y_0|]`, or [`INACTIVE_LABEL`] if `u` is
+    /// not in the active overlay set.
     #[inline]
     pub fn label(&self, u: NodeId) -> u32 {
         self.label[u as usize]
@@ -281,7 +853,7 @@ impl NetHierarchy {
     ///
     /// # Panics
     ///
-    /// Panics if `l ≥ n`.
+    /// Panics if `l ≥ |Y_0|` (the number of active nodes).
     #[inline]
     pub fn node_of_label(&self, l: u32) -> NodeId {
         self.node_of_label[l as usize]
@@ -457,5 +1029,167 @@ mod tests {
         assert_eq!(h.num_levels(), 1);
         assert_eq!(h.label(0), 0);
         assert_eq!(h.zoom_seq(0), &[0]);
+    }
+
+    #[test]
+    fn new_over_all_nodes_equals_new() {
+        for g in [gen::grid(6, 6), gen::random_geometric(50, 220, 9), gen::exp_weight_path(12)] {
+            let m = MetricSpace::new(&g);
+            let all: Vec<NodeId> = (0..m.n() as NodeId).collect();
+            assert_eq!(NetHierarchy::new(&m), NetHierarchy::new_over(&m, &all));
+        }
+    }
+
+    #[test]
+    fn new_over_subset_has_overlay_invariants() {
+        let m = MetricSpace::new(&gen::grid(6, 6));
+        let active: Vec<NodeId> = (0..36).filter(|v| v % 3 != 0).collect();
+        let h = NetHierarchy::new_over(&m, &active);
+        assert_eq!(h.active_nodes(), &active[..]);
+        assert_eq!(h.num_active(), active.len());
+        for u in 0..36 as NodeId {
+            if active.binary_search(&u).is_ok() {
+                assert!(h.is_active(u));
+                assert!(h.label(u) < active.len() as u32);
+                assert_eq!(*h.zoom_seq(u).last().unwrap(), active[0]);
+            } else {
+                assert!(!h.is_active(u));
+                assert_eq!(h.label(u), INACTIVE_LABEL);
+                assert!(h.zoom_seq(u).is_empty());
+            }
+        }
+        // Packing and covering hold within the active set.
+        for i in 0..h.num_levels() {
+            let s = m.scale(i);
+            let y = h.level(i);
+            for (a, &p) in y.iter().enumerate() {
+                for &q in &y[a + 1..] {
+                    assert!(m.dist(p, q) >= s, "packing violated at level {i}");
+                }
+            }
+            for &u in &active {
+                let d = y.iter().map(|&p| m.dist(u, p)).min().unwrap();
+                assert!(d <= s, "covering violated at level {i} for node {u}");
+            }
+        }
+    }
+
+    /// Tiny deterministic LCG for churn sequences.
+    fn lcg(seed: &mut u64) -> u64 {
+        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *seed >> 33
+    }
+
+    fn random_batch(active: &[bool], seed: &mut u64, events: usize) -> ChurnBatch {
+        let n = active.len();
+        let mut joins = Vec::new();
+        let mut leaves = Vec::new();
+        let mut act = active.to_vec();
+        let mut touched = vec![false; n];
+        for _ in 0..events {
+            let v = (lcg(seed) as usize % n) as NodeId;
+            if touched[v as usize] {
+                continue;
+            }
+            if act[v as usize] {
+                if act.iter().filter(|&&a| a).count() > 1 {
+                    leaves.push(v);
+                    act[v as usize] = false;
+                    touched[v as usize] = true;
+                }
+            } else {
+                joins.push(v);
+                act[v as usize] = true;
+                touched[v as usize] = true;
+            }
+        }
+        ChurnBatch::new(joins, leaves)
+    }
+
+    #[test]
+    fn apply_churn_matches_from_scratch_rebuild() {
+        for g in [gen::grid(6, 6), gen::random_geometric(48, 230, 17)] {
+            let m = MetricSpace::new(&g);
+            let n = m.n();
+            let mut h = NetHierarchy::new(&m);
+            let mut active = vec![true; n];
+            let mut seed = 0xfeed_beefu64;
+            for round in 0..6 {
+                let batch = random_batch(&active, &mut seed, 5);
+                if batch.is_empty() {
+                    continue;
+                }
+                let rep = h.apply_churn(&m, &batch, &NetRepairBudget::unbounded());
+                assert_eq!(rep.deltas.len(), h.num_levels());
+                assert!(rep.scoped_rebuilds.is_empty());
+                for &v in &batch.leaves {
+                    active[v as usize] = false;
+                }
+                for &v in &batch.joins {
+                    active[v as usize] = true;
+                }
+                let ids: Vec<NodeId> = (0..n as NodeId).filter(|&v| active[v as usize]).collect();
+                let fresh = NetHierarchy::new_over(&m, &ids);
+                assert_eq!(h, fresh, "repair diverged from rebuild at round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn apply_churn_adversarial_root_leave() {
+        // Node 0 is the top singleton; removing it cascades a new seed
+        // through every level. Repair must still match the rebuild.
+        let m = MetricSpace::new(&gen::grid(6, 6));
+        let mut h = NetHierarchy::new(&m);
+        let batch = ChurnBatch::new(vec![], vec![0]);
+        let rep = h.apply_churn(&m, &batch, &NetRepairBudget::unbounded());
+        assert!(!rep.deltas[h.num_levels() - 1].is_empty(), "root must change");
+        let ids: Vec<NodeId> = (1..36).collect();
+        assert_eq!(h, NetHierarchy::new_over(&m, &ids));
+        // And the node can come back.
+        let rep =
+            h.apply_churn(&m, &ChurnBatch::new(vec![0], vec![]), &NetRepairBudget::unbounded());
+        assert!(rep.total_changes() > 0);
+        assert_eq!(h, NetHierarchy::new(&m));
+    }
+
+    #[test]
+    fn apply_churn_scoped_rebuild_under_tiny_budget_is_still_exact() {
+        let m = MetricSpace::new(&gen::grid(6, 6));
+        let mut h = NetHierarchy::new(&m);
+        // Removing a mid-grid node with a 1-eval budget forces the scoped
+        // per-level greedy fallback on every level it touched.
+        let batch = ChurnBatch::new(vec![], vec![14]);
+        let rep = h.apply_churn(&m, &batch, &NetRepairBudget::per_level(1));
+        assert!(!rep.scoped_rebuilds.is_empty(), "budget must trip");
+        let ids: Vec<NodeId> = (0..36).filter(|&v| v != 14).collect();
+        assert_eq!(h, NetHierarchy::new_over(&m, &ids));
+    }
+
+    #[test]
+    fn churn_batch_validation_errors() {
+        let active = vec![true, true, false, true];
+        let ok = ChurnBatch::new(vec![2], vec![0]);
+        assert!(ok.validate(&active).is_ok());
+        assert_eq!(
+            ChurnBatch::new(vec![9], vec![]).validate(&active),
+            Err(ChurnBatchError::OutOfRange(9))
+        );
+        assert_eq!(
+            ChurnBatch::new(vec![0], vec![]).validate(&active),
+            Err(ChurnBatchError::AlreadyActive(0))
+        );
+        assert_eq!(
+            ChurnBatch::new(vec![], vec![2]).validate(&active),
+            Err(ChurnBatchError::NotActive(2))
+        );
+        assert_eq!(
+            ChurnBatch::new(vec![2], vec![2]).validate(&active),
+            Err(ChurnBatchError::Overlap(2))
+        );
+        assert_eq!(
+            ChurnBatch::new(vec![], vec![0, 1, 3]).validate(&active),
+            Err(ChurnBatchError::EmptiesActiveSet)
+        );
     }
 }

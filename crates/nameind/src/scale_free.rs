@@ -25,12 +25,16 @@
 //! Either way the search covers `B_{u(i_k)}(ρ_k)` at cost `≈ 2ρ_k(1+O(ε))`,
 //! so Lemma 3.4's `(9+O(ε))` stretch argument applies unchanged.
 
-use doubling_metric::graph::NodeId;
+use doubling_metric::graph::{Dist, NodeId};
+use doubling_metric::nets::{ChurnBatch, NetRepair, NetRepairBudget};
+use doubling_metric::packing::PackedBall;
 use doubling_metric::space::MetricSpace;
 use doubling_metric::Eps;
 
+use labeled_routing::rings::RingRepair;
 use labeled_routing::{ScaleFreeLabeled, SchemeError};
 use netsim::bits::{BitTally, FieldWidths, TableComponent};
+use netsim::maintain::TreeRepair;
 use netsim::naming::Naming;
 use netsim::route::{Route, RouteError, RouteRecorder};
 use netsim::scheme::{Certifiable, Label, LabeledScheme, Name, NameIndependentScheme};
@@ -38,6 +42,167 @@ use obs::Tracer;
 use searchtree::{SearchTree, SearchTreeConfig};
 
 use crate::rounds::Rounds;
+
+/// The `(name, label)` pairs for the given (active) nodes. Keys are names,
+/// so the store order is irrelevant.
+fn pairs_for(
+    naming: &Naming,
+    underlying: &ScaleFreeLabeled,
+    nodes: &[NodeId],
+) -> Vec<(u64, Label)> {
+    nodes.iter().map(|&v| (naming.name_of(v) as u64, underlying.label_of(v))).collect()
+}
+
+/// The pairs a ℬ-type tree stores: the active part of `B_c(r_big)` — empty
+/// when the ball's center itself is inactive (the tree is a stub that no
+/// `H(y, k)` link may target).
+fn btree_pairs(
+    m: &MetricSpace,
+    naming: &Naming,
+    underlying: &ScaleFreeLabeled,
+    c: NodeId,
+    r_big: Dist,
+) -> Vec<(u64, Label)> {
+    if !underlying.nets().is_active(c) {
+        return Vec::new();
+    }
+    let nodes: Vec<NodeId> = m
+        .ball(c, r_big)
+        .iter()
+        .map(|&(_, v)| v)
+        .filter(|&v| underlying.nets().is_active(v))
+        .collect();
+    pairs_for(naming, underlying, &nodes)
+}
+
+/// Builds the ℬ-type tree of one packed ball. An inactive center yields a
+/// single-node stub (kept so `btrees[j]` indices track the physical
+/// packing); an active center gets the active part of the ball's nodes as
+/// skeleton and the active part of `B_c(r_big)` as pairs.
+fn build_btree(
+    m: &MetricSpace,
+    eps: Eps,
+    naming: &Naming,
+    underlying: &ScaleFreeLabeled,
+    ball: &PackedBall,
+    r_big: Dist,
+) -> SearchTree<Label> {
+    let c = ball.center;
+    let config = SearchTreeConfig { eps_r: eps.mul_floor(ball.radius).max(1), max_levels: None };
+    if !underlying.nets().is_active(c) {
+        return SearchTree::new(m, c, &[c], config, Vec::new());
+    }
+    let skeleton: Vec<NodeId> =
+        ball.nodes.iter().copied().filter(|&v| underlying.nets().is_active(v)).collect();
+    let pairs = btree_pairs(m, naming, underlying, c, r_big);
+    SearchTree::new(m, c, &skeleton, config, pairs)
+}
+
+/// Builds the own 𝒜-type tree of a round host over the active part of
+/// `B_y(rho)`.
+fn build_own_tree(
+    m: &MetricSpace,
+    eps: Eps,
+    naming: &Naming,
+    underlying: &ScaleFreeLabeled,
+    y: NodeId,
+    rho: Dist,
+) -> SearchTree<Label> {
+    let ball: Vec<NodeId> = m
+        .ball(y, rho)
+        .iter()
+        .map(|&(_, x)| x)
+        .filter(|&x| underlying.nets().is_active(x))
+        .collect();
+    let pairs = pairs_for(naming, underlying, &ball);
+    SearchTree::new(
+        m,
+        y,
+        &ball,
+        SearchTreeConfig { eps_r: eps.mul_floor(rho).max(1), max_levels: None },
+        pairs,
+    )
+}
+
+/// Decides the facility of round host `y`: the minimal-`j` qualifying
+/// packed ball with an *active* center, or an own 𝒜-type tree.
+#[allow(clippy::too_many_arguments)]
+fn compute_facility(
+    m: &MetricSpace,
+    eps: Eps,
+    naming: &Naming,
+    underlying: &ScaleFreeLabeled,
+    y: NodeId,
+    rho: Dist,
+    s_host: Dist,
+    log2_n: u32,
+) -> Facility {
+    // Find H(y, k): minimal j, then minimal (d(y,c), c), with
+    //   (1) d(y,c) + r_c(j) ≤ ρ_k + 2^{i_k}
+    //       [B inside the slightly enlarged search ball around y]
+    //   (2) d(y,c) + ρ_k ≤ r_c(j+2)
+    //       [y's search ball inside the indexed ball]
+    // — exact integer comparisons; inactive centers never qualify.
+    for j in 0..=log2_n {
+        let packing = underlying.packings().at(j);
+        let mut best: Option<(u64, NodeId, u32)> = None;
+        for (bk, b) in packing.balls().iter().enumerate() {
+            if !underlying.nets().is_active(b.center) {
+                continue;
+            }
+            let d = m.dist(y, b.center);
+            if d.saturating_add(b.radius) > rho.saturating_add(s_host) {
+                continue;
+            }
+            let r_big = m.r_small(b.center, (j + 2).min(log2_n));
+            if d.saturating_add(rho) > r_big {
+                continue;
+            }
+            if best.is_none_or(|(bd, bc, _)| (d, b.center) < (bd, bc)) {
+                best = Some((d, b.center, bk as u32));
+            }
+        }
+        if let Some((_, _, bk)) = best {
+            return Facility::Link { j, ball: bk };
+        }
+    }
+    Facility::Own(Box::new(build_own_tree(m, eps, naming, underlying, y, rho)))
+}
+
+/// Per-node search-tree storage shares (ℬ-type + own 𝒜-type), recomputed
+/// wholesale after any tree change.
+fn compute_search_bits(
+    n: usize,
+    widths: FieldWidths,
+    btrees: &[Vec<SearchTree<Label>>],
+    facility: &[Vec<Facility>],
+) -> Vec<u64> {
+    let mut search_bits = vec![0u64; n];
+    let mut tally = |tree: &SearchTree<Label>| {
+        for &v in tree.tree().nodes() {
+            search_bits[v as usize] +=
+                tree.storage_bits(v, widths.node, widths.node, |_| widths.node);
+        }
+        for (v, _) in tree.relay_nodes() {
+            if !tree.contains(v) {
+                search_bits[v as usize] += tree.relay_bits(v, widths.node);
+            }
+        }
+    };
+    for level in btrees {
+        for tree in level {
+            tally(tree);
+        }
+    }
+    for level in facility {
+        for f in level {
+            if let Facility::Own(tree) = f {
+                tally(tree);
+            }
+        }
+    }
+    search_bits
+}
 
 /// Per-(round, net point) search facility: own 𝒜-type tree, or a link to a
 /// ℬ-type tree.
@@ -119,6 +284,45 @@ impl ScaleFreeNameIndependent {
             let _s = tracer.span("underlying-labeled");
             ScaleFreeLabeled::new_traced(m, eps, tracer)?
         };
+        Ok(Self::from_underlying(m, eps, naming, underlying, tracer))
+    }
+
+    /// As [`Self::new`], but over the *active overlay* `active` only: ℬ-type
+    /// skeletons and pairs, link eligibility, and 𝒜-type balls are all
+    /// restricted to active nodes, and only active names are routable.
+    /// Physical forwarding state (rings, port routers) still spans every
+    /// node.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty, duplicated, or out-of-range `active` set, or if
+    /// `naming.n() != m.n()`.
+    pub fn new_over(
+        m: &MetricSpace,
+        eps: Eps,
+        naming: Naming,
+        active: &[NodeId],
+    ) -> Result<Self, SchemeError> {
+        assert_eq!(naming.n(), m.n(), "naming must cover the graph");
+        let underlying = ScaleFreeLabeled::new_over(m, eps, active)?;
+        Ok(Self::from_underlying(m, eps, naming, underlying, &Tracer::noop()))
+    }
+
+    /// Builds the round schedule, ℬ/𝒜 trees, links, and per-node bit shares
+    /// on top of an already-built underlying scheme. Shared by every
+    /// construction path and by whole-scheme rebuilds, so repairs are
+    /// byte-comparable to from-scratch builds.
+    fn from_underlying(
+        m: &MetricSpace,
+        eps: Eps,
+        naming: Naming,
+        underlying: ScaleFreeLabeled,
+        tracer: &Tracer,
+    ) -> Self {
         let widths = FieldWidths::new(m);
         let rounds = {
             let _s = tracer.span("round-schedule");
@@ -137,23 +341,8 @@ impl ScaleFreeNameIndependent {
                         .balls()
                         .iter()
                         .map(|ball| {
-                            let c = ball.center;
-                            let r_big = m.r_small(c, (j + 2).min(log2_n));
-                            let pairs: Vec<(u64, Label)> = m
-                                .ball(c, r_big)
-                                .iter()
-                                .map(|&(_, v)| (naming.name_of(v) as u64, underlying.label_of(v)))
-                                .collect();
-                            SearchTree::new(
-                                m,
-                                c,
-                                &ball.nodes,
-                                SearchTreeConfig {
-                                    eps_r: eps.mul_floor(ball.radius).max(1),
-                                    max_levels: None,
-                                },
-                                pairs,
-                            )
+                            let r_big = m.r_small(ball.center, (j + 2).min(log2_n));
+                            build_btree(m, eps, &naming, &underlying, ball, r_big)
                         })
                         .collect()
                 })
@@ -161,7 +350,6 @@ impl ScaleFreeNameIndependent {
         };
 
         // --- 𝒜-type trees or H(y, k) links, per round. ---
-        let nets = underlying.nets();
         let facility: Vec<Vec<Facility>> = {
             let _s = tracer.span("facility-build");
             (0..rounds.count())
@@ -169,99 +357,24 @@ impl ScaleFreeNameIndependent {
                     let rho = rounds.radius(k);
                     let host = rounds.host_level(k);
                     let s_host = m.scale(host);
-                    nets.level(host)
+                    underlying
+                        .nets()
+                        .level(host)
                         .iter()
                         .map(|&y| {
-                            // Find H(y, k): minimal j, then minimal
-                            // (d(y,c), c), with
-                            //   (1) d(y,c) + r_c(j) ≤ ρ_k + 2^{i_k}
-                            //       [B inside the slightly enlarged search
-                            //       ball around y]
-                            //   (2) d(y,c) + ρ_k ≤ r_c(j+2)
-                            //       [y's search ball inside the indexed ball]
-                            // — exact integer comparisons.
-                            let mut link: Option<(u32, u32)> = None;
-                            'levels: for j in 0..=log2_n {
-                                let packing = underlying.packings().at(j);
-                                let mut best: Option<(u64, NodeId, u32)> = None;
-                                for (bk, b) in packing.balls().iter().enumerate() {
-                                    let d = m.dist(y, b.center);
-                                    if d.saturating_add(b.radius) > rho.saturating_add(s_host) {
-                                        continue;
-                                    }
-                                    let r_big = m.r_small(b.center, (j + 2).min(log2_n));
-                                    if d.saturating_add(rho) > r_big {
-                                        continue;
-                                    }
-                                    if best.is_none_or(|(bd, bc, _)| (d, b.center) < (bd, bc)) {
-                                        best = Some((d, b.center, bk as u32));
-                                    }
-                                }
-                                if let Some((_, _, bk)) = best {
-                                    link = Some((j, bk));
-                                    break 'levels;
-                                }
-                            }
-                            match link {
-                                Some((j, ball)) => Facility::Link { j, ball },
-                                None => {
-                                    let ball: Vec<NodeId> =
-                                        m.ball(y, rho).iter().map(|&(_, x)| x).collect();
-                                    let pairs: Vec<(u64, Label)> = ball
-                                        .iter()
-                                        .map(|&v| {
-                                            (naming.name_of(v) as u64, underlying.label_of(v))
-                                        })
-                                        .collect();
-                                    let tree = SearchTree::new(
-                                        m,
-                                        y,
-                                        &ball,
-                                        SearchTreeConfig {
-                                            eps_r: eps.mul_floor(rho).max(1),
-                                            max_levels: None,
-                                        },
-                                        pairs,
-                                    );
-                                    Facility::Own(Box::new(tree))
-                                }
-                            }
+                            compute_facility(m, eps, &naming, &underlying, y, rho, s_host, log2_n)
                         })
                         .collect()
                 })
                 .collect()
         };
 
-        // --- Per-node search-tree storage shares (ℬ-type + own 𝒜-type). ---
-        let mut search_bits = vec![0u64; m.n()];
-        {
+        let search_bits = {
             let _s = tracer.span("table-assembly");
-            let mut tally = |tree: &SearchTree<Label>| {
-                for &v in tree.tree().nodes() {
-                    search_bits[v as usize] +=
-                        tree.storage_bits(v, widths.node, widths.node, |_| widths.node);
-                }
-                for (v, _) in tree.relay_nodes() {
-                    if !tree.contains(v) {
-                        search_bits[v as usize] += tree.relay_bits(v, widths.node);
-                    }
-                }
-            };
-            for level in &btrees {
-                for tree in level {
-                    tally(tree);
-                }
-            }
-            for level in &facility {
-                for f in level {
-                    if let Facility::Own(tree) = f {
-                        tally(tree);
-                    }
-                }
-            }
-        }
+            compute_search_bits(m.n(), widths, &btrees, &facility)
+        };
 
-        Ok(ScaleFreeNameIndependent {
+        ScaleFreeNameIndependent {
             underlying,
             naming,
             widths,
@@ -269,7 +382,129 @@ impl ScaleFreeNameIndependent {
             btrees,
             facility,
             search_bits,
-        })
+        }
+    }
+
+    /// Incrementally repairs the scheme after `batch` joins and leaves.
+    ///
+    /// The underlying scale-free labeled scheme repairs first. A ℬ-type
+    /// tree is rebuilt only when its indexed ball `B_c(r_big)` was touched
+    /// by some churned node (this covers the skeleton and the center's own
+    /// activity); untouched ℬ-trees re-store their renumbered pairs. If no
+    /// churned node is a packing center, facility *decisions* are provably
+    /// stable — kept links are copied, kept own trees are rebuilt only when
+    /// their ball `B_y(ρ_k)` was touched and refreshed otherwise; if a
+    /// packing center churned, every facility is re-decided from scratch.
+    /// Search-bit shares are recomputed wholesale. The result is
+    /// byte-identical to [`Self::new_over`] on the post-churn active set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is invalid against the current active set.
+    pub fn repair(
+        &mut self,
+        m: &MetricSpace,
+        batch: &ChurnBatch,
+        budget: &NetRepairBudget,
+    ) -> (NetRepair, RingRepair, TreeRepair) {
+        let log2_n = m.log2_n();
+        let eps = self.underlying.eps();
+        let old_hosts: Vec<Vec<NodeId>> = (0..self.rounds.count())
+            .map(|k| self.underlying.nets().level(self.rounds.host_level(k)).to_vec())
+            .collect();
+        let (net, rr, cells_refreshed) = self.underlying.repair(m, batch, budget);
+
+        let changed = batch.changed();
+        let mut tr = TreeRepair { rebuilt: 0, refreshed: cells_refreshed };
+
+        // ℬ-type trees: the packing is physical, so the tree list shape is
+        // static; only contents react to churn.
+        for j in 0..=log2_n {
+            for bk in 0..self.underlying.packings().at(j).balls().len() {
+                let ball = &self.underlying.packings().at(j).balls()[bk];
+                let c = ball.center;
+                let r_big = m.r_small(c, (j + 2).min(log2_n));
+                if changed.iter().any(|&v| m.dist(v, c) <= r_big) {
+                    self.btrees[j as usize][bk] =
+                        build_btree(m, eps, &self.naming, &self.underlying, ball, r_big);
+                    tr.rebuilt += 1;
+                } else {
+                    let pairs = btree_pairs(m, &self.naming, &self.underlying, c, r_big);
+                    self.btrees[j as usize][bk].refresh_pairs(pairs);
+                    tr.refreshed += 1;
+                }
+            }
+        }
+
+        // Facility decisions are invariant under churn that avoids packing
+        // centers: eligibility depends only on physical distances/radii and
+        // the centers' activity.
+        let centers_touched = changed.iter().any(|&v| {
+            (0..=log2_n)
+                .any(|j| self.underlying.packings().at(j).balls().iter().any(|b| b.center == v))
+        });
+        #[allow(clippy::needless_range_loop)] // k also indexes self.facility
+        for k in 0..self.rounds.count() {
+            let rho = self.rounds.radius(k);
+            let host = self.rounds.host_level(k);
+            let s_host = m.scale(host);
+            let hosts = self.underlying.nets().level(host).to_vec();
+            let mut old: Vec<Option<Facility>> =
+                std::mem::take(&mut self.facility[k]).into_iter().map(Some).collect();
+            self.facility[k] = hosts
+                .iter()
+                .map(|&y| {
+                    let prev = if centers_touched {
+                        None
+                    } else {
+                        old_hosts[k].binary_search(&y).ok().and_then(|j| old[j].take())
+                    };
+                    match prev {
+                        Some(Facility::Link { j, ball }) => Facility::Link { j, ball },
+                        Some(Facility::Own(mut tree)) => {
+                            if changed.iter().any(|&v| m.dist(v, y) <= rho) {
+                                tr.rebuilt += 1;
+                                Facility::Own(Box::new(build_own_tree(
+                                    m,
+                                    eps,
+                                    &self.naming,
+                                    &self.underlying,
+                                    y,
+                                    rho,
+                                )))
+                            } else {
+                                // Ball ∩ active unchanged: keep the skeleton,
+                                // re-store the renumbered labels.
+                                let pairs =
+                                    pairs_for(&self.naming, &self.underlying, tree.tree().nodes());
+                                tree.refresh_pairs(pairs);
+                                tr.refreshed += 1;
+                                Facility::Own(tree)
+                            }
+                        }
+                        None => {
+                            let f = compute_facility(
+                                m,
+                                eps,
+                                &self.naming,
+                                &self.underlying,
+                                y,
+                                rho,
+                                s_host,
+                                log2_n,
+                            );
+                            if matches!(f, Facility::Own(_)) {
+                                tr.rebuilt += 1;
+                            }
+                            f
+                        }
+                    }
+                })
+                .collect();
+        }
+
+        self.search_bits = compute_search_bits(m.n(), self.widths, &self.btrees, &self.facility);
+        (net, rr, tr)
     }
 
     /// The underlying scale-free labeled scheme.
@@ -460,6 +695,47 @@ impl Certifiable for ScaleFreeNameIndependent {
     }
 }
 
+impl netsim::maintain::Maintainable for ScaleFreeNameIndependent {
+    fn maintain_name(&self) -> &'static str {
+        "scale-free-name-independent"
+    }
+
+    fn active_nodes(&self) -> Vec<NodeId> {
+        self.underlying.nets().active_nodes().to_vec()
+    }
+
+    fn repair(
+        &mut self,
+        m: &MetricSpace,
+        batch: &ChurnBatch,
+        budget: &NetRepairBudget,
+    ) -> netsim::maintain::RepairStats {
+        // Inherent `repair` takes precedence over the trait method here.
+        let (net, rr, tr) = self.repair(m, batch, budget);
+        netsim::maintain::RepairStats {
+            net,
+            rings_rebuilt: rr.rebuilt,
+            rings_refreshed: rr.refreshed,
+            trees_rebuilt: tr.rebuilt,
+            trees_refreshed: tr.refreshed,
+        }
+    }
+
+    fn rebuild(&mut self, m: &MetricSpace, active: &[NodeId]) {
+        *self = ScaleFreeNameIndependent::new_over(
+            m,
+            self.underlying.eps(),
+            self.naming.clone(),
+            active,
+        )
+        .expect("eps validated at construction");
+    }
+
+    fn total_table_bits(&self) -> u64 {
+        (0..self.naming.n() as NodeId).map(|u| NameIndependentScheme::table_bits(self, u)).sum()
+    }
+}
+
 impl netsim::recovery::FallbackHierarchy for ScaleFreeNameIndependent {
     /// The underlying labeled scheme's net hierarchy: a fallback re-issues
     /// the name lookup from a coarser net center, whose hash-table rounds
@@ -573,5 +849,39 @@ mod tests {
         let s = ScaleFreeNameIndependent::new(&m, Eps::one_over(4), Naming::identity(9)).unwrap();
         let r = s.route(&m, 5, 5).unwrap();
         assert_eq!(r.cost, 0);
+    }
+
+    #[test]
+    fn new_over_all_equals_new_and_repair_matches_rebuild() {
+        let m = MetricSpace::new(&gen::grid(5, 5));
+        let eps = Eps::one_over(8);
+        let naming = Naming::random(25, 4);
+        let all: Vec<NodeId> = (0..25).collect();
+        let mut s = ScaleFreeNameIndependent::new_over(&m, eps, naming.clone(), &all).unwrap();
+        assert_eq!(s, ScaleFreeNameIndependent::new(&m, eps, naming.clone()).unwrap());
+
+        use doubling_metric::nets::{ChurnBatch, NetRepairBudget};
+        let mut active = [true; 25];
+        let budget = NetRepairBudget::unbounded();
+        for (joins, leaves) in
+            [(vec![], vec![6u32, 18, 0]), (vec![6u32, 0], vec![20, 21]), (vec![21u32], vec![2, 3])]
+        {
+            let batch = ChurnBatch::new(joins, leaves);
+            s.repair(&m, &batch, &budget);
+            for &v in &batch.joins {
+                active[v as usize] = true;
+            }
+            for &v in &batch.leaves {
+                active[v as usize] = false;
+            }
+            let ids: Vec<NodeId> = (0..25u32).filter(|&v| active[v as usize]).collect();
+            let fresh = ScaleFreeNameIndependent::new_over(&m, eps, naming.clone(), &ids).unwrap();
+            assert_eq!(s, fresh, "repair must be byte-identical to rebuild");
+            for (a, b) in [(0usize, ids.len() - 1), (1, ids.len() / 2), (2, ids.len() - 2)] {
+                let (u, v) = (ids[a], ids[b]);
+                let r = s.route(&m, u, naming.name_of(v)).unwrap();
+                assert_eq!(r.dst, v);
+            }
+        }
     }
 }

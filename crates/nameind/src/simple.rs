@@ -21,11 +21,14 @@
 //! `(1/ε)^{O(α)}·log Δ·log n` bits.
 
 use doubling_metric::graph::NodeId;
+use doubling_metric::nets::{ChurnBatch, NetRepair, NetRepairBudget};
 use doubling_metric::space::MetricSpace;
 use doubling_metric::Eps;
 
+use labeled_routing::rings::RingRepair;
 use labeled_routing::{NetLabeled, SchemeError};
 use netsim::bits::{BitTally, FieldWidths, TableComponent};
+use netsim::maintain::TreeRepair;
 use netsim::naming::Naming;
 use netsim::route::{Route, RouteError, RouteRecorder};
 use netsim::scheme::{Certifiable, Label, LabeledScheme, Name, NameIndependentScheme};
@@ -33,6 +36,62 @@ use obs::Tracer;
 use searchtree::{SearchTree, SearchTreeConfig};
 
 use crate::rounds::Rounds;
+
+/// The `(name, label)` pairs a search tree stores for the given (active)
+/// ball nodes. Keys are names, so the store order is irrelevant.
+fn tree_pairs(naming: &Naming, underlying: &NetLabeled, ball: &[NodeId]) -> Vec<(u64, Label)> {
+    ball.iter().map(|&v| (naming.name_of(v) as u64, underlying.label_of(v))).collect()
+}
+
+/// Builds the round search tree `T(y, radius)` over the *active* part of
+/// `B_y(radius)`.
+fn build_tree(
+    m: &MetricSpace,
+    eps: Eps,
+    naming: &Naming,
+    underlying: &NetLabeled,
+    y: NodeId,
+    radius: doubling_metric::graph::Dist,
+) -> SearchTree<Label> {
+    let ball: Vec<NodeId> = m
+        .ball(y, radius)
+        .iter()
+        .map(|&(_, x)| x)
+        .filter(|&x| underlying.nets().is_active(x))
+        .collect();
+    let pairs = tree_pairs(naming, underlying, &ball);
+    SearchTree::new(
+        m,
+        y,
+        &ball,
+        SearchTreeConfig { eps_r: eps.mul_floor(radius).max(1), max_levels: None },
+        pairs,
+    )
+}
+
+/// Per-node search-tree storage shares (bits), recomputed wholesale after
+/// any tree change.
+fn compute_search_bits(
+    n: usize,
+    widths: FieldWidths,
+    trees: &[Vec<SearchTree<Label>>],
+) -> Vec<u64> {
+    let mut search_bits = vec![0u64; n];
+    for level in trees {
+        for tree in level {
+            for &v in tree.tree().nodes() {
+                search_bits[v as usize] +=
+                    tree.storage_bits(v, widths.node, widths.node, |_| widths.node);
+            }
+            for (v, _) in tree.relay_nodes() {
+                if !tree.contains(v) {
+                    search_bits[v as usize] += tree.relay_bits(v, widths.node);
+                }
+            }
+        }
+    }
+    search_bits
+}
 
 /// The `(9+O(ε))`-stretch non-scale-free name-independent scheme.
 ///
@@ -104,6 +163,45 @@ impl SimpleNameIndependent {
             let _s = tracer.span("underlying-labeled");
             NetLabeled::new_traced(m, eps, tracer)?
         };
+        Ok(Self::from_underlying(m, eps, naming, underlying, tracer))
+    }
+
+    /// As [`Self::new`], but over the *active overlay* `active` only: trees
+    /// are hosted by active net points and index active nodes only, and
+    /// routes may only target active names. Physical forwarding state (the
+    /// underlying rings) still spans every node, so inactive nodes forward
+    /// but are invisible to name lookups.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty, duplicated, or out-of-range `active` set, or if
+    /// `naming.n() != m.n()`.
+    pub fn new_over(
+        m: &MetricSpace,
+        eps: Eps,
+        naming: Naming,
+        active: &[NodeId],
+    ) -> Result<Self, SchemeError> {
+        assert_eq!(naming.n(), m.n(), "naming must cover the graph");
+        let underlying = NetLabeled::new_over(m, eps, active)?;
+        Ok(Self::from_underlying(m, eps, naming, underlying, &Tracer::noop()))
+    }
+
+    /// Builds the round schedule, search trees, and per-node bit shares on
+    /// top of an already-built underlying scheme. Shared by every
+    /// construction path and by whole-scheme rebuilds, so repairs are
+    /// byte-comparable to from-scratch builds.
+    fn from_underlying(
+        m: &MetricSpace,
+        eps: Eps,
+        naming: Naming,
+        underlying: NetLabeled,
+        tracer: &Tracer,
+    ) -> Self {
         let widths = FieldWidths::new(m);
         let rounds = {
             let _s = tracer.span("round-schedule");
@@ -119,48 +217,83 @@ impl SimpleNameIndependent {
                         .nets()
                         .level(rounds.host_level(k))
                         .iter()
-                        .map(|&y| {
-                            let ball: Vec<NodeId> =
-                                m.ball(y, radius).iter().map(|&(_, x)| x).collect();
-                            let pairs: Vec<(u64, Label)> = ball
-                                .iter()
-                                .map(|&v| (naming.name_of(v) as u64, underlying.label_of(v)))
-                                .collect();
-                            SearchTree::new(
-                                m,
-                                y,
-                                &ball,
-                                SearchTreeConfig {
-                                    eps_r: eps.mul_floor(radius).max(1),
-                                    max_levels: None,
-                                },
-                                pairs,
-                            )
-                        })
+                        .map(|&y| build_tree(m, eps, &naming, &underlying, y, radius))
                         .collect()
                 })
                 .collect()
         };
 
-        let mut search_bits = vec![0u64; m.n()];
-        {
+        let search_bits = {
             let _s = tracer.span("table-assembly");
-            for level in &trees {
-                for tree in level {
-                    for &v in tree.tree().nodes() {
-                        search_bits[v as usize] +=
-                            tree.storage_bits(v, widths.node, widths.node, |_| widths.node);
-                    }
-                    for (v, _) in tree.relay_nodes() {
-                        if !tree.contains(v) {
-                            search_bits[v as usize] += tree.relay_bits(v, widths.node);
+            compute_search_bits(m.n(), widths, &trees)
+        };
+
+        SimpleNameIndependent { underlying, naming, eps, widths, rounds, trees, search_bits }
+    }
+
+    /// Incrementally repairs the scheme after `batch` joins and leaves.
+    ///
+    /// The underlying labeled scheme repairs first; then, per round, a
+    /// host's search tree is fully rebuilt only when its ball was touched —
+    /// some churned node sits within the round radius — or when the host
+    /// itself is new to the level. Untouched trees keep their skeleton and
+    /// only re-store the `(name, label)` pairs (labels are renumbered by
+    /// every hierarchy repair). Search-bit shares are recomputed wholesale.
+    /// The result is byte-identical to [`Self::new_over`] on the post-churn
+    /// active set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is invalid against the current active set.
+    pub fn repair(
+        &mut self,
+        m: &MetricSpace,
+        batch: &ChurnBatch,
+        budget: &NetRepairBudget,
+    ) -> (NetRepair, RingRepair, TreeRepair) {
+        let old_hosts: Vec<Vec<NodeId>> = (0..self.rounds.count())
+            .map(|k| self.underlying.nets().level(self.rounds.host_level(k)).to_vec())
+            .collect();
+        let (net, rr) = self.underlying.repair(m, batch, budget);
+
+        let changed = batch.changed();
+        let mut tr = TreeRepair::default();
+        #[allow(clippy::needless_range_loop)] // k also indexes self.trees
+        for k in 0..self.rounds.count() {
+            let radius = self.rounds.radius(k);
+            let hosts = self.underlying.nets().level(self.rounds.host_level(k)).to_vec();
+            let mut old: Vec<Option<SearchTree<Label>>> =
+                std::mem::take(&mut self.trees[k]).into_iter().map(Some).collect();
+            self.trees[k] = hosts
+                .iter()
+                .map(|&y| {
+                    let kept = old_hosts[k]
+                        .binary_search(&y)
+                        .ok()
+                        .and_then(|j| old[j].take())
+                        .filter(|_| !changed.iter().any(|&c| m.dist(y, c) <= radius));
+                    match kept {
+                        Some(mut tree) => {
+                            // Ball ∩ active is unchanged: keep the skeleton,
+                            // re-store the renumbered labels.
+                            tree.refresh_pairs(tree_pairs(
+                                &self.naming,
+                                &self.underlying,
+                                tree.tree().nodes(),
+                            ));
+                            tr.refreshed += 1;
+                            tree
+                        }
+                        None => {
+                            tr.rebuilt += 1;
+                            build_tree(m, self.eps, &self.naming, &self.underlying, y, radius)
                         }
                     }
-                }
-            }
+                })
+                .collect();
         }
-
-        Ok(SimpleNameIndependent { underlying, naming, eps, widths, rounds, trees, search_bits })
+        self.search_bits = compute_search_bits(m.n(), self.widths, &self.trees);
+        (net, rr, tr)
     }
 
     /// The underlying labeled scheme.
@@ -282,6 +415,42 @@ impl Certifiable for SimpleNameIndependent {
     }
 }
 
+impl netsim::maintain::Maintainable for SimpleNameIndependent {
+    fn maintain_name(&self) -> &'static str {
+        "simple-name-independent"
+    }
+
+    fn active_nodes(&self) -> Vec<NodeId> {
+        self.underlying.nets().active_nodes().to_vec()
+    }
+
+    fn repair(
+        &mut self,
+        m: &MetricSpace,
+        batch: &ChurnBatch,
+        budget: &NetRepairBudget,
+    ) -> netsim::maintain::RepairStats {
+        // Inherent `repair` takes precedence over the trait method here.
+        let (net, rr, tr) = self.repair(m, batch, budget);
+        netsim::maintain::RepairStats {
+            net,
+            rings_rebuilt: rr.rebuilt,
+            rings_refreshed: rr.refreshed,
+            trees_rebuilt: tr.rebuilt,
+            trees_refreshed: tr.refreshed,
+        }
+    }
+
+    fn rebuild(&mut self, m: &MetricSpace, active: &[NodeId]) {
+        *self = SimpleNameIndependent::new_over(m, self.eps, self.naming.clone(), active)
+            .expect("eps validated at construction");
+    }
+
+    fn total_table_bits(&self) -> u64 {
+        (0..self.naming.n() as NodeId).map(|u| self.table_bits(u)).sum()
+    }
+}
+
 impl netsim::recovery::FallbackHierarchy for SimpleNameIndependent {
     /// The underlying labeled scheme's net hierarchy: a fallback re-issues
     /// the name lookup from a coarser net center, whose ball tables cover
@@ -398,6 +567,41 @@ mod tests {
             assert_eq!(*labels.last().unwrap(), "final", "route must end with the final leg");
             for l in &labels {
                 assert!(["zoom", "search", "final"].contains(l));
+            }
+        }
+    }
+
+    #[test]
+    fn new_over_all_equals_new_and_repair_matches_rebuild() {
+        let m = MetricSpace::new(&gen::grid(6, 6));
+        let eps = Eps::one_over(8);
+        let naming = Naming::random(36, 5);
+        let all: Vec<NodeId> = (0..36).collect();
+        let mut s = SimpleNameIndependent::new_over(&m, eps, naming.clone(), &all).unwrap();
+        assert_eq!(s, SimpleNameIndependent::new(&m, eps, naming.clone()).unwrap());
+
+        use doubling_metric::nets::{ChurnBatch, NetRepairBudget};
+        let mut active = [true; 36];
+        let budget = NetRepairBudget::unbounded();
+        for (joins, leaves) in
+            [(vec![], vec![7u32, 21, 0]), (vec![7u32, 0], vec![30, 31]), (vec![31u32], vec![2, 3])]
+        {
+            let batch = ChurnBatch::new(joins, leaves);
+            s.repair(&m, &batch, &budget);
+            for &v in &batch.joins {
+                active[v as usize] = true;
+            }
+            for &v in &batch.leaves {
+                active[v as usize] = false;
+            }
+            let ids: Vec<NodeId> = (0..36u32).filter(|&v| active[v as usize]).collect();
+            let fresh = SimpleNameIndependent::new_over(&m, eps, naming.clone(), &ids).unwrap();
+            assert_eq!(s, fresh, "repair must be byte-identical to rebuild");
+            // Active-pair routes still deliver with the repaired tables.
+            for (a, b) in [(0usize, ids.len() - 1), (1, ids.len() / 2), (2, ids.len() - 2)] {
+                let (u, v) = (ids[a], ids[b]);
+                let r = s.route(&m, u, naming.name_of(v)).unwrap();
+                assert_eq!(r.dst, v);
             }
         }
     }

@@ -62,6 +62,128 @@ use doubling_metric::space::MetricSpace;
 use crate::json::Value;
 use crate::route::{Route, RouteError, RouteRecorder};
 
+/// Why a [`FaultTimeline`] schedule is invalid.
+///
+/// Produced by [`FaultTimeline::new`]; [`FaultTimeline::from_json`] wraps
+/// it in [`FaultJsonError::InvalidTimeline`] when a decoded document
+/// parses but fails these semantic checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimelineError {
+    /// The epoch list is empty — a timeline needs at least one plan.
+    NoEpochs,
+    /// More than one epoch was given with `hops_per_epoch == 0`, so the
+    /// later epochs could never activate.
+    ZeroHopsPerEpoch,
+    /// Consecutive epochs cover different node counts.
+    NodeCountMismatch {
+        /// Node count of the earlier epoch in the offending pair.
+        prev: usize,
+        /// Node count of the later epoch.
+        next: usize,
+    },
+    /// A casualty of an earlier epoch is alive again in a later one;
+    /// failures must accumulate, nothing resurrects.
+    NotCumulative {
+        /// Index of the later epoch that dropped a casualty.
+        epoch: usize,
+    },
+}
+
+impl std::fmt::Display for TimelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TimelineError::NoEpochs => write!(f, "timeline needs at least one epoch"),
+            TimelineError::ZeroHopsPerEpoch => {
+                write!(f, "multi-epoch timeline needs hops_per_epoch >= 1")
+            }
+            TimelineError::NodeCountMismatch { prev, next } => {
+                write!(f, "timeline epochs cover different node counts ({prev} then {next})")
+            }
+            TimelineError::NotCumulative { epoch } => {
+                write!(
+                    f,
+                    "timeline epoch {epoch} resurrects a casualty of the epoch before it \
+                     (failures must be cumulative)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TimelineError {}
+
+/// Why a fault JSON document failed to decode.
+///
+/// Produced by [`FaultPlan::from_json`] and [`FaultTimeline::from_json`].
+/// Structural problems (missing fields, wrong shapes, out-of-range ids)
+/// get their own variants; a document that parses but encodes an invalid
+/// schedule surfaces as [`FaultJsonError::InvalidTimeline`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultJsonError {
+    /// A required field is missing or has the wrong JSON type.
+    MissingField {
+        /// Name of the absent or mistyped field.
+        field: &'static str,
+    },
+    /// An entry of `dead_nodes` is not a non-negative integer.
+    NodeNotIntegral,
+    /// A dead node id is outside `0..n`.
+    NodeOutOfRange {
+        /// The offending node id as written in the document.
+        node: u64,
+        /// The plan's node count.
+        n: usize,
+    },
+    /// An entry of `dead_edges` is not a two-element `[u, v]` array of
+    /// non-negative integers.
+    MalformedEdge,
+    /// A dead edge names an endpoint outside `0..n`.
+    EdgeOutOfRange {
+        /// First endpoint as written in the document.
+        u: u64,
+        /// Second endpoint.
+        v: u64,
+        /// The plan's node count.
+        n: usize,
+    },
+    /// The decoded epochs do not form a valid [`FaultTimeline`].
+    InvalidTimeline(TimelineError),
+}
+
+impl std::fmt::Display for FaultJsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultJsonError::MissingField { field } => {
+                write!(f, "fault JSON missing or mistyped field `{field}`")
+            }
+            FaultJsonError::NodeNotIntegral => write!(f, "dead node is not integral"),
+            FaultJsonError::NodeOutOfRange { node, n } => {
+                write!(f, "dead node {node} out of range (n = {n})")
+            }
+            FaultJsonError::MalformedEdge => write!(f, "dead edge is not a [u, v] pair"),
+            FaultJsonError::EdgeOutOfRange { u, v, n } => {
+                write!(f, "dead edge ({u}, {v}) out of range (n = {n})")
+            }
+            FaultJsonError::InvalidTimeline(e) => write!(f, "decoded timeline is invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FaultJsonError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FaultJsonError::InvalidTimeline(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TimelineError> for FaultJsonError {
+    fn from(e: TimelineError) -> Self {
+        FaultJsonError::InvalidTimeline(e)
+    }
+}
+
 /// A set of failed nodes and edges to inject into routing.
 ///
 /// The plan is independent of any scheme: the same plan can be applied to
@@ -262,36 +384,37 @@ impl FaultPlan {
     ///
     /// # Errors
     ///
-    /// Returns a message if the document has the wrong shape or names a
-    /// node outside `0..n`.
-    pub fn from_json(v: &Value) -> Result<Self, String> {
-        let n = v.get("n").and_then(Value::as_u64).ok_or("fault plan JSON missing integral `n`")?
-            as usize;
+    /// A [`FaultJsonError`] naming the structural problem: a missing or
+    /// mistyped field, a malformed edge pair, or an id outside `0..n`.
+    pub fn from_json(v: &Value) -> Result<Self, FaultJsonError> {
+        let n =
+            v.get("n").and_then(Value::as_u64).ok_or(FaultJsonError::MissingField { field: "n" })?
+                as usize;
         let mut plan = FaultPlan::none(n);
         let nodes = v
             .get("dead_nodes")
             .and_then(Value::as_array)
-            .ok_or("fault plan JSON missing `dead_nodes` array")?;
+            .ok_or(FaultJsonError::MissingField { field: "dead_nodes" })?;
         for x in nodes {
-            let node = x.as_u64().ok_or("dead node is not integral")?;
+            let node = x.as_u64().ok_or(FaultJsonError::NodeNotIntegral)?;
             if node as usize >= n {
-                return Err(format!("dead node {node} out of range (n = {n})"));
+                return Err(FaultJsonError::NodeOutOfRange { node, n });
             }
             plan.kill_node(node as NodeId);
         }
         let edges = v
             .get("dead_edges")
             .and_then(Value::as_array)
-            .ok_or("fault plan JSON missing `dead_edges` array")?;
+            .ok_or(FaultJsonError::MissingField { field: "dead_edges" })?;
         for e in edges {
-            let pair = e.as_array().ok_or("dead edge is not an array")?;
+            let pair = e.as_array().ok_or(FaultJsonError::MalformedEdge)?;
             if pair.len() != 2 {
-                return Err("dead edge is not a [u, v] pair".into());
+                return Err(FaultJsonError::MalformedEdge);
             }
-            let u = pair[0].as_u64().ok_or("dead edge endpoint is not integral")?;
-            let w = pair[1].as_u64().ok_or("dead edge endpoint is not integral")?;
+            let u = pair[0].as_u64().ok_or(FaultJsonError::MalformedEdge)?;
+            let w = pair[1].as_u64().ok_or(FaultJsonError::MalformedEdge)?;
             if u as usize >= n || w as usize >= n {
-                return Err(format!("dead edge ({u}, {w}) out of range (n = {n})"));
+                return Err(FaultJsonError::EdgeOutOfRange { u, v: w, n });
             }
             plan.kill_edge(u as NodeId, w as NodeId);
         }
@@ -331,19 +454,19 @@ impl FaultTimeline {
     /// Rejects an empty epoch list, a multi-epoch schedule with
     /// `hops_per_epoch == 0`, epochs covering different node counts, and
     /// non-cumulative epochs (a casualty that resurrects).
-    pub fn new(epochs: Vec<FaultPlan>, hops_per_epoch: usize) -> Result<Self, String> {
+    pub fn new(epochs: Vec<FaultPlan>, hops_per_epoch: usize) -> Result<Self, TimelineError> {
         if epochs.is_empty() {
-            return Err("timeline needs at least one epoch".into());
+            return Err(TimelineError::NoEpochs);
         }
         if epochs.len() > 1 && hops_per_epoch == 0 {
-            return Err("multi-epoch timeline needs hops_per_epoch >= 1".into());
+            return Err(TimelineError::ZeroHopsPerEpoch);
         }
-        for w in epochs.windows(2) {
+        for (i, w) in epochs.windows(2).enumerate() {
             if w[0].n() != w[1].n() {
-                return Err("timeline epochs cover different node counts".into());
+                return Err(TimelineError::NodeCountMismatch { prev: w[0].n(), next: w[1].n() });
             }
             if !w[0].is_subset_of(&w[1]) {
-                return Err("timeline epochs must be cumulative (failures never resurrect)".into());
+                return Err(TimelineError::NotCumulative { epoch: i + 1 });
             }
         }
         Ok(FaultTimeline { epochs, hops_per_epoch })
@@ -438,21 +561,23 @@ impl FaultTimeline {
     ///
     /// # Errors
     ///
-    /// As [`FaultPlan::from_json`] plus the [`FaultTimeline::new`]
-    /// validity checks.
-    pub fn from_json(v: &Value) -> Result<Self, String> {
-        let hops_per_epoch =
-            v.get("hops_per_epoch")
-                .and_then(Value::as_u64)
-                .ok_or("timeline JSON missing integral `hops_per_epoch`")? as usize;
+    /// As [`FaultPlan::from_json`] for each epoch, plus
+    /// [`FaultJsonError::InvalidTimeline`] when the decoded epochs fail
+    /// the [`FaultTimeline::new`] validity checks.
+    pub fn from_json(v: &Value) -> Result<Self, FaultJsonError> {
+        let hops_per_epoch = v
+            .get("hops_per_epoch")
+            .and_then(Value::as_u64)
+            .ok_or(FaultJsonError::MissingField { field: "hops_per_epoch" })?
+            as usize;
         let epochs = v
             .get("epochs")
             .and_then(Value::as_array)
-            .ok_or("timeline JSON missing `epochs` array")?
+            .ok_or(FaultJsonError::MissingField { field: "epochs" })?
             .iter()
             .map(FaultPlan::from_json)
             .collect::<Result<Vec<_>, _>>()?;
-        FaultTimeline::new(epochs, hops_per_epoch)
+        Ok(FaultTimeline::new(epochs, hops_per_epoch)?)
     }
 }
 
@@ -645,6 +770,97 @@ mod tests {
         // Out-of-range nodes are rejected, not silently dropped.
         let bad = Value::parse(r#"{"n": 2, "dead_nodes": [5], "dead_edges": []}"#).unwrap();
         assert!(FaultPlan::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn plan_json_errors_are_structured() {
+        let parse = |s: &str| FaultPlan::from_json(&Value::parse(s).unwrap());
+        assert_eq!(
+            parse(r#"{"dead_nodes": [], "dead_edges": []}"#),
+            Err(FaultJsonError::MissingField { field: "n" })
+        );
+        assert_eq!(
+            parse(r#"{"n": 3, "dead_edges": []}"#),
+            Err(FaultJsonError::MissingField { field: "dead_nodes" })
+        );
+        assert_eq!(
+            parse(r#"{"n": 3, "dead_nodes": [], "dead_edges": 7}"#),
+            Err(FaultJsonError::MissingField { field: "dead_edges" })
+        );
+        assert_eq!(
+            parse(r#"{"n": 3, "dead_nodes": ["x"], "dead_edges": []}"#),
+            Err(FaultJsonError::NodeNotIntegral)
+        );
+        assert_eq!(
+            parse(r#"{"n": 2, "dead_nodes": [5], "dead_edges": []}"#),
+            Err(FaultJsonError::NodeOutOfRange { node: 5, n: 2 })
+        );
+        assert_eq!(
+            parse(r#"{"n": 3, "dead_nodes": [], "dead_edges": [[0, 1, 2]]}"#),
+            Err(FaultJsonError::MalformedEdge)
+        );
+        assert_eq!(
+            parse(r#"{"n": 3, "dead_nodes": [], "dead_edges": [[0, 9]]}"#),
+            Err(FaultJsonError::EdgeOutOfRange { u: 0, v: 9, n: 3 })
+        );
+        // Every variant renders a human-readable message.
+        let e = FaultJsonError::EdgeOutOfRange { u: 0, v: 9, n: 3 };
+        assert!(e.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn timeline_json_errors_are_structured() {
+        let parse = |s: &str| FaultTimeline::from_json(&Value::parse(s).unwrap());
+        assert_eq!(
+            parse(r#"{"epochs": []}"#),
+            Err(FaultJsonError::MissingField { field: "hops_per_epoch" })
+        );
+        assert_eq!(
+            parse(r#"{"hops_per_epoch": 2}"#),
+            Err(FaultJsonError::MissingField { field: "epochs" })
+        );
+        // Structural plan errors surface from the inner decode...
+        assert_eq!(
+            parse(r#"{"hops_per_epoch": 2, "epochs": [{"n": 1}]}"#),
+            Err(FaultJsonError::MissingField { field: "dead_nodes" })
+        );
+        // ...and a well-formed but semantically invalid schedule wraps the
+        // TimelineError, reachable through Error::source.
+        let bad = parse(
+            r#"{"hops_per_epoch": 2, "epochs": [
+                {"n": 3, "dead_nodes": [1], "dead_edges": []},
+                {"n": 3, "dead_nodes": [], "dead_edges": []}]}"#,
+        );
+        assert_eq!(
+            bad,
+            Err(FaultJsonError::InvalidTimeline(TimelineError::NotCumulative { epoch: 1 }))
+        );
+        let err = bad.unwrap_err();
+        assert!(std::error::Error::source(&err).is_some());
+        assert_eq!(
+            parse(r#"{"hops_per_epoch": 2, "epochs": []}"#),
+            Err(FaultJsonError::InvalidTimeline(TimelineError::NoEpochs))
+        );
+    }
+
+    #[test]
+    fn timeline_construction_errors_are_structured() {
+        let a = FaultPlan::none(4);
+        let mut b = FaultPlan::none(4);
+        b.kill_node(1);
+        assert_eq!(FaultTimeline::new(vec![], 2), Err(TimelineError::NoEpochs));
+        assert_eq!(
+            FaultTimeline::new(vec![a.clone(), b.clone()], 0),
+            Err(TimelineError::ZeroHopsPerEpoch)
+        );
+        assert_eq!(
+            FaultTimeline::new(vec![FaultPlan::none(3), a.clone()], 1),
+            Err(TimelineError::NodeCountMismatch { prev: 3, next: 4 })
+        );
+        assert_eq!(
+            FaultTimeline::new(vec![b, a], 2),
+            Err(TimelineError::NotCumulative { epoch: 1 })
+        );
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod baseline;
 pub mod bits;
 pub mod faults;
 pub mod json;
+pub mod maintain;
 pub mod naming;
 pub mod recovery;
 pub mod route;
@@ -48,6 +49,10 @@ pub mod scheme;
 pub mod stats;
 
 pub use bits::{FieldWidths, TableComponent};
+pub use maintain::{
+    BatchAction, BatchReport, MaintainError, Maintainable, Maintainer, MaintainerConfig,
+    RepairStats,
+};
 pub use naming::Naming;
 pub use recovery::{
     DeliveryOutcome, FallbackHierarchy, LossReason, RecoveryEvent, RecoveryPolicy, ResilientRouter,

@@ -334,6 +334,7 @@ pub struct ResilientRouter<'a, S> {
     policy: RecoveryPolicy,
     nets: Option<&'a NetHierarchy>,
     oracle: Option<&'a dyn doubling_metric::DistanceProvider>,
+    hop_budget: Option<usize>,
 }
 
 impl<'a, S> ResilientRouter<'a, S> {
@@ -344,13 +345,25 @@ impl<'a, S> ResilientRouter<'a, S> {
         S: FallbackHierarchy,
     {
         let nets = Some(scheme.fallback_hierarchy());
-        ResilientRouter { m, scheme, policy, nets, oracle: None }
+        ResilientRouter { m, scheme, policy, nets, oracle: None, hop_budget: None }
     }
 
     /// A router with no hierarchy: [`RecoveryPolicy::LevelFallback`] has
     /// no landmarks to climb to and fails like an exhausted budget.
     pub fn without_hierarchy(m: &'a MetricSpace, scheme: &'a S, policy: RecoveryPolicy) -> Self {
-        ResilientRouter { m, scheme, policy, nets: None, oracle: None }
+        ResilientRouter { m, scheme, policy, nets: None, oracle: None, hop_budget: None }
+    }
+
+    /// Caps the *total* hops of one delivery, independent of any per-policy
+    /// TTL or climb budget: a delivery that takes more than `budget` edge
+    /// traversals is reported lost with [`LossReason::HopBudget`]. Without
+    /// this cap, only the recorder's generous `64·n + 64` loop guard
+    /// terminates a plan that cycles; a deployment-style budget makes the
+    /// loss deterministic and cheap. Arriving exactly on the budget still
+    /// counts as delivered.
+    pub fn with_hop_budget(mut self, budget: usize) -> Self {
+        self.hop_budget = Some(budget);
+        self
     }
 
     /// Takes the delivered-stretch denominator from `oracle` instead of
@@ -454,6 +467,16 @@ impl<'a, S> ResilientRouter<'a, S> {
                 match rec.hop(next) {
                     Ok(()) => {
                         hops_taken += 1;
+                        if self.hop_budget.is_some_and(|b| hops_taken >= b) && rec.current() != dst
+                        {
+                            return lost(
+                                LossReason::HopBudget,
+                                rec.current(),
+                                hops_taken,
+                                rec.cost(),
+                                recoveries,
+                            );
+                        }
                         idx += 1;
                         continue;
                     }
@@ -1007,6 +1030,80 @@ mod tests {
         // is fine.
         let ok = router.deliver(0, 4, &tl, &mut |_| {});
         assert!(ok.is_delivered());
+    }
+
+    #[test]
+    fn global_hop_budget_stops_a_crafted_cycle() {
+        // A scheme whose plan circles the 6-cycle three times before
+        // heading to the destination: legal hop-by-hop (every hop is a
+        // real edge), so only a *global* budget can call it a loop — the
+        // per-policy TTLs never fire (policy is Drop, no faults at all).
+        struct CyclingScheme;
+        impl LabeledScheme for CyclingScheme {
+            fn scheme_name(&self) -> &'static str {
+                "crafted-cycle"
+            }
+            fn label_of(&self, v: NodeId) -> crate::scheme::Label {
+                v
+            }
+            fn label_bits(&self) -> u64 {
+                8
+            }
+            fn table_bits(&self, _u: NodeId) -> u64 {
+                0
+            }
+            fn route(
+                &self,
+                m: &MetricSpace,
+                src: NodeId,
+                target: crate::scheme::Label,
+            ) -> Result<Route, RouteError> {
+                let n = m.n() as NodeId;
+                let mut rec = RouteRecorder::new(m, src);
+                // Bounce on the src—(src+1) edge, never touching the
+                // destination, before finally walking the ring to it.
+                for _ in 0..3 * n {
+                    let cur = rec.current();
+                    rec.hop(if cur == src { (src + 1) % n } else { src })?;
+                }
+                while rec.current() != target {
+                    rec.hop((rec.current() + 1) % n)?;
+                }
+                Ok(rec.finish())
+            }
+        }
+
+        let m = MetricSpace::new(&gen::ring(6));
+        let scheme = CyclingScheme;
+        let timeline = FaultTimeline::from_plan(FaultPlan::none(6));
+        // Without a budget the 18-lap prelude stays under the recorder's
+        // 64·n + 64 guard and the packet arrives (at absurd stretch).
+        let free = ResilientRouter::without_hierarchy(&m, &scheme, RecoveryPolicy::Drop).deliver(
+            0,
+            3,
+            &timeline,
+            &mut |_| {},
+        );
+        assert!(free.is_delivered(), "got {free:?}");
+        // A deployment-style budget cuts the loop off deterministically.
+        let capped = ResilientRouter::without_hierarchy(&m, &scheme, RecoveryPolicy::Drop)
+            .with_hop_budget(6)
+            .deliver(0, 3, &timeline, &mut |_| {});
+        match capped {
+            DeliveryOutcome::Lost { reason: LossReason::HopBudget, progress } => {
+                assert_eq!(progress.hops, 6);
+            }
+            other => panic!("expected HopBudget loss, got {other:?}"),
+        }
+        // Arriving exactly on the budget still delivers: 0 → 3 on the
+        // cycle is 3 hops for the full-table baseline.
+        let exact = {
+            let ft = FullTable::new(&m);
+            ResilientRouter::without_hierarchy(&m, &ft, RecoveryPolicy::Drop)
+                .with_hop_budget(3)
+                .deliver(0, 3, &timeline, &mut |_| {})
+        };
+        assert!(exact.is_delivered(), "got {exact:?}");
     }
 
     #[test]

@@ -144,6 +144,51 @@ fn observe_route(
     }
 }
 
+/// Counts one committed maintenance batch in `registry`: the
+/// `maintain.batches` total, a per-action counter under
+/// `maintain.<action tag>` (e.g. `maintain.repaired`,
+/// `maintain.rebuilt-blast`), `maintain.fallbacks` when the batch
+/// degraded to a whole-scheme rebuild, `maintain.audit_failures` when the
+/// committed tables failed their spot-audit, and the
+/// `maintain.table_bits` histogram tracking the per-batch re-price. Free
+/// with a disabled registry — one branch per batch.
+pub fn meter_maintain_batch(registry: &MetricsRegistry, report: &netsim::maintain::BatchReport) {
+    if !registry.enabled() {
+        return;
+    }
+    registry.counter("maintain.batches").inc();
+    registry.counter(&format!("maintain.{}", report.action.tag())).inc();
+    if report.action.is_fallback() {
+        registry.counter("maintain.fallbacks").inc();
+    }
+    if !report.audit_ok {
+        registry.counter("maintain.audit_failures").inc();
+    }
+    registry.histogram("maintain.table_bits").record(report.table_bits);
+}
+
+/// Emits one `"maintain-batch"` trace event for a committed maintenance
+/// batch: `base` fields (experiment context such as scheme, n, churn
+/// cell) come first, then the batch's epoch, action tag, blast fraction,
+/// audit verdict, table bits and active count. Free with a noop tracer —
+/// the registry-side companion is [`meter_maintain_batch`].
+pub fn trace_maintain_batch(
+    tracer: &Tracer,
+    base: impl FnOnce() -> Vec<(&'static str, Value)>,
+    report: &netsim::maintain::BatchReport,
+) {
+    tracer.event_lazy("maintain-batch", || {
+        let mut fields = base();
+        fields.push(("epoch", report.epoch.into()));
+        fields.push(("action", report.action.tag().into()));
+        fields.push(("blast", report.stats.blast_fraction().into()));
+        fields.push(("audit_ok", report.audit_ok.into()));
+        fields.push(("table_bits", report.table_bits.into()));
+        fields.push(("active", report.active.into()));
+        fields
+    });
+}
+
 /// Counts one recovery decision in `registry` under its
 /// [`RecoveryEvent::kind`] name (`recovery-detour` / `recovery-fallback` /
 /// `recovery-exhausted`). The registry-side companion of
@@ -234,4 +279,67 @@ pub fn eval_name_independent_traced<S: NameIndependentScheme>(
         &MetricsRegistry::disabled(),
         &mut FlightRecorder::disabled(),
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::maintain::{BatchAction, BatchReport, RepairStats};
+
+    fn report(action: BatchAction, audit_ok: bool) -> BatchReport {
+        BatchReport {
+            epoch: 3,
+            action,
+            stats: RepairStats { rings_rebuilt: 1, rings_refreshed: 3, ..Default::default() },
+            audit_ok,
+            table_bits: 4096,
+            active: 30,
+        }
+    }
+
+    #[test]
+    fn maintain_batches_are_metered_by_action() {
+        let registry = MetricsRegistry::new();
+        meter_maintain_batch(&registry, &report(BatchAction::Repaired, true));
+        meter_maintain_batch(&registry, &report(BatchAction::RebuiltBlast, true));
+        meter_maintain_batch(&registry, &report(BatchAction::RebuiltAudit, false));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("maintain.batches"), Some(3));
+        assert_eq!(snap.counter("maintain.repaired"), Some(1));
+        assert_eq!(snap.counter("maintain.rebuilt-blast"), Some(1));
+        assert_eq!(snap.counter("maintain.rebuilt-audit"), Some(1));
+        assert_eq!(snap.counter("maintain.fallbacks"), Some(2));
+        assert_eq!(snap.counter("maintain.audit_failures"), Some(1));
+        assert_eq!(snap.histogram("maintain.table_bits").map(|h| h.count()), Some(3));
+        // Disabled registry: one branch, no counters.
+        let off = MetricsRegistry::disabled();
+        meter_maintain_batch(&off, &report(BatchAction::Repaired, true));
+        assert!(off.snapshot().counter("maintain.batches").is_none());
+    }
+
+    #[test]
+    fn maintain_batches_are_traced_with_context_first() {
+        let tracer = Tracer::recording();
+        trace_maintain_batch(
+            &tracer,
+            || vec![("scheme", "net-labeled".into())],
+            &report(BatchAction::RepairedScoped, true),
+        );
+        let log = tracer.finish();
+        assert_eq!(log.events.len(), 1);
+        let e = &log.events[0];
+        assert_eq!(e.name, "maintain-batch");
+        let keys: Vec<&str> = e.fields.iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            keys,
+            ["scheme", "epoch", "action", "blast", "audit_ok", "table_bits", "active"]
+        );
+        assert_eq!(e.fields[2].1, Value::from("repaired-scoped"));
+        // Noop tracer: the closure never runs.
+        trace_maintain_batch(
+            &Tracer::noop(),
+            || unreachable!(),
+            &report(BatchAction::Repaired, true),
+        );
+    }
 }

@@ -350,6 +350,17 @@ impl<D: Clone> SearchTree<D> {
         None
     }
 
+    /// Wholesale pair refresh over the **existing** tree skeleton: rebuilds
+    /// the Algorithm 1 distribution and subtree ranges from `items` exactly
+    /// as construction would. A tree refreshed with some pair set is
+    /// byte-identical to one freshly built over the same skeleton with that
+    /// pair set, which is what incremental table repair relies on when only
+    /// keys/data changed (e.g. relabeled destinations) but the metric ball
+    /// the tree spans did not.
+    pub fn refresh_pairs(&mut self, items: Vec<(u64, D)>) {
+        self.store(items);
+    }
+
     /// Backtracking variant of [`Self::search`]: explores *every* subtree
     /// whose (possibly conservative) range contains the key, so it stays
     /// correct after [`Self::remove_pair`] mutations. On unmutated trees
