@@ -1,0 +1,13 @@
+//! Experiment T1: routing-as-a-service — all four schemes compiled into
+//! bit-packed forwarding planes, shared across 1/2/8 worker threads
+//! draining a seeded Zipf workload with burst phases and mixed
+//! labeled/name-independent ingress, differentially verified hop-for-hop
+//! against the reference schemes; writes `results/serve.json`.
+//!
+//! Usage: `cargo run --release -p bench --bin serve [n]
+//! [--pairs QUERIES_PER_CELL] [--seed N] [--threads N] [--stable]
+//! [--json]`
+
+fn main() {
+    bench::serve::serve_main();
+}

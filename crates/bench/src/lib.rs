@@ -40,6 +40,7 @@ pub mod profile;
 pub mod recovery;
 pub mod report;
 pub mod scale;
+pub mod serve;
 pub mod table;
 
 pub use cache::MetricCache;

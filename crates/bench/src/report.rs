@@ -1,12 +1,12 @@
 //! The CI perf-regression gate: diff current results against committed
 //! baselines.
 //!
-//! [`run_report`] reads `results/{scale,bench_build,profile}.json` and the
-//! same three documents from `baselines/`, matches their cells by stable
+//! [`run_report`] reads `results/{scale,bench_build,profile,maintain,serve}.json`
+//! and the same documents from `baselines/`, matches their cells by stable
 //! keys — scale cells by `(n, scheme)`, scale instances by `n`,
 //! bench-build cells by `(n, threads)`, profile entries by
-//! `(family, scheme)` — and checks each measured value against a
-//! tolerance:
+//! `(family, scheme)`, serve cells by `(scheme, workers)` — and checks
+//! each measured value against a tolerance:
 //!
 //! * **wall time** (`build_us`, `apsp_us`, `total_us`, `build_ms`): the
 //!   current value may not exceed `max(baseline, floor) × 4` — the floor
@@ -340,7 +340,42 @@ fn diff_maintain(base: Option<&Value>, cur: Option<&Value>) -> Section {
     s
 }
 
-/// Runs the full gate: diffs the four documents under `results_dir`
+/// Diffs `serve.json`: per-(scheme, workers) serving wall time plus the
+/// per-cell failure/determinism invariants and the whole-document
+/// divergence counter — a plane that disagrees with its reference scheme
+/// on even one route regresses outright.
+fn diff_serve(base: Option<&Value>, cur: Option<&Value>) -> Section {
+    let mut s = Section::new("serve");
+    let (Some(base), Some(cur)) = (base, cur) else {
+        s.note = Some("serve.json missing on one side; section skipped".into());
+        return s;
+    };
+    let key = |v: &Value| {
+        Some(format!("scheme={} workers={}", v.get("scheme")?.as_str()?, num(v, "workers")? as u64))
+    };
+    let b = index(base.get("cells").and_then(Value::as_array), key);
+    let c = index(cur.get("cells").and_then(Value::as_array), key);
+    diff_cells(&mut s, &b, &c, |s, k, b, c| {
+        if let (Some(bv), Some(cv)) = (num(b, "wall_us"), num(c, "wall_us")) {
+            s.compare(k, "wall_us", Kind::WallUs, bv, cv);
+        }
+        if let Some(f) = num(c, "failures") {
+            s.compare(k, "failures", Kind::Invariant, 0.0, f);
+        }
+        if c.get("deterministic").and_then(Value::as_bool) == Some(false) {
+            s.compare(k, "deterministic", Kind::Invariant, 0.0, 1.0);
+        }
+    });
+    if let Some(d) = num(cur, "divergences") {
+        s.compare("document", "divergences", Kind::Invariant, 0.0, d);
+    }
+    if cur.get("all_deterministic").and_then(Value::as_bool) == Some(false) {
+        s.compare("document", "all_deterministic", Kind::Invariant, 0.0, 1.0);
+    }
+    s
+}
+
+/// Runs the full gate: diffs the five documents under `results_dir`
 /// against `baselines_dir` and assembles the verdict document.
 pub fn run_report(results_dir: &Path, baselines_dir: &Path) -> Report {
     let sections = [
@@ -359,6 +394,10 @@ pub fn run_report(results_dir: &Path, baselines_dir: &Path) -> Report {
         diff_maintain(
             load(&baselines_dir.join("maintain.json")).as_ref(),
             load(&results_dir.join("maintain.json")).as_ref(),
+        ),
+        diff_serve(
+            load(&baselines_dir.join("serve.json")).as_ref(),
+            load(&results_dir.join("serve.json")).as_ref(),
         ),
     ];
 
@@ -511,11 +550,27 @@ mod tests {
         )
     }
 
+    fn serve_doc(wall_us: u64, divergences: u64, failures: u64, deterministic: bool) -> String {
+        format!(
+            r#"{{
+  "schema_version": 1,
+  "divergences": {divergences},
+  "all_deterministic": {deterministic},
+  "cells": [
+    {{"scheme": "net-labeled", "workers": 8, "wall_us": {wall_us},
+      "failures": {failures}, "deterministic": {deterministic}}}
+  ]
+}}
+"#
+        )
+    }
+
     fn write_all(dir: &Path, scale: &str, bb: &str, profile: &str) {
         std::fs::write(dir.join("scale.json"), scale).unwrap();
         std::fs::write(dir.join("bench_build.json"), bb).unwrap();
         std::fs::write(dir.join("profile.json"), profile).unwrap();
         std::fs::write(dir.join("maintain.json"), maintain_doc(700.0, 0, 1, true)).unwrap();
+        std::fs::write(dir.join("serve.json"), serve_doc(300_000, 0, 0, true)).unwrap();
     }
 
     #[test]
@@ -531,8 +586,9 @@ mod tests {
         assert_eq!(rep.skipped, 0);
         // build_us + peak_bytes + stretch_mean + failures + apsp_us +
         // total_us + alloc_bytes + build_ms +
-        // amortized_repair_us + p99_repair_us + audit_failures.
-        assert_eq!(rep.compared, 11);
+        // amortized_repair_us + p99_repair_us + audit_failures +
+        // serve wall_us + serve failures + serve divergences.
+        assert_eq!(rep.compared, 14);
         assert_eq!(
             rep.doc.get("summary").and_then(|s| s.get("pass")).and_then(Value::as_bool),
             Some(true)
@@ -619,8 +675,8 @@ mod tests {
         let rep = run_report(&cur, &base);
         assert_eq!(rep.regressions, 0);
         // One baseline-only + one current-only scale cell, plus the
-        // missing bench_build and maintain section notes.
-        assert_eq!(rep.skipped, 4);
+        // missing bench_build, maintain, and serve section notes.
+        assert_eq!(rep.skipped, 5);
     }
 
     #[test]
@@ -650,6 +706,45 @@ mod tests {
         // amortized_repair_us blowup + audit_failures + equivalence +
         // sublinearity + fallback_fired + recovered.
         assert_eq!(rep.regressions, 6);
+    }
+
+    #[test]
+    fn serve_divergences_and_failures_fail_the_gate() {
+        let base = temp_dir("serve-base");
+        let cur = temp_dir("serve-cur");
+        write_all(
+            &base,
+            &scale_doc(500_000, 1.02, 0),
+            &bench_build_doc(200_000),
+            &profile_doc(80.0),
+        );
+        write_all(
+            &cur,
+            &scale_doc(500_000, 1.02, 0),
+            &bench_build_doc(200_000),
+            &profile_doc(80.0),
+        );
+        // A single route divergence, two query failures, a non-reproducing
+        // worker sweep, and a 100× serving-wall blowup: five regressions
+        // (per-cell deterministic plus document all_deterministic).
+        std::fs::write(cur.join("serve.json"), serve_doc(30_000_000, 1, 2, false)).unwrap();
+        let rep = run_report(&cur, &base);
+        let serve_regressions: Vec<&str> = rep
+            .doc
+            .get("sections")
+            .and_then(Value::as_array)
+            .unwrap()
+            .iter()
+            .filter(|sec| sec.get("name").and_then(Value::as_str) == Some("serve"))
+            .flat_map(|sec| sec.get("findings").and_then(Value::as_array).unwrap().iter())
+            .filter(|f| f.get("verdict").and_then(Value::as_str) == Some("regress"))
+            .map(|f| f.get("metric").and_then(Value::as_str).unwrap())
+            .collect();
+        assert_eq!(
+            serve_regressions,
+            ["wall_us", "failures", "deterministic", "divergences", "all_deterministic"]
+        );
+        assert_eq!(rep.regressions, 5);
     }
 
     #[test]

@@ -190,6 +190,100 @@ fn conformance_json_schema_is_stable() {
 }
 
 #[test]
+fn serve_json_schema_is_stable() {
+    let doc = load("serve.json");
+    assert_eq!(schema_version(&doc), 1);
+    assert_keys(
+        &doc,
+        "serve.json",
+        &[
+            "schema_version",
+            "experiment",
+            "family",
+            "n",
+            "seed",
+            "eps",
+            "queries_per_cell",
+            "zipf_theta",
+            "phases",
+            "worker_grid",
+            "host_parallelism",
+            "stable",
+            "total_queries",
+            "divergences",
+            "failures",
+            "all_deterministic",
+            "multi_faster_all",
+            "cells",
+            "verify",
+        ],
+    );
+
+    // The committed artifact is the T1 acceptance certificate: ≥ 1M route
+    // queries served across all cells, every one differentially verified
+    // against the reference scheme with zero divergences, identical
+    // aggregates at every worker count — and, when the artifact was
+    // generated on a multi-core host, the widest worker cell strictly
+    // out-throughputting the 1-worker cell for every scheme (on a
+    // single-core generator the speedup claim is vacuous; the recorded
+    // `host_parallelism` keeps the certificate honest about which it is).
+    assert!(
+        doc.get("total_queries").and_then(Value::as_u64).unwrap() >= 1_000_000,
+        "committed serve.json must cover at least 1M queries"
+    );
+    assert_eq!(doc.get("divergences").and_then(Value::as_u64), Some(0));
+    assert_eq!(doc.get("failures").and_then(Value::as_u64), Some(0));
+    assert_eq!(doc.get("all_deterministic").and_then(Value::as_bool), Some(true));
+    let host = doc.get("host_parallelism").and_then(Value::as_u64).expect("host_parallelism");
+    assert!(host >= 1, "committed artifact must not be a --stable run");
+    let multi_core = host > 1;
+    if multi_core {
+        assert_eq!(doc.get("multi_faster_all").and_then(Value::as_bool), Some(true));
+    } else {
+        assert!(
+            doc.get("multi_faster_all").and_then(Value::as_bool).is_some(),
+            "multi_faster_all must still be recorded (not pinned) in the committed artifact"
+        );
+    }
+
+    let cells = doc.get("cells").and_then(Value::as_array).expect("cells array");
+    let workers = doc.get("worker_grid").and_then(Value::as_array).expect("worker grid");
+    let schemes = ["net-labeled", "scale-free-labeled", "simple-NI", "scale-free-NI"];
+    assert_eq!(cells.len(), schemes.len() * workers.len());
+    let qps_of = |scheme: &str, workers: u64| {
+        cells
+            .iter()
+            .find(|c| {
+                c.get("scheme").and_then(Value::as_str) == Some(scheme)
+                    && c.get("workers").and_then(Value::as_u64) == Some(workers)
+            })
+            .and_then(|c| c.get("qps"))
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| panic!("missing qps for {scheme}@{workers}"))
+    };
+    let widest = workers.iter().filter_map(Value::as_u64).max().unwrap();
+    for scheme in schemes {
+        for c in cells.iter().filter(|c| c.get("scheme").and_then(Value::as_str) == Some(scheme)) {
+            assert_eq!(c.get("failures").and_then(Value::as_u64), Some(0));
+            assert_eq!(c.get("deterministic").and_then(Value::as_bool), Some(true));
+        }
+        assert!(qps_of(scheme, 1) > 0.0, "{scheme}: committed artifact must record throughput");
+        if multi_core {
+            assert!(
+                qps_of(scheme, widest) > qps_of(scheme, 1),
+                "{scheme}: {widest}-worker throughput must beat single-thread"
+            );
+        }
+    }
+
+    // Every scheme's differential pass covered the full stream cleanly.
+    for v in doc.get("verify").and_then(Value::as_array).expect("verify array") {
+        assert_eq!(v.get("divergences").and_then(Value::as_u64), Some(0));
+        assert!(v.get("queries").and_then(Value::as_u64).unwrap() > 0);
+    }
+}
+
+#[test]
 fn maintain_json_schema_is_stable() {
     let doc = load("maintain.json");
     assert_eq!(schema_version(&doc), 1);

@@ -29,10 +29,12 @@
 pub mod error;
 pub mod net_labeled;
 pub mod oracle;
+pub mod plane;
 pub mod rings;
 pub mod scale_free;
 
 pub use error::SchemeError;
 pub use net_labeled::NetLabeled;
 pub use oracle::DistanceEstimate;
+pub use plane::{NetLabeledPlane, ScaleFreeLabeledPlane};
 pub use scale_free::ScaleFreeLabeled;

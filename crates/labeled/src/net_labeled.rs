@@ -173,6 +173,15 @@ impl NetLabeled {
         self.num_levels
     }
 
+    /// The ring `X_i(u)` — the per-node table a plane compiler packs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `i` is out of range.
+    pub fn ring(&self, u: NodeId, i: usize) -> &[RingEntry] {
+        &self.rings[u as usize][i]
+    }
+
     /// Minimal-level ring hit for `label` at node `u`.
     fn min_hit(&self, u: NodeId, label: Label) -> Option<(usize, RingEntry)> {
         for i in 0..self.num_levels {

@@ -1,0 +1,897 @@
+//! Bit-packed forwarding planes for the two labeled schemes.
+//!
+//! [`NetLabeledPlane`] and [`ScaleFreeLabeledPlane`] compile a built
+//! [`NetLabeled`] / [`ScaleFreeLabeled`] scheme into one contiguous
+//! [`BitArena`] and implement [`ForwardingPlane`] by replaying the
+//! reference route procedures against the packed state — the same ring
+//! lookups, the same stall tests, the same segment labels and header-bit
+//! notes, so every returned [`Route`] is `==` to the reference scheme's.
+//!
+//! Arena layouts (all counts packed in-arena; see [`netsim::plane`] for
+//! the shared conventions):
+//!
+//! ```text
+//! net-labeled:
+//!   widths:5×7  n:cnt  epoch:64  num_levels:7
+//!   has_names:1  [name directory: n × label:node]
+//!   per node u:
+//!     label:node
+//!     per level i: count:cnt { x:node lo:node hi:node next:node }*
+//!
+//! scale-free labeled:
+//!   widths:5×7  n:cnt  epoch:64  eps_num:64  eps_den:64  log2_n:7
+//!   has_names:1  [name directory: n × label:node]
+//!   per node u:
+//!     label:node
+//!     per j ∈ [0, log2_n]: k:cnt local:cnt           (Voronoi rows)
+//!     nrings:cnt
+//!     per stored ring: level:level count:cnt
+//!       { x:node lo:node hi:node next:node dist:dist }*
+//!   per j ∈ [0, log2_n]: nballs:cnt, per ball:
+//!     center:node  port_bits:7  len:cnt
+//!     per local: node:node dfs:node lo:node hi:node parent:node
+//!                heavy?:1 heavy_local:cnt            (fixed-size records)
+//!     root label (PortLabel codec)
+//!     packed search tree (PortLabel payloads)
+//! ```
+//!
+//! An optional *name directory* (`name → label`, one row per name) gives
+//! labeled planes a [`ForwardingPlane::route_named`] ingress; planes
+//! compiled without one fail named queries with a structured lookup error
+//! at the source.
+
+use doubling_metric::graph::{Dist, Graph, NodeId};
+use doubling_metric::space::MetricSpace;
+
+use netsim::bits::{bits_for_count, FieldWidths};
+use netsim::naming::Naming;
+use netsim::plane::{push_width_header, take_width_header, BitArena, BitCursor, ForwardingPlane};
+use netsim::route::{Route, RouteError, RouteRecorder};
+use netsim::scheme::{Label, LabeledScheme, Name};
+use searchtree::{PackedSearchTree, PackedTreeWidths, PayloadCodec, PortLabelCodec};
+use treeroute::PortLabel;
+
+use crate::{NetLabeled, ScaleFreeLabeled};
+
+/// Width of the small structural header fields (level counts, size
+/// exponents) that are bounded by 64-ish but not by the metric widths.
+const SMALL_FIELD_BITS: u64 = 7;
+
+/// Packs the optional name directory: a presence flag, then one label per
+/// name in name order.
+fn push_name_directory(arena: &mut BitArena, naming: Option<&Naming>, labels: &[Label], w: u64) {
+    match naming {
+        Some(nm) => {
+            arena.push(1, 1);
+            for name in 0..labels.len() as Name {
+                arena.push(labels[nm.node_of(name) as usize] as u64, w);
+            }
+        }
+        None => arena.push(0, 1),
+    }
+}
+
+/// Reads back the optional name directory, recording fields. Returns the
+/// offset of the first directory row, if present.
+fn take_name_directory(
+    cur: &mut BitCursor<'_>,
+    n: usize,
+    w: u64,
+    out: &mut Vec<(u64, u64)>,
+) -> Option<u64> {
+    if cur.take_recorded(1, out) == 1 {
+        let off = cur.pos();
+        for _ in 0..n {
+            cur.take_recorded(w, out);
+        }
+        Some(off)
+    } else {
+        None
+    }
+}
+
+/// The [`NetLabeled`] scheme compiled into a bit arena.
+///
+/// # Examples
+///
+/// ```rust
+/// use doubling_metric::{gen, Eps, MetricSpace};
+/// use labeled_routing::{NetLabeled, NetLabeledPlane};
+/// use netsim::{ForwardingPlane, LabeledScheme};
+///
+/// let m = MetricSpace::new(&gen::grid(4, 4));
+/// let s = NetLabeled::new(&m, Eps::one_over(8))?;
+/// let plane = NetLabeledPlane::compile(&m, &s, None, 0);
+/// let want = s.route(&m, 0, s.label_of(15))?;
+/// assert_eq!(plane.route(&m, 0, s.label_of(15))?, want);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetLabeledPlane {
+    arena: BitArena,
+    epoch: u64,
+    n: usize,
+    num_levels: usize,
+    widths: FieldWidths,
+    cnt: u64,
+    names_off: Option<u64>,
+    node_off: Vec<u64>,
+    /// Offset of ring `(u, i)`'s count field, `n × num_levels` rows.
+    ring_off: Vec<u64>,
+}
+
+impl NetLabeledPlane {
+    /// Compiles `s` at maintainer epoch `epoch`. With `naming` set, a
+    /// name directory is packed so the plane serves named queries too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `naming` is present with a different node count.
+    pub fn compile(m: &MetricSpace, s: &NetLabeled, naming: Option<&Naming>, epoch: u64) -> Self {
+        let n = m.n();
+        if let Some(nm) = naming {
+            assert_eq!(nm.n(), n, "naming must cover all nodes");
+        }
+        let widths = FieldWidths::new(m);
+        let cnt = bits_for_count(n as u64 + 1);
+        let num_levels = s.num_levels();
+        // Inactive (churned-out) nodes pack a zero label and empty rings;
+        // they are unreachable through active tables, so the placeholder
+        // is never consulted. Routing from/to them is undefined, exactly
+        // as in the reference scheme.
+        let labels: Vec<Label> = (0..n as NodeId)
+            .map(|v| if s.nets().is_active(v) { s.label_of(v) } else { 0 })
+            .collect();
+
+        let mut arena = BitArena::new();
+        push_width_header(&mut arena, &widths, cnt);
+        arena.push(n as u64, cnt);
+        arena.push(epoch, 64);
+        arena.push(num_levels as u64, SMALL_FIELD_BITS);
+        let names_flag_off = arena.len_bits();
+        push_name_directory(&mut arena, naming, &labels, widths.node);
+        let names_off = naming.map(|_| names_flag_off + 1);
+
+        let mut node_off = Vec::with_capacity(n);
+        let mut ring_off = Vec::with_capacity(n * num_levels);
+        for u in 0..n as NodeId {
+            node_off.push(arena.len_bits());
+            arena.push(labels[u as usize] as u64, widths.node);
+            let active = s.nets().is_active(u);
+            for i in 0..num_levels {
+                ring_off.push(arena.len_bits());
+                let ring = if active { s.ring(u, i) } else { &[] };
+                arena.push(ring.len() as u64, cnt);
+                for e in ring {
+                    arena.push(e.x as u64, widths.node);
+                    arena.push(e.range.0 as u64, widths.node);
+                    arena.push(e.range.1 as u64, widths.node);
+                    arena.push(e.next as u64, widths.node);
+                }
+            }
+        }
+        NetLabeledPlane { arena, epoch, n, num_levels, widths, cnt, names_off, node_off, ring_off }
+    }
+
+    /// Rebuilds a plane from its arena alone, recording every structural
+    /// field — the differential layer asserts the recorded stream
+    /// re-encodes to the identical arena.
+    pub fn decode(arena: BitArena) -> (Self, Vec<(u64, u64)>) {
+        let mut out = Vec::new();
+        let mut cur = BitCursor::new(&arena, 0);
+        let (widths, cnt) = take_width_header(&mut cur, &mut out);
+        let n = cur.take_recorded(cnt, &mut out) as usize;
+        let epoch = cur.take_recorded(64, &mut out);
+        let num_levels = cur.take_recorded(SMALL_FIELD_BITS, &mut out) as usize;
+        let names_off = take_name_directory(&mut cur, n, widths.node, &mut out);
+        let mut node_off = Vec::with_capacity(n);
+        let mut ring_off = Vec::with_capacity(n * num_levels);
+        for _ in 0..n {
+            node_off.push(cur.pos());
+            cur.take_recorded(widths.node, &mut out);
+            for _ in 0..num_levels {
+                ring_off.push(cur.pos());
+                let len = cur.take_recorded(cnt, &mut out);
+                for _ in 0..4 * len {
+                    cur.take_recorded(widths.node, &mut out);
+                }
+            }
+        }
+        let plane = NetLabeledPlane {
+            arena,
+            epoch,
+            n,
+            num_levels,
+            widths,
+            cnt,
+            names_off,
+            node_off,
+            ring_off,
+        };
+        (plane, out)
+    }
+
+    /// The backing arena.
+    pub fn arena(&self) -> &BitArena {
+        &self.arena
+    }
+
+    /// The packed label of node `u`.
+    pub fn label_at(&self, u: NodeId) -> Label {
+        self.arena.read(self.node_off[u as usize], self.widths.node) as Label
+    }
+
+    /// Resolves `name` through the packed directory, if one was compiled.
+    pub fn resolve_name(&self, name: Name) -> Option<Label> {
+        self.names_off.map(|off| {
+            self.arena.read(off + name as u64 * self.widths.node, self.widths.node) as Label
+        })
+    }
+
+    /// `ring_lookup` against a packed ring at `off`: the entry whose range
+    /// contains `label`, as `(x, next)`. Same partition-point binary
+    /// search as the reference.
+    fn ring_hit(&self, off: u64, label: Label) -> Option<(NodeId, NodeId)> {
+        let w = self.widths.node;
+        let len = self.arena.read(off, self.cnt);
+        let base = off + self.cnt;
+        let esz = 4 * w;
+        let (mut lo_i, mut hi_i) = (0u64, len);
+        while lo_i < hi_i {
+            let mid = (lo_i + hi_i) / 2;
+            if self.arena.read(base + mid * esz + w, w) <= label as u64 {
+                lo_i = mid + 1;
+            } else {
+                hi_i = mid;
+            }
+        }
+        if lo_i == 0 {
+            return None;
+        }
+        let e = base + (lo_i - 1) * esz;
+        let e_lo = self.arena.read(e + w, w);
+        let e_hi = self.arena.read(e + 2 * w, w);
+        (e_lo <= label as u64 && label as u64 <= e_hi)
+            .then(|| (self.arena.read(e, w) as NodeId, self.arena.read(e + 3 * w, w) as NodeId))
+    }
+
+    /// Minimal-level ring hit for `label` at node `u` — the packed
+    /// `min_hit`.
+    fn min_hit(&self, u: NodeId, label: Label) -> Option<(usize, NodeId)> {
+        (0..self.num_levels).find_map(|i| {
+            self.ring_hit(self.ring_off[u as usize * self.num_levels + i], label)
+                .map(|(_, next)| (i, next))
+        })
+    }
+}
+
+impl ForwardingPlane for NetLabeledPlane {
+    fn plane_name(&self) -> &'static str {
+        "net-labeled"
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn packed_bits(&self) -> u64 {
+        self.arena.len_bits()
+    }
+
+    fn route(&self, m: &MetricSpace, src: NodeId, target: Label) -> Result<Route, RouteError> {
+        let mut rec = RouteRecorder::new(m, src);
+        rec.note_header_bits(self.widths.node);
+        let mut seg_level: Option<u32> = None;
+        loop {
+            let u = rec.current();
+            if self.label_at(u) == target {
+                return Ok(rec.finish());
+            }
+            let (i, next) = self.min_hit(u, target).ok_or_else(|| RouteError::LookupFailed {
+                at: u,
+                detail: "no ring hit at any level (broken hierarchy)".into(),
+            })?;
+            if seg_level != Some(i as u32) {
+                rec.begin_segment("ring-walk", Some(i as u32));
+                seg_level = Some(i as u32);
+            }
+            rec.hop(next)?;
+        }
+    }
+
+    fn route_named(&self, m: &MetricSpace, src: NodeId, name: Name) -> Result<Route, RouteError> {
+        let label = self.resolve_name(name).ok_or_else(|| RouteError::LookupFailed {
+            at: src,
+            detail: format!("name {name}: no name directory compiled into this plane"),
+        })?;
+        self.route(m, src, label)
+    }
+}
+
+/// One packed Voronoi cell of the scale-free plane: derived offsets into
+/// the arena (center and widths cached for addressing).
+#[derive(Debug, Clone)]
+struct PackedCell {
+    center: NodeId,
+    port_bits: u64,
+    router_base: u64,
+    root_label_off: u64,
+    search: PackedSearchTree<PortLabelCodec>,
+}
+
+/// The [`ScaleFreeLabeled`] scheme compiled into a bit arena.
+///
+/// Replays Algorithm 5 exactly: the greedy ring walk over the packed
+/// `R(u)` rings, the stall test with the packed `ε`, and the packing
+/// phase over packed Voronoi tree routers and search trees.
+#[derive(Debug, Clone)]
+pub struct ScaleFreeLabeledPlane {
+    arena: BitArena,
+    epoch: u64,
+    n: usize,
+    widths: FieldWidths,
+    cnt: u64,
+    log2_n: u32,
+    eps_num: u64,
+    eps_den: u64,
+    names_off: Option<u64>,
+    node_off: Vec<u64>,
+    /// `cells[j][k]`, mirroring the scheme's cell table.
+    cells: Vec<Vec<PackedCell>>,
+}
+
+impl ScaleFreeLabeledPlane {
+    /// Size of one packed router record.
+    fn router_record_bits(node: u64, cnt: u64) -> u64 {
+        5 * node + 1 + cnt
+    }
+
+    /// Compiles `s` at maintainer epoch `epoch`, optionally with a name
+    /// directory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `naming` is present with a different node count.
+    pub fn compile(
+        m: &MetricSpace,
+        s: &ScaleFreeLabeled,
+        naming: Option<&Naming>,
+        epoch: u64,
+    ) -> Self {
+        let n = m.n();
+        if let Some(nm) = naming {
+            assert_eq!(nm.n(), n, "naming must cover all nodes");
+        }
+        let widths = FieldWidths::new(m);
+        let cnt = bits_for_count(n as u64 + 1);
+        let log2_n = s.log2_n();
+        // Placeholder rows for inactive nodes, as in [`NetLabeledPlane`].
+        let labels: Vec<Label> = (0..n as NodeId)
+            .map(|v| if s.nets().is_active(v) { s.label_of(v) } else { 0 })
+            .collect();
+
+        let mut arena = BitArena::new();
+        push_width_header(&mut arena, &widths, cnt);
+        arena.push(n as u64, cnt);
+        arena.push(epoch, 64);
+        arena.push(s.eps().num(), 64);
+        arena.push(s.eps().den(), 64);
+        arena.push(log2_n as u64, SMALL_FIELD_BITS);
+        let names_flag_off = arena.len_bits();
+        push_name_directory(&mut arena, naming, &labels, widths.node);
+        let names_off = naming.map(|_| names_flag_off + 1);
+
+        let mut node_off = Vec::with_capacity(n);
+        for u in 0..n as NodeId {
+            node_off.push(arena.len_bits());
+            arena.push(labels[u as usize] as u64, widths.node);
+            let active = s.nets().is_active(u);
+            for j in 0..=log2_n {
+                if !active {
+                    arena.push(0, cnt);
+                    arena.push(0, cnt);
+                    continue;
+                }
+                let packing = s.packings().at(j);
+                let k = packing.voronoi_index(u);
+                let local = s.cell(j, k).0.tree().local(u).expect("u is in its Voronoi region");
+                arena.push(k as u64, cnt);
+                arena.push(local as u64, cnt);
+            }
+            let rings: &[_] = if active { s.rings_of(u) } else { &[] };
+            arena.push(rings.len() as u64, cnt);
+            for (i, ring) in rings {
+                arena.push(*i as u64, widths.level);
+                arena.push(ring.len() as u64, cnt);
+                for e in ring {
+                    arena.push(e.x as u64, widths.node);
+                    arena.push(e.range.0 as u64, widths.node);
+                    arena.push(e.range.1 as u64, widths.node);
+                    arena.push(e.next as u64, widths.node);
+                    arena.push(e.dist, widths.dist);
+                }
+            }
+        }
+
+        let mut cells: Vec<Vec<PackedCell>> = Vec::with_capacity(log2_n as usize + 1);
+        for j in 0..=log2_n {
+            let packing = s.packings().at(j);
+            let nballs = packing.balls().len();
+            arena.push(nballs as u64, cnt);
+            let mut level_cells = Vec::with_capacity(nballs);
+            for k in 0..nballs as u32 {
+                let (router, search) = s.cell(j, k);
+                let c = packing.balls()[k as usize].center;
+                arena.push(c as u64, widths.node);
+                arena.push(router.port_bits(), SMALL_FIELD_BITS);
+                let len = router.tree().len();
+                arena.push(len as u64, cnt);
+                let router_base = arena.len_bits();
+                for i in 0..len as u32 {
+                    arena.push(router.tree().node(i) as u64, widths.node);
+                    arena.push(router.dfs_of(i) as u64, widths.node);
+                    let (lo, hi) = router.interval_of(i);
+                    arena.push(lo as u64, widths.node);
+                    arena.push(hi as u64, widths.node);
+                    arena.push(router.tree().node(router.tree().parent(i)) as u64, widths.node);
+                    match router.heavy_of(i) {
+                        Some(h) => {
+                            arena.push(1, 1);
+                            arena.push(h as u64, cnt);
+                        }
+                        None => {
+                            arena.push(0, 1);
+                            arena.push(0, cnt);
+                        }
+                    }
+                }
+                let codec = PortLabelCodec { node: widths.node, port: router.port_bits(), cnt };
+                let root_label_off = arena.len_bits();
+                codec.encode(&mut arena, router.label_of(c));
+                let packed_search = PackedSearchTree::encode(
+                    &mut arena,
+                    search,
+                    codec,
+                    PackedTreeWidths { key: widths.node, cnt, node: widths.node },
+                );
+                level_cells.push(PackedCell {
+                    center: c,
+                    port_bits: router.port_bits(),
+                    router_base,
+                    root_label_off,
+                    search: packed_search,
+                });
+            }
+            cells.push(level_cells);
+        }
+
+        ScaleFreeLabeledPlane {
+            arena,
+            epoch,
+            n,
+            widths,
+            cnt,
+            log2_n,
+            eps_num: s.eps().num(),
+            eps_den: s.eps().den(),
+            names_off,
+            node_off,
+            cells,
+        }
+    }
+
+    /// Rebuilds a plane from its arena alone, recording every structural
+    /// field for the byte-exact round-trip check.
+    pub fn decode(arena: BitArena) -> (Self, Vec<(u64, u64)>) {
+        let mut out = Vec::new();
+        let mut cur = BitCursor::new(&arena, 0);
+        let (widths, cnt) = take_width_header(&mut cur, &mut out);
+        let n = cur.take_recorded(cnt, &mut out) as usize;
+        let epoch = cur.take_recorded(64, &mut out);
+        let eps_num = cur.take_recorded(64, &mut out);
+        let eps_den = cur.take_recorded(64, &mut out);
+        let log2_n = cur.take_recorded(SMALL_FIELD_BITS, &mut out) as u32;
+        let names_off = take_name_directory(&mut cur, n, widths.node, &mut out);
+        let mut node_off = Vec::with_capacity(n);
+        for _ in 0..n {
+            node_off.push(cur.pos());
+            cur.take_recorded(widths.node, &mut out);
+            for _ in 0..=log2_n {
+                cur.take_recorded(cnt, &mut out);
+                cur.take_recorded(cnt, &mut out);
+            }
+            let nrings = cur.take_recorded(cnt, &mut out);
+            for _ in 0..nrings {
+                cur.take_recorded(widths.level, &mut out);
+                let len = cur.take_recorded(cnt, &mut out);
+                for _ in 0..len {
+                    for _ in 0..4 {
+                        cur.take_recorded(widths.node, &mut out);
+                    }
+                    cur.take_recorded(widths.dist, &mut out);
+                }
+            }
+        }
+        let mut cells = Vec::with_capacity(log2_n as usize + 1);
+        for _ in 0..=log2_n {
+            let nballs = cur.take_recorded(cnt, &mut out);
+            let mut level_cells = Vec::with_capacity(nballs as usize);
+            for _ in 0..nballs {
+                let center = cur.take_recorded(widths.node, &mut out) as NodeId;
+                let port_bits = cur.take_recorded(SMALL_FIELD_BITS, &mut out);
+                let len = cur.take_recorded(cnt, &mut out);
+                let router_base = cur.pos();
+                for _ in 0..len {
+                    for _ in 0..5 {
+                        cur.take_recorded(widths.node, &mut out);
+                    }
+                    cur.take_recorded(1, &mut out);
+                    cur.take_recorded(cnt, &mut out);
+                }
+                let codec = PortLabelCodec { node: widths.node, port: port_bits, cnt };
+                let root_label_off = cur.pos();
+                codec.decode_recorded(&mut cur, &mut out);
+                let search = PackedSearchTree::decode(
+                    &mut cur,
+                    codec,
+                    PackedTreeWidths { key: widths.node, cnt, node: widths.node },
+                    &mut out,
+                );
+                level_cells.push(PackedCell {
+                    center,
+                    port_bits,
+                    router_base,
+                    root_label_off,
+                    search,
+                });
+            }
+            cells.push(level_cells);
+        }
+        let plane = ScaleFreeLabeledPlane {
+            arena,
+            epoch,
+            n,
+            widths,
+            cnt,
+            log2_n,
+            eps_num,
+            eps_den,
+            names_off,
+            node_off,
+            cells,
+        };
+        (plane, out)
+    }
+
+    /// The backing arena.
+    pub fn arena(&self) -> &BitArena {
+        &self.arena
+    }
+
+    /// The packed label of node `u`.
+    pub fn label_at(&self, u: NodeId) -> Label {
+        self.arena.read(self.node_off[u as usize], self.widths.node) as Label
+    }
+
+    /// Resolves `name` through the packed directory, if one was compiled.
+    pub fn resolve_name(&self, name: Name) -> Option<Label> {
+        self.names_off.map(|off| {
+            self.arena.read(off + name as u64 * self.widths.node, self.widths.node) as Label
+        })
+    }
+
+    /// The packed `(k, local)` Voronoi row of node `u` at size exponent
+    /// `j`.
+    fn vj_row(&self, u: NodeId, j: u32) -> (u32, u32) {
+        let off = self.node_off[u as usize] + self.widths.node + j as u64 * 2 * self.cnt;
+        (self.arena.read(off, self.cnt) as u32, self.arena.read(off + self.cnt, self.cnt) as u32)
+    }
+
+    /// Minimal-level ring hit among the packed `R(u)` rings, as
+    /// `(level, x, dist, next)`.
+    fn min_hit(&self, u: NodeId, label: Label) -> Option<(u32, NodeId, Dist, NodeId)> {
+        let w = self.widths.node;
+        let esz = 4 * w + self.widths.dist;
+        let mut off = self.node_off[u as usize] + w + (self.log2_n as u64 + 1) * 2 * self.cnt;
+        let nrings = self.arena.read(off, self.cnt);
+        off += self.cnt;
+        for _ in 0..nrings {
+            let i = self.arena.read(off, self.widths.level) as u32;
+            off += self.widths.level;
+            let len = self.arena.read(off, self.cnt);
+            off += self.cnt;
+            let base = off;
+            let (mut lo_i, mut hi_i) = (0u64, len);
+            while lo_i < hi_i {
+                let mid = (lo_i + hi_i) / 2;
+                if self.arena.read(base + mid * esz + w, w) <= label as u64 {
+                    lo_i = mid + 1;
+                } else {
+                    hi_i = mid;
+                }
+            }
+            if lo_i > 0 {
+                let e = base + (lo_i - 1) * esz;
+                let e_lo = self.arena.read(e + w, w);
+                let e_hi = self.arena.read(e + 2 * w, w);
+                if e_lo <= label as u64 && label as u64 <= e_hi {
+                    return Some((
+                        i,
+                        self.arena.read(e, w) as NodeId,
+                        self.arena.read(e + 4 * w, self.widths.dist),
+                        self.arena.read(e + 3 * w, w) as NodeId,
+                    ));
+                }
+            }
+            off += len * esz;
+        }
+        None
+    }
+
+    /// Algorithm 5 line 3's continuation test, with the packed `ε`.
+    fn far_from_target(&self, d: Dist, s_i: Dist) -> bool {
+        2 * (d + s_i) as u128 * self.eps_num as u128 >= s_i as u128 * self.eps_den as u128
+    }
+
+    /// [`treeroute::PortTreeRouter::next_hop`] against the packed router
+    /// records of `cell`.
+    fn cell_next_hop(
+        &self,
+        g: &Graph,
+        cell: &PackedCell,
+        from: NodeId,
+        from_local: u32,
+        target: &PortLabel,
+    ) -> Option<NodeId> {
+        let w = self.widths.node;
+        let esz = Self::router_record_bits(w, self.cnt);
+        let rec = cell.router_base + from_local as u64 * esz;
+        let my = self.arena.read(rec + w, w) as u32;
+        if my == target.dfs {
+            return None;
+        }
+        let lo = self.arena.read(rec + 2 * w, w) as u32;
+        let hi = self.arena.read(rec + 3 * w, w) as u32;
+        if target.dfs < lo || target.dfs > hi {
+            return Some(self.arena.read(rec + 4 * w, w) as NodeId);
+        }
+        if self.arena.read(rec + 5 * w, 1) == 1 {
+            let hrec = cell.router_base + self.arena.read(rec + 5 * w + 1, self.cnt) * esz;
+            let hlo = self.arena.read(hrec + 2 * w, w) as u32;
+            let hhi = self.arena.read(hrec + 3 * w, w) as u32;
+            if hlo <= target.dfs && target.dfs <= hhi {
+                return Some(self.arena.read(hrec, w) as NodeId);
+            }
+        }
+        for &(x_dfs, port) in &target.lights {
+            if x_dfs == my {
+                return Some(g.neighbors(from)[port as usize].node);
+            }
+        }
+        unreachable!("light trail must name the branching port")
+    }
+
+    /// [`treeroute::PortTreeRouter::route`] against the packed records:
+    /// each hop's local index comes from its packed Voronoi row.
+    fn cell_route(
+        &self,
+        g: &Graph,
+        j: u32,
+        cell: &PackedCell,
+        from: NodeId,
+        target: &PortLabel,
+    ) -> Vec<NodeId> {
+        let mut path = vec![from];
+        let mut cur = from;
+        let mut cur_local = self.vj_row(cur, j).1;
+        while let Some(next) = self.cell_next_hop(g, cell, cur, cur_local, target) {
+            path.push(next);
+            cur = next;
+            cur_local = self.vj_row(cur, j).1;
+        }
+        path
+    }
+
+    /// Phase 2 of Algorithm 5 against the packed cells.
+    fn packing_phase(
+        &self,
+        m: &MetricSpace,
+        rec: &mut RouteRecorder<'_>,
+        target: Label,
+        i_t: u32,
+    ) -> Result<(), RouteError> {
+        let u_t = rec.current();
+        let s_it = m.scale(i_t as usize);
+        let j = (0..=self.log2_n)
+            .rev()
+            .find(|&j| m.r_small(u_t, j) <= s_it)
+            .expect("r_u(0) = 0 always qualifies");
+        let k = self.vj_row(u_t, j).0;
+        let cell = &self.cells[j as usize][k as usize];
+        let c = cell.center;
+        let codec = PortLabelCodec { node: self.widths.node, port: cell.port_bits, cnt: self.cnt };
+
+        rec.begin_segment("to-center", Some(j));
+        let root_label = codec.decode(&mut BitCursor::new(&self.arena, cell.root_label_off));
+        rec.note_header_bits(
+            root_label.bits(self.widths.node, cell.port_bits) + self.widths.size_exp,
+        );
+        for x in self.cell_route(m.graph(), j, cell, u_t, &root_label).into_iter().skip(1) {
+            rec.hop(x)?;
+        }
+
+        rec.begin_segment("tree-search", Some(j));
+        rec.note_header_bits(self.widths.node + self.widths.size_exp);
+        let walk = cell.search.search(&self.arena, target as u64);
+        for &x in &walk.nodes[1..] {
+            rec.walk_shortest(x)?;
+        }
+        let local = walk.result.ok_or_else(|| RouteError::LookupFailed {
+            at: rec.current(),
+            detail: format!("label {target} not in search tree of ball j={j} (Lemma 4.5)"),
+        })?;
+
+        rec.begin_segment("to-target", Some(j));
+        rec.note_header_bits(local.bits(self.widths.node, cell.port_bits));
+        for x in self.cell_route(m.graph(), j, cell, c, &local).into_iter().skip(1) {
+            rec.hop(x)?;
+        }
+        Ok(())
+    }
+}
+
+impl ForwardingPlane for ScaleFreeLabeledPlane {
+    fn plane_name(&self) -> &'static str {
+        "scale-free-labeled"
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn packed_bits(&self) -> u64 {
+        self.arena.len_bits()
+    }
+
+    fn route(&self, m: &MetricSpace, src: NodeId, target: Label) -> Result<Route, RouteError> {
+        let mut rec = RouteRecorder::new(m, src);
+        rec.note_header_bits(self.widths.node + self.widths.level);
+        let mut i_prev = u32::MAX;
+        let mut seg_level: Option<u32> = None;
+        loop {
+            let u = rec.current();
+            if self.label_at(u) == target {
+                return Ok(rec.finish());
+            }
+            let (i, x, dist, next) =
+                self.min_hit(u, target).ok_or_else(|| RouteError::LookupFailed {
+                    at: u,
+                    detail: "no ring hit on R(u) (requires eps <= 1/4)".into(),
+                })?;
+            if self.label_at(x) == target {
+                if seg_level != Some(i) {
+                    rec.begin_segment("ring-walk", Some(i));
+                    seg_level = Some(i);
+                }
+                rec.hop(next)?;
+                i_prev = i;
+                continue;
+            }
+            let s_i = m.scale(i as usize);
+            if i <= i_prev && self.far_from_target(dist, s_i) {
+                if seg_level != Some(i) {
+                    rec.begin_segment("ring-walk", Some(i));
+                    seg_level = Some(i);
+                }
+                rec.hop(next)?;
+                i_prev = i;
+                continue;
+            }
+            self.packing_phase(m, &mut rec, target, i)?;
+            let arrived = rec.current();
+            if self.label_at(arrived) != target {
+                return Err(RouteError::Internal(format!(
+                    "packing phase delivered to {arrived}, not the target"
+                )));
+            }
+            return Ok(rec.finish());
+        }
+    }
+
+    fn route_named(&self, m: &MetricSpace, src: NodeId, name: Name) -> Result<Route, RouteError> {
+        let label = self.resolve_name(name).ok_or_else(|| RouteError::LookupFailed {
+            at: src,
+            detail: format!("name {name}: no name directory compiled into this plane"),
+        })?;
+        self.route(m, src, label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doubling_metric::{gen, Eps};
+    use netsim::plane::roundtrip_ok;
+
+    #[test]
+    fn net_labeled_plane_routes_match_reference() {
+        let m = MetricSpace::new(&gen::grid(5, 5));
+        let s = NetLabeled::new(&m, Eps::one_over(8)).unwrap();
+        let naming = Naming::random(25, 3);
+        let plane = NetLabeledPlane::compile(&m, &s, Some(&naming), 0);
+        for u in 0..25u32 {
+            for v in 0..25u32 {
+                let want = s.route(&m, u, s.label_of(v)).unwrap();
+                assert_eq!(plane.route(&m, u, s.label_of(v)).unwrap(), want, "{u}->{v}");
+                assert_eq!(
+                    plane.route_named(&m, u, naming.name_of(v)).unwrap(),
+                    want,
+                    "{u}->name({v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn net_labeled_plane_roundtrips() {
+        let m = MetricSpace::new(&gen::grid(4, 4));
+        let s = NetLabeled::new(&m, Eps::one_over(4)).unwrap();
+        let plane = NetLabeledPlane::compile(&m, &s, Some(&Naming::random(16, 9)), 7);
+        let (dec, fields) = NetLabeledPlane::decode(plane.arena().clone());
+        assert!(roundtrip_ok(plane.arena(), &fields));
+        assert_eq!(dec.epoch(), 7);
+        assert_eq!(dec.node_off, plane.node_off);
+        assert_eq!(dec.ring_off, plane.ring_off);
+        let r = dec.route(&m, 0, s.label_of(15)).unwrap();
+        assert_eq!(r, s.route(&m, 0, s.label_of(15)).unwrap());
+    }
+
+    #[test]
+    fn scale_free_plane_routes_match_reference_on_exp_path() {
+        // The exponential path exercises the packing phase (pruned R(u)).
+        let m = MetricSpace::new(&gen::exp_weight_path(20));
+        let s = ScaleFreeLabeled::new(&m, Eps::one_over(8)).unwrap();
+        let plane = ScaleFreeLabeledPlane::compile(&m, &s, None, 0);
+        for u in 0..20u32 {
+            for v in 0..20u32 {
+                let want = s.route(&m, u, s.label_of(v)).unwrap();
+                assert_eq!(plane.route(&m, u, s.label_of(v)).unwrap(), want, "{u}->{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn scale_free_plane_roundtrips() {
+        let m = MetricSpace::new(&gen::grid(4, 4));
+        let s = ScaleFreeLabeled::new(&m, Eps::one_over(4)).unwrap();
+        let plane = ScaleFreeLabeledPlane::compile(&m, &s, Some(&Naming::random(16, 2)), 3);
+        let (dec, fields) = ScaleFreeLabeledPlane::decode(plane.arena().clone());
+        assert!(roundtrip_ok(plane.arena(), &fields));
+        assert_eq!(dec.epoch(), 3);
+        assert_eq!(dec.node_off, plane.node_off);
+        for u in 0..16u32 {
+            for v in 0..16u32 {
+                assert_eq!(
+                    dec.route(&m, u, s.label_of(v)).unwrap(),
+                    s.route(&m, u, s.label_of(v)).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plane_without_directory_fails_named_queries() {
+        let m = MetricSpace::new(&gen::grid(3, 3));
+        let s = NetLabeled::new(&m, Eps::one_over(4)).unwrap();
+        let plane = NetLabeledPlane::compile(&m, &s, None, 0);
+        assert!(matches!(plane.route_named(&m, 0, 5), Err(RouteError::LookupFailed { at: 0, .. })));
+    }
+}

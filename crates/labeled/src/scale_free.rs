@@ -378,6 +378,32 @@ impl ScaleFreeLabeled {
         self.rings[u as usize].iter().map(|&(i, _)| i).collect()
     }
 
+    /// The stored `(level, ring)` tables of `u` in ascending level order —
+    /// the per-node state a plane compiler packs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn rings_of(&self, u: NodeId) -> &[(u32, Vec<RingEntry>)] {
+        &self.rings[u as usize]
+    }
+
+    /// Ball `k`'s cell at size exponent `j`: its Voronoi tree router and
+    /// local-label search tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` or `k` is out of range.
+    pub fn cell(&self, j: u32, k: u32) -> (&PortTreeRouter, &SearchTree<PortLabel>) {
+        let cell = &self.cells[j as usize][k as usize];
+        (&cell.router, &cell.search)
+    }
+
+    /// `⌈log₂ n⌉` — the number of ball-packing size exponents minus one.
+    pub fn log2_n(&self) -> u32 {
+        self.log2_n
+    }
+
     /// Minimal-level ring hit among `R(u)`.
     fn min_hit(&self, u: NodeId, label: Label) -> Option<(u32, RingEntry)> {
         for (i, ring) in &self.rings[u as usize] {

@@ -32,12 +32,14 @@
 #![warn(missing_docs)]
 
 pub mod objects;
+pub mod plane;
 pub mod rounds;
 pub mod scale_free;
 pub mod simple;
 
 pub use objects::ObjectDirectory;
-pub use scale_free::ScaleFreeNameIndependent;
+pub use plane::{ScaleFreeNiPlane, SimpleNiPlane};
+pub use scale_free::{FacilityView, ScaleFreeNameIndependent};
 pub use simple::SimpleNameIndependent;
 
 /// The paper's Lemma 3.4 stretch bound `1 + 8(1/ε + 1)/(1/ε − 2)` as a

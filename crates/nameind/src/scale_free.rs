@@ -204,6 +204,22 @@ fn compute_search_bits(
     search_bits
 }
 
+/// A borrowed view of a node's search facility, for consumers (plane
+/// compilation, audits) that must mirror the `Own`/`Link` split without
+/// owning it.
+#[derive(Debug, Clone, Copy)]
+pub enum FacilityView<'a> {
+    /// The ball keeps its own search tree (member of 𝒜).
+    Own(&'a SearchTree<Label>),
+    /// `H(y, k)`: redirect to the ℬ-type tree of ball `ball` in `ℬ_j`.
+    Link {
+        /// Size exponent of the packing holding the linked tree.
+        j: u32,
+        /// Ball index within `ℬ_j`.
+        ball: u32,
+    },
+}
+
 /// Per-(round, net point) search facility: own 𝒜-type tree, or a link to a
 /// ℬ-type tree.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -554,6 +570,21 @@ impl ScaleFreeNameIndependent {
         } else {
             links as f64 / total as f64
         }
+    }
+
+    /// A read-only view of the facility of the `j`-th member of round
+    /// `k`'s hosting level (plane compilation walks these).
+    pub fn facility_of(&self, k: usize, j: usize) -> FacilityView<'_> {
+        match &self.facility[k][j] {
+            Facility::Own(tree) => FacilityView::Own(tree),
+            Facility::Link { j, ball } => FacilityView::Link { j: *j, ball: *ball },
+        }
+    }
+
+    /// The ℬ-type search trees of the balls in `ℬ_j` (stub trees for
+    /// never-linked balls included, so indices track `packings().at(j)`).
+    pub fn btrees_at(&self, j: u32) -> &[SearchTree<Label>] {
+        &self.btrees[j as usize]
     }
 
     fn go(

@@ -43,6 +43,7 @@ pub mod faults;
 pub mod json;
 pub mod maintain;
 pub mod naming;
+pub mod plane;
 pub mod recovery;
 pub mod route;
 pub mod scheme;
@@ -54,6 +55,7 @@ pub use maintain::{
     RepairStats,
 };
 pub use naming::Naming;
+pub use plane::{BitArena, BitCursor, ForwardingPlane};
 pub use recovery::{
     DeliveryOutcome, FallbackHierarchy, LossReason, RecoveryEvent, RecoveryPolicy, ResilientRouter,
 };

@@ -86,6 +86,16 @@ pub enum MaintainError {
     /// The conform spot-audit failed even after the whole-scheme rebuild —
     /// the scheme or the audit itself is broken; the epoch did not advance.
     AuditFailedAfterRebuild,
+    /// A compiled forwarding plane is older than the maintainer's last
+    /// committed batch: serving from it would forward on pre-churn tables.
+    /// The downstream consumer must recompile the plane from the repaired
+    /// scheme (see [`Maintainer::check_plane`]).
+    StalePlane {
+        /// Epoch the plane was compiled at.
+        plane_epoch: u64,
+        /// The maintainer's current epoch.
+        current_epoch: u64,
+    },
 }
 
 impl std::fmt::Display for MaintainError {
@@ -95,6 +105,11 @@ impl std::fmt::Display for MaintainError {
             MaintainError::AuditFailedAfterRebuild => {
                 write!(f, "spot-audit failed after whole-scheme rebuild")
             }
+            MaintainError::StalePlane { plane_epoch, current_epoch } => write!(
+                f,
+                "forwarding plane compiled at epoch {plane_epoch} is stale \
+                 (maintainer is at epoch {current_epoch}); recompile before serving"
+            ),
         }
     }
 }
@@ -103,7 +118,7 @@ impl std::error::Error for MaintainError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             MaintainError::InvalidBatch(e) => Some(e),
-            MaintainError::AuditFailedAfterRebuild => None,
+            MaintainError::AuditFailedAfterRebuild | MaintainError::StalePlane { .. } => None,
         }
     }
 }
@@ -265,6 +280,36 @@ impl<S: Maintainable> Maintainer<S> {
     /// Current number of active nodes.
     pub fn active_count(&self) -> usize {
         self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Certifies that a compiled forwarding plane is current: its stamped
+    /// epoch must equal the maintainer's. Epoch-stamped batches invalidate
+    /// every previously compiled plane — a serving layer must call this
+    /// (or recompile) after each committed batch, otherwise it would
+    /// silently forward on pre-churn tables.
+    ///
+    /// # Errors
+    ///
+    /// [`MaintainError::StalePlane`] when the plane predates (or, equally
+    /// suspicious, postdates) the last committed batch.
+    pub fn check_plane(
+        &self,
+        plane: &dyn crate::plane::ForwardingPlane,
+    ) -> Result<(), MaintainError> {
+        self.check_plane_epoch(plane.epoch())
+    }
+
+    /// [`Self::check_plane`] for a bare epoch stamp, for consumers that
+    /// track epochs without holding the plane itself.
+    ///
+    /// # Errors
+    ///
+    /// [`MaintainError::StalePlane`] on any epoch mismatch.
+    pub fn check_plane_epoch(&self, plane_epoch: u64) -> Result<(), MaintainError> {
+        if plane_epoch != self.epoch {
+            return Err(MaintainError::StalePlane { plane_epoch, current_epoch: self.epoch });
+        }
+        Ok(())
     }
 
     /// Applies one churn batch end to end: validate → incremental repair →

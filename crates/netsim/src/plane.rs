@@ -1,0 +1,360 @@
+//! Bit-packed forwarding planes.
+//!
+//! The paper's whole point is that the routing tables are *compact* —
+//! `(1/ε)^{O(α)} log²Δ` bits per node. Everything upstream of this module
+//! audits those bit counts ([`crate::bits`], the conform crate); this
+//! module is where the counts become an artifact you can *serve from*: an
+//! immutable, contiguous `u64`-backed [`BitArena`] holding every node's
+//! table fields back to back, plus the [`ForwardingPlane`] trait that
+//! routes against the packed state.
+//!
+//! Conventions shared by every plane compiler:
+//!
+//! * Fields are written with [`BitArena::push`] in a fixed, documented
+//!   order, using the [`crate::bits::FieldWidths`] vocabulary (node ids,
+//!   labels, names and next hops at `node` width; distances at `dist`
+//!   width; counts at `bits_for_count(n + 1)`).
+//! * Structural counts (ring lengths, tree sizes, pair counts) are packed
+//!   **in the arena**, so a decoder can walk the complete layout from bit
+//!   0 without any side tables. The differential test layer round-trips
+//!   `decode(encode(tables))` byte-exactly through [`BitArena::from_fields`].
+//! * Planes keep in-memory *offset indices* (where node `u`'s section
+//!   starts) for O(1) addressing — derived data, reconstructible from the
+//!   arena alone.
+//! * Planes are immutable after compilation and are stamped with the
+//!   [`crate::maintain::Maintainer`] epoch they were compiled at; serving
+//!   a stale plane after churn is a structured error
+//!   ([`crate::maintain::MaintainError::StalePlane`]).
+//!
+//! The metric space itself (adjacency, edge weights, shortest paths) is
+//! the *environment* a forwarding plane executes in, not part of its
+//! table state — route methods take `&MetricSpace` exactly like the
+//! reference schemes do, and every hop is validated by the same
+//! [`crate::route::RouteRecorder`].
+
+use doubling_metric::graph::NodeId;
+use doubling_metric::space::MetricSpace;
+
+use crate::route::{Route, RouteError};
+use crate::scheme::{Label, Name};
+
+/// A contiguous, immutable bit arena backed by `u64` words.
+///
+/// Fields are appended with [`BitArena::push`] and read back with
+/// [`BitArena::read`] at arbitrary bit offsets. Bits are stored LSB-first
+/// within each word, so offset `o` maps to word `o / 64`, bit `o % 64`.
+///
+/// # Examples
+///
+/// ```rust
+/// use netsim::plane::BitArena;
+///
+/// let mut a = BitArena::new();
+/// a.push(5, 3);
+/// a.push(0x1ff, 9);
+/// assert_eq!(a.read(0, 3), 5);
+/// assert_eq!(a.read(3, 9), 0x1ff);
+/// assert_eq!(a.len_bits(), 12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitArena {
+    words: Vec<u64>,
+    len_bits: u64,
+}
+
+impl BitArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bits written so far (also the offset the next [`Self::push`] lands
+    /// at).
+    #[inline]
+    pub fn len_bits(&self) -> u64 {
+        self.len_bits
+    }
+
+    /// The backing words (the last word's unused high bits are zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Total packed size in bytes (rounded up to whole words).
+    pub fn size_bytes(&self) -> u64 {
+        self.words.len() as u64 * 8
+    }
+
+    /// Appends `value` as a `width`-bit field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 64, or if `value` does not fit in
+    /// `width` bits — a plane compiler packing an out-of-range field is a
+    /// bug, not a recoverable condition.
+    pub fn push(&mut self, value: u64, width: u64) {
+        assert!((1..=64).contains(&width), "field width {width} out of range");
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "value {value} does not fit in {width} bits"
+        );
+        let word = (self.len_bits / 64) as usize;
+        let bit = self.len_bits % 64;
+        if word >= self.words.len() {
+            self.words.push(0);
+        }
+        self.words[word] |= value << bit;
+        if bit + width > 64 {
+            // Spills into the next word.
+            self.words.push(value >> (64 - bit));
+        }
+        self.len_bits += width;
+    }
+
+    /// Reads a `width`-bit field at bit offset `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field extends past the written length.
+    #[inline]
+    pub fn read(&self, offset: u64, width: u64) -> u64 {
+        debug_assert!((1..=64).contains(&width));
+        assert!(offset + width <= self.len_bits, "read past end of arena");
+        let word = (offset / 64) as usize;
+        let bit = offset % 64;
+        let lo = self.words[word] >> bit;
+        let val = if bit + width > 64 { lo | (self.words[word + 1] << (64 - bit)) } else { lo };
+        if width == 64 {
+            val
+        } else {
+            val & ((1u64 << width) - 1)
+        }
+    }
+
+    /// Builds an arena from a `(value, width)` field stream — the inverse
+    /// of a plane's structural decode. Used by the differential tests to
+    /// prove `decode(encode(tables))` reproduces the arena byte-exactly.
+    pub fn from_fields(fields: &[(u64, u64)]) -> Self {
+        let mut a = BitArena::new();
+        for &(v, w) in fields {
+            a.push(v, w);
+        }
+        a
+    }
+}
+
+/// A sequential reader over a [`BitArena`].
+#[derive(Debug, Clone)]
+pub struct BitCursor<'a> {
+    arena: &'a BitArena,
+    pos: u64,
+}
+
+impl<'a> BitCursor<'a> {
+    /// A cursor starting at bit offset `pos`.
+    pub fn new(arena: &'a BitArena, pos: u64) -> Self {
+        BitCursor { arena, pos }
+    }
+
+    /// Current bit offset.
+    #[inline]
+    pub fn pos(&self) -> u64 {
+        self.pos
+    }
+
+    /// Reads the next `width`-bit field and advances.
+    #[inline]
+    pub fn take(&mut self, width: u64) -> u64 {
+        let v = self.arena.read(self.pos, width);
+        self.pos += width;
+        v
+    }
+
+    /// Reads the next `width`-bit field, records it into `out`, and
+    /// advances — the structural-decode primitive behind the byte-exact
+    /// round-trip tests.
+    #[inline]
+    pub fn take_recorded(&mut self, width: u64, out: &mut Vec<(u64, u64)>) -> u64 {
+        let v = self.take(width);
+        out.push((v, width));
+        v
+    }
+}
+
+/// An immutable, bit-packed forwarding plane compiled from one built
+/// scheme.
+///
+/// The trait is object-safe and `Send + Sync` so one compiled plane can be
+/// shared `Arc`-style across serving threads. The two query entry points
+/// mirror the paper's two regimes: [`Self::route`] forwards toward a
+/// *label* (the labeled schemes' native query; name-independent planes
+/// delegate to their packed underlying scheme), and [`Self::route_named`]
+/// forwards toward a *name* (native for name-independent planes; labeled
+/// planes resolve the name through their compiled ingress directory).
+///
+/// Hop-identity contract: for every `(source, target)` the returned
+/// [`Route`] is **equal** (`PartialEq`, i.e. hops, cost, segments, and
+/// header bits all match) to the reference scheme's route — the packed
+/// plane replays the exact decision procedure against packed state. The
+/// differential layer in `crates/netsim/tests/proptest_plane.rs` enforces
+/// this on random connected graphs.
+pub trait ForwardingPlane: Send + Sync {
+    /// Compiled scheme's name (e.g. `"net-labeled"`).
+    fn plane_name(&self) -> &'static str;
+
+    /// The maintainer epoch the plane was compiled at (0 when compiled
+    /// outside any maintainer).
+    fn epoch(&self) -> u64;
+
+    /// Number of nodes the plane serves.
+    fn n(&self) -> usize;
+
+    /// Total packed table size in bits (the arena length; name-independent
+    /// planes include their packed underlying plane).
+    fn packed_bits(&self) -> u64;
+
+    /// Routes from `src` toward the node labeled `target`, producing the
+    /// same verified trace as the reference scheme.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the reference scheme's errors (a lookup miss on a broken
+    /// hierarchy, a hop-budget loop).
+    fn route(&self, m: &MetricSpace, src: NodeId, target: Label) -> Result<Route, RouteError>;
+
+    /// Routes from `src` toward the node named `name`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::route`]; labeled planes compiled without a name
+    /// directory report a [`RouteError::LookupFailed`] at the source.
+    fn route_named(&self, m: &MetricSpace, src: NodeId, name: Name) -> Result<Route, RouteError>;
+
+    /// First hop from `at` toward the node labeled `target` (`None` when
+    /// already there) — the per-message forwarding decision.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::route`].
+    fn next_hop(
+        &self,
+        m: &MetricSpace,
+        at: NodeId,
+        target: Label,
+    ) -> Result<Option<NodeId>, RouteError> {
+        Ok(self.route(m, at, target)?.hops.get(1).copied())
+    }
+
+    /// First hop from `at` toward the node named `name` (`None` when
+    /// already there).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::route_named`].
+    fn next_hop_named(
+        &self,
+        m: &MetricSpace,
+        at: NodeId,
+        name: Name,
+    ) -> Result<Option<NodeId>, RouteError> {
+        Ok(self.route_named(m, at, name)?.hops.get(1).copied())
+    }
+}
+
+/// Widths every plane compiler packs into its arena header, so a decoder
+/// can walk the layout from bit 0: the four [`crate::bits::FieldWidths`]
+/// plus the structural-count width `bits_for_count(n + 1)`. Each width is
+/// itself stored as a 7-bit field (widths never exceed 64).
+pub const WIDTH_FIELD_BITS: u64 = 7;
+
+/// Packs the five-width header (node, dist, level, size_exp, count) used
+/// by every plane layout.
+pub fn push_width_header(arena: &mut BitArena, w: &crate::bits::FieldWidths, count_width: u64) {
+    for v in [w.node, w.dist, w.level, w.size_exp, count_width] {
+        arena.push(v, WIDTH_FIELD_BITS);
+    }
+}
+
+/// Reads back the five-width header, recording the fields into `out`.
+/// Returns `(widths, count_width)`.
+pub fn take_width_header(
+    cur: &mut BitCursor<'_>,
+    out: &mut Vec<(u64, u64)>,
+) -> (crate::bits::FieldWidths, u64) {
+    let node = cur.take_recorded(WIDTH_FIELD_BITS, out);
+    let dist = cur.take_recorded(WIDTH_FIELD_BITS, out);
+    let level = cur.take_recorded(WIDTH_FIELD_BITS, out);
+    let size_exp = cur.take_recorded(WIDTH_FIELD_BITS, out);
+    let count = cur.take_recorded(WIDTH_FIELD_BITS, out);
+    (crate::bits::FieldWidths { node, dist, level, size_exp }, count)
+}
+
+/// Whether re-encoding `fields` reproduces `arena` exactly — word-for-word
+/// and length-for-length. The shared assertion of every plane's
+/// encode/decode round-trip test.
+pub fn roundtrip_ok(arena: &BitArena, fields: &[(u64, u64)]) -> bool {
+    let rebuilt = BitArena::from_fields(fields);
+    rebuilt.words() == arena.words() && rebuilt.len_bits() == arena.len_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_read_roundtrip_across_word_boundaries() {
+        let mut a = BitArena::new();
+        let fields: Vec<(u64, u64)> = vec![
+            (1, 1),
+            (0x7f, 7),
+            (0xdead_beef, 32),
+            (u64::MAX, 64),
+            (0, 5),
+            (0x3ff, 10),
+            (42, 13),
+        ];
+        for &(v, w) in &fields {
+            a.push(v, w);
+        }
+        let mut off = 0;
+        for &(v, w) in &fields {
+            assert_eq!(a.read(off, w), v, "field at offset {off} width {w}");
+            off += w;
+        }
+        assert_eq!(a.len_bits(), off);
+        assert!(roundtrip_ok(&a, &fields));
+    }
+
+    #[test]
+    fn cursor_walks_sequentially_and_records() {
+        let mut a = BitArena::new();
+        a.push(3, 2);
+        a.push(77, 50);
+        a.push(1, 64);
+        let mut out = Vec::new();
+        let mut cur = BitCursor::new(&a, 0);
+        assert_eq!(cur.take_recorded(2, &mut out), 3);
+        assert_eq!(cur.take_recorded(50, &mut out), 77);
+        assert_eq!(cur.take_recorded(64, &mut out), 1);
+        assert_eq!(cur.pos(), a.len_bits());
+        assert!(roundtrip_ok(&a, &out));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_value_panics() {
+        BitArena::new().push(8, 3);
+    }
+
+    #[test]
+    fn width_header_roundtrips() {
+        let w = crate::bits::FieldWidths { node: 9, dist: 13, level: 3, size_exp: 4 };
+        let mut a = BitArena::new();
+        push_width_header(&mut a, &w, 10);
+        let mut out = Vec::new();
+        let (got, cnt) = take_width_header(&mut BitCursor::new(&a, 0), &mut out);
+        assert_eq!(got, w);
+        assert_eq!(cnt, 10);
+        assert!(roundtrip_ok(&a, &out));
+    }
+}

@@ -1,0 +1,49 @@
+//! Regression test for epoch-stamped plane invalidation: a forwarding
+//! plane compiled before a churn batch must be rejected by the maintainer
+//! with a structured [`MaintainError::StalePlane`] — serving a pre-churn
+//! plane would silently route through departed nodes. Recompiling at the
+//! maintainer's current epoch clears the error.
+
+use doubling_metric::nets::ChurnBatch;
+use doubling_metric::{gen, Eps, MetricSpace};
+use labeled_routing::{NetLabeled, NetLabeledPlane};
+use netsim::maintain::{MaintainError, Maintainer, MaintainerConfig};
+use netsim::plane::ForwardingPlane;
+
+#[test]
+fn stale_plane_is_rejected_after_churn() {
+    let m = MetricSpace::new(&gen::grid(4, 4));
+    let scheme = NetLabeled::new(&m, Eps::one_over(4)).unwrap();
+    let mut mt = Maintainer::new(m.n(), scheme, MaintainerConfig::default());
+
+    // A plane compiled at the current epoch serves.
+    let plane = NetLabeledPlane::compile(&m, mt.scheme(), None, mt.epoch());
+    assert!(mt.check_plane(&plane).is_ok());
+
+    // Churn advances the epoch; the old plane must now be refused.
+    let batch = ChurnBatch::new(Vec::new(), vec![5, 10]);
+    mt.apply_batch(&m, &batch, |_| true).expect("valid batch");
+    let pre_churn_epoch = plane.epoch();
+    match mt.check_plane(&plane) {
+        Err(MaintainError::StalePlane { plane_epoch, current_epoch }) => {
+            assert_eq!(plane_epoch, pre_churn_epoch);
+            assert_eq!(current_epoch, mt.epoch());
+            assert!(plane_epoch < current_epoch);
+        }
+        other => panic!("expected StalePlane, got {other:?}"),
+    }
+
+    // The error carries a useful message for operators.
+    let err = mt.check_plane_epoch(pre_churn_epoch).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("stale"), "unhelpful error: {msg}");
+    assert!(msg.contains("recompile"), "unhelpful error: {msg}");
+
+    // Recompiling against the repaired scheme at the new epoch serves.
+    let fresh = NetLabeledPlane::compile(&m, mt.scheme(), None, mt.epoch());
+    assert!(mt.check_plane(&fresh).is_ok());
+
+    // A plane from the *future* (e.g. another maintainer replica) is
+    // equally refused — any mismatch is structural, not just "older".
+    assert!(matches!(mt.check_plane_epoch(mt.epoch() + 1), Err(MaintainError::StalePlane { .. })));
+}

@@ -1,0 +1,180 @@
+//! Differential property tests of the bit-packed forwarding planes: on
+//! random connected graphs with random adversarial namings, every plane
+//! must route **hop-identically** to its reference scheme — equal `Route`
+//! values, i.e. the same hops, segments, header bits, and stretch — for
+//! both labeled and named ingress, and every arena must survive a
+//! decode → re-encode round trip byte-exactly.
+
+use proptest::prelude::*;
+
+use doubling_metric::graph::{Graph, GraphBuilder};
+use doubling_metric::space::MetricSpace;
+use doubling_metric::Eps;
+use labeled_routing::{NetLabeled, NetLabeledPlane, ScaleFreeLabeled, ScaleFreeLabeledPlane};
+use name_independent::{
+    ScaleFreeNameIndependent, ScaleFreeNiPlane, SimpleNameIndependent, SimpleNiPlane,
+};
+use netsim::naming::Naming;
+use netsim::plane::{roundtrip_ok, ForwardingPlane};
+use netsim::scheme::{LabeledScheme, NameIndependentScheme};
+
+fn arb_connected_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (4usize..=max_n).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec((0usize..usize::MAX, 1u64..20), n - 1),
+            proptest::collection::vec((0u32..n as u32, 0u32..n as u32, 1u64..20), 0..2 * n),
+        )
+            .prop_map(|(n, tree, extra)| {
+                let mut b = GraphBuilder::new(n);
+                for (c, (praw, w)) in tree.into_iter().enumerate() {
+                    let child = c + 1;
+                    b.edge(child as u32, (praw % child) as u32, w).unwrap();
+                }
+                for (u, v, w) in extra {
+                    if u != v {
+                        b.edge(u, v, w).unwrap();
+                    }
+                }
+                b.build().expect("connected by construction")
+            })
+    })
+}
+
+proptest! {
+    // Scheme preprocessing dominates; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Both labeled planes are hop-identical to their reference schemes
+    /// on every (source, target) pair — via the label ingress and via the
+    /// packed name directory — and round-trip byte-exactly.
+    #[test]
+    fn labeled_planes_are_hop_identical(
+        g in arb_connected_graph(12),
+        eps_pick in 0u64..2,
+        name_seed in 0u64..1000,
+        epoch in 0u64..100,
+    ) {
+        let m = MetricSpace::new(&g);
+        let eps = Eps::one_over(if eps_pick == 0 { 4 } else { 8 });
+        let naming = Naming::random(m.n(), name_seed);
+
+        let nl = NetLabeled::new(&m, eps).expect("eps within range");
+        let nlp = NetLabeledPlane::compile(&m, &nl, Some(&naming), epoch);
+        let sfl = ScaleFreeLabeled::new(&m, eps).expect("eps within range");
+        let sflp = ScaleFreeLabeledPlane::compile(&m, &sfl, Some(&naming), epoch);
+        prop_assert_eq!(nlp.epoch(), epoch);
+        prop_assert_eq!(sflp.epoch(), epoch);
+
+        for u in 0..m.n() as u32 {
+            for v in 0..m.n() as u32 {
+                let want = nl.route(&m, u, nl.label_of(v)).expect("reference routes");
+                prop_assert_eq!(
+                    &nlp.route(&m, u, nl.label_of(v)).expect("plane routes"), &want,
+                    "net-labeled {}->{}", u, v
+                );
+                prop_assert_eq!(
+                    &nlp.route_named(&m, u, naming.name_of(v)).expect("named ingress"), &want,
+                    "net-labeled {}->name({})", u, v
+                );
+
+                let want = sfl.route(&m, u, sfl.label_of(v)).expect("reference routes");
+                prop_assert_eq!(
+                    &sflp.route(&m, u, sfl.label_of(v)).expect("plane routes"), &want,
+                    "scale-free {}->{}", u, v
+                );
+                prop_assert_eq!(
+                    &sflp.route_named(&m, u, naming.name_of(v)).expect("named ingress"), &want,
+                    "scale-free {}->name({})", u, v
+                );
+            }
+        }
+
+        let (nld, fields) = NetLabeledPlane::decode(nlp.arena().clone());
+        prop_assert!(roundtrip_ok(nlp.arena(), &fields), "net-labeled arena round-trip");
+        prop_assert_eq!(nld.epoch(), epoch);
+        let (sfld, fields) = ScaleFreeLabeledPlane::decode(sflp.arena().clone());
+        prop_assert!(roundtrip_ok(sflp.arena(), &fields), "scale-free arena round-trip");
+        prop_assert_eq!(sfld.epoch(), epoch);
+
+        // The decoded planes still route identically (index rebuild is
+        // faithful, not just byte-preserving).
+        let v = (m.n() - 1) as u32;
+        prop_assert_eq!(
+            nld.route(&m, 0, nl.label_of(v)).expect("decoded plane routes"),
+            nl.route(&m, 0, nl.label_of(v)).expect("reference routes")
+        );
+        prop_assert_eq!(
+            sfld.route(&m, 0, sfl.label_of(v)).expect("decoded plane routes"),
+            sfl.route(&m, 0, sfl.label_of(v)).expect("reference routes")
+        );
+    }
+
+    /// Both name-independent planes are hop-identical to their reference
+    /// schemes on every (source, name) pair, their label ingress matches
+    /// the underlying labeled scheme, and their arenas round-trip
+    /// byte-exactly.
+    #[test]
+    fn name_independent_planes_are_hop_identical(
+        g in arb_connected_graph(10),
+        eps_pick in 0u64..2,
+        name_seed in 0u64..1000,
+        epoch in 0u64..100,
+    ) {
+        let m = MetricSpace::new(&g);
+        let eps = Eps::one_over(if eps_pick == 0 { 4 } else { 8 });
+        let naming = Naming::random(m.n(), name_seed);
+
+        let sni = SimpleNameIndependent::new(&m, eps, naming.clone()).expect("eps within range");
+        let snip = SimpleNiPlane::compile(&m, &sni, epoch);
+        let sfni =
+            ScaleFreeNameIndependent::new(&m, eps, naming.clone()).expect("eps within range");
+        let sfnip = ScaleFreeNiPlane::compile(&m, &sfni, epoch);
+
+        for u in 0..m.n() as u32 {
+            for name in 0..m.n() as u32 {
+                prop_assert_eq!(
+                    &snip.route_named(&m, u, name).expect("plane routes"),
+                    &sni.route(&m, u, name).expect("reference routes"),
+                    "simple-ni {}->{}", u, name
+                );
+                prop_assert_eq!(
+                    &sfnip.route_named(&m, u, name).expect("plane routes"),
+                    &sfni.route(&m, u, name).expect("reference routes"),
+                    "scale-free-ni {}->{}", u, name
+                );
+            }
+            // Label ingress delegates to the underlying labeled plane.
+            let label = sni.underlying().label_of(u);
+            prop_assert_eq!(
+                snip.route(&m, 0, label).expect("label ingress"),
+                sni.underlying().route(&m, 0, label).expect("reference routes")
+            );
+            let label = sfni.underlying().label_of(u);
+            prop_assert_eq!(
+                sfnip.route(&m, 0, label).expect("label ingress"),
+                sfni.underlying().route(&m, 0, label).expect("reference routes")
+            );
+        }
+
+        let (u_dec, fields) = NetLabeledPlane::decode(snip.underlying().arena().clone());
+        prop_assert!(roundtrip_ok(snip.underlying().arena(), &fields));
+        let (snid, fields) = SimpleNiPlane::decode(snip.arena().clone(), u_dec);
+        prop_assert!(roundtrip_ok(snip.arena(), &fields), "simple-ni arena round-trip");
+        prop_assert_eq!(snid.epoch(), epoch);
+        prop_assert_eq!(
+            snid.route_named(&m, 0, (m.n() - 1) as u32).expect("decoded plane routes"),
+            sni.route(&m, 0, (m.n() - 1) as u32).expect("reference routes")
+        );
+
+        let (u_dec, fields) = ScaleFreeLabeledPlane::decode(sfnip.underlying().arena().clone());
+        prop_assert!(roundtrip_ok(sfnip.underlying().arena(), &fields));
+        let (sfnid, fields) = ScaleFreeNiPlane::decode(sfnip.arena().clone(), u_dec);
+        prop_assert!(roundtrip_ok(sfnip.arena(), &fields), "scale-free-ni arena round-trip");
+        prop_assert_eq!(sfnid.epoch(), epoch);
+        prop_assert_eq!(
+            sfnid.route_named(&m, 0, (m.n() - 1) as u32).expect("decoded plane routes"),
+            sfni.route(&m, 0, (m.n() - 1) as u32).expect("reference routes")
+        );
+    }
+}

@@ -27,6 +27,10 @@
 
 #![warn(missing_docs)]
 
+pub mod packed;
+
+pub use packed::{PackedSearchTree, PackedTreeWidths, PayloadCodec, PortLabelCodec, U32Codec};
+
 use std::collections::HashMap;
 
 use doubling_metric::graph::{Dist, NodeId};
@@ -464,6 +468,18 @@ impl<D: Clone> SearchTree<D> {
     /// Panics if `v` is not a member.
     pub fn pairs_at(&self, v: NodeId) -> &[(u64, D)] {
         &self.pairs[self.tree.local(v).expect("member") as usize]
+    }
+
+    /// The key range covered by the subtree rooted at local index `local`
+    /// (`None` when the subtree stores no pairs) — the interval the
+    /// Algorithm 2 descent tests. Exposed so the plane compiler can pack
+    /// the exact ranges the search uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is out of range.
+    pub fn subtree_range_of(&self, local: u32) -> Option<(u64, u64)> {
+        self.subtree_range[local as usize]
     }
 
     /// Maximum number of children of any tree node (the paper bounds this

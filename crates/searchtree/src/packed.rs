@@ -1,0 +1,364 @@
+//! Bit-packed search trees for forwarding planes.
+//!
+//! A [`crate::SearchTree`] is the lookup structure both name-independent
+//! schemes and the scale-free labeled scheme route through. A
+//! [`PackedSearchTree`] is the same structure compiled into a plane's
+//! [`BitArena`]: the tree skeleton, subtree key ranges, and stored
+//! `(key, payload)` pairs are written as a self-describing field stream,
+//! and [`PackedSearchTree::search`] replays [`crate::SearchTree::search`]'s
+//! exact descent against the packed bits — same visited nodes, same
+//! result, same depth.
+//!
+//! Payloads differ per use (a `u32` label for the name-independent
+//! directories, a [`treeroute::PortLabel`] for the scale-free packing
+//! cells), so serialization is delegated to a [`PayloadCodec`].
+//!
+//! Layout per tree, with widths `{key, cnt, node}` chosen by the caller:
+//!
+//! ```text
+//! len:cnt
+//! repeat len times (local index order):
+//!   node_id:node  npairs:cnt  { key:key  payload:codec }*
+//!   nchildren:cnt { child_local:cnt  has_range:1  [lo:key hi:key] }*
+//! ```
+//!
+//! Records are variable-size, so the encoder returns per-local bit
+//! offsets for O(1) addressing; [`PackedSearchTree::decode`] rebuilds the
+//! same index from the arena alone, recording every field for the
+//! byte-exact round-trip tests.
+
+use doubling_metric::graph::NodeId;
+use netsim::plane::{BitArena, BitCursor};
+use treeroute::PortLabel;
+
+use crate::{SearchTree, SearchWalk};
+
+/// Serialization of one stored payload inside a [`PackedSearchTree`].
+pub trait PayloadCodec {
+    /// The payload type (the `D` of the source [`SearchTree`]).
+    type Item: Clone;
+
+    /// Appends `item` to the arena.
+    fn encode(&self, arena: &mut BitArena, item: &Self::Item);
+
+    /// Reads one payload at the cursor.
+    fn decode(&self, cur: &mut BitCursor<'_>) -> Self::Item;
+
+    /// Reads one payload, recording its raw fields into `out` (the
+    /// round-trip-test path).
+    fn decode_recorded(&self, cur: &mut BitCursor<'_>, out: &mut Vec<(u64, u64)>) -> Self::Item;
+}
+
+/// Codec for plain `u32` payloads (labels of an underlying scheme) at a
+/// fixed width.
+#[derive(Debug, Clone, Copy)]
+pub struct U32Codec {
+    /// Field width in bits.
+    pub width: u64,
+}
+
+impl PayloadCodec for U32Codec {
+    type Item = u32;
+
+    fn encode(&self, arena: &mut BitArena, item: &u32) {
+        arena.push(*item as u64, self.width);
+    }
+
+    fn decode(&self, cur: &mut BitCursor<'_>) -> u32 {
+        cur.take(self.width) as u32
+    }
+
+    fn decode_recorded(&self, cur: &mut BitCursor<'_>, out: &mut Vec<(u64, u64)>) -> u32 {
+        cur.take_recorded(self.width, out) as u32
+    }
+}
+
+/// Codec for [`PortLabel`] payloads: DFS number, light-trail length, then
+/// `(branching dfs, port)` per light edge.
+#[derive(Debug, Clone, Copy)]
+pub struct PortLabelCodec {
+    /// Width of DFS numbers (node width).
+    pub node: u64,
+    /// Width of port indices.
+    pub port: u64,
+    /// Width of the light-trail length field.
+    pub cnt: u64,
+}
+
+impl PayloadCodec for PortLabelCodec {
+    type Item = PortLabel;
+
+    fn encode(&self, arena: &mut BitArena, item: &PortLabel) {
+        arena.push(item.dfs as u64, self.node);
+        arena.push(item.lights.len() as u64, self.cnt);
+        for &(x_dfs, port) in &item.lights {
+            arena.push(x_dfs as u64, self.node);
+            arena.push(port as u64, self.port);
+        }
+    }
+
+    fn decode(&self, cur: &mut BitCursor<'_>) -> PortLabel {
+        let dfs = cur.take(self.node) as u32;
+        let k = cur.take(self.cnt);
+        let lights = (0..k)
+            .map(|_| {
+                let x = cur.take(self.node) as u32;
+                let p = cur.take(self.port) as u32;
+                (x, p)
+            })
+            .collect();
+        PortLabel { dfs, lights }
+    }
+
+    fn decode_recorded(&self, cur: &mut BitCursor<'_>, out: &mut Vec<(u64, u64)>) -> PortLabel {
+        let dfs = cur.take_recorded(self.node, out) as u32;
+        let k = cur.take_recorded(self.cnt, out);
+        let lights = (0..k)
+            .map(|_| {
+                let x = cur.take_recorded(self.node, out) as u32;
+                let p = cur.take_recorded(self.port, out) as u32;
+                (x, p)
+            })
+            .collect();
+        PortLabel { dfs, lights }
+    }
+}
+
+/// Field widths of one packed tree's layout.
+#[derive(Debug, Clone, Copy)]
+pub struct PackedTreeWidths {
+    /// Width of stored keys (labels/names fit in node width).
+    pub key: u64,
+    /// Width of structural counts and local indices.
+    pub cnt: u64,
+    /// Width of graph node ids.
+    pub node: u64,
+}
+
+/// A [`SearchTree`] compiled into a plane's arena: bit offsets into the
+/// shared [`BitArena`] plus the payload codec. The arena itself is owned
+/// by the plane and passed to [`Self::search`].
+#[derive(Debug, Clone)]
+pub struct PackedSearchTree<C: PayloadCodec> {
+    codec: C,
+    widths: PackedTreeWidths,
+    /// Absolute bit offset of each local's record.
+    local_off: Vec<u64>,
+    center: NodeId,
+}
+
+impl<C: PayloadCodec> PackedSearchTree<C> {
+    /// Compiles `tree` into `arena` at its current end.
+    pub fn encode(
+        arena: &mut BitArena,
+        tree: &SearchTree<C::Item>,
+        codec: C,
+        widths: PackedTreeWidths,
+    ) -> Self {
+        let t = tree.tree();
+        let len = t.len() as u64;
+        arena.push(len, widths.cnt);
+        let mut local_off = Vec::with_capacity(t.len());
+        for u in 0..t.len() as u32 {
+            local_off.push(arena.len_bits());
+            let v = t.node(u);
+            arena.push(v as u64, widths.node);
+            let pairs = tree.pairs_at(v);
+            arena.push(pairs.len() as u64, widths.cnt);
+            for (k, d) in pairs {
+                arena.push(*k, widths.key);
+                codec.encode(arena, d);
+            }
+            let children = t.children(u);
+            arena.push(children.len() as u64, widths.cnt);
+            for &c in children {
+                arena.push(c as u64, widths.cnt);
+                match tree.subtree_range_of(c) {
+                    Some((lo, hi)) => {
+                        arena.push(1, 1);
+                        arena.push(lo, widths.key);
+                        arena.push(hi, widths.key);
+                    }
+                    None => arena.push(0, 1),
+                }
+            }
+        }
+        PackedSearchTree { codec, widths, local_off, center: tree.center() }
+    }
+
+    /// Walks one packed tree starting at the cursor, recording every field
+    /// into `out` and rebuilding the offset index — proves the layout is
+    /// self-describing and feeds the byte-exact round-trip check.
+    pub fn decode(
+        cur: &mut BitCursor<'_>,
+        codec: C,
+        widths: PackedTreeWidths,
+        out: &mut Vec<(u64, u64)>,
+    ) -> Self {
+        let len = cur.take_recorded(widths.cnt, out);
+        let mut local_off = Vec::with_capacity(len as usize);
+        let mut center = 0;
+        for u in 0..len {
+            local_off.push(cur.pos());
+            let v = cur.take_recorded(widths.node, out) as NodeId;
+            if u == 0 {
+                center = v;
+            }
+            let npairs = cur.take_recorded(widths.cnt, out);
+            for _ in 0..npairs {
+                cur.take_recorded(widths.key, out);
+                codec.decode_recorded(cur, out);
+            }
+            let nchildren = cur.take_recorded(widths.cnt, out);
+            for _ in 0..nchildren {
+                cur.take_recorded(widths.cnt, out);
+                if cur.take_recorded(1, out) == 1 {
+                    cur.take_recorded(widths.key, out);
+                    cur.take_recorded(widths.key, out);
+                }
+            }
+        }
+        PackedSearchTree { codec, widths, local_off, center }
+    }
+
+    /// The ball center (root node id).
+    #[inline]
+    pub fn center(&self) -> NodeId {
+        self.center
+    }
+
+    /// Number of tree members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.local_off.len()
+    }
+
+    /// Whether the tree has no members (never true for a well-formed
+    /// tree, which contains at least its center).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.local_off.is_empty()
+    }
+
+    /// Scans local `u`'s record: the payload stored under `key` (if any)
+    /// and the first child whose subtree range contains `key`.
+    fn scan(&self, arena: &BitArena, u: u32, key: u64) -> (NodeId, Option<C::Item>, Option<u32>) {
+        let mut cur = BitCursor::new(arena, self.local_off[u as usize]);
+        let v = cur.take(self.widths.node) as NodeId;
+        let npairs = cur.take(self.widths.cnt);
+        let mut hit = None;
+        for _ in 0..npairs {
+            let k = cur.take(self.widths.key);
+            let d = self.codec.decode(&mut cur);
+            if k == key && hit.is_none() {
+                hit = Some(d);
+            }
+        }
+        let nchildren = cur.take(self.widths.cnt);
+        let mut descend = None;
+        for _ in 0..nchildren {
+            let c = cur.take(self.widths.cnt) as u32;
+            if cur.take(1) == 1 {
+                let lo = cur.take(self.widths.key);
+                let hi = cur.take(self.widths.key);
+                if descend.is_none() && lo <= key && key <= hi {
+                    descend = Some(c);
+                }
+            }
+        }
+        (v, hit, descend)
+    }
+
+    /// The node id of local index `u`.
+    fn node_of(&self, arena: &BitArena, u: u32) -> NodeId {
+        arena.read(self.local_off[u as usize], self.widths.node) as NodeId
+    }
+
+    /// Replays [`SearchTree::search`] against the packed bits: descend
+    /// while the current holder misses and a child range covers the key,
+    /// then report back to the root. Identical walk, result, and depth.
+    pub fn search(&self, arena: &BitArena, key: u64) -> SearchWalk<C::Item> {
+        let mut down: Vec<u32> = vec![0];
+        let mut cur = 0u32;
+        let mut result;
+        loop {
+            let (_, hit, descend) = self.scan(arena, cur, key);
+            result = hit;
+            if result.is_some() {
+                break;
+            }
+            match descend {
+                Some(c) => {
+                    down.push(c);
+                    cur = c;
+                }
+                None => break,
+            }
+        }
+        let mut nodes: Vec<NodeId> = down.iter().map(|&u| self.node_of(arena, u)).collect();
+        let back: Vec<NodeId> =
+            down.iter().rev().skip(1).map(|&u| self.node_of(arena, u)).collect();
+        nodes.extend(back);
+        SearchWalk { nodes, result, depth: down.len() - 1 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SearchTreeConfig;
+    use doubling_metric::{gen, MetricSpace};
+    use netsim::plane::roundtrip_ok;
+
+    fn sample_tree(m: &MetricSpace) -> SearchTree<u32> {
+        let ball: Vec<NodeId> = m.ball(12, 6).iter().map(|&(_, x)| x).collect();
+        let pairs: Vec<(u64, u32)> = ball.iter().map(|&x| (x as u64, x)).collect();
+        SearchTree::new(m, 12, &ball, SearchTreeConfig { eps_r: 1, max_levels: None }, pairs)
+    }
+
+    #[test]
+    fn packed_search_matches_reference() {
+        let m = MetricSpace::new(&gen::grid(5, 5));
+        let st = sample_tree(&m);
+        let mut arena = BitArena::new();
+        let widths = PackedTreeWidths { key: 5, cnt: 6, node: 5 };
+        let packed = PackedSearchTree::encode(&mut arena, &st, U32Codec { width: 5 }, widths);
+        for key in 0..30u64 {
+            assert_eq!(packed.search(&arena, key), st.search(key), "key {key}");
+        }
+    }
+
+    #[test]
+    fn decode_roundtrips_byte_exactly() {
+        let m = MetricSpace::new(&gen::grid(5, 5));
+        let st = sample_tree(&m);
+        let mut arena = BitArena::new();
+        let widths = PackedTreeWidths { key: 5, cnt: 6, node: 5 };
+        let enc = PackedSearchTree::encode(&mut arena, &st, U32Codec { width: 5 }, widths);
+        let mut out = Vec::new();
+        let dec = PackedSearchTree::decode(
+            &mut BitCursor::new(&arena, 0),
+            U32Codec { width: 5 },
+            widths,
+            &mut out,
+        );
+        assert!(roundtrip_ok(&arena, &out));
+        assert_eq!(dec.local_off, enc.local_off);
+        assert_eq!(dec.center(), enc.center());
+        for key in 0..30u64 {
+            assert_eq!(dec.search(&arena, key), st.search(key));
+        }
+    }
+
+    #[test]
+    fn port_label_codec_roundtrips() {
+        let codec = PortLabelCodec { node: 6, port: 3, cnt: 4 };
+        let label = PortLabel { dfs: 17, lights: vec![(3, 1), (9, 4)] };
+        let mut arena = BitArena::new();
+        codec.encode(&mut arena, &label);
+        assert_eq!(codec.decode(&mut BitCursor::new(&arena, 0)), label);
+        let mut out = Vec::new();
+        assert_eq!(codec.decode_recorded(&mut BitCursor::new(&arena, 0), &mut out), label);
+        assert!(roundtrip_ok(&arena, &out));
+    }
+}

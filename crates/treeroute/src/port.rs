@@ -192,6 +192,35 @@ impl PortTreeRouter {
         &self.labels[self.tree.local(v).expect("node in tree") as usize]
     }
 
+    /// DFS number of local index `i` — the per-node field a plane compiler
+    /// packs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn dfs_of(&self, i: u32) -> u32 {
+        self.dfs[i as usize]
+    }
+
+    /// DFS interval `[lo, hi]` of the subtree at local index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn interval_of(&self, i: u32) -> (u32, u32) {
+        self.interval[i as usize]
+    }
+
+    /// Heavy child (local index) of local index `i`, or `None` for a leaf.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn heavy_of(&self, i: u32) -> Option<u32> {
+        let h = self.heavy[i as usize];
+        (h != NO_CHILD).then_some(h)
+    }
+
     /// Next hop from `from` toward `target`, or `None` on arrival. The
     /// decision uses the node's constant-size table, the label in the
     /// header, and the node's own physical link list (free).

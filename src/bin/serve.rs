@@ -1,0 +1,10 @@
+//! Workspace-root alias for the forwarding-plane serving experiment, so
+//! that `cargo run --release --bin serve` works from the repository root.
+//! The implementation lives in [`bench::serve`].
+//!
+//! Usage: `cargo run --release --bin serve [n] [--pairs QUERIES_PER_CELL]
+//! [--seed N] [--threads N] [--stable] [--json]`
+
+fn main() {
+    bench::serve::serve_main();
+}
